@@ -1,0 +1,26 @@
+"""Ext-B benchmark: ablation of Algorithm 2's design choices.
+
+Times the mu sweep / cap ablation and asserts the design-choice story:
+very small mu over-serializes (worse), and mu in the paper-optimal band is
+at or near the best across families.
+"""
+
+from repro.core.constants import MU_MAX
+from repro.experiments.ablation import run as run_ablation
+
+
+def test_mu_sweep_and_cap(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_ablation(P=64, mus=(0.05, 0.15, 0.211, 0.271, 0.324, MU_MAX)),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    for family, d in report.data.items():
+        sweep = {k: v for k, v in d.items() if k.startswith("mu=")}
+        best = min(sweep.values())
+        # Over-serializing mu is measurably worse than the best setting.
+        assert sweep["mu=0.050"] > best
+        # The paper-optimal band (0.211..0.382) contains a near-best point.
+        band = [v for k, v in sweep.items() if float(k[3:]) >= 0.211]
+        assert min(band) <= best * 1.05

@@ -1,0 +1,49 @@
+"""Ext-A benchmark: the realistic-workflow empirical study.
+
+Times Algorithm 1 across the workload suite per model family and asserts
+the headline shape: measured ratios sit far below the worst-case constants
+and Algorithm 1 is robust where naive baselines blow up.
+"""
+
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.core.constants import MODEL_FAMILIES
+from repro.core.ratios import upper_bound
+from repro.core.scheduler import OnlineScheduler
+from repro.experiments.empirical import run as run_empirical, workload_suite
+
+P = 64
+SEED = 20220829
+
+
+@pytest.mark.parametrize("family", MODEL_FAMILIES)
+def test_algorithm1_on_suite(benchmark, family):
+    """Time Algorithm 1 over the whole workload suite for one family."""
+    workloads = workload_suite(family, SEED)
+    scheduler = OnlineScheduler.for_family(family, P)
+
+    def run_all():
+        return [scheduler.run(graph).makespan for graph, _ in
+                ((g, n) for n, g in workloads)]
+
+    makespans = benchmark(run_all)
+    bound = upper_bound(family)
+    for (name, graph), makespan in zip(workloads, makespans):
+        ratio = makespan / makespan_lower_bound(graph, P).value
+        # Guaranteed by Theorem 1-4; realistically much tighter.
+        assert ratio <= bound + 1e-9
+        assert ratio < 0.75 * bound  # "much better practically" (Section 6)
+
+
+def test_full_empirical_report(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_empirical(P=P, seed=SEED), rounds=1, iterations=1
+    )
+    show(report.text)
+    summary = report.data["_summary"]
+    # Algorithm 1 beats the area-greedy and time-greedy baselines on average.
+    assert summary["algorithm1"] < summary["one-proc"]
+    assert summary["algorithm1"] < summary["max-useful"]
+    # And sits far below the worst-case constants.
+    assert summary["algorithm1"] < 3.0

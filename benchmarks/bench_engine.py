@@ -1,0 +1,85 @@
+"""Simulator performance benchmarks (not tied to a paper artifact).
+
+Measures the event-driven engine's throughput on the structures that
+stress it differently: long chains (sequential event processing), wide
+independent sets (queue scans), dense adversarial instances, and the
+allocator's two binary searches.
+"""
+
+import pytest
+
+from repro.adversary import communication_instance
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import MU_STAR
+from repro.core.scheduler import OnlineScheduler
+from repro.graph.generators import chain, independent_tasks, layered_random
+from repro.speedup import CommunicationModel, RandomModelFactory
+
+
+def test_long_chain(benchmark):
+    graph = chain(2000, lambda: CommunicationModel(50.0, 0.5))
+    scheduler = OnlineScheduler.for_family("communication", 64)
+    result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=3, iterations=1)
+    assert len(result.schedule) == 2000
+
+
+def test_wide_independent(benchmark):
+    graph = independent_tasks(5000, lambda: CommunicationModel(50.0, 0.5))
+    scheduler = OnlineScheduler.for_family("communication", 64)
+    result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=3, iterations=1)
+    assert len(result.schedule) == 5000
+
+
+def test_layered_random_10k(benchmark):
+    factory = RandomModelFactory(family="general", seed=0)
+    graph = layered_random(100, 100, factory, edge_probability=0.05, seed=0)
+    scheduler = OnlineScheduler.for_family("general", 128)
+    result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=1, iterations=1)
+    assert len(result.schedule) == 10_000
+
+
+def test_adversarial_instance_end_to_end(benchmark):
+    instance = communication_instance(200)  # ~13k tasks
+
+    def run():
+        return instance.run().makespan
+
+    makespan = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert makespan == pytest.approx(instance.predicted_makespan)
+
+
+def test_allocator_throughput(benchmark):
+    """Algorithm 2 on a large platform (binary-search fast path)."""
+    allocator = LpaAllocator(MU_STAR["communication"])
+    model = CommunicationModel(w=1e6, c=0.01)
+
+    def allocate_many():
+        return [allocator.allocate(model, 1_000_000).final for _ in range(100)]
+
+    allocations = benchmark(allocate_many)
+    assert all(1 <= a <= 1_000_000 for a in allocations)
+
+
+def test_malleable_scheduler(benchmark):
+    """Malleable water-filling on a Cholesky DAG (reallocation-heavy)."""
+    from repro.malleable import MalleableScheduler
+    from repro.speedup import RandomModelFactory
+    from repro.workflows import cholesky
+
+    graph = cholesky(8, RandomModelFactory(family="amdahl", seed=0))
+    result = benchmark.pedantic(
+        MalleableScheduler(64).run, args=(graph,), rounds=3, iterations=1
+    )
+    assert len(result.schedule) == len(graph)
+
+
+def test_ect_scheduler(benchmark):
+    """ECT's per-task allocation sweep on a wide LIGO workload."""
+    from repro.baselines import EctScheduler
+    from repro.workflows import instantiate
+
+    graph = instantiate("ligo", 8)
+    result = benchmark.pedantic(
+        EctScheduler(64).run, args=(graph,), rounds=3, iterations=1
+    )
+    assert len(result.schedule) == len(graph)

@@ -1,0 +1,117 @@
+"""Extension benchmarks (Ext-C..G): release setting, failures, priorities,
+convergence series, and the platform sweep."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_release_setting(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("release", P=64, n=120, rates=(0.2, 1.0, 5.0)),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    # Under light load, everything is near-optimal; under heavy load,
+    # Algorithm 1 stays within a small constant of the lower bound.
+    for key, ratios in report.data.items():
+        assert ratios["algorithm1"] >= 1.0 - 1e-9
+        if "rate=0.2" in key:
+            assert ratios["algorithm1"] < 1.5
+        assert ratios["algorithm1"] < 3.0
+
+
+def test_failure_scenario(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("failures", P=64, probabilities=(0.0, 0.1, 0.3)),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    for d in report.data.values():
+        # The guarantee transfers to the realized graph at every q.
+        assert d["ratio_vs_realized_lb"] <= d["guarantee"] + 1e-9
+
+
+def test_priority_rules(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("priorities", P=64), rounds=1, iterations=1
+    )
+    show(report.text)
+    for d in report.data.values():
+        # The offline bottom-level oracle is never worse than FIFO + 5%.
+        assert d["bottom-level*"] <= d["fifo"] * 1.05
+
+
+def test_convergence_series(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("convergence"), rounds=1, iterations=1
+    )
+    show(report.text)
+    from repro.core.ratios import algorithm_lower_bound
+
+    for family, series in report.data.items():
+        ratios = [p["ratio"] for p in series]
+        assert ratios == sorted(ratios)  # monotone approach
+        assert ratios[-1] <= algorithm_lower_bound(family) + 1e-6
+
+
+def test_platform_sweep(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("sweep", Ps=(8, 32, 128, 512)), rounds=1, iterations=1
+    )
+    show(report.text)
+    from repro.core.ratios import upper_bound
+
+    for key, series in report.data.items():
+        family = key.split("/")[0]
+        for ratio in series.values():
+            assert 1.0 - 1e-9 <= ratio <= upper_bound(family) + 1e-9
+
+
+def test_offline_gap(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("offline_gap", P=64), rounds=1, iterations=1
+    )
+    show(report.text)
+    summary = report.data["_summary"]
+    # Offline allotment tuning (CPA) buys a real but bounded improvement.
+    assert summary["cpa"] < summary["algorithm1"]
+    assert summary["algorithm1"] < 2 * summary["cpa"]
+
+
+def test_malleable_gap(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("malleable_gap", P=64), rounds=1, iterations=1
+    )
+    show(report.text)
+    summary = report.data["_summary"]
+    # The intro's trade-off, quantified: rigid >> moldable >= malleable.
+    assert summary["malleable"] <= summary["moldable"] + 1e-9
+    assert summary["moldable"] < summary["rigid-max"]
+    assert summary["moldable"] < summary["rigid-one"]
+
+
+def test_waiting(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("waiting", P=64, n=100, rates=(1.0, 5.0)),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    # Greedy-time allocation blocks the queue far more than Algorithm 1.
+    for family in ("amdahl", "general"):
+        greedy = report.data[f"{family}/rate=5/max-useful"]["mean_wait"]
+        ours = report.data[f"{family}/rate=5/algorithm1"]["mean_wait"]
+        assert greedy > ours
+
+
+def test_certificates(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("certificates", P=64), rounds=1, iterations=1
+    )
+    show(report.text)
+    for d in report.data.values():
+        assert d["all_certified"]
+        assert d["max_alpha"] <= d["alpha_x"] + 1e-6

@@ -1,0 +1,61 @@
+"""Figure benchmarks: regenerate Figures 1-4 and Table 2.
+
+Each benchmark regenerates one figure's underlying data, asserts the
+paper-side values (e.g. Figure 4's breakpoints 1/2, 5/6, ~1.07, ~1.23),
+and times the regeneration.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark, show):
+    report = benchmark(run_experiment, "table2")
+    show(report.text)
+    assert "moldable task graphs/online" in report.data
+
+
+def test_figure1(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("figure1", sizes={"communication": 40, "amdahl": 10, "general": 10}),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    for d in report.data.values():
+        assert d["tasks"] == (d["X"] + 1) * d["Y"] + 1
+
+
+def test_figure2(benchmark, show):
+    report = benchmark.pedantic(
+        lambda: run_experiment("figure2", P=150), rounds=1, iterations=1
+    )
+    show(report.text)
+    # The shape contrast: layer-serialized (low utilization) vs parallel.
+    assert report.data["algorithm_avg_utilization"] < 0.7
+    assert report.data["alternative_avg_utilization"] > 0.95
+    assert report.data["ratio"] > 3.0
+
+
+def test_figure3(benchmark, show):
+    report = benchmark(run_experiment, "figure3", ell=2)
+    show(report.text)
+    assert report.data["n_chains"] == 15
+    assert report.data["P"] == 32
+    assert report.data["depth"] == 4
+
+
+@pytest.mark.parametrize("ell", [2, 3])
+def test_figure4(benchmark, show, ell):
+    report = benchmark.pedantic(
+        lambda: run_experiment("figure4", ell=ell), rounds=1, iterations=1
+    )
+    show(report.text)
+    assert report.data["offline_makespan"] == pytest.approx(1.0)
+    if ell == 2:
+        bps = report.data["equal_allocation_breakpoints"]
+        assert bps[1:] == pytest.approx([0.5, 5 / 6, 1.0647, 1.2314], abs=1e-3)
+    # Any online schedule pays at least the Theorem-9 bound.
+    assert report.data["algorithm_makespan"] >= report.data["theorem9_bound"] - 1e-9
+    assert report.data["equal_allocation_makespan"] >= report.data["paper_bound"]

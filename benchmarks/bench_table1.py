@@ -1,0 +1,61 @@
+"""Table 1 benchmark: regenerate the competitive-ratio table.
+
+Reproduces both rows of Table 1 and asserts them against the paper:
+
+* upper bounds 2.62 / 3.61 / 4.74 / 5.72 from the mu-optimization,
+* lower bounds measured on the Theorem 5-8 adversarial instances,
+  approaching 2.61 / 3.51 / 4.73 / 5.25.
+"""
+
+import pytest
+
+from repro.adversary import instance_for_family
+from repro.core.constants import MODEL_FAMILIES, TABLE1_PAPER
+from repro.core.ratios import algorithm_lower_bound, optimize_mu
+from repro.experiments.table1 import run as run_table1
+
+#: Benchmark-scale instance sizes (bigger than the unit tests, so the
+#: measured lower bounds land close to the limits).
+SIZES = {"roofline": 20000, "communication": 400, "amdahl": 80, "general": 80}
+
+#: How close (fraction of the limit) the measured ratio must land.
+CONVERGENCE = {"roofline": 0.999, "communication": 0.98, "amdahl": 0.93, "general": 0.93}
+
+
+@pytest.mark.parametrize("family", MODEL_FAMILIES)
+def test_upper_bound(benchmark, family):
+    """Theorems 1-4: numeric mu-optimization reproduces the upper bounds."""
+    result = benchmark(optimize_mu, family)
+    paper_upper = TABLE1_PAPER[family][0]
+    assert result.ratio == pytest.approx(paper_upper, abs=0.011)
+
+
+@pytest.mark.parametrize("family", MODEL_FAMILIES)
+def test_lower_bound_instance(benchmark, family):
+    """Theorems 5-8: simulate Algorithm 1 on the adversarial instance."""
+    instance = instance_for_family(family, SIZES[family])
+
+    def measure():
+        return instance.run().makespan / instance.alternative.makespan()
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    limit = algorithm_lower_bound(family)
+    assert ratio <= limit * (1 + 1e-6)
+    assert ratio >= limit * CONVERGENCE[family]
+    assert ratio >= TABLE1_PAPER[family][1] * CONVERGENCE[family]
+
+
+def test_full_table(benchmark, show):
+    """Regenerate and print the whole of Table 1."""
+    report = benchmark.pedantic(
+        lambda: run_table1(
+            sizes={"roofline": 2000, "communication": 150, "amdahl": 30, "general": 30}
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.text)
+    for family in MODEL_FAMILIES:
+        d = report.data[family]
+        assert d["upper_bound"] == pytest.approx(TABLE1_PAPER[family][0], abs=0.011)
+        assert d["measured_lower"] <= d["lower_limit"] + 1e-6

@@ -1,0 +1,42 @@
+"""Workflow-scheduling throughput benchmarks.
+
+Times Algorithm 1 end-to-end on each catalog workflow at a realistic size,
+so regressions in the engine, the allocator, or a generator show up as
+timing changes.  Results double as a quality gate: every run must stay
+within the proven competitive ratio of its model family.
+"""
+
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.core.ratios import upper_bound
+from repro.core.scheduler import OnlineScheduler
+from repro.workflows import instantiate
+
+#: Catalog name -> benchmark scale (few hundred to ~1k tasks each).
+SCALES = {
+    "cholesky": 10,
+    "lu": 8,
+    "qr": 7,
+    "fft": 6,
+    "stencil": 16,
+    "mapreduce": 64,
+    "montage": 80,
+    "epigenomics": 48,
+    "ligo": 12,
+    "cybershake": 16,
+}
+
+P = 128
+
+
+@pytest.mark.parametrize("name", sorted(SCALES))
+def test_schedule_catalog_workflow(benchmark, name):
+    graph = instantiate(name, SCALES[name])
+    scheduler = OnlineScheduler.for_family("general", P)
+
+    result = benchmark(scheduler.run, graph)
+
+    lb = makespan_lower_bound(graph, P).value
+    ratio = result.makespan / lb
+    assert 1.0 - 1e-9 <= ratio <= upper_bound("general") + 1e-9

@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one of the paper's tables or figures (asserting
+the reproduced values) and times the regeneration.  Add ``-s`` to also see
+the reproduced tables printed as the paper reports them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report around pytest's capture (visible with -s or on failure)."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Watch the Table-1 lower bounds emerge from the adversarial instances.
+
+For each speedup model, builds the Theorem 5-8 instance at growing sizes,
+simulates Algorithm 1 on it, and divides by the proof's constructive
+offline schedule.  The ratio climbs toward the closed-form limit
+(2.618 / 3.515 / 4.731 / 5.257 -> paper's 2.61 / 3.51 / 4.73 / 5.25).
+
+Run:  python examples/adversarial_lower_bounds.py
+"""
+
+from repro.adversary import instance_for_family
+from repro.core.ratios import algorithm_lower_bound
+
+SIZES = {
+    "roofline": (10, 100, 1000, 10000),  # platform size P
+    "communication": (20, 60, 200, 600),  # platform size P
+    "amdahl": (8, 16, 32, 64),  # K (P = K^2)
+    "general": (8, 16, 32, 64),  # K (P = K^2)
+}
+
+
+def main() -> None:
+    for family, sizes in SIZES.items():
+        limit = algorithm_lower_bound(family)
+        print(f"{family}: limit = {limit:.4f}")
+        for size in sizes:
+            inst = instance_for_family(family, size)
+            result = inst.run()
+            # The simulation agrees with the proof's closed-form accounting:
+            assert abs(result.makespan - inst.predicted_makespan) <= 1e-6 * max(
+                1.0, inst.predicted_makespan
+            )
+            ratio = result.makespan / inst.alternative.makespan()
+            print(
+                f"  size={size:>6} P={inst.P:>6} tasks={len(inst.graph):>7} "
+                f"ratio={ratio:.4f} ({ratio / limit:.1%} of limit)"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

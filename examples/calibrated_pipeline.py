@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""From benchmark timings to a schedule: the full user pipeline.
+
+1. "Measure" three kernels (here: synthetic timings with noise — in real
+   use these come from your own benchmark runs),
+2. fit speedup models to the samples (``repro.speedup.fit``),
+3. assemble a workflow graph from the fitted models,
+4. schedule it with Algorithm 1,
+5. verify the analysis certificate and export a Chrome trace.
+
+Run:  python examples/calibrated_pipeline.py [trace.json]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import OnlineScheduler, TaskGraph
+from repro.analysis import schedule_metrics, tag_breakdown, verify_run
+from repro.speedup import AmdahlModel, CommunicationModel, RooflineModel
+from repro.speedup.fit import fit_best
+from repro.viz import schedule_to_trace_json
+
+
+def fake_measurements(model, ps, rng, noise=0.02):
+    """Pretend we benchmarked `model` at processor counts `ps`."""
+    return [(p, model.time(p) * (1 + rng.normal(0, noise))) for p in ps]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    ps = [1, 2, 4, 8, 16, 32]
+
+    # Ground-truth kernels (unknown to the user in real life).
+    truth = {
+        "decode": AmdahlModel(w=30.0, d=3.0),
+        "transform": CommunicationModel(w=120.0, c=0.4),
+        "encode": RooflineModel(w=45.0, max_parallelism=12),
+    }
+
+    print("fitting speedup models from noisy timings:")
+    fitted = {}
+    for name, model in truth.items():
+        samples = fake_measurements(model, ps, rng)
+        fitted[name] = fit_best(samples, max_relative_error=0.2)
+        print(f"  {name:>10}: true {model!r}")
+        print(f"  {'':>10}  fit  {fitted[name]!r}")
+
+    # A 3-stage pipeline over 6 data chunks.
+    g = TaskGraph()
+    chunks = 6
+    for c in range(chunks):
+        for stage in ("decode", "transform", "encode"):
+            g.add_task((stage, c), fitted[stage], tag=stage)
+        g.add_edge(("decode", c), ("transform", c))
+        g.add_edge(("transform", c), ("encode", c))
+
+    P = 48
+    scheduler = OnlineScheduler.for_family("general", P)
+    result = scheduler.run(g)
+
+    print(f"\nscheduled {len(g)} tasks on P={P}: makespan {result.makespan:.2f}")
+    print("metrics:", schedule_metrics(result.schedule))
+    print("\nwhere the area went:")
+    for stats in tag_breakdown(result.schedule).values():
+        print(" ", stats)
+
+    cert = verify_run(result, scheduler.mu)
+    print("\nanalysis certificate:")
+    print(" ", cert.summary())
+
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+        with open(path, "w") as fh:
+            fh.write(schedule_to_trace_json(result.schedule, name="pipeline"))
+        print(f"\nwrote Chrome trace to {path} (open in chrome://tracing)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Run a custom study grid with the campaign runner.
+
+Declares a workloads x families x platforms x schedulers grid with
+replications, executes it, and prints the aggregated table plus CSV —
+the pattern to copy when benchmarking your own scheduler or workload.
+
+Run:  python examples/campaign_study.py
+"""
+
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.graph.generators import layered_random
+from repro.workflows import cholesky, fft, ligo
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        workloads={
+            "cholesky-8": lambda f: cholesky(8, f),
+            "fft-5": lambda f: fft(5, f),
+            "ligo-4": lambda f: ligo(4, f),
+            "layered-6x8": lambda f: layered_random(6, 8, f, seed=11),
+        },
+        families=("roofline", "amdahl", "general"),
+        Ps=(32, 128),
+        schedulers=("algorithm1", "grab-free", "ect"),
+        replications=3,
+        seed=2022,
+    )
+    result = run_campaign(spec)
+    print(result.to_table())
+
+    print("\nwinners per cell:")
+    for family in spec.families:
+        for wname in spec.workloads:
+            for P in spec.Ps:
+                best = result.best_scheduler(family, wname, P)
+                print(f"  {family:>9} / {wname:<12} P={P:<4} -> {best}")
+
+    print("\nCSV (first lines):")
+    print("\n".join(result.to_csv().splitlines()[:5]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The failure scenario: re-execute tasks until they succeed.
+
+The paper notes (Section 2) that its results "readily carry over to the
+failure scenario" of Benoit et al.  This example runs a Cholesky workflow
+under increasing failure probabilities and shows that
+
+* the absolute makespan inflates roughly like the mean attempt count, but
+* the ratio against the *realized* graph's lower bound stays flat — the
+  competitive guarantee is failure-oblivious.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro.analysis import verify_run
+from repro.bounds import makespan_lower_bound
+from repro.core import OnlineScheduler
+from repro.resilience import FailureInjectingSource, attempt_counts
+from repro.speedup import RandomModelFactory
+from repro.util.tables import format_table
+from repro.workflows import cholesky
+
+
+def main() -> None:
+    P = 64
+    factory = RandomModelFactory(family="general", seed=11)
+    graph = cholesky(8, factory)
+    scheduler = OnlineScheduler.for_family("general", P)
+
+    rows = []
+    base = None
+    for q in (0.0, 0.05, 0.1, 0.2, 0.4, 0.6):
+        source = FailureInjectingSource(graph, q, seed=11)
+        result = scheduler.run(source)
+        result.schedule.validate(result.graph)
+        attempts = attempt_counts(result)
+        mean_attempts = sum(attempts.values()) / len(attempts)
+        lb = makespan_lower_bound(result.graph, P).value
+        cert = verify_run(result, scheduler.mu)
+        if base is None:
+            base = result.makespan
+        rows.append(
+            [
+                q,
+                len(result.graph),
+                mean_attempts,
+                1 / (1 - q),
+                result.makespan,
+                result.makespan / base,
+                result.makespan / lb,
+                cert.all_ok,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "q",
+                "attempts",
+                "mean tries",
+                "1/(1-q)",
+                "makespan",
+                "inflation",
+                "T/LB(realized)",
+                "certified",
+            ],
+            rows,
+            float_fmt=".3f",
+            title=(
+                f"Cholesky(8 tiles) on P={P} under end-of-attempt failures\n"
+                "(tasks retried until success; guarantee checked per run)."
+            ),
+        )
+    )
+    print(
+        "\nMean tries tracks the geometric expectation 1/(1-q); the last two\n"
+        "columns show the makespan inflating while the competitive position\n"
+        "against the realized graph's lower bound stays flat and certified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Online scheduling of moldable task graphs under common speedup models.
+
+A faithful, self-contained reproduction of
+
+    Anne Benoit, Lucas Perotin, Yves Robert, Hongyang Sun.
+    "Online Scheduling of Moldable Task Graphs under Common Speedup Models."
+    ICPP 2022.  https://doi.org/10.1145/3545008.3545049
+
+Quick start::
+
+    from repro import OnlineScheduler, TaskGraph, AmdahlModel
+
+    g = TaskGraph()
+    g.add_task("prep", AmdahlModel(w=40.0, d=2.0))
+    g.add_task("solve", AmdahlModel(w=200.0, d=5.0))
+    g.add_edge("prep", "solve")
+
+    result = OnlineScheduler.for_family("amdahl", P=64).run(g)
+    print(result.makespan)
+
+Layout: speedup models (:mod:`repro.speedup`), task graphs
+(:mod:`repro.graph`), workflow generators (:mod:`repro.workflows`), the
+simulator (:mod:`repro.sim`), the paper's algorithm and analysis
+(:mod:`repro.core`), makespan lower bounds (:mod:`repro.bounds`),
+adversarial instances (:mod:`repro.adversary`), baselines
+(:mod:`repro.baselines`), and the table/figure harness
+(:mod:`repro.experiments`).
+"""
+
+from repro._version import __version__
+from repro.bounds import makespan_lower_bound
+from repro.core import (
+    Allocation,
+    Allocator,
+    LpaAllocator,
+    MU_STAR,
+    OnlineScheduler,
+    table1,
+    upper_bound,
+)
+from repro.graph import Task, TaskGraph
+from repro.sim import ListScheduler, Schedule, SimulationResult
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    RooflineModel,
+    SpeedupModel,
+)
+
+__all__ = [
+    "__version__",
+    "SpeedupModel",
+    "GeneralModel",
+    "RooflineModel",
+    "CommunicationModel",
+    "AmdahlModel",
+    "Task",
+    "TaskGraph",
+    "Schedule",
+    "ListScheduler",
+    "SimulationResult",
+    "OnlineScheduler",
+    "Allocator",
+    "Allocation",
+    "LpaAllocator",
+    "MU_STAR",
+    "table1",
+    "upper_bound",
+    "makespan_lower_bound",
+]

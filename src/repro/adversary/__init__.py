@@ -1,0 +1,59 @@
+"""Adversarial instances from the paper's lower-bound proofs (Section 4.4, 5).
+
+Each module builds a fully concrete instance family together with the
+proof's *alternative schedule* (an explicit feasible schedule upper-bounding
+the optimal makespan), so the Table-1 lower bounds can be measured by
+simulation: run Algorithm 1 on the instance, divide by the alternative's
+makespan, and watch the ratio approach the theorem's limit as the platform
+grows.
+"""
+
+from repro.adversary.base import AdversarialInstance
+from repro.adversary.generic_graph import layered_adversarial_graph
+from repro.adversary.roofline import roofline_instance
+from repro.adversary.communication import communication_instance
+from repro.adversary.amdahl import amdahl_instance
+from repro.adversary.general import general_instance
+from repro.adversary.arbitrary import (
+    AdaptiveChainSource,
+    chain_forest,
+    chain_forest_platform,
+    offline_chain_schedule,
+    equal_allocation_schedule,
+    lemma10_breakpoints,
+)
+
+__all__ = [
+    "AdversarialInstance",
+    "layered_adversarial_graph",
+    "roofline_instance",
+    "communication_instance",
+    "amdahl_instance",
+    "general_instance",
+    "AdaptiveChainSource",
+    "chain_forest",
+    "chain_forest_platform",
+    "offline_chain_schedule",
+    "equal_allocation_schedule",
+    "lemma10_breakpoints",
+]
+
+
+def instance_for_family(family: str, size: int) -> AdversarialInstance:
+    """Build the Theorem 5-8 instance for ``family`` at the given size.
+
+    ``size`` is the platform size ``P`` for the roofline and communication
+    instances, and the parameter ``K`` (platform ``P = K**2``) for the
+    Amdahl and general instances.
+    """
+    if family == "roofline":
+        return roofline_instance(size)
+    if family == "communication":
+        return communication_instance(size)
+    if family == "amdahl":
+        return amdahl_instance(size)
+    if family == "general":
+        return general_instance(size)
+    from repro.exceptions import InvalidParameterError
+
+    raise InvalidParameterError(f"unknown model family {family!r}")

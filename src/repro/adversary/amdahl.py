@@ -1,0 +1,106 @@
+"""Theorems 7-8: the Amdahl-model lower-bound instance.
+
+Figure-1 graph parameterized by an integer ``K > 3`` with ``P = K**2``:
+
+* :math:`t_A(p) = K/p` (linear speedup, constant area),
+* :math:`t_B(p) = K/p + 1`, forcing the allocator to
+  :math:`p_B = \\lceil p^* \\rceil` with
+  :math:`p^* = K/(\\delta(1/K + 1) - 1) \\approx K/(\\delta-1)`,
+* :math:`t_C(p) = (\\delta-1)K/p + K`, for which one processor satisfies
+  the time budget exactly (:math:`t_C(1) = \\delta K \\le \\delta\\,
+  t^{\\min}_C`).
+
+Then :math:`X = \\lfloor K^2(1-\\mu)/p_B\\rfloor + 1` B-tasks per layer
+(just enough that a layer cannot run alongside its A-task) and
+:math:`Y = \\lfloor K(K-\\delta)/X \\rfloor` layers.
+
+The same construction proves Theorem 8 (general model) with the
+general-model :math:`\\mu`; see :mod:`repro.adversary.general`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.base import AdversarialInstance
+from repro.adversary.generic_graph import (
+    C_ID,
+    a_id,
+    b_id,
+    layered_adversarial_graph,
+)
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import delta, MU_STAR
+from repro.sim.schedule import Schedule
+from repro.speedup.amdahl import AmdahlModel
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["amdahl_instance", "build_amdahl_family_instance"]
+
+
+def build_amdahl_family_instance(K: int, mu: float, family: str) -> AdversarialInstance:
+    """Shared construction for Theorems 7 (Amdahl) and 8 (general)."""
+    K = check_positive_int(K, "K")
+    if K <= 3:
+        raise ValueError("the construction requires an integer K > 3")
+    d = delta(mu)
+    P = K * K
+
+    model_a = GeneralModel(w=float(K))  # t(p) = K/p
+    model_b = AmdahlModel(w=float(K), d=1.0)
+    model_c = AmdahlModel(w=(d - 1.0) * K, d=float(K))
+
+    # X depends on the allocation Algorithm 2 gives the B-tasks.
+    allocator = LpaAllocator(mu)
+    p_b = allocator.allocate(model_b, P).final
+    X = math.floor(P * (1 - mu) / p_b) + 1
+    Y = math.floor(K * (K - d) / X)
+    if Y < 1:
+        raise ValueError(f"K={K} too small: Y={Y} < 1")
+    graph = layered_adversarial_graph(Y, X, model_a, model_b, model_c)
+
+    # ------------------------------------------------------------------
+    # Alternative schedule (upper bound on T_opt):
+    #   1. A_1..A_Y sequentially on all P processors (1/K each).
+    #   2. From Y/K: all X*Y B-tasks on one processor each (K + 1) and C
+    #      on ceil((delta-1)K) processors (<= K + 1), all in parallel
+    #      (X*Y + delta*K <= K^2 by construction).
+    # ------------------------------------------------------------------
+    alternative = Schedule(P)
+    t_a_star = model_a.time(P)  # = 1/K
+    t0 = 0.0
+    for i in range(1, Y + 1):
+        alternative.add(a_id(i), t0, t0 + t_a_star, P, tag="A")
+        t0 += t_a_star
+    t_b_star = model_b.time(1)  # = K + 1
+    for i in range(1, Y + 1):
+        for j in range(1, X + 1):
+            alternative.add(b_id(i, j), t0, t0 + t_b_star, 1, tag="B")
+    p_c = math.ceil((d - 1.0) * K)
+    alternative.add(C_ID, t0, t0 + model_c.time(p_c), p_c, tag="C")
+
+    p_a = math.ceil(mu * P)
+    predicted = Y * (model_a.time(p_a) + model_b.time(p_b)) + model_c.time(1)
+    return AdversarialInstance(
+        family=family,
+        P=P,
+        mu=mu,
+        graph=graph,
+        alternative=alternative,
+        predicted_makespan=predicted,
+        params={
+            "K": K,
+            "X": X,
+            "Y": Y,
+            "delta": d,
+            "p_A": p_a,
+            "p_B": p_b,
+            "p_C": 1,
+        },
+    )
+
+
+def amdahl_instance(K: int) -> AdversarialInstance:
+    """Build the Theorem-7 instance for parameter ``K > 3`` (``P = K**2``)."""
+    return build_amdahl_family_instance(K, MU_STAR["amdahl"], "amdahl")

@@ -1,0 +1,271 @@
+"""Theorem 9 / Lemma 10: the chain-forest lower bound for arbitrary speedups.
+
+The instance (Figure 3): for an integer :math:`\\ell > 1`, let
+:math:`K = 2^\\ell`.  There are :math:`n = 2^K - 1` independent linear
+chains; group :math:`i \\in [1, K]` holds :math:`2^{K-i}` chains of exactly
+:math:`i` tasks.  All tasks are identical with
+:math:`t(p) = 1/(\\lg p + 1)` on :math:`P = K\\,2^{K-1}` processors.
+
+* The offline optimum gives each group-:math:`i` chain :math:`2^{i-1}`
+  processors and finishes at exactly 1 (Figure 4(a)).
+* An online algorithm cannot distinguish chains, so an adversary
+  (:class:`AdaptiveChainSource`) terminates whichever chains finish their
+  :math:`i`-th task first — the scheduler's parallelism is always spent on
+  the wrong chains, and Lemma 10 forces stage :math:`i` to last at least
+  :math:`1/(\\ell + i)`, summing to :math:`\\ge \\ln K - \\ln\\ell - 1/\\ell`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError, SimulationError
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.engine import SimulationResult
+from repro.sim.schedule import Schedule
+from repro.speedup.arbitrary import LogParallelismModel
+from repro.types import TaskId
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "chain_forest_platform",
+    "chain_group",
+    "chain_forest",
+    "offline_chain_schedule",
+    "equal_allocation_schedule",
+    "AdaptiveChainSource",
+    "Lemma10Breakpoints",
+    "lemma10_breakpoints",
+    "theorem9_bound",
+]
+
+_MODEL = LogParallelismModel()
+
+
+def _check_ell(ell: int) -> int:
+    ell = check_positive_int(ell, "ell")
+    if ell < 2:
+        raise InvalidParameterError("Theorem 9 requires an integer ell > 1")
+    return ell
+
+
+def chain_forest_platform(ell: int) -> tuple[int, int, int]:
+    """Return ``(K, n, P)`` for parameter ``ell``: :math:`K = 2^\\ell`,
+    :math:`n = 2^K - 1` chains, :math:`P = K \\cdot 2^{K-1}` processors."""
+    ell = _check_ell(ell)
+    K = 2**ell
+    return K, 2**K - 1, K * 2 ** (K - 1)
+
+
+def chain_group(ell: int, c: int) -> int:
+    """Group (= length) of chain ``c`` under the canonical numbering.
+
+    Chains ``1 .. 2^{K-1}`` form group 1, the next :math:`2^{K-2}` group 2,
+    and so on (Figure 3 numbers them this way for :math:`\\ell = 2`).
+    """
+    K, n, _ = chain_forest_platform(ell)
+    c = check_positive_int(c, "c")
+    if c > n:
+        raise InvalidParameterError(f"chain {c} out of range [1, {n}]")
+    offset = 0
+    for i in range(1, K + 1):
+        offset += 2 ** (K - i)
+        if c <= offset:
+            return i
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _task_id(c: int, k: int) -> TaskId:
+    return (c, k)
+
+
+def chain_forest(ell: int) -> TaskGraph:
+    """The full (offline-visible) Figure-3 instance as a static graph."""
+    K, n, _ = chain_forest_platform(ell)
+    g = TaskGraph()
+    for c in range(1, n + 1):
+        length = chain_group(ell, c)
+        for k in range(1, length + 1):
+            g.add_task(_task_id(c, k), _MODEL, tag=f"chain{c}")
+            if k > 1:
+                g.add_edge(_task_id(c, k - 1), _task_id(c, k))
+    return g
+
+
+def offline_chain_schedule(ell: int) -> Schedule:
+    """Figure 4(a): the offline schedule with makespan exactly 1.
+
+    Group-:math:`i` chains each get :math:`2^{i-1}` processors, so every
+    task takes :math:`t(2^{i-1}) = 1/i` and a chain of :math:`i` tasks
+    finishes at 1; the allocations sum to exactly ``P``.
+    """
+    _, n, P = chain_forest_platform(ell)
+    schedule = Schedule(P)
+    for c in range(1, n + 1):
+        i = chain_group(ell, c)
+        procs = 2 ** (i - 1)
+        step = _MODEL.time(procs)  # = 1/i
+        for k in range(1, i + 1):
+            schedule.add(
+                _task_id(c, k), (k - 1) * step, k * step, procs, tag=f"chain{c}"
+            )
+    return schedule
+
+
+def equal_allocation_schedule(ell: int) -> tuple[Schedule, list[float]]:
+    """Figure 4(b): the equal-allocation online strategy's schedule.
+
+    At stage :math:`i` the :math:`m_i = 2^{K-i+1} - 1` surviving chains
+    each run their next task on :math:`\\lfloor P/m_i \\rfloor` processors.
+    Returns the schedule and the breakpoints
+    :math:`[t_0, t_1, \\dots, t_K]` (for :math:`\\ell = 2`:
+    ``[0, 1/2, 5/6, ~1.07, ~1.23]``).
+    """
+    K, n, P = chain_forest_platform(ell)
+    schedule = Schedule(P)
+    breakpoints = [0.0]
+    now = 0.0
+    for i in range(1, K + 1):
+        m = 2 ** (K - i + 1) - 1
+        procs = P // m
+        duration = _MODEL.time(procs)
+        for c in range(1, n + 1):
+            if chain_group(ell, c) >= i:
+                schedule.add(
+                    _task_id(c, i), now, now + duration, procs, tag=f"chain{c}"
+                )
+        now += duration
+        breakpoints.append(now)
+    return schedule, breakpoints
+
+
+# ----------------------------------------------------------------------
+# The adaptive adversary (Lemma 10)
+# ----------------------------------------------------------------------
+class AdaptiveChainSource:
+    """Reveals the chain forest adversarially to *any* online scheduler.
+
+    All tasks look identical, so the adversary is free to decide chain
+    lengths *after the fact*: whenever a chain completes its :math:`i`-th
+    task, it is terminated if fewer than :math:`2^{K-i}` chains have been
+    terminated at length :math:`i` so far — i.e. the earliest finishers
+    are always the shortest chains, wasting whatever parallelism the
+    scheduler invested in them.  The realized graph is always a valid
+    Figure-3 instance.
+    """
+
+    def __init__(self, ell: int) -> None:
+        self.ell = _check_ell(ell)
+        self.K, self.n, self.P = chain_forest_platform(ell)
+        self._terminated_at: dict[int, int] = {i: 0 for i in range(1, self.K + 1)}
+        self._chain_length: dict[int, int] = {}  # final length, once terminated
+        self._progress: dict[int, int] = {c: 0 for c in range(1, self.n + 1)}
+        self._revealed = 0
+        self._completed = 0
+        self._graph = TaskGraph()
+
+    # -- GraphSource protocol ------------------------------------------
+    def initial_tasks(self) -> list[Task]:
+        tasks = []
+        for c in range(1, self.n + 1):
+            tid = _task_id(c, 1)
+            tasks.append(self._graph.add_task(tid, _MODEL, tag=f"chain{c}"))
+            self._revealed += 1
+        return tasks
+
+    def on_complete(self, task_id: TaskId) -> list[Task]:
+        c, k = task_id
+        if self._progress[c] != k - 1:
+            raise SimulationError(
+                f"chain {c} completed task {k} out of order "
+                f"(progress was {self._progress[c]})"
+            )
+        self._progress[c] = k
+        self._completed += 1
+        quota = 2 ** (self.K - k)
+        if self._terminated_at[k] < quota:
+            # Adversary: this chain "was" a group-k chain all along.
+            self._terminated_at[k] += 1
+            self._chain_length[c] = k
+            return []
+        next_id = _task_id(c, k + 1)
+        task = self._graph.add_task(next_id, _MODEL, tag=f"chain{c}")
+        self._graph.add_edge(task_id, next_id)
+        self._revealed += 1
+        return [task]
+
+    def is_exhausted(self) -> bool:
+        return (
+            self._completed == self._revealed
+            and len(self._chain_length) == self.n
+        )
+
+    def realized_graph(self) -> TaskGraph:
+        return self._graph
+
+    # -- Adversary-specific queries ------------------------------------
+    def chain_lengths(self) -> dict[int, int]:
+        """Final length of each chain (defined once the run is exhausted)."""
+        return dict(self._chain_length)
+
+
+@dataclass(frozen=True)
+class Lemma10Breakpoints:
+    """The stage times :math:`t_0 \\le t_1 \\le \\dots \\le t_K` of Lemma 10."""
+
+    ell: int
+    times: tuple[float, ...]
+
+    @property
+    def gaps(self) -> tuple[float, ...]:
+        """Stage durations :math:`t_i - t_{i-1}`, each :math:`\\ge 1/(\\ell+i)`."""
+        return tuple(
+            self.times[i] - self.times[i - 1] for i in range(1, len(self.times))
+        )
+
+    def satisfies_lemma10(self, *, rtol: float = 1e-9) -> bool:
+        """Check :math:`t_i - t_{i-1} \\ge 1/(\\ell + i)` for every stage."""
+        return all(
+            gap >= 1.0 / (self.ell + i) * (1 - rtol)
+            for i, gap in enumerate(self.gaps, start=1)
+        )
+
+
+def lemma10_breakpoints(
+    result: SimulationResult, chain_lengths: dict[int, int], ell: int
+) -> Lemma10Breakpoints:
+    """Extract the :math:`t_i` of Lemma 10 from a run against the adversary.
+
+    :math:`t_i` (for :math:`i < K`) is the first time a chain of final
+    length :math:`> i` completes its :math:`i`-th task; :math:`t_K` is the
+    makespan.  ``chain_lengths`` comes from
+    :meth:`AdaptiveChainSource.chain_lengths`.
+    """
+    ell = _check_ell(ell)
+    K = 2**ell
+    schedule = result.schedule
+    times = [0.0]
+    for i in range(1, K):
+        candidates = [
+            schedule[_task_id(c, i)].end
+            for c, length in chain_lengths.items()
+            if length > i
+        ]
+        if not candidates:
+            raise SimulationError(f"no chain of length > {i}; invalid adversary run")
+        times.append(min(candidates))
+    times.append(schedule.makespan())
+    return Lemma10Breakpoints(ell=ell, times=tuple(times))
+
+
+def theorem9_bound(ell: int) -> float:
+    """The summed Lemma-10 bound :math:`\\sum_{i=1}^{K} 1/(\\ell+i)`.
+
+    A slightly tighter version of Theorem 9's final
+    :math:`\\ln K - \\ln\\ell - 1/\\ell` (which lower-bounds this sum).
+    """
+    ell = _check_ell(ell)
+    K = 2**ell
+    return math.fsum(1.0 / (ell + i) for i in range(1, K + 1))

@@ -1,0 +1,61 @@
+"""Common shape of a Theorem 5-8 adversarial instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import OnlineScheduler
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.engine import SimulationResult
+from repro.sim.schedule import Schedule
+
+__all__ = ["AdversarialInstance"]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """One concrete lower-bound instance (Theorems 5-8).
+
+    Attributes
+    ----------
+    family:
+        Speedup-model family the instance targets.
+    P:
+        Platform size.
+    mu:
+        The :math:`\\mu` Algorithm 1 is assumed to run with (the theorem's
+        statement fixes it to the family's optimum).
+    graph:
+        The task graph (Figure 1's layered shape, or a single task for the
+        roofline case), with reveal order arranged so the FIFO queue takes
+        the proof's worst case (B-tasks before the A-task of each layer).
+    alternative:
+        The proof's explicit feasible schedule; its makespan upper-bounds
+        :math:`T_{\\text{opt}}`, so ``measured_ratio`` *lower*-bounds the
+        algorithm's competitive ratio on this instance.
+    predicted_makespan:
+        Closed-form makespan of Algorithm 1 on this instance per the
+        proof's accounting (used to cross-check the simulation).
+    params:
+        Instance parameters for reports (X, Y, w_B, ...).
+    """
+
+    family: str
+    P: int
+    mu: float
+    graph: TaskGraph
+    alternative: Schedule
+    predicted_makespan: float | None = None
+    params: dict[str, float] = field(default_factory=dict)
+
+    def scheduler(self) -> OnlineScheduler:
+        """Algorithm 1 configured exactly as the theorem assumes."""
+        return OnlineScheduler(self.P, self.mu)
+
+    def run(self) -> SimulationResult:
+        """Simulate Algorithm 1 on the instance."""
+        return self.scheduler().run(self.graph)
+
+    def measured_ratio(self) -> float:
+        """Makespan of Algorithm 1 divided by the alternative's makespan."""
+        return self.run().makespan / self.alternative.makespan()

@@ -1,0 +1,92 @@
+"""Theorem 6: the communication-model lower-bound instance.
+
+Figure-1 graph with, for :math:`\\delta = \\delta(\\mu)` and ``P > 3``:
+
+* :math:`X = \\lfloor(1-\\mu)P/2\\rfloor + 1`, :math:`Y = P - 3`,
+* :math:`t_A(p) = 1/p` (pure linear speedup, constant area),
+* :math:`t_B(p) = w_B/p + (p-1)` with
+  :math:`w_B = \\frac{6\\delta}{3-\\delta} + \\frac1P`, crafted so the
+  allocator must pick :math:`p_B = 2` while :math:`t^{\\min}_B = t_B(3)`,
+* :math:`t_C(p) = \\delta X w_B / p + X w_B(\\tfrac12 - \\tfrac\\delta6)(p-1)`,
+  crafted so :math:`t_C(1) = \\delta\\, t^{\\min}_C` exactly — the allocator
+  happily picks one processor for a huge task.
+
+Each layer needs :math:`X p_B + p_A > P` processors, so Algorithm 1
+serializes layers (B-tasks first under FIFO, then the A-task), while the
+alternative schedule clears the whole backbone first and then floods the
+platform with B-tasks alongside C.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adversary.base import AdversarialInstance
+from repro.adversary.generic_graph import (
+    C_ID,
+    a_id,
+    b_id,
+    layered_adversarial_graph,
+)
+from repro.core.constants import MU_STAR, delta
+from repro.sim.schedule import Schedule
+from repro.speedup.communication import CommunicationModel
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["communication_instance"]
+
+
+def communication_instance(P: int) -> AdversarialInstance:
+    """Build the Theorem-6 instance on ``P`` processors (``P >= 7``).
+
+    ``P >= 7`` (rather than the proof's ``P > 3``) guarantees
+    :math:`2X \\le P` so one layer's B-tasks fit in parallel, which is the
+    configuration the proof's accounting charges.
+    """
+    P = check_positive_int(P, "P")
+    if P < 7:
+        raise ValueError("communication instance needs P >= 7")
+    mu = MU_STAR["communication"]
+    d = delta(mu)
+    X = math.floor((1 - mu) * P / 2) + 1
+    Y = P - 3
+
+    w_b = 6 * d / (3 - d) + 1.0 / P
+    model_a = GeneralModel(w=1.0)  # t(p) = 1/p
+    model_b = CommunicationModel(w=w_b, c=1.0)
+    model_c = CommunicationModel(w=d * X * w_b, c=X * w_b * (0.5 - d / 6.0))
+    graph = layered_adversarial_graph(Y, X, model_a, model_b, model_c)
+
+    # ------------------------------------------------------------------
+    # Alternative schedule (upper bound on T_opt):
+    #   1. A_1..A_Y sequentially on all P processors: A_i in
+    #      [(i-1)/P, i/P].
+    #   2. From Y/P: task C on 3 processors for X*w_B, and the X*Y B-tasks
+    #      on the remaining P-3 = Y processors, one processor each, in X
+    #      batches of Y tasks (batch b holds B_{i,b+1} for every layer i).
+    # ------------------------------------------------------------------
+    alternative = Schedule(P)
+    t_a_star = model_a.time(P)
+    now = 0.0
+    for i in range(1, Y + 1):
+        alternative.add(a_id(i), now, now + t_a_star, P, tag="A")
+        now += t_a_star
+    t_b_star = model_b.time(1)
+    alternative.add(C_ID, now, now + model_c.time(3), 3, tag="C")
+    for batch in range(X):
+        for i in range(1, Y + 1):
+            alternative.add(b_id(i, batch + 1), now, now + t_b_star, 1, tag="B")
+        now += t_b_star
+
+    p_a = math.ceil(mu * P)
+    predicted = Y * (model_a.time(p_a) + model_b.time(2)) + model_c.time(1)
+    return AdversarialInstance(
+        family="communication",
+        P=P,
+        mu=mu,
+        graph=graph,
+        alternative=alternative,
+        predicted_makespan=predicted,
+        params={"X": X, "Y": Y, "w_B": w_b, "delta": d, "p_A": p_a, "p_B": 2, "p_C": 1},
+    )

@@ -1,0 +1,21 @@
+"""Theorem 8: the general-model lower bound.
+
+The proof reuses the Amdahl construction verbatim (Amdahl's model is a
+special case of the general model of Equation (1)); only the algorithm's
+parameter changes to the general-model optimum :math:`\\mu \\approx 0.211`,
+hence :math:`\\delta \\approx 3.47`, pushing the limit ratio to
+:math:`\\delta/((\\delta-1)(1-\\mu)) + \\delta > 5.25`.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.amdahl import build_amdahl_family_instance
+from repro.adversary.base import AdversarialInstance
+from repro.core.constants import MU_STAR
+
+__all__ = ["general_instance"]
+
+
+def general_instance(K: int) -> AdversarialInstance:
+    """Build the Theorem-8 instance for parameter ``K > 3`` (``P = K**2``)."""
+    return build_amdahl_family_instance(K, MU_STAR["general"], "general")

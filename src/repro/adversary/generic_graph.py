@@ -1,0 +1,65 @@
+"""The generic adversarial task graph of Figure 1.
+
+:math:`(X+1)Y + 1` tasks in three groups: a backbone chain
+:math:`A_1 \\to A_2 \\to \\dots \\to A_Y`, with :math:`X` fan-out tasks
+:math:`B_{i,j}` hanging off each backbone step (task :math:`A_i` precedes
+:math:`A_{i+1}` and every :math:`B_{i+1,j}`), and a final task :math:`C`
+after :math:`A_Y`.  Tasks :math:`B_{1,j}` and :math:`A_1` are the sources.
+
+Task *insertion order* matters: within each layer the B-tasks are added
+before the A-task, so a FIFO waiting queue considers them first — the
+worst case the proofs of Theorems 6-8 charge the algorithm with.
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.types import TaskId
+from repro.util.validation import check_positive_int
+
+__all__ = ["layered_adversarial_graph", "a_id", "b_id", "C_ID"]
+
+#: Identifier of the final task C.
+C_ID: TaskId = "C"
+
+
+def a_id(i: int) -> TaskId:
+    """Identifier of backbone task :math:`A_i` (1-based)."""
+    return ("A", i)
+
+
+def b_id(i: int, j: int) -> TaskId:
+    """Identifier of fan-out task :math:`B_{i,j}` (1-based)."""
+    return ("B", i, j)
+
+
+def layered_adversarial_graph(
+    Y: int,
+    X: int,
+    model_a: SpeedupModel,
+    model_b: SpeedupModel,
+    model_c: SpeedupModel,
+) -> TaskGraph:
+    """Build Figure 1's graph with the given per-group speedup models.
+
+    ``Y = 0`` yields the single task ``C`` (the Theorem-5 roofline case);
+    otherwise ``Y >= 1`` layers of ``X >= 1`` B-tasks plus one A-task each,
+    then ``C``.
+    """
+    if Y != 0:
+        Y = check_positive_int(Y, "Y")
+        X = check_positive_int(X, "X")
+    g = TaskGraph()
+    for i in range(1, Y + 1):
+        for j in range(1, X + 1):
+            g.add_task(b_id(i, j), model_b, tag="B")
+        g.add_task(a_id(i), model_a, tag="A")
+    g.add_task(C_ID, model_c, tag="C")
+    for i in range(1, Y):
+        g.add_edge(a_id(i), a_id(i + 1))
+        for j in range(1, X + 1):
+            g.add_edge(a_id(i), b_id(i + 1, j))
+    if Y >= 1:
+        g.add_edge(a_id(Y), C_ID)
+    return g

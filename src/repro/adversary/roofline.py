@@ -1,0 +1,46 @@
+"""Theorem 5: the roofline lower-bound instance.
+
+A single task with work :math:`w = P` and full parallelism
+:math:`\\tilde p = P`.  With :math:`\\mu = (3-\\sqrt5)/2` the time budget is
+:math:`\\delta(\\mu) = 1`, so Step 1 of Algorithm 2 is forced to
+:math:`p = P`, which Step 2 then caps at :math:`\\lceil\\mu P\\rceil`:
+the algorithm needs :math:`P/\\lceil\\mu P\\rceil \\to 1/\\mu \\approx 2.618`
+while the optimum allocates all :math:`P` processors and finishes at 1.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import AdversarialInstance
+from repro.adversary.generic_graph import C_ID, layered_adversarial_graph
+from repro.core.constants import MU_STAR
+from repro.sim.schedule import Schedule
+from repro.speedup.roofline import RooflineModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["roofline_instance"]
+
+
+def roofline_instance(P: int) -> AdversarialInstance:
+    """Build the Theorem-5 instance on ``P`` processors (``P >= 2``)."""
+    P = check_positive_int(P, "P")
+    if P < 2:
+        raise ValueError("Theorem 5 needs P >= 2 for the cap to bite")
+    mu = MU_STAR["roofline"]
+    model = RooflineModel(w=float(P), max_parallelism=P)
+    graph = layered_adversarial_graph(0, 0, model, model, model)
+
+    alternative = Schedule(P)
+    alternative.add(C_ID, 0.0, model.time(P), P, tag="C")
+
+    import math
+
+    p_alg = math.ceil(mu * P)
+    return AdversarialInstance(
+        family="roofline",
+        P=P,
+        mu=mu,
+        graph=graph,
+        alternative=alternative,
+        predicted_makespan=model.time(p_alg),
+        params={"w": float(P), "p_alg": p_alg},
+    )

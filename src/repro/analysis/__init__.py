@@ -1,0 +1,27 @@
+"""Post-hoc analysis of simulation results.
+
+* :mod:`repro.analysis.verify` — check the paper's analysis invariants
+  (allocation constraints, Lemmas 3-5) on a concrete run of Algorithm 1
+  and produce a machine-checkable certificate.
+* :mod:`repro.analysis.metrics` — schedule quality metrics beyond the
+  makespan (utilization, per-tag breakdowns, stretch, efficiency).
+"""
+
+from repro.analysis.verify import AnalysisCertificate, verify_run
+from repro.analysis.metrics import (
+    ScheduleMetrics,
+    schedule_metrics,
+    stretch_summary,
+    tag_breakdown,
+    waiting_summary,
+)
+
+__all__ = [
+    "AnalysisCertificate",
+    "verify_run",
+    "ScheduleMetrics",
+    "schedule_metrics",
+    "tag_breakdown",
+    "waiting_summary",
+    "stretch_summary",
+]

@@ -1,0 +1,133 @@
+"""Schedule quality metrics beyond the makespan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "schedule_metrics", "tag_breakdown", "TagStats"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Aggregate quality metrics of one schedule."""
+
+    makespan: float
+    n_tasks: int
+    total_area: float
+    #: Fraction of processor-time busy over the makespan.
+    average_utilization: float
+    #: Maximum simultaneously busy processors.
+    peak_utilization: int
+    #: Mean processor allocation over tasks.
+    mean_allocation: float
+    #: Mean task duration.
+    mean_duration: float
+    #: Fraction of tasks whose allocation was reduced by Step 2's cap.
+    capped_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"makespan={self.makespan:.6g} tasks={self.n_tasks} "
+            f"util={self.average_utilization:.1%} peak={self.peak_utilization} "
+            f"mean_p={self.mean_allocation:.2f} capped={self.capped_fraction:.1%}"
+        )
+
+
+def schedule_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for any schedule."""
+    entries = schedule.entries
+    n = len(entries)
+    if n == 0:
+        return ScheduleMetrics(0.0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0)
+    procs = np.array([e.procs for e in entries], dtype=float)
+    durations = np.array([e.duration for e in entries], dtype=float)
+    capped = sum(1 for e in entries if e.procs < e.initial_alloc)
+    return ScheduleMetrics(
+        makespan=schedule.makespan(),
+        n_tasks=n,
+        total_area=schedule.total_area(),
+        average_utilization=schedule.average_utilization(),
+        peak_utilization=schedule.peak_utilization(),
+        mean_allocation=float(procs.mean()),
+        mean_duration=float(durations.mean()),
+        capped_fraction=capped / n,
+    )
+
+
+@dataclass(frozen=True)
+class TagStats:
+    """Per-tag (kernel-type) aggregate statistics."""
+
+    tag: str
+    count: int
+    total_area: float
+    total_time: float
+    mean_allocation: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.tag or '(untagged)'}: n={self.count} area={self.total_area:.6g} "
+            f"time={self.total_time:.6g} mean_p={self.mean_allocation:.2f}"
+        )
+
+
+def tag_breakdown(schedule: Schedule) -> dict[str, TagStats]:
+    """Group schedule entries by their task tag (kernel name).
+
+    Workflow generators tag tasks with kernel names (``"GEMM"``,
+    ``"mProject"``, ...), so this answers "where did the area go?".
+    """
+    grouped: dict[str, list] = {}
+    for entry in schedule.entries:
+        grouped.setdefault(entry.tag, []).append(entry)
+    out: dict[str, TagStats] = {}
+    for tag, entries in grouped.items():
+        out[tag] = TagStats(
+            tag=tag,
+            count=len(entries),
+            total_area=sum(e.area for e in entries),
+            total_time=sum(e.duration for e in entries),
+            mean_allocation=sum(e.procs for e in entries) / len(entries),
+        )
+    return out
+
+
+def waiting_summary(result) -> "Summary":
+    """Summarize queueing delays (start minus reveal) of one run.
+
+    Requires a :class:`~repro.sim.engine.SimulationResult` whose engine
+    recorded reveal instants (the built-in engine always does).
+    """
+    from repro.exceptions import InvalidParameterError
+    from repro.util.stats import Summary, summarize
+
+    waits = result.waiting_times()
+    if not waits:
+        raise InvalidParameterError("run recorded no reveal times")
+    return summarize([max(w, 0.0) for w in waits.values()])
+
+
+def stretch_summary(result, P: int) -> "Summary":
+    """Summarize per-task *stretch*: response time over ideal time.
+
+    Stretch of task j = (completion - reveal) / t_min_j(P) — the classic
+    online fairness metric: 1.0 means the task ran immediately at its best
+    allocation; large values mean it queued or ran narrow.
+    """
+    from repro.exceptions import InvalidParameterError
+    from repro.util.stats import summarize
+    from repro.util.validation import check_positive_int
+
+    P = check_positive_int(P, "P")
+    if not result.revealed_at:
+        raise InvalidParameterError("run recorded no reveal times")
+    stretches = []
+    for task_id, revealed in result.revealed_at.items():
+        entry = result.schedule[task_id]
+        ideal = result.graph.task(task_id).model.t_min(P)
+        stretches.append(max(entry.end - revealed, 0.0) / ideal)
+    return summarize(stretches)

@@ -1,0 +1,34 @@
+"""Baseline schedulers to compare the paper's algorithm against.
+
+Online baselines share Algorithm 1's list-scheduling loop but use naive
+allocation rules; the offline baseline exploits full knowledge of the graph
+(critical-path priority).  The paper itself has no empirical comparison —
+these baselines support the "future work" empirical study (experiment
+Ext-A in DESIGN.md).
+"""
+
+from repro.baselines.online import (
+    MaxUsefulAllocator,
+    SingleProcessorAllocator,
+    FixedFractionAllocator,
+    AvailableProcessorsAllocator,
+    make_baseline,
+    BASELINE_NAMES,
+)
+from repro.baselines.offline import offline_list_schedule
+from repro.baselines.ect import EctScheduler
+from repro.baselines.cpa import AllotmentAllocator, cpa_allotment, cpa_schedule
+
+__all__ = [
+    "AllotmentAllocator",
+    "cpa_allotment",
+    "cpa_schedule",
+    "MaxUsefulAllocator",
+    "SingleProcessorAllocator",
+    "FixedFractionAllocator",
+    "AvailableProcessorsAllocator",
+    "EctScheduler",
+    "make_baseline",
+    "BASELINE_NAMES",
+    "offline_list_schedule",
+]

@@ -1,0 +1,137 @@
+"""CPA: the Critical-Path-and-Area offline scheduler.
+
+The classic two-phase heuristic of Radulescu & van Gemund for moldable
+task graphs (the practical cousin of the Lepère/Jansen-Zhang allotment
+algorithms the paper cites as offline state of the art):
+
+1. **Allotment phase** — start every task at one processor; while the
+   critical path :math:`C` exceeds the average area :math:`A/P`, give one
+   more processor to the critical-path task with the best
+   time-reduction-per-area ratio.  This explicitly balances the two
+   Lemma-2 lower-bound components against each other.
+2. **Scheduling phase** — list-schedule with the fixed allotment and
+   bottom-level (critical-path) priority.
+
+Offline on both counts: it needs the whole graph to find critical paths,
+and it tunes allotments globally before anything runs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.allocation import Allocation, Allocator
+from repro.sim.engine import ListScheduler, SimulationResult
+from repro.types import TaskId
+from repro.util.validation import check_positive_int
+
+__all__ = ["cpa_allotment", "cpa_schedule", "AllotmentAllocator"]
+
+
+class AllotmentAllocator(Allocator):
+    """Fixed per-task allotments (task-aware allocator)."""
+
+    name = "allotment"
+
+    def __init__(self, allotment: dict[TaskId, int]) -> None:
+        self.allotment = dict(allotment)
+
+    def allocate(self, model, P, *, free=None) -> Allocation:  # pragma: no cover
+        raise InvalidParameterError(
+            "AllotmentAllocator needs task identity; use it with ListScheduler, "
+            "which calls allocate_task"
+        )
+
+    def allocate_task(self, task: Task, P: int, *, free: int | None = None) -> Allocation:
+        try:
+            p = self.allotment[task.id]
+        except KeyError:
+            raise InvalidParameterError(
+                f"no allotment for task {task.id!r}"
+            ) from None
+        return Allocation(initial=p, final=p)
+
+
+def _critical_path(
+    graph: TaskGraph, times: dict[TaskId, float]
+) -> tuple[float, list[TaskId]]:
+    """Longest path under the given per-task times; returns (length, path)."""
+    longest: dict[TaskId, float] = {}
+    best_pred: dict[TaskId, TaskId | None] = {}
+    for u in graph.topological_order():
+        pred, length = None, 0.0
+        for q in graph.predecessors(u):
+            if longest[q] > length:
+                pred, length = q, longest[q]
+        longest[u] = length + times[u]
+        best_pred[u] = pred
+    if not longest:
+        return 0.0, []
+    tail = max(longest, key=lambda t: longest[t])
+    path = [tail]
+    while best_pred[path[-1]] is not None:
+        path.append(best_pred[path[-1]])
+    path.reverse()
+    return longest[tail], path
+
+
+def cpa_allotment(
+    graph: TaskGraph, P: int, *, max_iterations: int | None = None
+) -> dict[TaskId, int]:
+    """Phase 1: compute CPA's per-task processor allotment.
+
+    Iterates at most ``max_iterations`` times (default ``n * min(P, 64)``,
+    a generous budget that the balance condition normally stops long
+    before).
+    """
+    P = check_positive_int(P, "P")
+    n = len(graph)
+    if n == 0:
+        return {}
+    if max_iterations is None:
+        max_iterations = n * min(P, 64)
+
+    models = {t.id: t.model for t in graph.tasks()}
+    p_max = {tid: m.max_useful_processors(P) for tid, m in models.items()}
+    alloc = {tid: 1 for tid in models}
+    times = {tid: models[tid].time(1) for tid in models}
+    area = sum(models[tid].area(1) for tid in models)
+
+    for _ in range(max_iterations):
+        C, path = _critical_path(graph, times)
+        if C <= area / P:
+            break
+        # Best time-reduction per unit of extra area among growable CP tasks.
+        best_tid, best_gain = None, 0.0
+        for tid in path:
+            p = alloc[tid]
+            if p >= p_max[tid]:
+                continue
+            dt = times[tid] - models[tid].time(p + 1)
+            da = models[tid].area(p + 1) - models[tid].area(p)
+            gain = dt / max(da, 1e-12)
+            if dt > 0 and gain > best_gain:
+                best_tid, best_gain = tid, gain
+        if best_tid is None:
+            break  # critical path saturated: no further useful processors
+        p = alloc[best_tid]
+        area += models[best_tid].area(p + 1) - models[best_tid].area(p)
+        alloc[best_tid] = p + 1
+        times[best_tid] = models[best_tid].time(p + 1)
+    return alloc
+
+
+def cpa_schedule(graph: TaskGraph, P: int) -> SimulationResult:
+    """Run both CPA phases and return the resulting schedule."""
+    P = check_positive_int(P, "P")
+    allotment = cpa_allotment(graph, P)
+    from repro.baselines.offline import bottom_levels
+
+    levels = bottom_levels(graph, P)
+    scheduler = ListScheduler(
+        P,
+        AllotmentAllocator(allotment),
+        priority=lambda task, alloc: -levels[task.id],
+    )
+    return scheduler.run(graph)

@@ -1,0 +1,68 @@
+"""Offline (oracle) baseline: critical-path-priority list scheduling.
+
+An offline scheduler knows the whole graph in advance.  This baseline
+exploits that knowledge by ordering the waiting queue by *bottom level* —
+the length (in minimum execution times) of the longest path from a task to
+a sink — the classic critical-path priority rule, combined with any
+allocation strategy (Algorithm 2 by default).
+
+It is *not* the optimal offline scheduler (that problem is NP-hard); the
+empirical study uses it, together with Lemma 2's lower bound, to bracket
+where the optimum can be.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import Allocator, LpaAllocator
+from repro.core.constants import MU_STAR
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.engine import ListScheduler, SimulationResult
+from repro.types import TaskId
+from repro.util.validation import check_positive_int
+
+__all__ = ["bottom_levels", "offline_list_schedule"]
+
+
+def bottom_levels(graph: TaskGraph, P: int) -> dict[TaskId, float]:
+    """Length of the longest min-time path from each task to a sink.
+
+    ``bottom_levels[j]`` includes task ``j``'s own minimum execution time,
+    so the maximum over all tasks equals :math:`C_{\\min}`.
+    """
+    P = check_positive_int(P, "P")
+    level: dict[TaskId, float] = {}
+    for u in reversed(graph.topological_order()):
+        succ_best = max((level[s] for s in graph.successors(u)), default=0.0)
+        level[u] = graph.task(u).model.t_min(P) + succ_best
+    return level
+
+
+def offline_list_schedule(
+    graph: TaskGraph,
+    P: int,
+    *,
+    allocator: Allocator | None = None,
+) -> SimulationResult:
+    """Schedule ``graph`` with critical-path priority and full knowledge.
+
+    Parameters
+    ----------
+    graph:
+        The complete task graph (the oracle sees everything upfront).
+    P:
+        Number of processors.
+    allocator:
+        Allocation rule; defaults to Algorithm 2 with the general-model
+        :math:`\\mu^*` (a robust default across model families).
+    """
+    P = check_positive_int(P, "P")
+    if allocator is None:
+        allocator = LpaAllocator(MU_STAR["general"])
+    levels = bottom_levels(graph, P)
+    scheduler = ListScheduler(
+        P,
+        allocator,
+        # Larger bottom level first (more critical work below the task).
+        priority=lambda task, alloc: -levels[task.id],
+    )
+    return scheduler.run(graph)

@@ -1,0 +1,120 @@
+"""Naive online allocation rules (baselines for the empirical study).
+
+Each allocator plugs into the same list-scheduling engine as the paper's
+algorithm; only the per-task processor count differs:
+
+* :class:`MaxUsefulAllocator` — greedy-time: always run at
+  :math:`p^{\\max}` (minimum execution time, maximum area).  On a single
+  chain this is optimal; on wide graphs it serializes everything.
+* :class:`SingleProcessorAllocator` — greedy-area: always 1 processor
+  (minimum area).  Great for throughput, terrible for critical paths.
+* :class:`FixedFractionAllocator` — a static fraction :math:`\\phi` of
+  the platform, clamped to :math:`[1, p^{\\max}]`.
+* :class:`AvailableProcessorsAllocator` — opportunistic: grab all idle
+  processors at reveal time (clamped to :math:`p^{\\max}`), the classic
+  "earliest completion time now" heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.allocator import Allocation, Allocator
+from repro.exceptions import InvalidParameterError
+from repro.sim.engine import ListScheduler
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "MaxUsefulAllocator",
+    "SingleProcessorAllocator",
+    "FixedFractionAllocator",
+    "AvailableProcessorsAllocator",
+    "BASELINE_NAMES",
+    "make_baseline",
+]
+
+
+class MaxUsefulAllocator(Allocator):
+    """Always allocate :math:`p^{\\max}` (fastest execution, largest area)."""
+
+    name = "max-useful"
+
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        p = model.max_useful_processors(P)
+        return Allocation(initial=p, final=p)
+
+
+class SingleProcessorAllocator(Allocator):
+    """Always allocate one processor (smallest area, slowest execution)."""
+
+    name = "one-proc"
+
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        return Allocation(initial=1, final=1)
+
+
+class FixedFractionAllocator(Allocator):
+    """Allocate ``ceil(fraction * P)`` processors, clamped to ``[1, p_max]``."""
+
+    def __init__(self, fraction: float) -> None:
+        self.fraction = check_in_range(fraction, "fraction", 0.0, 1.0, low_open=True)
+        self.name = f"fraction-{self.fraction:g}"
+
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        P = check_positive_int(P, "P")
+        p = min(model.max_useful_processors(P), max(1, math.ceil(self.fraction * P)))
+        return Allocation(initial=p, final=p)
+
+
+class AvailableProcessorsAllocator(Allocator):
+    """Allocate every processor idle at reveal time (clamped to ``p_max``).
+
+    When nothing is idle the task falls back to one processor so it can
+    start as soon as anything frees up.
+    """
+
+    name = "grab-free"
+
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        P = check_positive_int(P, "P")
+        budget = P if free is None else max(1, free)
+        p = min(model.max_useful_processors(P), budget)
+        return Allocation(initial=p, final=p)
+
+
+#: Names accepted by :func:`make_baseline`.
+BASELINE_NAMES = ("max-useful", "one-proc", "half", "quarter", "grab-free", "ect")
+
+
+def make_baseline(name: str, P: int):
+    """Build a baseline scheduler by name (see :data:`BASELINE_NAMES`).
+
+    All returned schedulers expose ``run(source) -> SimulationResult``.
+    """
+    P = check_positive_int(P, "P")
+    if name == "max-useful":
+        return ListScheduler(P, MaxUsefulAllocator())
+    if name == "one-proc":
+        return ListScheduler(P, SingleProcessorAllocator())
+    if name == "half":
+        return ListScheduler(P, FixedFractionAllocator(0.5))
+    if name == "quarter":
+        return ListScheduler(P, FixedFractionAllocator(0.25))
+    if name == "grab-free":
+        return ListScheduler(P, AvailableProcessorsAllocator())
+    if name == "ect":
+        from repro.baselines.ect import EctScheduler
+
+        return EctScheduler(P)
+    raise InvalidParameterError(
+        f"unknown baseline {name!r}; expected one of {BASELINE_NAMES}"
+    )

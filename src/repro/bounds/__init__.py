@@ -1,0 +1,11 @@
+"""Lower bounds on the optimal makespan (Section 3.2 of the paper)."""
+
+from repro.bounds.lower_bound import makespan_lower_bound, LowerBoundBreakdown
+from repro.bounds.release import release_makespan_lower_bound, ReleaseLowerBound
+
+__all__ = [
+    "makespan_lower_bound",
+    "LowerBoundBreakdown",
+    "release_makespan_lower_bound",
+    "ReleaseLowerBound",
+]

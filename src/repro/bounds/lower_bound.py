@@ -1,0 +1,50 @@
+"""Lemma 2: the makespan lower bound :math:`\\max(A_{\\min}/P,\\, C_{\\min})`.
+
+No schedule — offline or online — can beat either the *area bound* (total
+minimum work divided by the platform size) or the *critical-path bound*
+(some path must execute sequentially, each task at its fastest).  The
+competitive analysis measures Algorithm 1 against this quantity, and the
+empirical study uses it as the :math:`T_{\\text{opt}}` proxy, which makes
+every reported empirical ratio an *upper* bound on the true ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.analysis import minimum_critical_path, minimum_total_area
+from repro.graph.taskgraph import TaskGraph
+from repro.util.validation import check_positive_int
+
+__all__ = ["LowerBoundBreakdown", "makespan_lower_bound"]
+
+
+@dataclass(frozen=True)
+class LowerBoundBreakdown:
+    """The two components of Lemma 2's bound, plus their maximum."""
+
+    area_bound: float
+    critical_path_bound: float
+
+    @property
+    def value(self) -> float:
+        """:math:`\\max(A_{\\min}/P, C_{\\min})` — the usable lower bound."""
+        return max(self.area_bound, self.critical_path_bound)
+
+    @property
+    def binding(self) -> str:
+        """Which component is binding: ``"area"`` or ``"critical_path"``."""
+        return "area" if self.area_bound >= self.critical_path_bound else "critical_path"
+
+
+def makespan_lower_bound(graph: TaskGraph, P: int) -> LowerBoundBreakdown:
+    """Compute Lemma 2's lower bound on the optimal makespan.
+
+    Returns a :class:`LowerBoundBreakdown` exposing both the area bound
+    :math:`A_{\\min}/P` and the critical-path bound :math:`C_{\\min}`.
+    """
+    P = check_positive_int(P, "P")
+    return LowerBoundBreakdown(
+        area_bound=minimum_total_area(graph, P) / P,
+        critical_path_bound=minimum_critical_path(graph, P),
+    )

@@ -1,0 +1,37 @@
+"""The paper's contribution: the online algorithm and its analysis.
+
+* :mod:`repro.core.allocator` — Algorithm 2, the two-step processor
+  allocation (Local Processor Allocation + :math:`\\lceil\\mu P\\rceil` cap).
+* :mod:`repro.core.scheduler` — Algorithm 1, online list scheduling.
+* :mod:`repro.core.ratios` — Lemma 5's framework and the per-model
+  competitive-ratio optimization of Theorems 1-4, plus the algorithm
+  lower-bound limits of Theorems 5-8.
+* :mod:`repro.core.constants` — the optimized :math:`\\mu^*` per model.
+"""
+
+from repro.core.allocator import Allocation, Allocator, LpaAllocator
+from repro.core.constants import MU_STAR, MODEL_FAMILIES, delta, mu_upper_limit
+from repro.core.scheduler import OnlineScheduler
+from repro.core.ratios import (
+    framework_ratio,
+    upper_bound,
+    algorithm_lower_bound,
+    optimize_mu,
+    table1,
+)
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "LpaAllocator",
+    "OnlineScheduler",
+    "MU_STAR",
+    "MODEL_FAMILIES",
+    "delta",
+    "mu_upper_limit",
+    "framework_ratio",
+    "upper_bound",
+    "algorithm_lower_bound",
+    "optimize_mu",
+    "table1",
+]

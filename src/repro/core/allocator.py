@@ -1,0 +1,140 @@
+"""Processor allocation (Algorithm 2 of the paper).
+
+The :class:`LpaAllocator` implements the paper's two-step strategy:
+
+1. **Initial allocation** (Local Processor Allocation, after [3, 4]):
+   among :math:`p \\in [1, p^{\\max}]`, minimize the area ratio
+   :math:`\\alpha_p = a(p)/a^{\\min}` subject to the time-ratio constraint
+   :math:`\\beta_p = t(p)/t^{\\min} \\le \\delta(\\mu) =
+   \\frac{1-2\\mu}{\\mu(1-\\mu)}`.
+2. **Adjustment**: cap the allocation at :math:`\\lceil\\mu P\\rceil`
+   (technique of Lepère et al. [18]) so that enough tasks can run
+   concurrently to keep utilization high.
+
+For monotonic models (the whole Equation (1) family, Lemma 1) step 1 is
+solved with two binary searches; arbitrary models fall back to a linear
+scan over :math:`[1, p^{\\max}]`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.constants import MU_MAX, delta
+from repro.exceptions import AllocationError
+from repro.sim.allocation import Allocation, Allocator
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_in_range, check_positive_int
+
+__all__ = ["Allocation", "Allocator", "LpaAllocator"]
+
+
+class LpaAllocator(Allocator):
+    """Algorithm 2: minimize area subject to a time budget, then cap.
+
+    Parameters
+    ----------
+    mu:
+        The utilization parameter :math:`\\mu \\in (0, (3-\\sqrt5)/2]`.
+        Use :data:`repro.core.constants.MU_STAR` for the per-model optima.
+    rtol:
+        Relative tolerance when testing the :math:`\\beta_p \\le \\delta`
+        constraint and area ties, absorbing floating-point noise (the
+        adversarial instances of Section 4.4 sit *exactly* on the
+        constraint boundary by design).
+
+    Tie-breaking: among feasible allocations of minimal area, the fastest
+    (largest ``p``) is chosen.  For the roofline model the area is flat in
+    :math:`[1, p^{\\max}]`, so this picks :math:`p^{\\max}` and realizes
+    Lemma 6's :math:`\\alpha = \\beta = 1`; for every other Equation (1)
+    model the area is strictly increasing and no tie occurs.
+    """
+
+    name = "lpa"
+
+    def __init__(self, mu: float, *, rtol: float = 1e-9) -> None:
+        self.mu = check_in_range(mu, "mu", 0.0, MU_MAX, low_open=True)
+        self.rtol = check_in_range(rtol, "rtol", 0.0, 1e-3)
+        self.delta = delta(self.mu)
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        P = check_positive_int(P, "P")
+        initial = self.initial_allocation(model, P)
+        cap = math.ceil(self.mu * P)
+        final = cap if initial > cap else initial
+        return Allocation(initial=initial, final=final)
+
+    def initial_allocation(self, model: SpeedupModel, P: int) -> int:
+        """Step 1: the constrained area-minimizing allocation :math:`p_j`."""
+        p_max = model.max_useful_processors(P)
+        t_min = model.time(p_max)
+        threshold = self.delta * t_min * (1.0 + self.rtol)
+        if model.monotonic_hint:
+            return self._initial_monotonic(model, p_max, threshold)
+        return self._initial_scan(model, p_max, threshold)
+
+    # ------------------------------------------------------------------
+    def _initial_monotonic(
+        self, model: SpeedupModel, p_max: int, threshold: float
+    ) -> int:
+        """Two binary searches exploiting Lemma-1 monotonicity.
+
+        ``t`` is non-increasing on ``[1, p_max]``, so the feasible set
+        ``{p : t(p) <= threshold}`` is a suffix ``[p_lo, p_max]``; the area
+        is non-decreasing, so the minimum area on the suffix is at
+        ``p_lo`` — and any tie extends to a contiguous plateau whose right
+        end we locate with a second search (choosing the fastest among the
+        minimum-area allocations).
+        """
+        if model.time(1) <= threshold:
+            p_lo = 1
+        else:
+            # Invariant: time(lo) > threshold >= time(hi).
+            lo, hi = 1, p_max
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if model.time(mid) <= threshold:
+                    hi = mid
+                else:
+                    lo = mid
+            p_lo = hi
+        area_budget = model.area(p_lo) * (1.0 + self.rtol)
+        if model.area(p_max) <= area_budget:
+            return p_max
+        # Invariant: area(lo) <= budget < area(hi).
+        lo, hi = p_lo, p_max
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if model.area(mid) <= area_budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _initial_scan(self, model: SpeedupModel, p_max: int, threshold: float) -> int:
+        """Linear scan for arbitrary (possibly non-monotonic) models."""
+        best_p = 0
+        best_area = math.inf
+        best_time = math.inf
+        for p in range(1, p_max + 1):
+            t = model.time(p)
+            if t > threshold:
+                continue
+            area = p * t
+            if area < best_area * (1.0 - self.rtol) or (
+                area <= best_area * (1.0 + self.rtol) and t < best_time
+            ):
+                best_p, best_area, best_time = p, area, t
+        if best_p == 0:
+            # t(p_max) = t_min <= delta * t_min always satisfies the
+            # constraint, so this is unreachable for a sane model.
+            raise AllocationError(
+                f"no feasible allocation in [1, {p_max}] for model {model!r}"
+            )
+        return best_p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LpaAllocator(mu={self.mu!r})"

@@ -1,0 +1,91 @@
+"""Optimized algorithm parameters per speedup model (Theorems 1-4).
+
+The constant :math:`\\mu` controls both the allocation-time constraint
+:math:`\\beta \\le \\delta(\\mu) = \\frac{1-2\\mu}{\\mu(1-\\mu)}` (Step 1 of
+Algorithm 2) and the allocation cap :math:`\\lceil\\mu P\\rceil` (Step 2).
+The paper tunes :math:`\\mu` per speedup model by numerically minimizing the
+competitive ratio of Lemma 5; the values below are the high-precision
+optima (re-derivable at runtime via
+:func:`repro.core.ratios.optimize_mu` — a unit test pins them against that
+optimization).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.util.validation import check_in_range
+
+__all__ = [
+    "MODEL_FAMILIES",
+    "MU_STAR",
+    "X_STAR",
+    "MU_MAX",
+    "TABLE1_PAPER",
+    "delta",
+    "mu_upper_limit",
+    "mu_for_family",
+]
+
+#: The four speedup-model families analyzed by the paper, in Table-1 order.
+MODEL_FAMILIES = ("roofline", "communication", "amdahl", "general")
+
+#: Largest admissible mu: delta(mu) >= 1 requires mu <= (3 - sqrt(5))/2.
+MU_MAX = (3.0 - math.sqrt(5.0)) / 2.0
+
+#: Optimal mu per model family (Theorems 1-4).  The roofline value is the
+#: exact algebraic optimum (3 - sqrt(5))/2; the others are numerical optima
+#: of the Lemma-5 ratio (paper: "mu ~= 0.324", "~= 0.271", "~= 0.211").
+MU_STAR: dict[str, float] = {
+    "roofline": MU_MAX,
+    "communication": 0.3234947435652391,
+    "amdahl": 0.2708750163587215,
+    "general": 0.2106869277740795,
+}
+
+#: The allocation-shape parameter x* realized at MU_STAR (Lemmas 7-9).
+#: Roofline needs no x (alpha = beta = 1, Lemma 6).
+X_STAR: dict[str, float] = {
+    "communication": 0.4459322485234672,
+    "amdahl": 0.7574423241421643,
+    "general": 1.9724780522786056,
+}
+
+#: Table-1 values as printed in the paper (for display/assertion only).
+TABLE1_PAPER: dict[str, tuple[float, float]] = {
+    "roofline": (2.62, 2.61),
+    "communication": (3.61, 3.51),
+    "amdahl": (4.74, 4.73),
+    "general": (5.72, 5.25),
+}
+
+
+def delta(mu: float) -> float:
+    """Return :math:`\\delta(\\mu) = \\frac{1 - 2\\mu}{\\mu(1 - \\mu)}`.
+
+    This is the execution-time budget of Step 1 of Algorithm 2: the initial
+    allocation must satisfy :math:`t(p) \\le \\delta(\\mu)\\, t^{\\min}`.
+    """
+    mu = check_in_range(mu, "mu", 0.0, 0.5, low_open=True, high_open=True)
+    return (1.0 - 2.0 * mu) / (mu * (1.0 - mu))
+
+
+def mu_upper_limit() -> float:
+    """Largest valid :math:`\\mu`: solves :math:`\\delta(\\mu) = 1`.
+
+    Since any allocation has :math:`\\beta \\ge 1`, Step 1 is feasible only
+    when :math:`\\delta(\\mu) \\ge 1`, i.e. :math:`\\mu \\le (3-\\sqrt5)/2
+    \\approx 0.382` (Section 4.2).
+    """
+    return MU_MAX
+
+
+def mu_for_family(family: str) -> float:
+    """Return the optimized :math:`\\mu^*` for a model family name."""
+    try:
+        return MU_STAR[family]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+        ) from None

@@ -1,0 +1,238 @@
+"""Competitive-ratio theory: Lemma 5's framework and Theorems 1-8.
+
+This module reproduces the *math* of the paper:
+
+* :func:`framework_ratio` — Lemma 5's bound
+  :math:`\\frac{\\mu\\alpha + 1 - 2\\mu}{\\mu(1-\\mu)}`.
+* per-model :math:`(\\alpha_x, \\beta_x)` trade-off curves (Lemmas 6-9),
+* :func:`optimize_mu` — the numerical minimization over :math:`\\mu`
+  (and the induced optimal :math:`x`) proving the Table-1 upper bounds
+  2.62 / 3.61 / 4.74 / 5.72 (Theorems 1-4),
+* :func:`algorithm_lower_bound` — the closed-form limits of the
+  adversarial constructions (Theorems 5-8): 2.61 / 3.51 / 4.73 / 5.25,
+* :func:`arbitrary_model_lower_bound` — Theorem 9's
+  :math:`\\ln K - \\ln\\ell - 1/\\ell` bound for the arbitrary model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.optimize import minimize_scalar
+
+from repro.core.constants import MODEL_FAMILIES, MU_MAX, delta
+from repro.exceptions import InvalidParameterError
+from repro.util.validation import check_in_range, check_positive, check_positive_int
+
+__all__ = [
+    "framework_ratio",
+    "alpha_beta_curve",
+    "optimal_x",
+    "OptimizedRatio",
+    "optimize_mu",
+    "upper_bound",
+    "algorithm_lower_bound",
+    "arbitrary_model_lower_bound",
+    "table1",
+]
+
+
+def framework_ratio(mu: float, alpha: float) -> float:
+    """Lemma 5: the competitive ratio :math:`(\\mu\\alpha + 1 - 2\\mu)/(\\mu(1-\\mu))`.
+
+    Valid whenever each task's initial allocation satisfies
+    :math:`a(p) \\le \\alpha\\, a^{\\min}` and
+    :math:`t(p) \\le \\beta\\, t^{\\min}` with
+    :math:`\\beta \\le \\delta(\\mu)`.
+    """
+    mu = check_in_range(mu, "mu", 0.0, 0.5, low_open=True, high_open=True)
+    alpha = check_positive(alpha, "alpha")
+    return (mu * alpha + 1.0 - 2.0 * mu) / (mu * (1.0 - mu))
+
+
+def alpha_beta_curve(family: str, x: float) -> tuple[float, float]:
+    """Return the guaranteed :math:`(\\alpha_x, \\beta_x)` pair (Lemmas 6-9).
+
+    * roofline (Lemma 6): ``(1, 1)`` — ``x`` is ignored,
+    * communication (Lemma 7): :math:`(1 + x^2 + x/3,\\; \\tfrac35(1/x + x))`
+      for :math:`x \\in [(\\sqrt{13}-1)/6, 1/2]`,
+    * amdahl (Lemma 8): :math:`(1 + x,\\; 1 + 1/x)` for :math:`x > 0`,
+    * general (Lemma 9): :math:`(1 + 1/x + 1/x^2,\\; x + 1 + 1/x)` for
+      :math:`x > 1`.
+    """
+    if family == "roofline":
+        return 1.0, 1.0
+    if family == "communication":
+        lo = (math.sqrt(13.0) - 1.0) / 6.0
+        x = check_in_range(x, "x", lo, 0.5)
+        return 1.0 + x * x + x / 3.0, 0.6 * (1.0 / x + x)
+    if family == "amdahl":
+        x = check_positive(x, "x")
+        return 1.0 + x, 1.0 + 1.0 / x
+    if family == "general":
+        x = check_in_range(x, "x", 1.0, math.inf, low_open=True)
+        return 1.0 + 1.0 / x + 1.0 / (x * x), x + 1.0 + 1.0 / x
+    raise InvalidParameterError(
+        f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+    )
+
+
+def optimal_x(family: str, mu: float) -> float:
+    """Return the best ``x`` for a given ``mu`` (proofs of Theorems 2-4).
+
+    The best ``x`` minimizes :math:`\\alpha_x` subject to
+    :math:`\\beta_x \\le \\delta(\\mu)`; the paper derives it in closed
+    form per model.  Raises
+    :class:`~repro.exceptions.InvalidParameterError` when the constraint is
+    infeasible for this ``mu`` (e.g. :math:`\\mu` too close to its limit).
+    """
+    d = delta(mu)
+    if family == "roofline":
+        return 1.0  # unused; alpha = beta = 1 always.
+    if family == "communication":
+        # beta_x = (3/5)(1/x + x) <= d  <=>  (3/5)x^2 - d x + 3/5 <= 0.
+        # beta is decreasing on (0, 1], so if even x = 1/2 (beta = 3/2)
+        # violates the budget there is no valid x in Lemma 7's range.
+        if d < 1.5:
+            raise InvalidParameterError(
+                f"delta(mu)={d:.6g} < 3/2: no feasible x for the communication model"
+            )
+        disc = d * d - 36.0 / 25.0
+        x = (5.0 / 6.0) * (d - math.sqrt(disc))
+        # When the budget is slack the boundary solution drops below Lemma
+        # 7's validity range; clamp to the range (alpha_x increases with x,
+        # so the smallest valid x is optimal there).
+        lo = (math.sqrt(13.0) - 1.0) / 6.0
+        return min(max(x, lo), 0.5)
+    if family == "amdahl":
+        # beta_x = 1 + 1/x <= d  <=>  x >= 1/(d - 1) = mu(1-mu)/(mu^2-3mu+1).
+        if d <= 1.0:
+            raise InvalidParameterError(
+                f"delta(mu)={d:.6g} <= 1: no feasible x for the Amdahl model"
+            )
+        return 1.0 / (d - 1.0)
+    if family == "general":
+        # beta_x = x + 1 + 1/x <= d  <=>  x^2 - (d-1)x + 1 <= 0; take the
+        # largest root (minimizing alpha_x = 1 + 1/x + 1/x^2).
+        a = d - 1.0
+        disc = a * a - 4.0
+        if disc < 0:
+            raise InvalidParameterError(
+                f"delta(mu)={d:.6g} < 3: no feasible x for the general model"
+            )
+        return 0.5 * (a + math.sqrt(disc))
+    raise InvalidParameterError(
+        f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+    )
+
+
+def ratio_for_mu(family: str, mu: float) -> float:
+    """Competitive ratio of Algorithm 1 at parameter ``mu`` (pre-optimization)."""
+    x = optimal_x(family, mu)
+    alpha, beta = alpha_beta_curve(family, x)
+    if beta > delta(mu) * (1 + 1e-9):  # pragma: no cover - guarded by optimal_x
+        raise InvalidParameterError(
+            f"internal: beta={beta:.6g} exceeds delta={delta(mu):.6g}"
+        )
+    return framework_ratio(mu, alpha)
+
+
+@dataclass(frozen=True)
+class OptimizedRatio:
+    """Result of minimizing the Lemma-5 ratio over ``mu`` for one family."""
+
+    family: str
+    mu: float
+    x: float
+    alpha: float
+    beta: float
+    ratio: float
+
+
+def optimize_mu(family: str, *, xatol: float = 1e-12) -> OptimizedRatio:
+    """Numerically minimize the competitive ratio over ``mu`` (Theorems 1-4).
+
+    Reproduces the paper's per-model optimization; the resulting ratios
+    round to Table 1's upper-bound row (2.62, 3.61, 4.74, 5.72).
+    """
+    if family == "roofline":
+        # Closed form (Theorem 1): ratio = 1/mu minimized at mu = MU_MAX.
+        mu = MU_MAX
+        return OptimizedRatio("roofline", mu, 1.0, 1.0, 1.0, 1.0 / mu)
+    if family not in MODEL_FAMILIES:
+        raise InvalidParameterError(
+            f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+        )
+    # For small mu, delta is large and every model is feasible; near MU_MAX
+    # the x-constraint can become infeasible, so keep a hair inside the
+    # feasible region and let the optimizer find the interior optimum.
+    lo, hi = 1e-6, MU_MAX - 1e-12
+
+    def objective(mu: float) -> float:
+        try:
+            return ratio_for_mu(family, mu)
+        except InvalidParameterError:
+            # Large finite penalty: keeps Brent's parabolic steps numeric.
+            return 1e12
+
+    res = minimize_scalar(
+        objective, bounds=(lo, hi), method="bounded", options={"xatol": xatol}
+    )
+    mu = float(res.x)
+    x = optimal_x(family, mu)
+    alpha, beta = alpha_beta_curve(family, x)
+    return OptimizedRatio(family, mu, x, alpha, beta, framework_ratio(mu, alpha))
+
+
+def upper_bound(family: str) -> float:
+    """The Table-1 upper bound on the competitive ratio for ``family``."""
+    return optimize_mu(family).ratio
+
+
+def algorithm_lower_bound(family: str) -> float:
+    """Closed-form limit of the adversarial constructions (Theorems 5-8).
+
+    These are the values the finite-size adversarial instances in
+    :mod:`repro.adversary` converge to as :math:`P \\to \\infty`; Table 1
+    reports them rounded to 2.61 / 3.51 / 4.73 / 5.25.
+    """
+    mu = optimize_mu(family).mu
+    d = delta(mu)
+    if family == "roofline":
+        # Theorem 5: lim T/T_opt = 1/mu.
+        return 1.0 / mu
+    if family == "communication":
+        # Theorem 6: 1/(1-mu) + 2/((1-mu) w_B) + delta with w_B = 6d/(3-d)
+        # (the 1/P term of w_B vanishes in the limit).
+        w_b = 6.0 * d / (3.0 - d)
+        return 1.0 / (1.0 - mu) + 2.0 / ((1.0 - mu) * w_b) + d
+    if family in ("amdahl", "general"):
+        # Theorems 7-8: delta/((delta - 1)(1 - mu)) + delta.
+        return d / ((d - 1.0) * (1.0 - mu)) + d
+    raise InvalidParameterError(
+        f"unknown model family {family!r}; expected one of {MODEL_FAMILIES}"
+    )
+
+
+def arbitrary_model_lower_bound(ell: int) -> float:
+    """Theorem 9's makespan lower bound :math:`\\ln K - \\ln\\ell - 1/\\ell`.
+
+    For the chain-forest instance with :math:`K = 2^\\ell`, any
+    deterministic online algorithm has makespan at least this value while
+    the offline optimum is 1, so the bound is also a competitive-ratio
+    lower bound.  It grows as :math:`\\Theta(\\ln K) = \\Theta(\\ln D)`.
+    """
+    ell = check_positive_int(ell, "ell")
+    if ell < 2:
+        raise InvalidParameterError("Theorem 9 requires an integer ell > 1")
+    K = 2**ell
+    return math.log(K) - math.log(ell) - 1.0 / ell
+
+
+def table1() -> list[tuple[str, float, float]]:
+    """Return Table 1: ``(family, upper bound, algorithm lower bound)`` rows."""
+    return [
+        (family, upper_bound(family), algorithm_lower_bound(family))
+        for family in MODEL_FAMILIES
+    ]

@@ -1,0 +1,61 @@
+"""Algorithm 1: the paper's online scheduling algorithm.
+
+:class:`OnlineScheduler` is the paper's contribution assembled from its two
+parts: the list-scheduling loop (:class:`~repro.sim.engine.ListScheduler`)
+driven by the two-step allocation (:class:`~repro.core.allocator.LpaAllocator`).
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import mu_for_family
+from repro.sim.engine import ListScheduler, PriorityRule
+
+__all__ = ["OnlineScheduler"]
+
+
+class OnlineScheduler(ListScheduler):
+    """The paper's online algorithm for moldable task graphs.
+
+    Parameters
+    ----------
+    P:
+        Number of identical processors.
+    mu:
+        Utilization/allocation parameter.  Pick it per speedup model via
+        :meth:`for_family` (Theorems 1-4 tune it to 0.382 / 0.324 / 0.271 /
+        0.211 for the roofline / communication / Amdahl / general models).
+    priority:
+        Optional waiting-queue priority; the paper uses none (FIFO).
+
+    Examples
+    --------
+    >>> from repro.core import OnlineScheduler
+    >>> from repro.graph.generators import chain
+    >>> from repro.speedup import AmdahlModel
+    >>> sched = OnlineScheduler.for_family("amdahl", P=16)
+    >>> result = sched.run(chain(3, lambda: AmdahlModel(8.0, 1.0)))
+    >>> result.makespan > 0
+    True
+    """
+
+    def __init__(
+        self, P: int, mu: float, *, priority: PriorityRule | None = None, rtol: float = 1e-9
+    ) -> None:
+        super().__init__(P, LpaAllocator(mu, rtol=rtol), priority=priority)
+
+    @property
+    def mu(self) -> float:
+        """The utilization parameter the allocator was built with."""
+        return self.allocator.mu  # type: ignore[attr-defined]
+
+    @classmethod
+    def for_family(
+        cls, family: str, P: int, *, priority: PriorityRule | None = None
+    ) -> "OnlineScheduler":
+        """Build the scheduler with the optimal :math:`\\mu^*` for ``family``.
+
+        ``family`` is one of ``"roofline"``, ``"communication"``,
+        ``"amdahl"``, ``"general"`` (Table 1).
+        """
+        return cls(P, mu_for_family(family), priority=priority)

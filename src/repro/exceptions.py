@@ -1,0 +1,67 @@
+"""Exception taxonomy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+every library-specific failure with one ``except`` clause while still letting
+programming errors (``TypeError`` and friends raised by Python itself)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "GraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "ScheduleError",
+    "CapacityExceededError",
+    "PrecedenceViolationError",
+    "SimulationError",
+    "AllocationError",
+    "FittingError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model, scheduler, or generator parameter is out of range."""
+
+
+class GraphError(ReproError):
+    """Base class for task-graph construction and query errors."""
+
+
+class CycleError(GraphError):
+    """The supplied precedence constraints contain a directed cycle."""
+
+
+class UnknownTaskError(GraphError, KeyError):
+    """A task id was referenced that is not part of the graph."""
+
+
+class ScheduleError(ReproError):
+    """Base class for schedule feasibility violations."""
+
+
+class CapacityExceededError(ScheduleError):
+    """More processors were used at some instant than the platform has."""
+
+
+class PrecedenceViolationError(ScheduleError):
+    """A task started before one of its predecessors completed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """No feasible processor allocation exists for a task."""
+
+
+class FittingError(ReproError):
+    """A speedup model could not be fitted to the provided samples."""

@@ -1,0 +1,16 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment module exposes ``run(...) -> ExperimentReport``; the
+registry maps experiment ids (``table1``, ``figure4``, ...) to runners, and
+``python -m repro.experiments <id>`` prints the report.  See DESIGN.md for
+the per-experiment index and EXPERIMENTS.md for recorded outputs.
+"""
+
+from repro.experiments.registry import (
+    ExperimentReport,
+    REGISTRY,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["ExperimentReport", "REGISTRY", "get_experiment", "run_experiment"]

@@ -1,0 +1,85 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [...]``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments table1
+    python -m repro.experiments figure4 --ell 3
+    python -m repro.experiments all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["main"]
+
+#: Which keyword overrides each experiment accepts.
+_ACCEPTS: dict[str, tuple[str, ...]] = {
+    "figure2": ("P",),
+    "figure3": ("ell",),
+    "figure4": ("ell",),
+    "empirical": ("P", "seed"),
+    "ablation": ("P", "seed"),
+    "release": ("P", "seed"),
+    "failures": ("P", "seed"),
+    "priorities": ("P", "seed"),
+    "offline_gap": ("P", "seed"),
+    "malleable_gap": ("P", "seed"),
+    "waiting": ("P", "seed"),
+    "certificates": ("P", "seed"),
+    "misspecification": ("P", "seed"),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run one experiment (or ``all``) and print/save its report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(REGISTRY), "all", "list"],
+        help="experiment id (paper table/figure number), 'all', or 'list'",
+    )
+    parser.add_argument("--P", type=int, default=None, help="platform size override")
+    parser.add_argument("--ell", type=int, default=None, help="Theorem-9 ell override")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed override")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write each report to (<id>.txt)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        kwargs = {}
+        accepted = _ACCEPTS.get(name, ())
+        for key in ("P", "ell", "seed"):
+            value = getattr(args, key)
+            if value is not None and key in accepted:
+                kwargs[key] = value
+        report = run_experiment(name, **kwargs)
+        print(report)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(str(report) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

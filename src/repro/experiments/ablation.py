@@ -1,0 +1,92 @@
+"""Ext-B: ablation of the algorithm's design choices.
+
+Two knobs of Algorithm 2 are ablated on a fixed workload set:
+
+* **The** :math:`\\mu` **sweep** — the cap :math:`\\lceil\\mu P\\rceil` and
+  the time budget :math:`\\delta(\\mu)` both derive from :math:`\\mu`; the
+  sweep shows the measured makespan ratio as :math:`\\mu` moves across
+  :math:`(0, (3-\\sqrt5)/2]`, with the per-family optimum marked.
+* **No-cap ablation** — Step 2 (the :math:`\\lceil\\mu P\\rceil` reduction)
+  is disabled, isolating its contribution (without the cap, wide layers
+  serialize and utilization collapses on graph workloads).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds import makespan_lower_bound
+from repro.core.allocator import Allocation, LpaAllocator
+from repro.core.constants import MODEL_FAMILIES, MU_MAX, MU_STAR
+from repro.core.scheduler import OnlineScheduler
+from repro.experiments.empirical import workload_suite
+from repro.experiments.registry import ExperimentReport
+from repro.sim.engine import ListScheduler
+from repro.speedup.base import SpeedupModel
+from repro.util.tables import format_table
+
+__all__ = ["run", "UncappedLpaAllocator"]
+
+
+class UncappedLpaAllocator(LpaAllocator):
+    """Algorithm 2 with Step 2 (the ``ceil(mu*P)`` cap) disabled."""
+
+    name = "lpa-nocap"
+
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        initial = self.initial_allocation(model, P)
+        return Allocation(initial=initial, final=initial)
+
+
+def run(
+    P: int = 64,
+    seed: int = 20220829,
+    mus: tuple[float, ...] = (0.05, 0.10, 0.15, 0.211, 0.271, 0.324, MU_MAX),
+) -> ExperimentReport:
+    """Sweep ``mu`` and ablate the cap on the empirical workload suite."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for family in MODEL_FAMILIES:
+        workloads = workload_suite(family, seed)
+        bounds = {name: makespan_lower_bound(g, P).value for name, g in workloads}
+
+        def mean_ratio(scheduler: ListScheduler) -> float:
+            total = 0.0
+            for name, graph in workloads:
+                total += scheduler.run(graph).makespan / bounds[name]
+            return total / len(workloads)
+
+        per_mu = {}
+        for mu in mus:
+            per_mu[mu] = mean_ratio(OnlineScheduler(P, mu))
+        nocap = mean_ratio(ListScheduler(P, UncappedLpaAllocator(MU_STAR[family])))
+        best_mu = min(per_mu, key=per_mu.get)
+        rows.append(
+            [family, MU_STAR[family]]
+            + [per_mu[mu] for mu in mus]
+            + [nocap, best_mu]
+        )
+        data[family] = {
+            **{f"mu={mu:.3f}": v for mu, v in per_mu.items()},
+            "nocap": nocap,
+            "mu_star": MU_STAR[family],
+            "best_mu_in_sweep": best_mu,
+        }
+    headers = (
+        ["model", "mu*"]
+        + [f"mu={mu:.3f}" for mu in mus]
+        + ["no-cap @mu*", "best mu"]
+    )
+    text = format_table(
+        headers,
+        rows,
+        float_fmt=".3f",
+        title=(
+            f"Ext-B -- mean makespan/lower-bound across the workload suite on "
+            f"P={P}, sweeping Algorithm 2's mu and ablating the ceil(mu*P) cap.\n"
+            f"(mu is capped at (3-sqrt(5))/2 = {MU_MAX:.4f}, where delta(mu)=1.)"
+        ),
+    )
+    return ExperimentReport("ablation", "mu sweep and cap ablation", text, data)

@@ -1,0 +1,193 @@
+"""Campaign runner: grid studies with replications and summary statistics.
+
+The one-off experiments in this package each hard-code a grid; downstream
+users typically want their *own* grid — workloads x platform sizes x
+schedulers x replications — with mean/CI aggregation.  :func:`run_campaign`
+provides exactly that on top of the library's schedulers and Lemma-2
+normalization.
+
+Example
+-------
+>>> from repro.experiments.campaign import CampaignSpec, run_campaign
+>>> from repro.workflows import cholesky
+>>> spec = CampaignSpec(
+...     workloads={"chol6": lambda f: cholesky(6, f)},
+...     families=("amdahl",),
+...     Ps=(16, 64),
+...     schedulers=("algorithm1", "one-proc"),
+...     replications=2,
+... )
+>>> result = run_campaign(spec)
+>>> len(result.rows)
+4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.baselines.online import BASELINE_NAMES, make_baseline
+from repro.bounds import makespan_lower_bound
+from repro.core.constants import MODEL_FAMILIES
+from repro.core.scheduler import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.random import RandomModelFactory
+from repro.util.stats import Summary, summarize
+from repro.util.tables import format_csv, format_table
+from repro.util.validation import check_positive_int
+
+__all__ = ["CampaignSpec", "CampaignRow", "CampaignResult", "run_campaign"]
+
+#: A workload builder: takes a model factory, returns a task graph.
+WorkloadBuilder = Callable[[RandomModelFactory], TaskGraph]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a study grid.
+
+    ``schedulers`` entries are either ``"algorithm1"`` (the paper's
+    algorithm at the family's mu*) or any :data:`BASELINE_NAMES` entry.
+    """
+
+    workloads: Mapping[str, WorkloadBuilder]
+    families: Sequence[str] = MODEL_FAMILIES
+    Ps: Sequence[int] = (64,)
+    schedulers: Sequence[str] = ("algorithm1", "max-useful", "one-proc")
+    replications: int = 3
+    seed: int = 20220829
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise InvalidParameterError("campaign needs at least one workload")
+        for family in self.families:
+            if family not in MODEL_FAMILIES:
+                raise InvalidParameterError(f"unknown model family {family!r}")
+        for P in self.Ps:
+            check_positive_int(P, "P")
+        for name in self.schedulers:
+            if name != "algorithm1" and name not in BASELINE_NAMES:
+                raise InvalidParameterError(
+                    f"unknown scheduler {name!r}; expected 'algorithm1' or one "
+                    f"of {BASELINE_NAMES}"
+                )
+        check_positive_int(self.replications, "replications")
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One grid cell: the ratio summary across replications."""
+
+    family: str
+    workload: str
+    P: int
+    scheduler: str
+    ratio: Summary
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All grid cells plus rendering helpers."""
+
+    spec: CampaignSpec
+    rows: tuple[CampaignRow, ...] = field(default_factory=tuple)
+
+    def to_table(self) -> str:
+        """Aligned text table of mean ratios (with CI half-widths)."""
+        body = [
+            [
+                r.family,
+                r.workload,
+                r.P,
+                r.scheduler,
+                r.ratio.mean,
+                r.ratio.ci95,
+                r.ratio.maximum,
+            ]
+            for r in self.rows
+        ]
+        return format_table(
+            ["family", "workload", "P", "scheduler", "mean", "ci95", "worst"],
+            body,
+            float_fmt=".3f",
+        )
+
+    def to_csv(self) -> str:
+        """CSV with one row per grid cell."""
+        body = [
+            [
+                r.family,
+                r.workload,
+                r.P,
+                r.scheduler,
+                r.ratio.mean,
+                r.ratio.std,
+                r.ratio.minimum,
+                r.ratio.maximum,
+                r.ratio.n,
+            ]
+            for r in self.rows
+        ]
+        return format_csv(
+            ["family", "workload", "P", "scheduler", "mean", "std", "min", "max", "n"],
+            body,
+        )
+
+    def best_scheduler(self, family: str, workload: str, P: int) -> str:
+        """Name of the scheduler with the smallest mean ratio in one cell group."""
+        candidates = [
+            r
+            for r in self.rows
+            if r.family == family and r.workload == workload and r.P == P
+        ]
+        if not candidates:
+            raise InvalidParameterError(
+                f"no campaign rows for ({family!r}, {workload!r}, P={P})"
+            )
+        return min(candidates, key=lambda r: r.ratio.mean).scheduler
+
+
+def _make_scheduler(name: str, family: str, P: int):
+    if name == "algorithm1":
+        return OnlineScheduler.for_family(family, P)
+    return make_baseline(name, P)
+
+
+def run_campaign(spec: CampaignSpec) -> CampaignResult:
+    """Execute the grid and aggregate ratios across replications.
+
+    Every replication redraws the workload's task models (same structure,
+    fresh speedup parameters) from a derived seed, then runs every
+    scheduler on the identical graph so comparisons are paired.
+    """
+    rows: list[CampaignRow] = []
+    for family in spec.families:
+        for wname, builder in spec.workloads.items():
+            for P in spec.Ps:
+                per_scheduler: dict[str, list[float]] = {
+                    s: [] for s in spec.schedulers
+                }
+                for rep in range(spec.replications):
+                    factory = RandomModelFactory(
+                        family=family, seed=spec.seed + 104729 * rep
+                    )
+                    graph = builder(factory)
+                    lb = makespan_lower_bound(graph, P).value
+                    for sname in spec.schedulers:
+                        scheduler = _make_scheduler(sname, family, P)
+                        per_scheduler[sname].append(
+                            scheduler.run(graph).makespan / lb
+                        )
+                for sname in spec.schedulers:
+                    rows.append(
+                        CampaignRow(
+                            family=family,
+                            workload=wname,
+                            P=P,
+                            scheduler=sname,
+                            ratio=summarize(per_scheduler[sname]),
+                        )
+                    )
+    return CampaignResult(spec=spec, rows=tuple(rows))

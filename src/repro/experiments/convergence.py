@@ -1,0 +1,71 @@
+"""Ext-F: convergence of the measured lower bounds to the Table-1 limits.
+
+The Theorem 5-8 bounds are P -> infinity statements; this experiment
+produces the whole convergence series (the data behind
+``examples/adversarial_lower_bounds.py``) as structured rows and CSV so
+the monotone approach to 2.618 / 3.515 / 4.731 / 5.257 can be plotted.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import instance_for_family
+from repro.core.ratios import algorithm_lower_bound
+from repro.experiments.registry import ExperimentReport
+from repro.util.tables import format_csv, format_table
+
+__all__ = ["run", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
+    "roofline": (10, 30, 100, 300, 1000, 3000),
+    "communication": (20, 50, 100, 200, 400),
+    "amdahl": (6, 10, 16, 28, 48, 80),
+    "general": (6, 10, 16, 28, 48, 80),
+}
+
+
+def run(sizes: dict[str, tuple[int, ...]] | None = None) -> ExperimentReport:
+    """Produce the measured-ratio series per family."""
+    sizes = {**DEFAULT_SIZES, **(sizes or {})}
+    rows = []
+    data: dict[str, list[dict[str, float]]] = {}
+    for family, family_sizes in sizes.items():
+        limit = algorithm_lower_bound(family)
+        series = []
+        for size in family_sizes:
+            inst = instance_for_family(family, size)
+            ratio = inst.measured_ratio()
+            rows.append([family, size, inst.P, len(inst.graph), ratio, limit, ratio / limit])
+            series.append(
+                {"size": size, "P": inst.P, "tasks": len(inst.graph), "ratio": ratio}
+            )
+        data[family] = series
+    headers = ["model", "size", "P", "tasks", "measured ratio", "limit", "fraction"]
+    from repro.viz.chart import render_series
+
+    chart = render_series(
+        {
+            family: [(point["P"], point["ratio"]) for point in series]
+            for family, series in data.items()
+        },
+        log_x=True,
+        title="measured ratio vs platform size P (log x):",
+    )
+    text = "\n".join(
+        [
+            format_table(
+                headers,
+                rows,
+                float_fmt=".4f",
+                title=(
+                    "Ext-F -- measured competitive ratio of Algorithm 1 on the\n"
+                    "Theorem 5-8 instances, converging to the Table-1 limits."
+                ),
+            ),
+            "",
+            chart,
+            "",
+            "CSV:",
+            format_csv(headers, rows),
+        ]
+    )
+    return ExperimentReport("convergence", "Lower-bound convergence series", text, data)

@@ -1,0 +1,88 @@
+"""Figure 2: shapes of the algorithm's schedule vs the optimal one.
+
+On the Figure-1 graph (communication-model parameterization), Algorithm 1
+is forced to serialize layers — each layer's B-tasks fill
+:math:`\\approx (1-\\mu)P` processors, leaving too few for the A-task, which
+then runs almost alone — while the alternative (near-optimal) schedule
+clears the A-backbone first and then saturates the platform.
+
+Reproduced as two utilization profiles plus summary statistics: the
+algorithm's profile oscillates between full and :math:`\\lceil\\mu P\\rceil`
+utilization; the alternative stays flat at (nearly) full utilization.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import instance_for_family
+from repro.exceptions import InvalidParameterError
+from repro.experiments.registry import ExperimentReport
+from repro.viz.gantt import render_interval_classes, render_utilization
+
+__all__ = ["run"]
+
+
+def run(P: int = 100, width: int = 72, family: str = "communication") -> ExperimentReport:
+    """Regenerate Figure 2 on a Theorem 6-8 instance.
+
+    ``family`` selects the instance family (the paper draws the
+    communication case); for ``amdahl``/``general`` the size parameter is
+    ``K = round(sqrt(P))`` since those instances live on ``P = K**2``.
+    """
+    if family == "roofline":
+        raise InvalidParameterError(
+            "figure 2 needs the layered graph; the roofline instance is a "
+            "single task (Theorem 5)"
+        )
+    if family in ("amdahl", "general"):
+        import math
+
+        size = max(4, round(math.sqrt(P)))
+    else:
+        size = P
+    inst = instance_for_family(family, size)
+    P = inst.P
+    result = inst.run()
+    algo = result.schedule
+    alt = inst.alternative
+
+    text = "\n".join(
+        [
+            f"Figure 2 -- schedule shapes on the Figure-1 graph "
+            f"({family} model, P={P}, X={int(inst.params['X'])}, "
+            f"Y={int(inst.params['Y'])}).",
+            "",
+            f"(a) Algorithm 1: makespan {algo.makespan():.4g}, "
+            f"avg utilization {algo.average_utilization():.1%}",
+            render_utilization(algo, width=width),
+            "",
+            "    interval classes (Section 4.2) of (a):",
+            render_interval_classes(algo, inst.mu, width=width),
+            "",
+            f"(b) alternative (near-optimal) schedule: makespan "
+            f"{alt.makespan():.4g}, avg utilization {alt.average_utilization():.1%}",
+            render_utilization(alt, width=width),
+            "",
+            f"makespan ratio (a)/(b): {algo.makespan() / alt.makespan():.4f}",
+        ]
+    )
+    data = {
+        "family": family,
+        "P": P,
+        "algorithm_makespan": algo.makespan(),
+        "alternative_makespan": alt.makespan(),
+        "ratio": algo.makespan() / alt.makespan(),
+        "algorithm_avg_utilization": algo.average_utilization(),
+        "alternative_avg_utilization": alt.average_utilization(),
+        "algorithm_profile": [
+            (s, e, u) for s, e, u in zip(*_profile(algo))
+        ],
+        "alternative_profile": [
+            (s, e, u) for s, e, u in zip(*_profile(alt))
+        ],
+    }
+    return ExperimentReport("figure2", "Schedule shapes (algorithm vs optimal)", text, data)
+
+
+def _profile(schedule):  # noqa: ANN202 - small local helper
+    bps, usage = schedule.utilization_profile()
+    return bps[:-1].tolist(), bps[1:].tolist(), usage.tolist()

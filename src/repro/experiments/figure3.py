@@ -1,0 +1,50 @@
+"""Figure 3: the Theorem-9 chain-forest instance.
+
+Regenerates the instance structure for a given :math:`\\ell` (the paper
+draws :math:`\\ell = 2`: :math:`K = 4`, 15 chains, 26 tasks) and verifies
+the defining counts: group :math:`i` holds :math:`2^{K-i}` chains of
+exactly :math:`i` tasks, :math:`n = 2^K - 1` chains total,
+:math:`P = K\\,2^{K-1}` processors, and longest path :math:`D = K`.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.arbitrary import chain_forest, chain_forest_platform, chain_group
+from repro.experiments.registry import ExperimentReport
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+
+def run(ell: int = 2) -> ExperimentReport:
+    """Regenerate Figure 3's instance for parameter ``ell``."""
+    K, n, P = chain_forest_platform(ell)
+    graph = chain_forest(ell)
+    group_counts: dict[int, int] = {}
+    for c in range(1, n + 1):
+        g = chain_group(ell, c)
+        group_counts[g] = group_counts.get(g, 0) + 1
+    rows = [
+        [i, group_counts[i], i, group_counts[i] * i, 2 ** (K - i)]
+        for i in sorted(group_counts)
+    ]
+    text = format_table(
+        ["group", "chains", "tasks/chain", "tasks", "expected 2^(K-i)"],
+        rows,
+        title=(
+            f"Figure 3 -- chain forest for ell={ell}: K={K}, n={n} chains, "
+            f"{len(graph)} tasks, P={P} processors, depth D="
+            f"{graph.longest_path_length()}.\n"
+            "All tasks identical with t(p) = 1/(lg p + 1)."
+        ),
+    )
+    data = {
+        "ell": ell,
+        "K": K,
+        "n_chains": n,
+        "P": P,
+        "n_tasks": len(graph),
+        "depth": graph.longest_path_length(),
+        "group_counts": group_counts,
+    }
+    return ExperimentReport("figure3", "Theorem-9 chain-forest instance", text, data)

@@ -1,0 +1,75 @@
+"""Ext-I: rigid vs moldable vs malleable.
+
+The paper's introduction motivates moldable tasks as "a nice trade-off
+between rigid and malleable tasks".  This experiment puts numbers on the
+triad over the workload suite:
+
+* **rigid** — the allocation is whatever the task "requests" and cannot
+  be changed: modeled as max-useful (asks for its fastest allocation) and
+  one-proc (asks for minimum resources);
+* **moldable** — the paper's Algorithm 1 (allocation chosen at launch);
+* **malleable** — the equal-share water-filling scheduler that can
+  reallocate at every event.
+
+Expected shape: rigid << moldable <= malleable, with the moldable-to-
+malleable gap small (malleability's extra power buys little once launch
+allocations are chosen well) and the rigid-to-moldable gap large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.online import make_baseline
+from repro.bounds import makespan_lower_bound
+from repro.core.constants import MODEL_FAMILIES
+from repro.core.scheduler import OnlineScheduler
+from repro.experiments.empirical import workload_suite
+from repro.experiments.registry import ExperimentReport
+from repro.malleable import MalleableScheduler
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+COLUMNS = ("rigid-max", "rigid-one", "moldable", "malleable")
+
+
+def run(P: int = 64, seed: int = 20220829) -> ExperimentReport:
+    """Compare the three task-flexibility levels across the suite."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    per_column: dict[str, list[float]] = {c: [] for c in COLUMNS}
+    for family in MODEL_FAMILIES:
+        for wname, graph in workload_suite(family, seed):
+            lb = makespan_lower_bound(graph, P).value
+            malleable = MalleableScheduler(P).run(graph)
+            malleable.schedule.validate(graph)
+            ratios = {
+                "rigid-max": make_baseline("max-useful", P).run(graph).makespan / lb,
+                "rigid-one": make_baseline("one-proc", P).run(graph).makespan / lb,
+                "moldable": OnlineScheduler.for_family(family, P).run(graph).makespan
+                / lb,
+                "malleable": malleable.makespan / lb,
+            }
+            rows.append([family, wname] + [ratios[c] for c in COLUMNS])
+            data[f"{family}/{wname}"] = ratios
+            for c in COLUMNS:
+                per_column[c].append(ratios[c])
+    summary = {c: float(np.mean(per_column[c])) for c in COLUMNS}
+    data["_summary"] = summary
+    text = "\n".join(
+        [
+            format_table(
+                ["model", "workload", *COLUMNS],
+                rows,
+                float_fmt=".2f",
+                title=(
+                    f"Ext-I -- rigid vs moldable vs malleable (P={P}): makespan /\n"
+                    "lower bound for each task-flexibility level."
+                ),
+            ),
+            "",
+            "mean ratios: " + ", ".join(f"{c}={summary[c]:.3f}" for c in COLUMNS),
+        ]
+    )
+    return ExperimentReport("malleable_gap", "Rigid vs moldable vs malleable", text, data)

@@ -1,0 +1,80 @@
+"""Ext-H: the price of being online.
+
+The paper's setting denies the scheduler all knowledge of the graph and
+the tasks until reveal time.  How much does that cost on realistic
+workloads?  This experiment compares, against the same Lemma-2 lower
+bound:
+
+* **algorithm1** — the paper's online algorithm (no knowledge),
+* **ect** — earliest-completion-time (online, but allocation deferred to
+  start time),
+* **offline-cp** — list scheduling with offline critical-path priority and
+  Algorithm 2 allocations,
+* **cpa** — the classic offline allotment tuner (Critical Path & Area).
+
+Expected shape: the offline schedulers shave 5-25% off the online
+makespans — a modest gap, consistent with the theory (the online ratios
+are small constants, so full knowledge cannot buy more than that factor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cpa import cpa_schedule
+from repro.baselines.ect import EctScheduler
+from repro.baselines.offline import offline_list_schedule
+from repro.bounds import makespan_lower_bound
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import MODEL_FAMILIES, MU_STAR
+from repro.core.scheduler import OnlineScheduler
+from repro.experiments.empirical import workload_suite
+from repro.experiments.registry import ExperimentReport
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+SCHEDULERS = ("algorithm1", "ect", "offline-cp", "cpa")
+
+
+def run(P: int = 64, seed: int = 20220829) -> ExperimentReport:
+    """Compare online vs offline schedulers across the workload suite."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    per_scheduler: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
+    for family in MODEL_FAMILIES:
+        for wname, graph in workload_suite(family, seed):
+            lb = makespan_lower_bound(graph, P).value
+            ratios = {
+                "algorithm1": OnlineScheduler.for_family(family, P).run(graph).makespan
+                / lb,
+                "ect": EctScheduler(P).run(graph).makespan / lb,
+                "offline-cp": offline_list_schedule(
+                    graph, P, allocator=LpaAllocator(MU_STAR[family])
+                ).makespan
+                / lb,
+                "cpa": cpa_schedule(graph, P).makespan / lb,
+            }
+            rows.append([family, wname] + [ratios[s] for s in SCHEDULERS])
+            data[f"{family}/{wname}"] = ratios
+            for s in SCHEDULERS:
+                per_scheduler[s].append(ratios[s])
+    summary = {s: float(np.mean(per_scheduler[s])) for s in SCHEDULERS}
+    data["_summary"] = summary
+    text = "\n".join(
+        [
+            format_table(
+                ["model", "workload", *SCHEDULERS],
+                rows,
+                float_fmt=".2f",
+                title=(
+                    f"Ext-H -- the price of being online (P={P}): makespan /\n"
+                    "lower bound for the online algorithm vs offline schedulers."
+                ),
+            ),
+            "",
+            "mean ratios: "
+            + ", ".join(f"{s}={summary[s]:.3f}" for s in SCHEDULERS),
+        ]
+    )
+    return ExperimentReport("offline_gap", "Online vs offline schedulers", text, data)

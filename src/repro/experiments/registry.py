@@ -1,0 +1,74 @@
+"""Experiment registry and report type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ExperimentReport", "REGISTRY", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """The outcome of one experiment: human-readable text + raw data."""
+
+    name: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.name}: {self.title} ==\n{self.text}"
+
+
+def _lazy(module: str) -> Callable[..., ExperimentReport]:
+    """Import the experiment module on first use (keeps CLI startup fast)."""
+
+    def runner(**kwargs: Any) -> ExperimentReport:
+        import importlib
+
+        mod = importlib.import_module(module)
+        return mod.run(**kwargs)
+
+    return runner
+
+
+#: Experiment id -> runner.  Ids follow the paper's table/figure numbers;
+#: ``empirical`` and ``ablation`` are the extensions indexed in DESIGN.md.
+REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
+    "table1": _lazy("repro.experiments.table1"),
+    "table2": _lazy("repro.experiments.table2"),
+    "figure1": _lazy("repro.experiments.figure1"),
+    "figure2": _lazy("repro.experiments.figure2"),
+    "figure3": _lazy("repro.experiments.figure3"),
+    "figure4": _lazy("repro.experiments.figure4"),
+    "empirical": _lazy("repro.experiments.empirical"),
+    "ablation": _lazy("repro.experiments.ablation"),
+    "release": _lazy("repro.experiments.release"),
+    "failures": _lazy("repro.experiments.failures"),
+    "priorities": _lazy("repro.experiments.priorities"),
+    "convergence": _lazy("repro.experiments.convergence"),
+    "sweep": _lazy("repro.experiments.sweep"),
+    "offline_gap": _lazy("repro.experiments.offline_gap"),
+    "malleable_gap": _lazy("repro.experiments.malleable_gap"),
+    "waiting": _lazy("repro.experiments.waiting"),
+    "certificates": _lazy("repro.experiments.certificates"),
+    "misspecification": _lazy("repro.experiments.misspecification"),
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentReport]:
+    """Return the runner for experiment ``name``."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run_experiment(name: str, **kwargs: Any) -> ExperimentReport:
+    """Run experiment ``name`` with keyword overrides and return its report."""
+    return get_experiment(name)(**kwargs)

@@ -1,0 +1,40 @@
+"""Task-graph substrate: moldable tasks, DAG container, analysis, generators."""
+
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.analysis import (
+    minimum_total_area,
+    minimum_critical_path,
+    critical_path_tasks,
+    graph_stats,
+)
+from repro.graph.generators import (
+    chain,
+    fork_join,
+    in_tree,
+    out_tree,
+    layered_random,
+    erdos_renyi_dag,
+    independent_tasks,
+)
+from repro.graph.io import graph_to_dict, graph_from_dict, to_networkx, from_networkx
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "minimum_total_area",
+    "minimum_critical_path",
+    "critical_path_tasks",
+    "graph_stats",
+    "chain",
+    "fork_join",
+    "in_tree",
+    "out_tree",
+    "layered_random",
+    "erdos_renyi_dag",
+    "independent_tasks",
+    "graph_to_dict",
+    "graph_from_dict",
+    "to_networkx",
+    "from_networkx",
+]

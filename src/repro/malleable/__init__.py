@@ -1,0 +1,23 @@
+"""Malleable-task scheduling (the upper end of the flexibility spectrum).
+
+The paper's introduction situates moldable tasks between *rigid* tasks
+(fixed allocation) and *malleable* tasks (allocation adjustable during
+execution).  This subpackage provides a malleable scheduler and schedule
+type so the value of each flexibility level can be measured
+(:mod:`repro.experiments.malleable_gap`):
+
+* :class:`MalleableSchedule` — piecewise-constant allocations per task,
+  with feasibility *and* work-conservation validation;
+* :class:`MalleableScheduler` — an event-driven equal-share (processor
+  water-filling) scheduler that reallocates at every reveal/completion.
+"""
+
+from repro.malleable.schedule import MalleableSchedule, TaskSegment
+from repro.malleable.scheduler import MalleableScheduler, MalleableResult
+
+__all__ = [
+    "MalleableSchedule",
+    "TaskSegment",
+    "MalleableScheduler",
+    "MalleableResult",
+]

@@ -1,0 +1,13 @@
+"""Failure-prone execution: re-run tasks until they succeed.
+
+The semi-online scenario of Benoit et al. [3, 4], which the paper notes its
+results "readily carry over to": tasks can fail silently (detected only at
+completion) and must be re-executed — with a freshly chosen processor
+allocation — until a successful attempt.  The realized execution is itself
+a moldable task graph (each retry is a new task chained after the failed
+attempt), so Algorithm 1's competitive guarantee applies to it verbatim.
+"""
+
+from repro.resilience.failures import FailureInjectingSource, attempt_counts
+
+__all__ = ["FailureInjectingSource", "attempt_counts"]

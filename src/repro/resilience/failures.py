@@ -1,0 +1,138 @@
+"""A graph source that injects task failures and re-executions.
+
+Wraps a static task graph: every task may fail at the end of each attempt
+with a given probability, in which case a retry attempt is revealed (with
+the same speedup model); successors are revealed only after all their
+predecessors *succeed*.  Task ids in the realized graph are
+``(original_id, attempt)`` with attempts starting at 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, SimulationError
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.engine import SimulationResult
+from repro.types import TaskId
+from repro.util.validation import check_positive_int, check_probability
+
+__all__ = ["FailureInjectingSource", "attempt_counts"]
+
+
+class FailureInjectingSource:
+    """Reveal a task graph online while injecting end-of-attempt failures.
+
+    Parameters
+    ----------
+    graph:
+        The original (failure-free) task graph.
+    failure_probability:
+        Probability that an attempt fails, either a constant in ``[0, 1)``
+        or a callable ``task_id -> probability``.
+    seed:
+        RNG seed (or a ``numpy.random.Generator``) — failures are the only
+        randomness, so runs are reproducible.
+    max_attempts:
+        Safety valve: after this many failed attempts the next one succeeds
+        deterministically (keeps adversarially high probabilities from
+        hanging the simulation).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        failure_probability: float | Callable[[TaskId], float] = 0.1,
+        *,
+        seed: int | np.random.Generator | None = None,
+        max_attempts: int = 1000,
+    ) -> None:
+        self._graph = graph
+        if callable(failure_probability):
+            self._prob = failure_probability
+        else:
+            q = check_probability(failure_probability, "failure_probability")
+            if q >= 1.0:
+                raise InvalidParameterError(
+                    "failure_probability must be < 1 or no task ever succeeds"
+                )
+            self._prob = lambda task_id: q
+        self.max_attempts = check_positive_int(max_attempts, "max_attempts")
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self._indegree = {t: graph.in_degree(t) for t in graph}
+        self._order = {t: i for i, t in enumerate(graph)}
+        self._attempts: dict[TaskId, int] = {}
+        self._succeeded: set[TaskId] = set()
+        self._realized = TaskGraph()
+        self._final_attempt: dict[TaskId, TaskId] = {}
+
+    # ------------------------------------------------------------------
+    def _reveal_attempt(self, original: TaskId, attempt: int) -> Task:
+        attempt_id = (original, attempt)
+        inner = self._graph.task(original)
+        task = self._realized.add_task(attempt_id, inner.model, inner.tag)
+        if attempt > 1:
+            self._realized.add_edge((original, attempt - 1), attempt_id)
+        else:
+            for pred in self._graph.predecessors(original):
+                self._realized.add_edge(self._final_attempt[pred], attempt_id)
+        self._attempts[original] = attempt
+        return task
+
+    # -- GraphSource protocol ------------------------------------------
+    def initial_tasks(self) -> list[Task]:
+        return [
+            self._reveal_attempt(t, 1) for t in self._graph if self._indegree[t] == 0
+        ]
+
+    def on_complete(self, task_id: TaskId) -> list[Task]:
+        original, attempt = task_id
+        if self._attempts.get(original) != attempt:
+            raise SimulationError(f"unexpected completion of {task_id!r}")
+        if original in self._succeeded:
+            raise SimulationError(f"task {original!r} already succeeded")
+        failed = (
+            attempt < self.max_attempts
+            and float(self._rng.random()) < self._prob(original)
+        )
+        if failed:
+            return [self._reveal_attempt(original, attempt + 1)]
+        # Success: record it and reveal newly-ready successors.
+        self._succeeded.add(original)
+        self._final_attempt[original] = task_id
+        ready: list[TaskId] = []
+        for succ in self._graph.successors(original):
+            self._indegree[succ] -= 1
+            if self._indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=self._order.__getitem__)
+        return [self._reveal_attempt(t, 1) for t in ready]
+
+    def is_exhausted(self) -> bool:
+        return len(self._succeeded) == len(self._graph)
+
+    def realized_graph(self) -> TaskGraph:
+        return self._realized
+
+    # -- Diagnostics ----------------------------------------------------
+    def attempts(self) -> dict[TaskId, int]:
+        """Number of attempts each original task needed (>= 1)."""
+        return dict(self._attempts)
+
+
+def attempt_counts(result: SimulationResult) -> dict[TaskId, int]:
+    """Count attempts per original task from a failure-injected run.
+
+    Works on the :class:`SimulationResult` of a run whose source was a
+    :class:`FailureInjectingSource` (task ids are ``(original, attempt)``).
+    """
+    counts: dict[TaskId, int] = {}
+    for entry in result.schedule:
+        original, attempt = entry.task_id
+        counts[original] = max(counts.get(original, 0), attempt)
+    return counts

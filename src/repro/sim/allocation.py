@@ -1,0 +1,54 @@
+"""Low-level allocation types shared by the engine and every allocator.
+
+Lives in :mod:`repro.sim` (the substrate layer) so the engine does not
+depend on :mod:`repro.core`; Algorithm 2 itself
+(:class:`repro.core.allocator.LpaAllocator`) builds on these types and
+:mod:`repro.core.allocator` re-exports them for convenience.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.exceptions import AllocationError
+from repro.speedup.base import SpeedupModel
+
+__all__ = ["Allocation", "Allocator"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A task's processor allocation.
+
+    ``initial`` is the pre-adjustment allocation (Step 1 of Algorithm 2:
+    :math:`p_j`); ``final`` is the allocation actually used to execute the
+    task (:math:`p'_j`, Equation (7)).  Single-step allocators set both to
+    the same value.
+    """
+
+    initial: int
+    final: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.final <= self.initial:
+            raise AllocationError(
+                f"invalid allocation: final={self.final}, initial={self.initial}"
+            )
+
+
+class Allocator(abc.ABC):
+    """Strategy fixing a moldable task's processor count upon reveal."""
+
+    #: Short name used in experiment reports.
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def allocate(
+        self, model: SpeedupModel, P: int, *, free: int | None = None
+    ) -> Allocation:
+        """Choose the allocation for a task with speedup ``model`` on ``P`` procs.
+
+        ``free`` is the number of currently idle processors at reveal time;
+        Algorithm 2 ignores it, but opportunistic baselines may use it.
+        """

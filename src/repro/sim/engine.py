@@ -1,0 +1,216 @@
+"""Event-driven list-scheduling engine (the loop of Algorithm 1).
+
+The engine is shared by the paper's algorithm and every baseline: what
+varies is only the :class:`~repro.core.allocator.Allocator` deciding each
+task's processor count, and optionally a priority rule for the waiting
+queue (the paper inserts tasks "without any priority considerations", i.e.
+FIFO, which is the default).
+
+At time 0 and at every task completion the engine
+
+1. asks the graph source for newly available tasks,
+2. fixes each new task's allocation via the allocator,
+3. appends the tasks to the waiting queue,
+4. scans the queue in order, starting every task that fits in the free
+   processors (list scheduling, lines 7-11 of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.sim.allocation import Allocation, Allocator
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.schedule import Schedule
+from repro.sim.sources import GraphSource, StaticGraphSource
+from repro.types import TaskId, Time
+from repro.util.validation import check_positive_int
+
+__all__ = ["ListScheduler", "SimulationResult"]
+
+#: Optional priority key: smaller keys run earlier in the waiting queue.
+PriorityRule = Callable[[Task, Allocation], object]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one scheduling run."""
+
+    schedule: Schedule
+    allocations: dict[TaskId, Allocation]
+    graph: TaskGraph
+    #: Simulated instant each task became available to the scheduler
+    #: (empty for schedulers that do not record it).
+    revealed_at: dict[TaskId, Time] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> Time:
+        """Overall completion time of the run."""
+        return self.schedule.makespan()
+
+    def waiting_times(self) -> dict[TaskId, Time]:
+        """Per-task queueing delay: start time minus reveal time.
+
+        Only defined when the engine recorded reveal instants.
+        """
+        return {
+            task_id: self.schedule[task_id].start - revealed
+            for task_id, revealed in self.revealed_at.items()
+        }
+
+
+@dataclass(frozen=True)
+class _Waiting:
+    """A revealed task waiting in the queue with its fixed allocation."""
+
+    task: Task
+    allocation: Allocation
+    seq: int
+
+
+class ListScheduler:
+    """Online list scheduler over ``P`` processors (Algorithm 1).
+
+    Parameters
+    ----------
+    P:
+        Number of identical processors.
+    allocator:
+        Processor-allocation strategy applied to each task upon reveal
+        (Algorithm 2 for the paper's algorithm; see
+        :mod:`repro.baselines.online` for alternatives).
+    priority:
+        Optional key function ``(task, allocation) -> sortable`` ordering
+        the waiting queue; ``None`` keeps pure FIFO insertion order as in
+        the paper.
+    """
+
+    def __init__(
+        self,
+        P: int,
+        allocator: Allocator,
+        *,
+        priority: PriorityRule | None = None,
+    ) -> None:
+        self.P = check_positive_int(P, "P")
+        self.allocator = allocator
+        self.priority = priority
+
+    # ------------------------------------------------------------------
+    def run(self, source: GraphSource | TaskGraph) -> SimulationResult:
+        """Simulate the schedule of ``source`` and return the result.
+
+        Accepts either a :class:`~repro.sim.sources.GraphSource` or a bare
+        :class:`~repro.graph.TaskGraph` (wrapped in a
+        :class:`~repro.sim.sources.StaticGraphSource`).
+        """
+        if isinstance(source, TaskGraph):
+            source = StaticGraphSource(source)
+
+        schedule = Schedule(self.P)
+        allocations: dict[TaskId, Allocation] = {}
+        revealed_at: dict[TaskId, Time] = {}
+        queue: list[_Waiting] = []
+        # Completion events: (time, tiebreak seq, task id, procs to release).
+        events: list[tuple[Time, int, TaskId, int]] = []
+        seq = itertools.count()
+        free = self.P
+        now: Time = 0.0
+
+        # Task-aware allocators (e.g. fixed per-task allotments) expose
+        # `allocate_task`; plain allocators only see the speedup model.
+        allocate_task = getattr(self.allocator, "allocate_task", None)
+
+        def admit(tasks: list[Task]) -> None:
+            for task in tasks:
+                if task.id in allocations:
+                    raise SimulationError(f"task {task.id!r} revealed twice")
+                if callable(allocate_task):
+                    alloc = allocate_task(task, self.P, free=free)
+                else:
+                    alloc = self.allocator.allocate(task.model, self.P, free=free)
+                if not 1 <= alloc.final <= self.P:
+                    raise SimulationError(
+                        f"allocator returned infeasible allocation {alloc} "
+                        f"for task {task.id!r} on P={self.P}"
+                    )
+                allocations[task.id] = alloc
+                revealed_at[task.id] = now
+                queue.append(_Waiting(task, alloc, next(seq)))
+            if self.priority is not None:
+                queue.sort(key=lambda w: (self.priority(w.task, w.allocation), w.seq))
+
+        def start_fitting() -> None:
+            nonlocal free
+            remaining: list[_Waiting] = []
+            for waiting in queue:
+                procs = waiting.allocation.final
+                if procs <= free:
+                    free -= procs
+                    duration = waiting.task.model.time(procs)
+                    schedule.add(
+                        waiting.task.id,
+                        now,
+                        now + duration,
+                        procs,
+                        initial_alloc=waiting.allocation.initial,
+                        tag=waiting.task.tag,
+                    )
+                    heapq.heappush(
+                        events, (now + duration, next(seq), waiting.task.id, procs)
+                    )
+                else:
+                    remaining.append(waiting)
+            queue[:] = remaining
+
+        # Sources may additionally release tasks at future wall-clock times
+        # (the "independent tasks released over time" setting); the engine
+        # detects the capability instead of requiring it.
+        next_release = getattr(source, "next_release_time", None)
+        release_due = getattr(source, "release_due", None)
+        timed = callable(next_release) and callable(release_due)
+
+        admit(source.initial_tasks())
+        start_fitting()
+
+        while True:
+            t_completion = events[0][0] if events else math.inf
+            t_release = math.inf
+            if timed:
+                upcoming = next_release()
+                if upcoming is not None:
+                    t_release = upcoming
+            if math.isinf(t_completion) and math.isinf(t_release):
+                break
+            now = min(t_completion, t_release)
+            revealed: list[Task] = []
+            if timed and t_release <= now:
+                revealed.extend(release_due(now))
+            # Drain every completion at this instant before rescanning the
+            # queue, so simultaneous completions release processors together.
+            while events and events[0][0] == now:
+                _, _, task_id, procs = heapq.heappop(events)
+                free += procs
+                revealed.extend(source.on_complete(task_id))
+            admit(revealed)
+            start_fitting()
+
+        if queue:
+            stuck = [w.task.id for w in queue[:10]]
+            raise SimulationError(
+                f"deadlock: tasks {stuck!r} can never start (free={free}, P={self.P})"
+            )
+        if not source.is_exhausted():
+            raise SimulationError(
+                "source still holds unrevealed tasks after the queue drained; "
+                "the revealed graph is disconnected from its sources"
+            )
+        return SimulationResult(
+            schedule, allocations, source.realized_graph(), revealed_at
+        )

@@ -1,0 +1,90 @@
+"""Schedule (de)serialization.
+
+Round-trip schedules through plain dicts / JSON so experiment outputs can
+be archived and re-validated later (e.g. compare schedules across library
+versions, or feed them to external plotting).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import ScheduleError
+from repro.sim.schedule import Schedule
+
+__all__ = [
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule to a plain dict.
+
+    Task ids are stored as-is; non-JSON-safe ids (tuples) survive the dict
+    round trip but need :func:`schedule_to_json`'s encoding for JSON.
+    """
+    return {
+        "P": schedule.P,
+        "entries": [
+            {
+                "task_id": e.task_id,
+                "start": e.start,
+                "end": e.end,
+                "procs": e.procs,
+                "initial_alloc": e.initial_alloc,
+                "tag": e.tag,
+            }
+            for e in schedule.entries
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    try:
+        schedule = Schedule(data["P"])
+        for entry in data["entries"]:
+            schedule.add(
+                entry["task_id"],
+                entry["start"],
+                entry["end"],
+                entry["procs"],
+                initial_alloc=entry.get("initial_alloc", 0),
+                tag=entry.get("tag", ""),
+            )
+    except KeyError as exc:
+        raise ScheduleError(f"missing field in schedule dict: {exc}") from None
+    return schedule
+
+
+def _encode_id(task_id: Any) -> Any:
+    """Encode tuple ids as tagged lists so JSON round-trips them."""
+    if isinstance(task_id, tuple):
+        return {"__tuple__": [_encode_id(x) for x in task_id]}
+    return task_id
+
+
+def _decode_id(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_id(x) for x in value["__tuple__"])
+    return value
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule to JSON (tuple task ids are preserved)."""
+    data = schedule_to_dict(schedule)
+    for entry in data["entries"]:
+        entry["task_id"] = _encode_id(entry["task_id"])
+    return json.dumps(data)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Inverse of :func:`schedule_to_json`."""
+    data = json.loads(text)
+    for entry in data.get("entries", []):
+        entry["task_id"] = _decode_id(entry["task_id"])
+    return schedule_from_dict(data)

@@ -1,0 +1,185 @@
+"""Graph sources: how tasks are revealed to an online scheduler.
+
+Section 3.1 of the paper: "a task becomes available only when all of its
+predecessors have been completed", and only then does the scheduler learn
+its execution-time parameters.  The :class:`GraphSource` protocol captures
+exactly this interaction, which lets the same engine drive
+
+* static graphs whose structure is merely *hidden* from the scheduler
+  (:class:`StaticGraphSource`), and
+* truly adaptive adversaries that decide the graph's structure online
+  (:class:`repro.adversary.arbitrary.AdaptiveChainSource`, used by the
+  Theorem-9 lower bound).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import SimulationError
+from repro.graph.task import Task
+from repro.graph.taskgraph import TaskGraph
+from repro.types import TaskId
+
+__all__ = ["GraphSource", "StaticGraphSource", "ReleasedTaskSource"]
+
+
+@runtime_checkable
+class GraphSource(Protocol):
+    """What an online scheduler is allowed to see of a task graph."""
+
+    def initial_tasks(self) -> list[Task]:
+        """Tasks available at time 0 (no predecessors)."""
+        ...
+
+    def on_complete(self, task_id: TaskId) -> list[Task]:
+        """Report a completion; return tasks that just became available."""
+        ...
+
+    def is_exhausted(self) -> bool:
+        """True when every task has been revealed *and* completed."""
+        ...
+
+    def realized_graph(self) -> TaskGraph:
+        """The full graph, as realized by the end of the run.
+
+        For static sources this is the original graph; adaptive adversaries
+        build it on the fly.  Only meaningful once :meth:`is_exhausted`.
+        """
+        ...
+
+
+class StaticGraphSource:
+    """Adapter exposing a fixed :class:`TaskGraph` through the online protocol.
+
+    Tasks become available when their last predecessor completes; ties are
+    broken by graph insertion order, which generators use to control the
+    reveal order of simultaneously available tasks.
+    """
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self._graph = graph
+        self._indegree: dict[TaskId, int] = {t: graph.in_degree(t) for t in graph}
+        self._order: dict[TaskId, int] = {t: i for i, t in enumerate(graph)}
+        self._completed: set[TaskId] = set()
+        self._revealed: set[TaskId] = set()
+
+    def initial_tasks(self) -> list[Task]:
+        ready = [self._graph.task(t) for t in self._graph if self._indegree[t] == 0]
+        self._revealed.update(t.id for t in ready)
+        return ready
+
+    def on_complete(self, task_id: TaskId) -> list[Task]:
+        if task_id not in self._revealed:
+            raise SimulationError(f"completion of unrevealed task {task_id!r}")
+        if task_id in self._completed:
+            raise SimulationError(f"task {task_id!r} completed twice")
+        self._completed.add(task_id)
+        newly_ready: list[TaskId] = []
+        for succ in self._graph.successors(task_id):
+            self._indegree[succ] -= 1
+            if self._indegree[succ] == 0:
+                newly_ready.append(succ)
+        # Insertion-order tie-break for simultaneous reveals.
+        newly_ready.sort(key=self._order.__getitem__)
+        self._revealed.update(newly_ready)
+        return [self._graph.task(t) for t in newly_ready]
+
+    def is_exhausted(self) -> bool:
+        return len(self._completed) == len(self._graph)
+
+    def realized_graph(self) -> TaskGraph:
+        return self._graph
+
+
+class ReleasedTaskSource:
+    """Independent tasks released over time (the setting of Ye et al. [23]).
+
+    Each task carries a release time; the scheduler learns of a task (and
+    its speedup model) only when its release time arrives.  There are no
+    precedence constraints.  The engine detects the two extra methods
+    (:meth:`next_release_time`, :meth:`release_due`) and advances simulated
+    time to release instants even when the platform is idle.
+
+    Parameters
+    ----------
+    releases:
+        Iterable of ``(release_time, model)`` or
+        ``(release_time, task_id, model)`` tuples.  Auto-generated ids are
+        ``("r", index)``.
+    """
+
+    def __init__(self, releases) -> None:
+        from repro.exceptions import InvalidParameterError
+        from repro.speedup.base import SpeedupModel
+
+        items: list[tuple[float, TaskId, SpeedupModel]] = []
+        for index, entry in enumerate(releases):
+            if len(entry) == 2:
+                r, model = entry
+                task_id: TaskId = ("r", index)
+            elif len(entry) == 3:
+                r, task_id, model = entry
+            else:
+                raise InvalidParameterError(
+                    f"release entry must be (time, model) or (time, id, model), "
+                    f"got {entry!r}"
+                )
+            r = float(r)
+            if r < 0:
+                raise InvalidParameterError(f"release time must be >= 0, got {r}")
+            if not isinstance(model, SpeedupModel):
+                raise InvalidParameterError(
+                    f"entry for task {task_id!r} has no speedup model"
+                )
+            items.append((r, task_id, model))
+        # Stable sort by release time; ties keep input order.
+        items.sort(key=lambda e: e[0])
+        ids = [task_id for _, task_id, _ in items]
+        if len(set(ids)) != len(ids):
+            raise InvalidParameterError("duplicate task ids in releases")
+        self._pending = items
+        self._next = 0
+        self._completed: set[TaskId] = set()
+        self._graph = TaskGraph()
+
+    # -- timed-release capability (detected by the engine) --------------
+    def next_release_time(self) -> float | None:
+        """Earliest release time not yet delivered, or None when drained."""
+        if self._next >= len(self._pending):
+            return None
+        return self._pending[self._next][0]
+
+    def release_due(self, now: float) -> list[Task]:
+        """Deliver (and reveal) every task with release time <= ``now``."""
+        released: list[Task] = []
+        while self._next < len(self._pending) and self._pending[self._next][0] <= now:
+            _, task_id, model = self._pending[self._next]
+            released.append(self._graph.add_task(task_id, model))
+            self._next += 1
+        return released
+
+    # -- GraphSource protocol ------------------------------------------
+    def initial_tasks(self) -> list[Task]:
+        """Tasks released at exactly time 0."""
+        return self.release_due(0.0)
+
+    def on_complete(self, task_id: TaskId) -> list[Task]:
+        if task_id not in self._graph:
+            raise SimulationError(f"completion of unknown task {task_id!r}")
+        if task_id in self._completed:
+            raise SimulationError(f"task {task_id!r} completed twice")
+        self._completed.add(task_id)
+        return []  # independent tasks: completions reveal nothing
+
+    def is_exhausted(self) -> bool:
+        return self._next >= len(self._pending) and len(self._completed) == len(
+            self._pending
+        )
+
+    def realized_graph(self) -> TaskGraph:
+        return self._graph
+
+    def release_times(self) -> dict[TaskId, float]:
+        """Map of task id -> release time (for lower-bound computations)."""
+        return {task_id: r for r, task_id, _ in self._pending}

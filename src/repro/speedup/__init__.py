@@ -1,0 +1,48 @@
+"""Speedup models: execution time as a function of processor allocation.
+
+This subpackage implements the execution-time function of the paper
+(Equation (1)) and all of its named special cases, plus arbitrary/tabulated
+models used by the Theorem-9 lower bound, and random model generators for the
+empirical study.
+
+A speedup model answers, for a task ``j``:
+
+* ``time(p)``   — execution time :math:`t_j(p)` on ``p`` processors,
+* ``area(p)``   — :math:`a_j(p) = p \\cdot t_j(p)`,
+* ``max_useful_processors(P)`` — :math:`p^{\\max}_j` (Equation (5)),
+* ``t_min(P)`` / ``a_min(P)`` — minimum time and minimum area.
+"""
+
+from repro.speedup.base import SpeedupModel
+from repro.speedup.general import GeneralModel
+from repro.speedup.roofline import RooflineModel
+from repro.speedup.communication import CommunicationModel
+from repro.speedup.amdahl import AmdahlModel
+from repro.speedup.arbitrary import CallableModel, TabulatedModel, LogParallelismModel
+from repro.speedup.power import PowerLawModel
+from repro.speedup.random import (
+    MixedModelFactory,
+    RandomModelFactory,
+    random_amdahl,
+    random_communication,
+    random_general,
+    random_roofline,
+)
+
+__all__ = [
+    "SpeedupModel",
+    "GeneralModel",
+    "RooflineModel",
+    "CommunicationModel",
+    "AmdahlModel",
+    "CallableModel",
+    "TabulatedModel",
+    "LogParallelismModel",
+    "PowerLawModel",
+    "RandomModelFactory",
+    "MixedModelFactory",
+    "random_roofline",
+    "random_communication",
+    "random_amdahl",
+    "random_general",
+]

@@ -1,0 +1,34 @@
+"""Amdahl speedup model (Equation (4) of the paper).
+
+.. math:: t(p) = \\frac{w}{p} + d
+
+A perfectly parallelizable fraction of work ``w`` plus an inherently
+sequential fraction ``d`` (Amdahl's law).
+"""
+
+from __future__ import annotations
+
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive
+
+__all__ = ["AmdahlModel"]
+
+
+class AmdahlModel(GeneralModel):
+    """Amdahl model: :math:`t(p) = w/p + d` with ``d > 0``.
+
+    Parameters
+    ----------
+    w:
+        Parallelizable work (> 0).
+    d:
+        Sequential work (> 0; with ``d == 0`` use
+        :class:`~repro.speedup.RooflineModel` instead).
+    """
+
+    def __init__(self, w: float, d: float) -> None:
+        d = check_positive(d, "d")
+        super().__init__(w, d=d, c=0.0, max_parallelism=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AmdahlModel(w={self.w!r}, d={self.d!r})"

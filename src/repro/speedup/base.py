@@ -1,0 +1,135 @@
+"""Abstract base class for speedup models.
+
+The scheduling algorithms in :mod:`repro.core` only interact with tasks
+through this interface, so new models (beyond the paper's Equation (1)
+family) plug in without touching the schedulers.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["SpeedupModel"]
+
+
+class SpeedupModel(abc.ABC):
+    """Execution time of a moldable task as a function of its allocation.
+
+    Subclasses implement :meth:`time`; the base class derives areas, the
+    maximum useful allocation :math:`p^{\\max}` (Equation (5) of the paper),
+    the minimum execution time :math:`t^{\\min}` and the minimum area
+    :math:`a^{\\min}` (Section 3.2), plus monotonicity checks (Lemma 1).
+
+    Two attributes let the allocator exploit structure:
+
+    * :attr:`monotonic_hint` — ``True`` promises that on ``[1, p_max(P)]``
+      the time is non-increasing and the area non-decreasing (Lemma 1 proves
+      this for the whole Equation (1) family), enabling binary search inside
+      Algorithm 2 instead of a linear scan.
+    """
+
+    #: Whether time/area monotonicity on ``[1, p_max]`` is guaranteed.
+    monotonic_hint: bool = False
+
+    @abc.abstractmethod
+    def time(self, p: int) -> float:
+        """Return the execution time :math:`t(p)` on ``p`` processors.
+
+        ``p`` must be an integer >= 1.  Implementations raise
+        :class:`~repro.exceptions.InvalidParameterError` otherwise.
+        """
+
+    def area(self, p: int) -> float:
+        """Return the area :math:`a(p) = p \\cdot t(p)`."""
+        return p * self.time(p)
+
+    def max_useful_processors(self, P: int) -> int:
+        """Return :math:`p^{\\max}`, the allocation minimizing :math:`t(p)`.
+
+        Per Equation (5) of the paper, allocating more processors than this
+        no longer decreases the execution time while increasing the area,
+        so no reasonable algorithm exceeds it.  When several allocations
+        reach the minimum time, the *smallest* one is returned (it has the
+        smallest area among them by monotonicity of the area).
+
+        The generic implementation scans ``[1, P]``; Equation (1) subclasses
+        override it with the closed form of the paper.
+        """
+        P = self._check_P(P)
+        best_p = 1
+        best_t = self.time(1)
+        for p in range(2, P + 1):
+            t = self.time(p)
+            if t < best_t:
+                best_t = t
+                best_p = p
+        return best_p
+
+    def t_min(self, P: int) -> float:
+        """Return the minimum execution time :math:`t^{\\min} = t(p^{\\max})`."""
+        return self.time(self.max_useful_processors(P))
+
+    def a_min(self, P: int) -> float:
+        """Return the minimum area over allocations in ``[1, p_max]``.
+
+        For every monotonic model this is :math:`a(1)` (the paper's
+        definition); the generic implementation handles non-monotonic
+        models by scanning.
+        """
+        if self.monotonic_hint:
+            return self.area(1)
+        P = self._check_P(P)
+        p_max = self.max_useful_processors(P)
+        return min(self.area(p) for p in range(1, p_max + 1))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def times(self, P: int) -> np.ndarray:
+        """Return the vector ``[t(1), ..., t(P)]`` as a NumPy array."""
+        P = self._check_P(P)
+        return np.array([self.time(p) for p in range(1, P + 1)], dtype=float)
+
+    def areas(self, P: int) -> np.ndarray:
+        """Return the vector ``[a(1), ..., a(P)]`` as a NumPy array."""
+        P = self._check_P(P)
+        return np.arange(1, P + 1, dtype=float) * self.times(P)
+
+    def is_monotonic(self, P: int, *, rtol: float = 1e-12) -> bool:
+        """Check Lemma 1's monotonic property on ``[1, p_max(P)]``.
+
+        Returns ``True`` iff the execution time is non-increasing and the
+        area is non-decreasing with the allocation (up to relative
+        tolerance ``rtol`` to absorb floating-point noise).
+        """
+        p_max = self.max_useful_processors(P)
+        times = self.times(p_max)
+        areas = np.arange(1, p_max + 1, dtype=float) * times
+        time_ok = bool(np.all(times[1:] <= times[:-1] * (1 + rtol)))
+        area_ok = bool(np.all(areas[1:] >= areas[:-1] * (1 - rtol)))
+        return time_ok and area_ok
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_p(p: int) -> int:
+        if isinstance(p, bool) or p != int(p):
+            raise InvalidParameterError(f"processor count must be an integer, got {p!r}")
+        p = int(p)
+        if p < 1:
+            raise InvalidParameterError(f"processor count must be >= 1, got {p}")
+        return p
+
+    @staticmethod
+    def _check_P(P: int) -> int:
+        if isinstance(P, bool) or P != int(P):
+            raise InvalidParameterError(f"platform size P must be an integer, got {P!r}")
+        P = int(P)
+        if P < 1:
+            raise InvalidParameterError(f"platform size P must be >= 1, got {P}")
+        return P

@@ -1,0 +1,35 @@
+"""Communication speedup model (Equation (3) of the paper).
+
+.. math:: t(p) = \\frac{w}{p} + c\\,(p - 1)
+
+Perfectly parallelizable work plus a communication overhead that grows
+linearly with the number of processors.  The useful allocation therefore has
+an interior optimum near :math:`\\sqrt{w/c}` (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive
+
+__all__ = ["CommunicationModel"]
+
+
+class CommunicationModel(GeneralModel):
+    """Communication model: :math:`t(p) = w/p + c(p-1)` with ``c > 0``.
+
+    Parameters
+    ----------
+    w:
+        Total work (> 0).
+    c:
+        Communication overhead per extra processor (> 0; with ``c == 0``
+        use :class:`~repro.speedup.RooflineModel` instead).
+    """
+
+    def __init__(self, w: float, c: float) -> None:
+        c = check_positive(c, "c")
+        super().__init__(w, d=0.0, c=c, max_parallelism=None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommunicationModel(w={self.w!r}, c={self.c!r})"

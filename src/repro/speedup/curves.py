@@ -1,0 +1,67 @@
+"""Speedup/efficiency curve helpers.
+
+Thin analysis utilities over any :class:`~repro.speedup.SpeedupModel` for
+inspection and reporting: classical speedup :math:`S(p) = t(1)/t(p)`,
+parallel efficiency :math:`E(p) = S(p)/p`, and the serial-fraction
+estimator of Karp and Flatt, :math:`f(p) = (1/S - 1/p)/(1 - 1/p)`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["speedup_curve", "efficiency_curve", "karp_flatt", "scaling_table"]
+
+
+def speedup_curve(model: SpeedupModel, P: int) -> np.ndarray:
+    """Return ``[S(1), ..., S(P)]`` with :math:`S(p) = t(1)/t(p)`."""
+    P = check_positive_int(P, "P")
+    t1 = model.time(1)
+    return np.array([t1 / model.time(p) for p in range(1, P + 1)])
+
+
+def efficiency_curve(model: SpeedupModel, P: int) -> np.ndarray:
+    """Return ``[E(1), ..., E(P)]`` with :math:`E(p) = S(p)/p`."""
+    P = check_positive_int(P, "P")
+    return speedup_curve(model, P) / np.arange(1, P + 1)
+
+
+def karp_flatt(model: SpeedupModel, p: int) -> float:
+    """The Karp-Flatt experimentally-determined serial fraction at ``p``.
+
+    For an exact Amdahl model this recovers ``d / (w + d)`` independent of
+    ``p``; growth with ``p`` signals overheads beyond Amdahl (e.g. the
+    communication term of Equation (1)).
+    """
+    p = check_positive_int(p, "p")
+    if p < 2:
+        raise InvalidParameterError("Karp-Flatt needs p >= 2")
+    s = model.time(1) / model.time(p)
+    return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def scaling_table(model: SpeedupModel, ps: list[int] | None = None) -> str:
+    """Render a small text table of t/S/E/f over selected allocations."""
+    from repro.util.tables import format_table
+
+    if ps is None:
+        ps = [1, 2, 4, 8, 16, 32, 64]
+    rows = []
+    t1 = model.time(1)
+    for p in ps:
+        p = check_positive_int(p, "p")
+        t = model.time(p)
+        s = t1 / t
+        rows.append(
+            [p, t, s, s / p, karp_flatt(model, p) if p >= 2 else float("nan")]
+        )
+    return format_table(
+        ["p", "t(p)", "speedup", "efficiency", "karp-flatt"],
+        rows,
+        float_fmt=".4g",
+        title=f"scaling of {model!r}",
+    )

@@ -1,0 +1,44 @@
+"""Power-law speedup model (extension beyond the paper's Equation (1)).
+
+.. math:: t(p) = \\frac{w}{p^k}, \\qquad 0 < k \\le 1
+
+A classical sublinear-speedup family (``k = 1`` is perfect speedup,
+``k = 0.5`` models memory-bound kernels).  The paper's framework (Lemma 5)
+applies to any monotonic model, so this family is useful for the empirical
+study and for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["PowerLawModel"]
+
+
+class PowerLawModel(SpeedupModel):
+    """Power-law model :math:`t(p) = w / p^k` with exponent ``k`` in (0, 1].
+
+    Time is strictly decreasing and area :math:`a(p) = w\\,p^{1-k}` is
+    non-decreasing, so the model is monotonic on the whole range.
+    """
+
+    monotonic_hint = True
+
+    def __init__(self, w: float, exponent: float = 0.5) -> None:
+        self.w = check_positive(w, "w")
+        self.exponent = check_in_range(exponent, "exponent", 0.0, 1.0, low_open=True)
+
+    def time(self, p: int) -> float:
+        p = self._check_p(p)
+        return self.w / p**self.exponent
+
+    def max_useful_processors(self, P: int) -> int:
+        # Strictly decreasing time: every processor helps.
+        return self._check_P(P)
+
+    def a_min(self, P: int) -> float:
+        return self.w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PowerLawModel(w={self.w!r}, exponent={self.exponent!r})"

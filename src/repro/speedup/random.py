@@ -1,0 +1,198 @@
+"""Random speedup-model generators for the empirical study.
+
+The paper's evaluation is worst-case; its conclusion calls for an
+experimental study "using realistic workflows".  These factories draw task
+parameters from configurable distributions so the empirical benchmarks can
+populate workflow graphs with heterogeneous moldable tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup.amdahl import AmdahlModel
+from repro.speedup.base import SpeedupModel
+from repro.speedup.communication import CommunicationModel
+from repro.speedup.general import GeneralModel
+from repro.speedup.roofline import RooflineModel
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = [
+    "random_roofline",
+    "random_communication",
+    "random_amdahl",
+    "random_general",
+    "RandomModelFactory",
+    "MixedModelFactory",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _loguniform(rng: np.random.Generator, low: float, high: float) -> float:
+    if not 0 < low <= high:
+        raise InvalidParameterError(f"need 0 < low <= high, got ({low}, {high})")
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+def random_roofline(
+    rng: int | np.random.Generator | None = None,
+    *,
+    w_range: tuple[float, float] = (1.0, 100.0),
+    p_range: tuple[int, int] = (1, 64),
+) -> RooflineModel:
+    """Draw a roofline task: log-uniform work, uniform parallelism bound."""
+    gen = _rng(rng)
+    w = _loguniform(gen, *w_range)
+    lo = check_positive_int(p_range[0], "p_range[0]")
+    hi = check_positive_int(p_range[1], "p_range[1]")
+    if lo > hi:
+        raise InvalidParameterError(f"p_range must be ordered, got {p_range}")
+    return RooflineModel(w, int(gen.integers(lo, hi + 1)))
+
+
+def random_communication(
+    rng: int | np.random.Generator | None = None,
+    *,
+    w_range: tuple[float, float] = (1.0, 100.0),
+    c_range: tuple[float, float] = (0.001, 1.0),
+) -> CommunicationModel:
+    """Draw a communication-model task with log-uniform work and overhead."""
+    gen = _rng(rng)
+    return CommunicationModel(_loguniform(gen, *w_range), _loguniform(gen, *c_range))
+
+
+def random_amdahl(
+    rng: int | np.random.Generator | None = None,
+    *,
+    w_range: tuple[float, float] = (1.0, 100.0),
+    sequential_fraction: tuple[float, float] = (0.001, 0.3),
+) -> AmdahlModel:
+    """Draw an Amdahl task; ``d`` is a random fraction of the total work."""
+    gen = _rng(rng)
+    w = _loguniform(gen, *w_range)
+    frac = float(gen.uniform(*sequential_fraction))
+    if not 0 < frac < 1:
+        raise InvalidParameterError(
+            f"sequential_fraction range must lie in (0, 1), got {sequential_fraction}"
+        )
+    return AmdahlModel(w * (1 - frac), w * frac)
+
+
+def random_general(
+    rng: int | np.random.Generator | None = None,
+    *,
+    w_range: tuple[float, float] = (1.0, 100.0),
+    sequential_fraction: tuple[float, float] = (0.001, 0.3),
+    c_range: tuple[float, float] = (0.001, 1.0),
+    p_range: tuple[int, int] | None = (1, 256),
+) -> GeneralModel:
+    """Draw a general (Equation (1)) task with all four parameters random."""
+    gen = _rng(rng)
+    w = _loguniform(gen, *w_range)
+    frac = float(gen.uniform(*sequential_fraction))
+    c = _loguniform(gen, *c_range)
+    if p_range is None:
+        p_tilde = None
+    else:
+        lo = check_positive_int(p_range[0], "p_range[0]")
+        hi = check_positive_int(p_range[1], "p_range[1]")
+        if lo > hi:
+            raise InvalidParameterError(f"p_range must be ordered, got {p_range}")
+        p_tilde = int(gen.integers(lo, hi + 1))
+    return GeneralModel(w * (1 - frac), d=w * frac, c=c, max_parallelism=p_tilde)
+
+
+@dataclass
+class RandomModelFactory:
+    """Reusable factory drawing tasks of one family with a shared RNG.
+
+    Parameters
+    ----------
+    family:
+        One of ``"roofline"``, ``"communication"``, ``"amdahl"``,
+        ``"general"``.
+    seed:
+        RNG seed (or a ``numpy.random.Generator``).
+    work_scale:
+        Multiplies the default work range, letting workflow generators set
+        per-task-type magnitudes.
+    """
+
+    family: str = "general"
+    seed: int | np.random.Generator | None = None
+    work_scale: float = 1.0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    _FAMILIES = ("roofline", "communication", "amdahl", "general")
+
+    def __post_init__(self) -> None:
+        if self.family not in self._FAMILIES:
+            raise InvalidParameterError(
+                f"family must be one of {self._FAMILIES}, got {self.family!r}"
+            )
+        check_positive(self.work_scale, "work_scale")
+        self._rng = _rng(self.seed)
+
+    def __call__(self, work_hint: float | None = None) -> SpeedupModel:
+        """Draw one model; ``work_hint`` scales the work range if given."""
+        scale = self.work_scale
+        if work_hint is not None:
+            scale *= check_positive(work_hint, "work_hint")
+        w_range = (1.0 * scale, 100.0 * scale)
+        if self.family == "roofline":
+            return random_roofline(self._rng, w_range=w_range)
+        if self.family == "communication":
+            return random_communication(self._rng, w_range=w_range)
+        if self.family == "amdahl":
+            return random_amdahl(self._rng, w_range=w_range)
+        return random_general(self._rng, w_range=w_range)
+
+
+@dataclass
+class MixedModelFactory:
+    """Factory drawing each task's *family* at random as well.
+
+    Real workflows mix kernels whose scaling behaviours differ; this factory
+    models that by sampling the family per task (uniformly over ``families``
+    by default), then delegating to the matching single-family generator.
+    """
+
+    families: tuple[str, ...] = RandomModelFactory._FAMILIES
+    seed: int | np.random.Generator | None = None
+    work_scale: float = 1.0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for family in self.families:
+            if family not in RandomModelFactory._FAMILIES:
+                raise InvalidParameterError(
+                    f"unknown family {family!r}; expected subset of "
+                    f"{RandomModelFactory._FAMILIES}"
+                )
+        if not self.families:
+            raise InvalidParameterError("families must be non-empty")
+        check_positive(self.work_scale, "work_scale")
+        self._rng = _rng(self.seed)
+
+    def __call__(self, work_hint: float | None = None) -> SpeedupModel:
+        """Draw one model of a random family."""
+        family = self.families[int(self._rng.integers(len(self.families)))]
+        scale = self.work_scale
+        if work_hint is not None:
+            scale *= check_positive(work_hint, "work_hint")
+        w_range = (1.0 * scale, 100.0 * scale)
+        if family == "roofline":
+            return random_roofline(self._rng, w_range=w_range)
+        if family == "communication":
+            return random_communication(self._rng, w_range=w_range)
+        if family == "amdahl":
+            return random_amdahl(self._rng, w_range=w_range)
+        return random_general(self._rng, w_range=w_range)

@@ -1,0 +1,34 @@
+"""Roofline speedup model (Equation (2) of the paper).
+
+.. math:: t(p) = \\frac{w}{\\min(p, \\tilde p)}
+
+Linear speedup up to the maximum degree of parallelism :math:`\\tilde p`,
+flat afterwards.  This is the model of Feldmann et al. [9], for which the
+paper's algorithm retains the classical 2.618-competitiveness.
+"""
+
+from __future__ import annotations
+
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["RooflineModel"]
+
+
+class RooflineModel(GeneralModel):
+    """Roofline model: perfect speedup up to ``max_parallelism`` processors.
+
+    Parameters
+    ----------
+    w:
+        Total work (> 0).
+    max_parallelism:
+        Maximum degree of parallelism :math:`\\tilde p` (>= 1).
+    """
+
+    def __init__(self, w: float, max_parallelism: int) -> None:
+        max_parallelism = check_positive_int(max_parallelism, "max_parallelism")
+        super().__init__(w, d=0.0, c=0.0, max_parallelism=max_parallelism)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RooflineModel(w={self.w!r}, max_parallelism={self.max_parallelism!r})"

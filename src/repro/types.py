@@ -1,0 +1,18 @@
+"""Shared type aliases used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeAlias
+
+__all__ = ["TaskId", "Time", "ProcCount"]
+
+#: Identifier of a task inside a :class:`repro.graph.TaskGraph`.  Any hashable
+#: value works; generators in this library use ``int`` or short ``str`` labels.
+TaskId: TypeAlias = Hashable
+
+#: A point in (simulated) time or a duration, in abstract time units.
+Time: TypeAlias = float
+
+#: A processor count.  Always a positive integer between 1 and the platform
+#: size ``P``.
+ProcCount: TypeAlias = int

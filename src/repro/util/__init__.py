@@ -1,0 +1,19 @@
+"""Small shared utilities: validation, math helpers, text tables."""
+
+from repro.util.seq import harmonic
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_nonnegative,
+)
+
+__all__ = [
+    "harmonic",
+    "format_table",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_nonnegative",
+]

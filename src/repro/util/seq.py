@@ -1,0 +1,52 @@
+"""Math helpers for competitive-analysis computations.
+
+The Theorem-9 lower bound is expressed through harmonic numbers
+(``t_K >= H(K + l) - H(l)``), so we expose an exact harmonic-number helper
+plus the classical logarithmic bracketing used in the paper's final step.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["harmonic", "harmonic_fraction", "harmonic_bounds", "EULER_GAMMA"]
+
+#: The Euler–Mascheroni constant, used by the paper to bracket harmonic sums.
+EULER_GAMMA = 0.57721566490153286
+
+
+def harmonic(n: int) -> float:
+    """Return the ``n``-th harmonic number ``H(n) = sum_{i=1..n} 1/i``.
+
+    ``harmonic(0)`` is 0 by convention (empty sum).
+    """
+    if n == 0:
+        return 0.0
+    n = check_positive_int(n, "n")
+    # Direct summation in reverse order (small terms first) keeps the result
+    # accurate to the last ulp for every n this library ever uses.
+    return math.fsum(1.0 / i for i in range(n, 0, -1))
+
+
+def harmonic_fraction(n: int) -> Fraction:
+    """Return the ``n``-th harmonic number as an exact :class:`Fraction`."""
+    if n == 0:
+        return Fraction(0)
+    n = check_positive_int(n, "n")
+    total = Fraction(0)
+    for i in range(1, n + 1):
+        total += Fraction(1, i)
+    return total
+
+
+def harmonic_bounds(n: int) -> tuple[float, float]:
+    """Return the paper's bracketing ``(ln n + gamma, ln n + gamma + 1/n)``.
+
+    For every ``n >= 1``: ``ln(n) + gamma < H(n) < ln(n) + gamma + 1/n``.
+    """
+    n = check_positive_int(n, "n")
+    low = math.log(n) + EULER_GAMMA
+    return low, low + 1.0 / n

@@ -1,0 +1,69 @@
+"""Summary statistics for replicated experiments.
+
+Single-seed results can mislead; these helpers aggregate ratios across
+replications into mean / geometric-mean / spread summaries with a normal
+95% confidence interval on the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Summary", "summarize", "geometric_mean"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise InvalidParameterError("geometric_mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise InvalidParameterError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate statistics of one metric across replications."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    geo_mean: float
+    #: Half-width of the normal 95% confidence interval on the mean
+    #: (0 for a single observation).
+    ci95: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} +- {self.ci95:.3f} "
+            f"(n={self.n}, min={self.minimum:.3f}, max={self.maximum:.3f})"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sequence of positive metric values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise InvalidParameterError("summarize of an empty sequence")
+    if not np.all(np.isfinite(arr)):
+        raise InvalidParameterError("summarize requires finite values")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    ci95 = 1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        geo_mean=geometric_mean(arr) if np.all(arr > 0) else float("nan"),
+        ci95=ci95,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints paper tables on stdout; this module renders them
+with aligned columns so the rows are directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv"]
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` as simple CSV (no quoting; cells must not contain commas)."""
+    out = [",".join(headers)]
+    for row in rows:
+        cells = [_cell(v, ".6g") for v in row]
+        if any("," in c for c in cells):
+            raise ValueError("CSV cells must not contain commas")
+        out.append(",".join(cells))
+    return "\n".join(out)

@@ -1,0 +1,14 @@
+"""Schedule rendering: ASCII Gantt/utilization and Chrome trace export."""
+
+from repro.viz.chart import render_series
+from repro.viz.gantt import render_gantt, render_interval_classes, render_utilization
+from repro.viz.trace import schedule_to_trace_events, schedule_to_trace_json
+
+__all__ = [
+    "render_gantt",
+    "render_utilization",
+    "render_interval_classes",
+    "render_series",
+    "schedule_to_trace_events",
+    "schedule_to_trace_json",
+]

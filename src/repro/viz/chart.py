@@ -1,0 +1,86 @@
+"""ASCII line/scatter charts for experiment series.
+
+The environment is headless, so convergence curves and sweeps are rendered
+as text: one mark per series, shared axes, optional logarithmic x.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.util.validation import check_positive_int
+
+__all__ = ["render_series"]
+
+_MARKS = "ox+*#@%&"
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Render named ``(x, y)`` series on one ASCII chart.
+
+    Each series gets a mark character (legend appended); points that fall
+    on the same cell keep the first series' mark.
+    """
+    width = check_positive_int(width, "width")
+    height = check_positive_int(height, "height")
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise InvalidParameterError("render_series needs at least one point")
+    if len(series) > len(_MARKS):
+        raise InvalidParameterError(f"at most {len(_MARKS)} series supported")
+
+    def tx(x: float) -> float:
+        if log_x:
+            if x <= 0:
+                raise InvalidParameterError("log_x requires positive x values")
+            return math.log10(x)
+        return x
+
+    xs = [tx(x) for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y = min(ys) if y_min is None else y_min
+    hi_y = max(ys) if y_max is None else y_max
+    if hi_x == lo_x:
+        hi_x = lo_x + 1.0
+    if hi_y == lo_y:
+        hi_y = lo_y + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, series.items()):
+        for x, y in pts:
+            col = int((tx(x) - lo_x) / (hi_x - lo_x) * (width - 1))
+            row = int((y - lo_y) / (hi_y - lo_y) * (height - 1))
+            row = height - 1 - max(0, min(height - 1, row))
+            col = max(0, min(width - 1, col))
+            if grid[row][col] == " ":
+                grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_label = hi_y - (hi_y - lo_y) * i / (height - 1)
+        lines.append(f"{y_label:>9.3g} |" + "".join(row))
+    x_lo = 10**lo_x if log_x else lo_x
+    x_hi = 10**hi_x if log_x else hi_x
+    lines.append(" " * 10 + "-" * (width + 1))
+    lines.append(
+        f"{'':10}x={x_lo:.4g}{'':{max(width - 24, 1)}}x={x_hi:.4g}"
+        + ("  (log x)" if log_x else "")
+    )
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, series.keys())
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""ASCII schedule rendering.
+
+The experiment harness reproduces the paper's *figures* as data plus text
+renderings (the environment is headless, so no raster plots):
+
+* :func:`render_utilization` — the number of busy processors over time, the
+  quantity Figure 2 contrasts between the algorithm's layer-serialized
+  schedule and the optimal parallel one.
+* :func:`render_gantt` — per-task bars (rows = tasks, columns = time),
+  matching Figure 4's schedule drawings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.schedule import Schedule
+from repro.util.validation import check_positive_int
+
+__all__ = ["render_gantt", "render_utilization"]
+
+
+def render_utilization(
+    schedule: Schedule, *, width: int = 72, height: int = 12
+) -> str:
+    """Render the busy-processor count over time as an ASCII area chart.
+
+    The makespan is resampled onto ``width`` columns (sampling the maximum
+    utilization within each column so narrow peaks stay visible) and the
+    processor axis onto ``height`` rows.
+    """
+    width = check_positive_int(width, "width")
+    height = check_positive_int(height, "height")
+    breakpoints, usage = schedule.utilization_profile()
+    span = schedule.makespan()
+    if span == 0 or usage.size == 0:
+        return "(empty schedule)"
+    # Maximum utilization within each of `width` uniform time buckets.
+    cols = np.zeros(width)
+    edges = np.linspace(0.0, span, width + 1)
+    for i, busy in enumerate(usage):
+        lo, hi = breakpoints[i], breakpoints[i + 1]
+        if hi <= lo:
+            continue
+        c0 = int(np.searchsorted(edges, lo, side="right")) - 1
+        c1 = int(np.searchsorted(edges, hi, side="left"))
+        c0 = max(c0, 0)
+        c1 = min(max(c1, c0 + 1), width)
+        cols[c0:c1] = np.maximum(cols[c0:c1], busy)
+
+    P = schedule.P
+    lines = []
+    for row in range(height, 0, -1):
+        threshold = P * (row - 0.5) / height
+        line = "".join("#" if c >= threshold else " " for c in cols)
+        label = f"{P * row // height:>6d} |"
+        lines.append(label + line)
+    lines.append(" " * 6 + "-" * (width + 1))
+    lines.append(f"{'t=0':>8}{'':{max(width - 12, 1)}}t={span:.4g}")
+    return "\n".join(lines)
+
+
+def render_gantt(
+    schedule: Schedule, *, width: int = 72, max_rows: int = 40
+) -> str:
+    """Render per-task bars: one row per task, ``#`` where it runs.
+
+    Rows are ordered by start time; at most ``max_rows`` tasks are shown
+    (with a trailing note if truncated).  Each row is labelled with the
+    task id and its allocation.
+    """
+    width = check_positive_int(width, "width")
+    max_rows = check_positive_int(max_rows, "max_rows")
+    span = schedule.makespan()
+    entries = sorted(schedule.entries, key=lambda e: (e.start, str(e.task_id)))
+    if span == 0 or not entries:
+        return "(empty schedule)"
+    shown = entries[:max_rows]
+    labels = [f"{str(e.task_id)[:18]:>18} p={e.procs:<5d}" for e in shown]
+    lines = []
+    for entry, label in zip(shown, labels):
+        c0 = int(entry.start / span * width)
+        c1 = max(int(entry.end / span * width), c0 + 1)
+        c1 = min(c1, width)
+        bar = " " * c0 + "#" * (c1 - c0)
+        lines.append(f"{label}|{bar:<{width}}|")
+    if len(entries) > max_rows:
+        lines.append(f"... ({len(entries) - max_rows} more tasks not shown)")
+    lines.append(f"{'':25}0{'':{width - 10}}T={span:.4g}")
+    return "\n".join(lines)
+
+
+def render_interval_classes(schedule, mu: float, *, width: int = 72) -> str:
+    """Render the Section-4.2 interval classes over time.
+
+    One character per time column: ``' '`` idle, ``'.'`` lightly loaded
+    (I1), ``'-'`` medium (I2), ``'#'`` heavily loaded (I3).  Shows at a
+    glance where the analysis "charges" each stretch of the schedule.
+    """
+    import math as _math
+
+    from repro.sim.intervals import decompose_intervals
+
+    decomposition = decompose_intervals(schedule, mu)
+    span = schedule.makespan()
+    if span == 0 or not decomposition.intervals:
+        return "(empty schedule)"
+    P = schedule.P
+    low = _math.ceil(mu * P)
+    high = _math.ceil((1 - mu) * P)
+
+    def klass(busy: int) -> str:
+        if busy == 0:
+            return " "
+        if busy < low:
+            return "."
+        if busy < high:
+            return "-"
+        return "#"
+
+    cols = [" "] * width
+    rank = {" ": 0, ".": 1, "-": 2, "#": 3}
+    for start, end, busy in decomposition.intervals:
+        c0 = max(0, min(width - 1, int(start / span * width)))
+        c1 = max(c0 + 1, min(width, int(np.ceil(end / span * width))))
+        ch = klass(busy)
+        for c in range(c0, c1):
+            if rank[ch] > rank[cols[c]]:
+                cols[c] = ch
+    legend = (
+        f"I1='.' (<{low}), I2='-' ([{low},{high})), I3='#' (>={high}); "
+        f"T1={decomposition.T1:.4g} T2={decomposition.T2:.4g} "
+        f"T3={decomposition.T3:.4g}"
+    )
+    return "|" + "".join(cols) + f"|\n0{'':{width - 8}}T={span:.4g}\n{legend}"

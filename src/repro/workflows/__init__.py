@@ -1,0 +1,58 @@
+"""Realistic scientific-workflow task graphs.
+
+The paper's conclusion calls for "experimentally evaluating the performance
+of our algorithm using realistic workflows"; this subpackage provides the
+classic HPC workflow shapes used for that study:
+
+* tiled dense linear algebra: :func:`cholesky`, :func:`lu`, :func:`qr`,
+* :func:`fft` butterfly graphs,
+* :func:`stencil` wavefront sweeps,
+* :func:`mapreduce` bulk-synchronous jobs,
+* :func:`montage`-like fan-in/fan-out pipelines.
+
+Each generator takes a ``model_factory(work_hint) -> SpeedupModel`` (see
+:class:`repro.speedup.RandomModelFactory`) so the kernel *shape* and the
+per-task speedup behaviour are configured independently; ``work_hint``
+scales with the kernel's floating-point cost (e.g. GEMM ~ b^3).
+"""
+
+from repro.workflows.cholesky import cholesky
+from repro.workflows.lu import lu
+from repro.workflows.qr import qr
+from repro.workflows.fft import fft
+from repro.workflows.stencil import stencil
+from repro.workflows.mapreduce import mapreduce
+from repro.workflows.montage import montage
+from repro.workflows.pegasus import cybershake, epigenomics, ligo
+from repro.workflows.catalog import CATALOG, instantiate, kernel_model, KERNEL_PROFILES
+
+WORKFLOWS = {
+    "cholesky": cholesky,
+    "lu": lu,
+    "qr": qr,
+    "fft": fft,
+    "stencil": stencil,
+    "mapreduce": mapreduce,
+    "montage": montage,
+    "epigenomics": epigenomics,
+    "ligo": ligo,
+    "cybershake": cybershake,
+}
+
+__all__ = [
+    "cholesky",
+    "lu",
+    "qr",
+    "fft",
+    "stencil",
+    "mapreduce",
+    "montage",
+    "epigenomics",
+    "ligo",
+    "cybershake",
+    "WORKFLOWS",
+    "CATALOG",
+    "instantiate",
+    "kernel_model",
+    "KERNEL_PROFILES",
+]

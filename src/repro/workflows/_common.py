@@ -1,0 +1,33 @@
+"""Shared plumbing for workflow generators."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.speedup.base import SpeedupModel
+
+__all__ = ["WorkModelFactory", "as_factory"]
+
+
+class WorkModelFactory(Protocol):
+    """Produces a speedup model for a task of roughly ``work_hint`` work."""
+
+    def __call__(self, work_hint: float = ...) -> SpeedupModel: ...
+
+
+def as_factory(
+    factory: Callable[..., SpeedupModel],
+) -> Callable[[float], SpeedupModel]:
+    """Adapt factories that do not accept a ``work_hint`` argument.
+
+    Lets users pass either ``RandomModelFactory`` (which takes the hint) or
+    a plain zero-argument lambda.
+    """
+
+    def wrapped(work_hint: float = 1.0) -> SpeedupModel:
+        try:
+            return factory(work_hint)
+        except TypeError:
+            return factory()
+
+    return wrapped

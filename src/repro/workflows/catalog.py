@@ -1,0 +1,169 @@
+"""A catalog of named, fully-reproducible workflow instances.
+
+Random model factories give *statistically* realistic tasks; this catalog
+goes one step further and assigns each kernel type a deterministic
+Equation (1) model reflecting how such kernels actually scale:
+
+* compute-bound BLAS-3 kernels (GEMM, TSMQR, ...) — near-linear speedup,
+  high parallelism bound, tiny sequential part;
+* panel/factorization kernels (POTRF, GETRF, GEQRT) — limited parallelism;
+* reductions and metadata steps (mBgModel, Thinca, COLLECT) — dominated by
+  sequential work;
+* data-movement-heavy steps (shuffle reduces, mProject) — communication
+  overhead grows with the allocation.
+
+Every instance is a pure function of its name and scale: two calls produce
+identical graphs, making catalog instances suitable as regression
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.speedup.general import GeneralModel
+from repro.util.validation import check_positive_int
+from repro.workflows.cholesky import cholesky
+from repro.workflows.fft import fft
+from repro.workflows.lu import lu
+from repro.workflows.mapreduce import mapreduce
+from repro.workflows.montage import montage
+from repro.workflows.pegasus import cybershake, epigenomics, ligo
+from repro.workflows.qr import qr
+from repro.workflows.stencil import stencil
+
+__all__ = ["KERNEL_PROFILES", "kernel_model", "instantiate", "CATALOG"]
+
+#: Kernel tag -> (sequential fraction, comm overhead per unit work,
+#: parallelism bound).  ``None`` parallelism means unbounded.
+KERNEL_PROFILES: dict[str, tuple[float, float, int | None]] = {
+    # Dense linear algebra.
+    "GEMM": (0.005, 0.0005, None),
+    "SYRK": (0.01, 0.001, None),
+    "TRSM": (0.02, 0.001, 64),
+    "POTRF": (0.10, 0.002, 16),
+    "GETRF": (0.12, 0.002, 16),
+    "GEQRT": (0.10, 0.002, 16),
+    "ORMQR": (0.02, 0.001, 64),
+    "TSQRT": (0.08, 0.002, 32),
+    "TSMQR": (0.01, 0.0005, None),
+    # FFT.
+    "LOAD": (0.05, 0.004, 32),
+    "BFLY": (0.02, 0.002, None),
+    # Stencil.
+    "TILE": (0.03, 0.003, 64),
+    # Map-reduce.
+    "MAP": (0.01, 0.0005, None),
+    "REDUCE": (0.15, 0.01, 32),
+    "COLLECT": (0.50, 0.01, 8),
+    # Montage.
+    "mProject": (0.05, 0.005, 64),
+    "mDiffFit": (0.10, 0.002, 16),
+    "mBgModel": (0.60, 0.005, 8),
+    "mBackground": (0.05, 0.002, 32),
+    "mImgtbl": (0.70, 0.01, 4),
+    "mAdd": (0.10, 0.003, 64),
+    # Epigenomics.
+    "split": (0.40, 0.005, 8),
+    "filter": (0.05, 0.002, 32),
+    "sol2sanger": (0.05, 0.002, 32),
+    "fastq2bfq": (0.05, 0.002, 32),
+    "map": (0.02, 0.001, 64),
+    "align": (0.02, 0.001, 64),
+    "dedup": (0.10, 0.003, 32),
+    "mapMerge": (0.40, 0.01, 8),
+    "maqIndex": (0.50, 0.01, 8),
+    "pileup": (0.15, 0.003, 32),
+    # LIGO.
+    "TmpltBank": (0.10, 0.002, 32),
+    "Inspiral": (0.02, 0.001, None),
+    "Thinca": (0.50, 0.01, 8),
+    "TrigBank": (0.30, 0.005, 16),
+    # CyberShake.
+    "ExtractSGT": (0.10, 0.004, 32),
+    "SeisSynth": (0.02, 0.001, None),
+    "PeakValCalc": (0.30, 0.005, 8),
+    "ZipSeis": (0.60, 0.02, 4),
+    "ZipPSA": (0.60, 0.02, 4),
+}
+
+#: Fallback profile for unrecognized tags.
+_DEFAULT_PROFILE = (0.05, 0.002, 64)
+
+
+def kernel_model(tag: str, work: float) -> SpeedupModel:
+    """Deterministic Equation (1) model for one kernel of the given work."""
+    if work <= 0:
+        raise InvalidParameterError(f"work must be positive, got {work}")
+    frac, comm, p_tilde = KERNEL_PROFILES.get(tag, _DEFAULT_PROFILE)
+    return GeneralModel(
+        w=work * (1.0 - frac),
+        d=work * frac,
+        c=work * comm,
+        max_parallelism=p_tilde,
+    )
+
+
+def _profiled_factory(base_work: float) -> Callable[[float], SpeedupModel]:
+    """A factory for workflow builders that routes through tag profiles.
+
+    Workflow builders call ``factory(work_hint)`` *before* tagging, so this
+    factory returns a neutral model; :func:`instantiate` rewrites each task
+    afterwards using its tag.  (Keeping the two-phase design avoids
+    touching every builder's signature.)
+    """
+
+    def make(work_hint: float = 1.0) -> SpeedupModel:
+        return GeneralModel(w=base_work * work_hint)
+
+    return make
+
+
+def _reprofile(graph: TaskGraph, base_work: float) -> TaskGraph:
+    """Replace each task's placeholder model with its kernel-profile model."""
+    out = TaskGraph()
+    for task in graph.tasks():
+        work = task.model.w + task.model.d  # total work of the placeholder
+        out.add_task(task.id, kernel_model(task.tag, work), task.tag)
+    out.add_edges(graph.edges())
+    return out
+
+
+#: name -> builder(scale, factory) producing the *placeholder* graph.
+#: Builders taking more than one size parameter are adapted so every
+#: catalog entry is parameterized by a single ``scale``.
+CATALOG: dict[str, Callable[..., TaskGraph]] = {
+    "cholesky": cholesky,
+    "lu": lu,
+    "qr": qr,
+    "fft": fft,
+    "montage": montage,
+    "epigenomics": epigenomics,
+    "ligo": ligo,
+    "cybershake": cybershake,
+    "stencil": lambda scale, factory: stencil(scale, scale, factory),
+    "mapreduce": lambda scale, factory: mapreduce(
+        scale, max(scale // 4, 1), factory
+    ),
+}
+
+
+def instantiate(name: str, scale: int, *, base_work: float = 50.0) -> TaskGraph:
+    """Build a named catalog workflow at the given scale.
+
+    ``scale`` is the builder's primary size parameter (tiles, stages,
+    images, lanes, groups, sites, or grid side); ``base_work`` sets the
+    work of a unit-cost kernel.  The result is deterministic.
+    """
+    scale = check_positive_int(scale, "scale")
+    try:
+        builder = CATALOG[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown catalog workflow {name!r}; available: {sorted(CATALOG)}"
+        ) from None
+    graph = builder(scale, _profiled_factory(base_work))
+    return _reprofile(graph, base_work)

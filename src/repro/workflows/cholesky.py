@@ -1,0 +1,79 @@
+"""Tiled Cholesky factorization task graph (POTRF / TRSM / SYRK / GEMM).
+
+The standard right-looking tiled algorithm on an ``N x N`` tile grid:
+
+.. code-block:: text
+
+    for k in 0..N-1:
+        POTRF(k,k)                       # factor diagonal tile
+        for i in k+1..N-1:  TRSM(i,k)    # triangular solves down column k
+        for i in k+1..N-1:
+            SYRK(i,k)                    # symmetric update of diagonal
+            for j in k+1..i-1:  GEMM(i,j,k)
+
+with the classic dependency pattern used in PLASMA/Chameleon task-based
+runtimes.  Work hints scale with kernel flop counts (POTRF ~ 1/3, TRSM ~ 1,
+SYRK ~ 1, GEMM ~ 2 tile-cubed units).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["cholesky"]
+
+#: Relative flop cost of each kernel (per b^3 tile unit).
+KERNEL_WORK = {"POTRF": 1.0 / 3.0, "TRSM": 1.0, "SYRK": 1.0, "GEMM": 2.0}
+
+
+def cholesky(
+    n_tiles: int, model_factory: Callable[..., SpeedupModel]
+) -> TaskGraph:
+    """Build the tiled-Cholesky DAG for an ``n_tiles x n_tiles`` matrix.
+
+    Task count is :math:`\\Theta(n^3)`: ``n_tiles=6`` gives 56 tasks,
+    ``n_tiles=10`` gives 220.
+    """
+    n = check_positive_int(n_tiles, "n_tiles")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+
+    def potrf(k: int):  # noqa: ANN202 - local helpers return task ids
+        return ("POTRF", k)
+
+    def trsm(i: int, k: int):
+        return ("TRSM", i, k)
+
+    def syrk(i: int, k: int):
+        return ("SYRK", i, k)
+
+    def gemm(i: int, j: int, k: int):
+        return ("GEMM", i, j, k)
+
+    for k in range(n):
+        g.add_task(potrf(k), make(KERNEL_WORK["POTRF"]), tag="POTRF")
+        # POTRF(k) waits for the SYRK chain on tile (k,k).
+        if k > 0:
+            g.add_edge(syrk(k, k - 1), potrf(k))
+        for i in range(k + 1, n):
+            g.add_task(trsm(i, k), make(KERNEL_WORK["TRSM"]), tag="TRSM")
+            g.add_edge(potrf(k), trsm(i, k))
+            if k > 0:
+                g.add_edge(gemm(i, k, k - 1), trsm(i, k))
+        for i in range(k + 1, n):
+            g.add_task(syrk(i, k), make(KERNEL_WORK["SYRK"]), tag="SYRK")
+            g.add_edge(trsm(i, k), syrk(i, k))
+            if k > 0:
+                g.add_edge(syrk(i, k - 1), syrk(i, k))
+            for j in range(k + 1, i):
+                g.add_task(gemm(i, j, k), make(KERNEL_WORK["GEMM"]), tag="GEMM")
+                g.add_edge(trsm(i, k), gemm(i, j, k))
+                g.add_edge(trsm(j, k), gemm(i, j, k))
+                if k > 0:
+                    g.add_edge(gemm(i, j, k - 1), gemm(i, j, k))
+    return g

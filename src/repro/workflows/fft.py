@@ -1,0 +1,47 @@
+"""FFT butterfly task graph.
+
+A radix-2 Cooley-Tukey FFT over :math:`2^m` points, blocked into
+:math:`2^s` chunks: :math:`\\log_2(2^s) = s` butterfly stages where chunk
+``c`` of stage ``k`` depends on the two stage-``k-1`` chunks whose indices
+differ in bit ``k-1``, preceded by a per-chunk "bit-reversal/load" layer.
+This is the classic strictly-layered graph with butterfly (hypercube)
+connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["fft"]
+
+
+def fft(stages: int, model_factory: Callable[..., SpeedupModel]) -> TaskGraph:
+    """Build the butterfly DAG with ``2**stages`` chunks.
+
+    Tasks: ``2**stages * (stages + 1)`` (one load layer + ``stages``
+    butterfly layers); ``stages=4`` gives 80 tasks.
+    """
+    s = check_positive_int(stages, "stages")
+    if s > 20:
+        raise InvalidParameterError("stages > 20 would create > 2M tasks")
+    width = 2**s
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    for c in range(width):
+        g.add_task(("LOAD", c), make(0.5), tag="LOAD")
+    for k in range(1, s + 1):
+        for c in range(width):
+            g.add_task(("BFLY", k, c), make(1.0), tag="BFLY")
+            partner = c ^ (1 << (k - 1))
+            prev = "LOAD" if k == 1 else "BFLY"
+            src_a = (prev, c) if k == 1 else (prev, k - 1, c)
+            src_b = (prev, partner) if k == 1 else (prev, k - 1, partner)
+            g.add_edge(src_a, ("BFLY", k, c))
+            g.add_edge(src_b, ("BFLY", k, c))
+    return g

@@ -1,0 +1,73 @@
+"""Tiled LU factorization task graph (GETRF / TRSM / GEMM), no pivoting.
+
+Right-looking tiled LU on an ``N x N`` tile grid:
+
+.. code-block:: text
+
+    for k in 0..N-1:
+        GETRF(k,k)
+        for i in k+1..N-1:  TRSM_row(k,i)   # U panel
+        for i in k+1..N-1:  TRSM_col(i,k)   # L panel
+        for i,j in (k+1..N-1)^2:  GEMM(i,j,k)
+
+GEMM(i,j,k) reads L(i,k) and U(k,j) and updates tile (i,j), which the next
+iteration's GETRF/TRSM/GEMM on that tile depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["lu"]
+
+KERNEL_WORK = {"GETRF": 2.0 / 3.0, "TRSM": 1.0, "GEMM": 2.0}
+
+
+def lu(n_tiles: int, model_factory: Callable[..., SpeedupModel]) -> TaskGraph:
+    """Build the tiled-LU DAG for an ``n_tiles x n_tiles`` matrix.
+
+    Task count is :math:`\\Theta(n^3)`: ``n_tiles=6`` gives 91 tasks.
+    """
+    n = check_positive_int(n_tiles, "n_tiles")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+
+    def getrf(k: int):
+        return ("GETRF", k)
+
+    def trsm_row(k: int, j: int):
+        return ("TRSM_ROW", k, j)
+
+    def trsm_col(i: int, k: int):
+        return ("TRSM_COL", i, k)
+
+    def gemm(i: int, j: int, k: int):
+        return ("GEMM", i, j, k)
+
+    for k in range(n):
+        g.add_task(getrf(k), make(KERNEL_WORK["GETRF"]), tag="GETRF")
+        if k > 0:
+            g.add_edge(gemm(k, k, k - 1), getrf(k))
+        for j in range(k + 1, n):
+            g.add_task(trsm_row(k, j), make(KERNEL_WORK["TRSM"]), tag="TRSM")
+            g.add_edge(getrf(k), trsm_row(k, j))
+            if k > 0:
+                g.add_edge(gemm(k, j, k - 1), trsm_row(k, j))
+        for i in range(k + 1, n):
+            g.add_task(trsm_col(i, k), make(KERNEL_WORK["TRSM"]), tag="TRSM")
+            g.add_edge(getrf(k), trsm_col(i, k))
+            if k > 0:
+                g.add_edge(gemm(i, k, k - 1), trsm_col(i, k))
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                g.add_task(gemm(i, j, k), make(KERNEL_WORK["GEMM"]), tag="GEMM")
+                g.add_edge(trsm_col(i, k), gemm(i, j, k))
+                g.add_edge(trsm_row(k, j), gemm(i, j, k))
+                if k > 0:
+                    g.add_edge(gemm(i, j, k - 1), gemm(i, j, k))
+    return g

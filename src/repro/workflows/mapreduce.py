@@ -1,0 +1,55 @@
+"""Map-reduce task graph (bulk-synchronous rounds).
+
+Each round is ``n_maps`` map tasks feeding ``n_reduces`` reduce tasks
+through an all-to-all shuffle; the reduces of one round gate the maps of
+the next.  A final single "collect" task closes the job.  Map tasks carry
+most of the work; reduces are smaller but poorly parallelizable in
+practice, which the caller expresses through the model factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["mapreduce"]
+
+
+def mapreduce(
+    n_maps: int,
+    n_reduces: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    rounds: int = 1,
+) -> TaskGraph:
+    """Build the map-reduce DAG (``rounds * (n_maps + n_reduces) + 1`` tasks)."""
+    n_maps = check_positive_int(n_maps, "n_maps")
+    n_reduces = check_positive_int(n_reduces, "n_reduces")
+    rounds = check_positive_int(rounds, "rounds")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    prev_reduces: list = []
+    for r in range(rounds):
+        maps = []
+        for m in range(n_maps):
+            tid = ("MAP", r, m)
+            g.add_task(tid, make(4.0), tag="MAP")
+            for pr in prev_reduces:
+                g.add_edge(pr, tid)
+            maps.append(tid)
+        reduces = []
+        for k in range(n_reduces):
+            tid = ("REDUCE", r, k)
+            g.add_task(tid, make(1.0), tag="REDUCE")
+            for m in maps:
+                g.add_edge(m, tid)  # all-to-all shuffle
+            reduces.append(tid)
+        prev_reduces = reduces
+    g.add_task("COLLECT", make(0.5), tag="COLLECT")
+    for pr in prev_reduces:
+        g.add_edge(pr, "COLLECT")
+    return g

@@ -1,0 +1,68 @@
+"""Montage-like astronomy mosaic pipeline task graph.
+
+Follows the shape of the Montage workflow used throughout the scientific-
+workflow scheduling literature:
+
+1. ``mProject`` — one reprojection per input image (wide fan-out),
+2. ``mDiffFit`` — one background-difference task per overlapping image
+   pair (ring overlap pattern),
+3. ``mBgModel`` — a single global background model (fan-in),
+4. ``mBackground`` — one correction per image (fan-out again),
+5. ``mImgtbl`` / ``mAdd`` — metadata + final co-addition (fan-in).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["montage"]
+
+
+def montage(
+    n_images: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    overlap: int = 2,
+) -> TaskGraph:
+    """Build the Montage-like DAG for ``n_images`` input images.
+
+    ``overlap`` is how many following images each image overlaps with
+    (ring pattern), producing ``n_images * overlap`` mDiffFit tasks.
+    """
+    n = check_positive_int(n_images, "n_images")
+    overlap = check_positive_int(overlap, "overlap")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(("mProject", i), make(4.0), tag="mProject")
+    diffs = []
+    for i in range(n):
+        for d in range(1, overlap + 1):
+            j = (i + d) % n
+            if j == i:
+                continue
+            tid = ("mDiffFit", i, j)
+            if tid in g:
+                continue
+            g.add_task(tid, make(1.0), tag="mDiffFit")
+            g.add_edge(("mProject", i), tid)
+            g.add_edge(("mProject", j), tid)
+            diffs.append(tid)
+    g.add_task("mBgModel", make(2.0), tag="mBgModel")
+    for tid in diffs:
+        g.add_edge(tid, "mBgModel")
+    for i in range(n):
+        g.add_task(("mBackground", i), make(1.0), tag="mBackground")
+        g.add_edge("mBgModel", ("mBackground", i))
+        g.add_edge(("mProject", i), ("mBackground", i))
+    g.add_task("mImgtbl", make(0.5), tag="mImgtbl")
+    for i in range(n):
+        g.add_edge(("mBackground", i), "mImgtbl")
+    g.add_task("mAdd", make(8.0), tag="mAdd")
+    g.add_edge("mImgtbl", "mAdd")
+    return g

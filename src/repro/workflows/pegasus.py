@@ -1,0 +1,141 @@
+"""Pegasus-style scientific workflow shapes.
+
+Three further classic workflows from the scheduling literature (Juve et
+al., "Characterizing and profiling scientific workflows"), modeled by their
+dependency shapes:
+
+* :func:`epigenomics` — parallel genome-sequencing pipelines that merge,
+* :func:`ligo` — LIGO Inspiral: template banks, matched filters, and
+  coincidence stages over detector groups,
+* :func:`cybershake` — seismogram synthesis: two SGT roots fanning out to
+  many synthesis tasks, collected by per-site reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["epigenomics", "ligo", "cybershake"]
+
+
+def epigenomics(
+    lanes: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    pipeline_depth: int = 4,
+) -> TaskGraph:
+    """Epigenomics: ``lanes`` parallel per-lane pipelines between a split
+    and a merge, followed by a 3-stage sequential tail.
+
+    Tasks: ``1 + lanes * pipeline_depth + 3``.
+    """
+    lanes = check_positive_int(lanes, "lanes")
+    pipeline_depth = check_positive_int(pipeline_depth, "pipeline_depth")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    g.add_task("split", make(2.0), tag="split")
+    stage_names = ["filter", "sol2sanger", "fastq2bfq", "map", "align", "dedup"]
+    for lane in range(lanes):
+        prev = "split"
+        for depth in range(pipeline_depth):
+            tag = stage_names[depth % len(stage_names)]
+            tid = (tag, lane, depth)
+            g.add_task(tid, make(1.0), tag=tag)
+            g.add_edge(prev, tid)
+            prev = tid
+    g.add_task("mapMerge", make(2.0), tag="mapMerge")
+    for lane in range(lanes):
+        g.add_edge((stage_names[(pipeline_depth - 1) % len(stage_names)], lane, pipeline_depth - 1), "mapMerge")
+    g.add_task("maqIndex", make(1.0), tag="maqIndex")
+    g.add_edge("mapMerge", "maqIndex")
+    g.add_task("pileup", make(3.0), tag="pileup")
+    g.add_edge("maqIndex", "pileup")
+    return g
+
+
+def ligo(
+    groups: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    group_size: int = 5,
+) -> TaskGraph:
+    """LIGO Inspiral: per-group TmpltBank -> Inspiral -> Thinca, then a
+    second TrigBank -> Inspiral -> Thinca pass per group.
+
+    Tasks: ``groups * (2 * group_size * 2 + 2)``-ish; exactly
+    ``groups * (4 * group_size + 2)``.
+    """
+    groups = check_positive_int(groups, "groups")
+    group_size = check_positive_int(group_size, "group_size")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    for k in range(groups):
+        inspirals = []
+        for i in range(group_size):
+            bank = ("TmpltBank", k, i)
+            g.add_task(bank, make(2.0), tag="TmpltBank")
+            insp = ("Inspiral1", k, i)
+            g.add_task(insp, make(4.0), tag="Inspiral")
+            g.add_edge(bank, insp)
+            inspirals.append(insp)
+        thinca1 = ("Thinca1", k)
+        g.add_task(thinca1, make(1.0), tag="Thinca")
+        for insp in inspirals:
+            g.add_edge(insp, thinca1)
+        second = []
+        for i in range(group_size):
+            trig = ("TrigBank", k, i)
+            g.add_task(trig, make(0.5), tag="TrigBank")
+            g.add_edge(thinca1, trig)
+            insp2 = ("Inspiral2", k, i)
+            g.add_task(insp2, make(4.0), tag="Inspiral")
+            g.add_edge(trig, insp2)
+            second.append(insp2)
+        thinca2 = ("Thinca2", k)
+        g.add_task(thinca2, make(1.0), tag="Thinca")
+        for insp in second:
+            g.add_edge(insp, thinca2)
+    return g
+
+
+def cybershake(
+    sites: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    variations: int = 8,
+) -> TaskGraph:
+    """CyberShake: per site, two ExtractSGT roots feed ``variations``
+    SeismogramSynthesis tasks; each synthesis also feeds a PeakValCalc;
+    ZipSeis and ZipPSA collect the two streams.
+
+    Tasks per site: ``2 + 2 * variations + 2``.
+    """
+    sites = check_positive_int(sites, "sites")
+    variations = check_positive_int(variations, "variations")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    for s in range(sites):
+        sgt_x = ("ExtractSGT", s, "x")
+        sgt_y = ("ExtractSGT", s, "y")
+        g.add_task(sgt_x, make(6.0), tag="ExtractSGT")
+        g.add_task(sgt_y, make(6.0), tag="ExtractSGT")
+        zipseis = ("ZipSeis", s)
+        zippsa = ("ZipPSA", s)
+        g.add_task(zipseis, make(1.0), tag="ZipSeis")
+        g.add_task(zippsa, make(1.0), tag="ZipPSA")
+        for v in range(variations):
+            synth = ("SeisSynth", s, v)
+            g.add_task(synth, make(3.0), tag="SeisSynth")
+            g.add_edge(sgt_x, synth)
+            g.add_edge(sgt_y, synth)
+            g.add_edge(synth, zipseis)
+            peak = ("PeakValCalc", s, v)
+            g.add_task(peak, make(0.5), tag="PeakValCalc")
+            g.add_edge(synth, peak)
+            g.add_edge(peak, zippsa)
+    return g

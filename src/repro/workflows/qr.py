@@ -1,0 +1,75 @@
+"""Tiled QR factorization task graph (GEQRT / ORMQR / TSQRT / TSMQR).
+
+Flat-tree tiled QR on an ``N x N`` tile grid (the PLASMA kernel set):
+
+.. code-block:: text
+
+    for k in 0..N-1:
+        GEQRT(k)                              # QR of diagonal tile
+        for j in k+1..N-1:  ORMQR(k,j)        # apply Q^T along row k
+        for i in k+1..N-1:
+            TSQRT(i,k)                        # eliminate tile (i,k)
+            for j in k+1..N-1:  TSMQR(i,j,k)  # apply update to row i
+
+TSQRT tasks in a column chain on each other (flat tree), and TSMQR(i,j,k)
+depends on TSQRT(i,k), on the tile's previous update in column j, and on
+the row-i update of the previous elimination step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["qr"]
+
+KERNEL_WORK = {"GEQRT": 4.0 / 3.0, "ORMQR": 2.0, "TSQRT": 2.0, "TSMQR": 4.0}
+
+
+def qr(n_tiles: int, model_factory: Callable[..., SpeedupModel]) -> TaskGraph:
+    """Build the flat-tree tiled-QR DAG (``n_tiles=5`` gives 65 tasks)."""
+    n = check_positive_int(n_tiles, "n_tiles")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+
+    def geqrt(k: int):
+        return ("GEQRT", k)
+
+    def ormqr(k: int, j: int):
+        return ("ORMQR", k, j)
+
+    def tsqrt(i: int, k: int):
+        return ("TSQRT", i, k)
+
+    def tsmqr(i: int, j: int, k: int):
+        return ("TSMQR", i, j, k)
+
+    for k in range(n):
+        g.add_task(geqrt(k), make(KERNEL_WORK["GEQRT"]), tag="GEQRT")
+        if k > 0:
+            g.add_edge(tsmqr(k, k, k - 1), geqrt(k))
+        for j in range(k + 1, n):
+            g.add_task(ormqr(k, j), make(KERNEL_WORK["ORMQR"]), tag="ORMQR")
+            g.add_edge(geqrt(k), ormqr(k, j))
+            if k > 0:
+                g.add_edge(tsmqr(k, j, k - 1), ormqr(k, j))
+        for i in range(k + 1, n):
+            g.add_task(tsqrt(i, k), make(KERNEL_WORK["TSQRT"]), tag="TSQRT")
+            # Flat tree: eliminate tiles down column k one after another.
+            g.add_edge(geqrt(k) if i == k + 1 else tsqrt(i - 1, k), tsqrt(i, k))
+            if k > 0:
+                g.add_edge(tsmqr(i, k, k - 1), tsqrt(i, k))
+            for j in range(k + 1, n):
+                g.add_task(tsmqr(i, j, k), make(KERNEL_WORK["TSMQR"]), tag="TSMQR")
+                g.add_edge(tsqrt(i, k), tsmqr(i, j, k))
+                # Row k of the trailing matrix flows through the updates.
+                g.add_edge(
+                    ormqr(k, j) if i == k + 1 else tsmqr(i - 1, j, k), tsmqr(i, j, k)
+                )
+                if k > 0:
+                    g.add_edge(tsmqr(i, j, k - 1), tsmqr(i, j, k))
+    return g

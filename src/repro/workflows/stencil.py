@@ -1,0 +1,46 @@
+"""2-D stencil wavefront task graph (Gauss-Seidel-style sweep).
+
+A ``rows x cols`` tile grid where tile ``(i, j)`` depends on its west and
+north neighbours ``(i-1, j)`` and ``(i, j-1)`` — the classic wavefront
+dependency of triangular solves, Smith-Waterman, and Gauss-Seidel sweeps.
+Optionally repeated for several sweeps, each sweep's tile depending on the
+same tile in the previous sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.graph.taskgraph import TaskGraph
+from repro.speedup.base import SpeedupModel
+from repro.util.validation import check_positive_int
+from repro.workflows._common import as_factory
+
+__all__ = ["stencil"]
+
+
+def stencil(
+    rows: int,
+    cols: int,
+    model_factory: Callable[..., SpeedupModel],
+    *,
+    sweeps: int = 1,
+) -> TaskGraph:
+    """Build the wavefront DAG (``rows * cols * sweeps`` tasks)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    sweeps = check_positive_int(sweeps, "sweeps")
+    make = as_factory(model_factory)
+    g = TaskGraph()
+    for s in range(sweeps):
+        for i in range(rows):
+            for j in range(cols):
+                tid = ("T", s, i, j)
+                g.add_task(tid, make(1.0), tag="TILE")
+                if i > 0:
+                    g.add_edge(("T", s, i - 1, j), tid)
+                if j > 0:
+                    g.add_edge(("T", s, i, j - 1), tid)
+                if s > 0:
+                    g.add_edge(("T", s - 1, i, j), tid)
+    return g

@@ -1,0 +1,76 @@
+"""Property-based checks of the adversarial constructions.
+
+The decisive property: at *every* admissible size, the simulated makespan
+of Algorithm 1 on the Theorem 6-8 instances equals the proofs' closed-form
+accounting exactly, and the constructive alternative schedules stay
+feasible.  (The proofs derive the Table-1 bounds from these identities, so
+matching them at all sizes is the strongest possible finite-size check.)
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    amdahl_instance,
+    communication_instance,
+    general_instance,
+    roofline_instance,
+)
+from repro.adversary.generic_graph import C_ID, a_id, b_id
+from repro.core.ratios import algorithm_lower_bound
+
+
+class TestRooflineAtAllSizes:
+    @given(st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_ratio_formula(self, P):
+        inst = roofline_instance(P)
+        # T = P / ceil(mu P); T_alt = 1.
+        expected = P / math.ceil(inst.mu * P)
+        assert inst.measured_ratio() == pytest.approx(expected)
+        assert inst.measured_ratio() <= algorithm_lower_bound("roofline") + 1e-9
+
+
+class TestCommunicationAtAllSizes:
+    @given(st.integers(min_value=7, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_simulation_matches_closed_form(self, P):
+        inst = communication_instance(P)
+        result = inst.run()
+        assert result.makespan == pytest.approx(inst.predicted_makespan, rel=1e-9)
+        inst.alternative.validate(inst.graph)
+        result.schedule.validate(inst.graph)
+
+    @given(st.integers(min_value=7, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_proof_allocations_at_every_size(self, P):
+        inst = communication_instance(P)
+        result = inst.run()
+        assert result.schedule[a_id(1)].procs == math.ceil(inst.mu * P)
+        assert result.schedule[b_id(1, 1)].procs == 2
+        assert result.schedule[C_ID].procs == 1
+
+
+@pytest.mark.parametrize("builder", [amdahl_instance, general_instance], ids=["amdahl", "general"])
+class TestAmdahlFamilyAtAllSizes:
+    @given(K=st.integers(min_value=6, max_value=28))
+    @settings(max_examples=10, deadline=None)
+    def test_simulation_matches_closed_form(self, builder, K):
+        inst = builder(K)
+        result = inst.run()
+        assert result.makespan == pytest.approx(inst.predicted_makespan, rel=1e-9)
+        inst.alternative.validate(inst.graph)
+
+    @given(K=st.integers(min_value=6, max_value=28))
+    @settings(max_examples=10, deadline=None)
+    def test_layer_serialization_inequality(self, builder, K):
+        """X p_B + p_A > P at every size (the proofs' crux)."""
+        inst = builder(K)
+        X, p_b = inst.params["X"], inst.params["p_B"]
+        p_a = inst.params["p_A"]
+        assert X * p_b + p_a > inst.P
+        # But one layer's B tasks alone fit: X p_B <= P.
+        assert X * p_b <= inst.P

@@ -1,0 +1,171 @@
+"""Tests for the Theorem-9 chain forest, Figure-4 schedules, and Lemma 10."""
+
+import math
+
+import pytest
+
+from repro.adversary.arbitrary import (
+    AdaptiveChainSource,
+    chain_forest,
+    chain_forest_platform,
+    chain_group,
+    equal_allocation_schedule,
+    lemma10_breakpoints,
+    offline_chain_schedule,
+    theorem9_bound,
+)
+from repro.baselines import make_baseline
+from repro.core import OnlineScheduler
+from repro.core.ratios import arbitrary_model_lower_bound
+from repro.exceptions import InvalidParameterError
+
+
+class TestPlatform:
+    def test_ell2(self):
+        assert chain_forest_platform(2) == (4, 15, 32)
+
+    def test_ell3(self):
+        assert chain_forest_platform(3) == (8, 255, 1024)
+
+    def test_rejects_ell_one(self):
+        with pytest.raises(InvalidParameterError):
+            chain_forest_platform(1)
+
+    def test_processor_identity(self):
+        """P = sum_i 2^(i-1) * 2^(K-i) = K 2^(K-1)."""
+        for ell in (2, 3):
+            K, _, P = chain_forest_platform(ell)
+            assert P == sum(2 ** (i - 1) * 2 ** (K - i) for i in range(1, K + 1))
+
+
+class TestChainGroup:
+    def test_figure3_numbering(self):
+        # ell=2: chains 1-8 -> group 1, 9-12 -> 2, 13-14 -> 3, 15 -> 4.
+        groups = [chain_group(2, c) for c in range(1, 16)]
+        assert groups == [1] * 8 + [2] * 4 + [3] * 2 + [4]
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            chain_group(2, 16)
+
+
+class TestChainForest:
+    def test_task_count(self):
+        # sum_i i * 2^(K-i) for K=4: 8 + 16 + 24 + 32 -> 8+8+6+4 = 26.
+        g = chain_forest(2)
+        assert len(g) == 26
+
+    def test_depth_is_K(self):
+        assert chain_forest(2).longest_path_length() == 4
+
+    def test_chains_are_disjoint_paths(self):
+        g = chain_forest(2)
+        for t in g:
+            assert g.in_degree(t) <= 1
+            assert g.out_degree(t) <= 1
+
+
+class TestOfflineSchedule:
+    @pytest.mark.parametrize("ell", [2, 3])
+    def test_makespan_exactly_one(self, ell):
+        assert offline_chain_schedule(ell).makespan() == pytest.approx(1.0)
+
+    def test_feasible(self):
+        offline_chain_schedule(2).validate(chain_forest(2))
+
+    def test_uses_entire_platform(self):
+        s = offline_chain_schedule(2)
+        assert s.peak_utilization() == 32
+        assert s.average_utilization() == pytest.approx(
+            s.total_area() / 32, rel=1e-12
+        )
+
+
+class TestEqualAllocationSchedule:
+    def test_figure4b_breakpoints(self):
+        """Paper: t1 = 1/2, t2 = 5/6, t3 ~ 1.07, t4 ~ 1.23."""
+        _, bps = equal_allocation_schedule(2)
+        assert bps[0] == 0.0
+        assert bps[1] == pytest.approx(0.5)
+        assert bps[2] == pytest.approx(5.0 / 6.0)
+        assert bps[3] == pytest.approx(1.07, abs=0.01)
+        assert bps[4] == pytest.approx(1.23, abs=0.01)
+
+    def test_feasible(self):
+        schedule, _ = equal_allocation_schedule(2)
+        schedule.validate(chain_forest(2))
+
+    def test_satisfies_lemma10_gaps(self):
+        _, bps = equal_allocation_schedule(2)
+        for i in range(1, 5):
+            assert bps[i] - bps[i - 1] >= 1.0 / (2 + i) - 1e-12
+
+    def test_makespan_exceeds_theorem9_bound(self):
+        schedule, _ = equal_allocation_schedule(2)
+        assert schedule.makespan() >= arbitrary_model_lower_bound(2)
+
+
+class TestAdaptiveAdversary:
+    def _run(self, ell, scheduler_factory):
+        _, _, P = chain_forest_platform(ell)
+        source = AdaptiveChainSource(ell)
+        result = scheduler_factory(P).run(source)
+        return source, result
+
+    def test_realized_graph_is_valid_instance(self):
+        source, result = self._run(2, lambda P: make_baseline("max-useful", P))
+        K, n, _ = chain_forest_platform(2)
+        lengths = source.chain_lengths()
+        assert len(lengths) == n
+        for i in range(1, K + 1):
+            assert sum(1 for v in lengths.values() if v == i) == 2 ** (K - i)
+
+    def test_realized_graph_feasibility(self):
+        source, result = self._run(2, lambda P: make_baseline("grab-free", P))
+        result.schedule.validate(result.graph)
+
+    @pytest.mark.parametrize(
+        "name,factory",
+        [
+            ("algorithm1", lambda P: OnlineScheduler.for_family("general", P)),
+            ("max-useful", lambda P: make_baseline("max-useful", P)),
+            ("one-proc", lambda P: make_baseline("one-proc", P)),
+            ("grab-free", lambda P: make_baseline("grab-free", P)),
+        ],
+    )
+    def test_lemma10_holds_for_every_scheduler(self, name, factory):
+        source, result = self._run(2, factory)
+        bp = lemma10_breakpoints(result, source.chain_lengths(), 2)
+        assert bp.satisfies_lemma10()
+
+    @pytest.mark.parametrize("ell", [2, 3])
+    def test_makespan_at_least_theorem9_sum(self, ell):
+        """t_K >= sum_i 1/(l+i) > ln K - ln l - 1/l, offline optimum = 1."""
+        source, result = self._run(ell, lambda P: OnlineScheduler.for_family("general", P))
+        assert result.makespan >= theorem9_bound(ell) - 1e-9
+        assert result.makespan >= arbitrary_model_lower_bound(ell)
+
+    def test_competitive_ratio_grows_with_depth(self):
+        """The Omega(ln D) separation: ratio grows as ell (hence D) grows."""
+        r = []
+        for ell in (2, 3):
+            _, result = self._run(
+                ell, lambda P: OnlineScheduler.for_family("general", P)
+            )
+            r.append(result.makespan)  # offline optimum is exactly 1
+        assert r[1] > r[0] > 1.0
+
+    def test_out_of_order_completion_rejected(self):
+        source = AdaptiveChainSource(2)
+        source.initial_tasks()
+        with pytest.raises(Exception):
+            source.on_complete((1, 2))  # chain 1 hasn't finished task 1
+
+
+class TestTheorem9Bound:
+    def test_sum_formula(self):
+        assert theorem9_bound(2) == pytest.approx(sum(1 / (2 + i) for i in range(1, 5)))
+
+    def test_tighter_than_paper_closed_form(self):
+        for ell in (2, 3, 4):
+            assert theorem9_bound(ell) > arbitrary_model_lower_bound(ell)

@@ -1,0 +1,69 @@
+"""Unit tests for the Figure-1 generic adversarial graph builder."""
+
+import pytest
+
+from repro.adversary.generic_graph import C_ID, a_id, b_id, layered_adversarial_graph
+from repro.speedup import AmdahlModel
+
+
+def models():
+    return AmdahlModel(2.0, 1.0), AmdahlModel(4.0, 1.0), AmdahlModel(8.0, 1.0)
+
+
+class TestStructure:
+    def test_task_count(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(3, 4, a, b, c)
+        assert len(g) == (4 + 1) * 3 + 1  # (X+1)Y + 1
+
+    def test_single_task_when_Y_zero(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(0, 0, a, b, c)
+        assert len(g) == 1
+        assert C_ID in g
+
+    def test_backbone_chain(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(3, 2, a, b, c)
+        assert a_id(2) in g.successors(a_id(1))
+        assert a_id(3) in g.successors(a_id(2))
+        assert g.successors(a_id(3)) == [C_ID]
+
+    def test_fanout_edges(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(3, 2, a, b, c)
+        for j in (1, 2):
+            assert b_id(2, j) in g.successors(a_id(1))
+            assert b_id(3, j) in g.successors(a_id(2))
+
+    def test_first_layer_is_source(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(2, 2, a, b, c)
+        sources = set(g.sources())
+        assert sources == {b_id(1, 1), b_id(1, 2), a_id(1)}
+
+    def test_b_tasks_inserted_before_a_in_each_layer(self):
+        """FIFO worst case: B's must precede the A of their layer."""
+        a, b, c = models()
+        g = layered_adversarial_graph(2, 3, a, b, c)
+        order = {t: i for i, t in enumerate(g)}
+        for i in (1, 2):
+            for j in (1, 2, 3):
+                assert order[b_id(i, j)] < order[a_id(i)]
+
+    def test_models_assigned_by_group(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(2, 2, a, b, c)
+        assert g.task(a_id(1)).model is a
+        assert g.task(b_id(1, 1)).model is b
+        assert g.task(C_ID).model is c
+
+    def test_depth_is_Y_plus_one(self):
+        a, b, c = models()
+        g = layered_adversarial_graph(5, 2, a, b, c)
+        assert g.longest_path_length() == 6
+
+    def test_rejects_bad_dimensions(self):
+        a, b, c = models()
+        with pytest.raises(Exception):
+            layered_adversarial_graph(-1, 2, a, b, c)

@@ -1,0 +1,161 @@
+"""Integration tests for the Theorem 5-8 adversarial instances.
+
+For each instance we check, by *simulation*, everything the proofs assert:
+the algorithm's allocations (p_A, p_B, p_C), the layer serialization, the
+closed-form makespan, feasibility of the constructive alternative
+schedule, and the measured-ratio convergence toward the Table-1 lower
+bounds.
+"""
+
+import math
+
+import pytest
+
+from repro.adversary import (
+    amdahl_instance,
+    communication_instance,
+    general_instance,
+    instance_for_family,
+    roofline_instance,
+)
+from repro.adversary.generic_graph import C_ID, a_id, b_id
+from repro.core.ratios import algorithm_lower_bound, upper_bound
+from repro.exceptions import InvalidParameterError
+
+
+class TestRoofline:
+    def test_allocation_is_cap(self):
+        inst = roofline_instance(100)
+        result = inst.run()
+        assert result.schedule[C_ID].procs == math.ceil(inst.mu * 100)
+
+    def test_predicted_makespan_matches(self):
+        inst = roofline_instance(100)
+        assert inst.run().makespan == pytest.approx(inst.predicted_makespan)
+
+    def test_alternative_is_feasible_with_makespan_one(self):
+        inst = roofline_instance(64)
+        inst.alternative.validate(inst.graph)
+        assert inst.alternative.makespan() == pytest.approx(1.0)
+
+    def test_ratio_approaches_one_over_mu(self):
+        limit = algorithm_lower_bound("roofline")
+        r_small = roofline_instance(50).measured_ratio()
+        r_large = roofline_instance(5000).measured_ratio()
+        assert r_small <= limit + 1e-9
+        assert r_large == pytest.approx(limit, rel=1e-3)
+
+    def test_rejects_tiny_platform(self):
+        with pytest.raises(ValueError):
+            roofline_instance(1)
+
+
+class TestCommunication:
+    @pytest.fixture(scope="class")
+    def inst(self):
+        return communication_instance(120)
+
+    @pytest.fixture(scope="class")
+    def result(self, inst):
+        return inst.run()
+
+    def test_proof_allocations(self, inst, result):
+        """p_A = ceil(mu P), p_B = 2, p_C = 1 (Theorem 6's accounting)."""
+        P = inst.P
+        assert result.schedule[a_id(1)].procs == math.ceil(inst.mu * P)
+        assert result.schedule[b_id(1, 1)].procs == 2
+        assert result.schedule[C_ID].procs == 1
+
+    def test_layers_serialized(self, inst, result):
+        """B-tasks of layer i and A_i cannot overlap: X*2 + p_A > P."""
+        a_entry = result.schedule[a_id(1)]
+        b_entry = result.schedule[b_id(1, 1)]
+        assert a_entry.start >= b_entry.end * (1 - 1e-12)
+
+    def test_closed_form_makespan(self, inst, result):
+        assert result.makespan == pytest.approx(inst.predicted_makespan)
+
+    def test_schedules_feasible(self, inst, result):
+        result.schedule.validate(inst.graph)
+        inst.alternative.validate(inst.graph)
+
+    def test_alternative_within_proof_bound(self, inst):
+        """T_opt proxy <= 1 + X w_B (Theorem 6)."""
+        X, w_b = inst.params["X"], inst.params["w_B"]
+        assert inst.alternative.makespan() <= 1 + X * w_b + 1e-9
+
+    def test_ratio_convergence(self):
+        limit = algorithm_lower_bound("communication")
+        small = communication_instance(60).measured_ratio()
+        large = communication_instance(400).measured_ratio()
+        assert small < large <= limit + 1e-6
+        assert large > 3.4  # well on its way to 3.51
+
+    def test_rejects_small_platform(self):
+        with pytest.raises(ValueError):
+            communication_instance(5)
+
+
+@pytest.mark.parametrize(
+    "builder,family",
+    [(amdahl_instance, "amdahl"), (general_instance, "general")],
+    ids=["amdahl", "general"],
+)
+class TestAmdahlFamily:
+    def test_proof_allocations(self, builder, family):
+        inst = builder(10)
+        result = inst.run()
+        assert result.schedule[a_id(1)].procs == math.ceil(inst.mu * inst.P)
+        assert result.schedule[b_id(1, 1)].procs == inst.params["p_B"]
+        assert result.schedule[C_ID].procs == 1
+
+    def test_p_B_near_K_over_delta_minus_one(self, builder, family):
+        """Theorem 7: K/(delta-1) - 2 <= p* <= K/(delta-1), p_B = ceil(p*)."""
+        K = 40
+        inst = builder(K)
+        d = inst.params["delta"]
+        assert K / (d - 1) - 2 <= inst.params["p_B"] <= K / (d - 1) + 1
+
+    def test_closed_form_makespan(self, builder, family):
+        inst = builder(12)
+        assert inst.run().makespan == pytest.approx(inst.predicted_makespan)
+
+    def test_schedules_feasible(self, builder, family):
+        inst = builder(8)
+        inst.run().schedule.validate(inst.graph)
+        inst.alternative.validate(inst.graph)
+
+    def test_alternative_within_proof_bound(self, builder, family):
+        """T_opt proxy < K + 4 (Theorem 7's accounting)."""
+        K = 16
+        inst = builder(K)
+        assert inst.alternative.makespan() < K + 4
+
+    def test_ratio_increases_toward_limit(self, builder, family):
+        limit = algorithm_lower_bound(family)
+        r1 = builder(8).measured_ratio()
+        r2 = builder(24).measured_ratio()
+        assert r1 < r2 <= limit + 1e-6
+
+    def test_rejects_K_not_above_three(self, builder, family):
+        with pytest.raises(ValueError):
+            builder(3)
+
+
+class TestDispatcher:
+    def test_instance_for_family(self):
+        assert instance_for_family("roofline", 10).family == "roofline"
+        assert instance_for_family("communication", 10).family == "communication"
+        assert instance_for_family("amdahl", 6).family == "amdahl"
+        assert instance_for_family("general", 6).family == "general"
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidParameterError):
+            instance_for_family("alien", 10)
+
+    @pytest.mark.parametrize("family", ["roofline", "communication", "amdahl", "general"])
+    def test_measured_ratio_below_upper_bound(self, family):
+        """Sanity: the lower-bound instance cannot beat the proven ratio."""
+        size = 50 if family in ("roofline", "communication") else 10
+        inst = instance_for_family(family, size)
+        assert inst.measured_ratio() <= upper_bound(family) * (1 + 1e-9)

@@ -1,0 +1,115 @@
+"""Tests for schedule metrics and per-tag breakdowns."""
+
+import pytest
+
+from repro.analysis import schedule_metrics, tag_breakdown
+from repro.core import OnlineScheduler
+from repro.sim import Schedule
+from repro.speedup import RandomModelFactory
+from repro.workflows import cholesky
+
+
+class TestScheduleMetrics:
+    def test_empty(self):
+        m = schedule_metrics(Schedule(4))
+        assert m.n_tasks == 0 and m.makespan == 0.0
+
+    def test_basic_values(self):
+        s = Schedule(8)
+        s.add("a", 0.0, 2.0, 4)
+        s.add("b", 2.0, 3.0, 2, initial_alloc=6)
+        m = schedule_metrics(s)
+        assert m.n_tasks == 2
+        assert m.makespan == 3.0
+        assert m.total_area == pytest.approx(10.0)
+        assert m.mean_allocation == pytest.approx(3.0)
+        assert m.mean_duration == pytest.approx(1.5)
+        assert m.capped_fraction == pytest.approx(0.5)  # only "b" was reduced
+        assert m.peak_utilization == 4
+
+    def test_str(self):
+        s = Schedule(4)
+        s.add("a", 0.0, 1.0, 4)
+        assert "util=" in str(schedule_metrics(s))
+
+    def test_on_real_run(self):
+        factory = RandomModelFactory(family="general", seed=5)
+        graph = cholesky(5, factory)
+        result = OnlineScheduler.for_family("general", 32).run(graph)
+        m = schedule_metrics(result.schedule)
+        assert m.n_tasks == len(graph)
+        assert 0 < m.average_utilization <= 1
+        assert m.total_area == pytest.approx(result.schedule.total_area())
+
+
+class TestTagBreakdown:
+    def test_groups_by_kernel(self):
+        factory = RandomModelFactory(family="amdahl", seed=5)
+        graph = cholesky(5, factory)
+        result = OnlineScheduler.for_family("amdahl", 32).run(graph)
+        breakdown = tag_breakdown(result.schedule)
+        assert set(breakdown) == {"POTRF", "TRSM", "SYRK", "GEMM"}
+        assert sum(s.count for s in breakdown.values()) == len(graph)
+        total = sum(s.total_area for s in breakdown.values())
+        assert total == pytest.approx(result.schedule.total_area())
+
+    def test_untagged_grouped_under_empty(self):
+        s = Schedule(4)
+        s.add("a", 0.0, 1.0, 1)
+        breakdown = tag_breakdown(s)
+        assert "" in breakdown
+        assert "untagged" in str(breakdown[""])
+
+
+class TestWaitingSummary:
+    def test_summary_of_queued_run(self):
+        from repro.analysis import waiting_summary
+        from repro.graph.generators import independent_tasks
+        from repro.sim import ListScheduler
+        from repro.baselines.online import MaxUsefulAllocator
+        from repro.speedup import RooflineModel
+
+        g = independent_tasks(4, lambda: RooflineModel(8.0, 2))
+        result = ListScheduler(2, MaxUsefulAllocator()).run(g)
+        summary = waiting_summary(result)
+        assert summary.n == 4
+        assert summary.minimum == 0.0
+        assert summary.maximum == pytest.approx(12.0)
+
+    def test_rejects_run_without_reveals(self):
+        from repro.analysis import waiting_summary
+        from repro.exceptions import InvalidParameterError
+        from repro.graph import TaskGraph
+        from repro.sim import Schedule
+        from repro.sim.engine import SimulationResult
+
+        empty = SimulationResult(Schedule(2), {}, TaskGraph())
+        with pytest.raises(InvalidParameterError):
+            waiting_summary(empty)
+
+
+class TestStretchSummary:
+    def test_immediate_full_speed_task_has_stretch_one(self):
+        from repro.analysis import stretch_summary
+        from repro.graph import TaskGraph
+        from repro.sim import ListScheduler
+        from repro.baselines.online import MaxUsefulAllocator
+        from repro.speedup import RooflineModel
+
+        g = TaskGraph()
+        g.add_task("a", RooflineModel(8.0, 4))
+        result = ListScheduler(4, MaxUsefulAllocator()).run(g)
+        summary = stretch_summary(result, 4)
+        assert summary.mean == pytest.approx(1.0)
+
+    def test_queued_task_has_larger_stretch(self):
+        from repro.analysis import stretch_summary
+        from repro.graph.generators import independent_tasks
+        from repro.sim import ListScheduler
+        from repro.baselines.online import MaxUsefulAllocator
+        from repro.speedup import RooflineModel
+
+        g = independent_tasks(3, lambda: RooflineModel(8.0, 2))
+        result = ListScheduler(2, MaxUsefulAllocator()).run(g)
+        summary = stretch_summary(result, 2)
+        assert summary.maximum == pytest.approx(3.0)  # waits 8, runs 4... (12/4)

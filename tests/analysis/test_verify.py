@@ -1,0 +1,80 @@
+"""Tests for the analysis certificate (Lemmas 3-5 checked on real runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import verify_run
+from repro.core import MU_STAR, OnlineScheduler
+from repro.core.constants import MODEL_FAMILIES
+from repro.graph.generators import erdos_renyi_dag, fork_join, layered_random
+from repro.speedup import RandomModelFactory
+
+
+def _run(family, graph_builder, P=32, seed=77):
+    factory = RandomModelFactory(family=family, seed=seed)
+    graph = graph_builder(factory)
+    scheduler = OnlineScheduler.for_family(family, P)
+    return scheduler.run(graph), MU_STAR[family]
+
+
+BUILDERS = [
+    lambda f: fork_join(8, f, stages=2),
+    lambda f: layered_random(5, 6, f, seed=3),
+    lambda f: erdos_renyi_dag(25, f, edge_probability=0.2, seed=3),
+]
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("family", MODEL_FAMILIES)
+    @pytest.mark.parametrize("builder", range(len(BUILDERS)))
+    def test_all_invariants_certified(self, family, builder):
+        result, mu = _run(family, BUILDERS[builder])
+        cert = verify_run(result, mu)
+        assert cert.feasible
+        assert cert.allocation_ok
+        assert cert.lemma3_ok
+        assert cert.lemma4_ok
+        assert cert.lemma5_ok
+        assert cert.all_ok
+
+    def test_achieved_ratio_below_certified(self):
+        result, mu = _run("general", BUILDERS[0])
+        cert = verify_run(result, mu)
+        assert cert.achieved_ratio <= cert.certified_ratio + 1e-9
+
+    def test_durations_partition_makespan(self):
+        result, mu = _run("amdahl", BUILDERS[1])
+        cert = verify_run(result, mu)
+        assert cert.T1 + cert.T2 + cert.T3 == pytest.approx(cert.makespan)
+
+    def test_beta_within_delta(self):
+        result, mu = _run("communication", BUILDERS[2])
+        cert = verify_run(result, mu)
+        assert cert.beta_realized <= cert.delta * (1 + 1e-6)
+
+    def test_summary_mentions_verdict(self):
+        result, mu = _run("roofline", BUILDERS[0])
+        cert = verify_run(result, mu)
+        assert "CERTIFIED" in cert.summary()
+
+    def test_wrong_mu_can_flag_violation(self):
+        """Verifying with a much smaller mu than the run used must flag the
+        cap constraint (allocations exceed the smaller cap)."""
+        result, _ = _run("roofline", BUILDERS[0], P=64)
+        cert = verify_run(result, 0.01)
+        assert not cert.allocation_ok
+
+    def test_violated_summary(self):
+        result, _ = _run("roofline", BUILDERS[0], P=64)
+        cert = verify_run(result, 0.01)
+        if not cert.all_ok:
+            assert "VIOLATED" in cert.summary()
+
+
+class TestCertificateDataclass:
+    def test_frozen(self):
+        result, mu = _run("amdahl", BUILDERS[0])
+        cert = verify_run(result, mu)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cert.makespan = 0.0

@@ -1,0 +1,102 @@
+"""Tests for the CPA (critical-path-and-area) offline scheduler."""
+
+import pytest
+
+from repro.baselines.cpa import AllotmentAllocator, cpa_allotment, cpa_schedule
+from repro.bounds import makespan_lower_bound
+from repro.core import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.graph import TaskGraph
+from repro.graph.generators import chain, independent_tasks
+from repro.sim import ListScheduler
+from repro.speedup import AmdahlModel, RandomModelFactory, RooflineModel
+from repro.workflows import cholesky
+
+
+def amdahl():
+    return AmdahlModel(8.0, 1.0)
+
+
+class TestAllotmentAllocator:
+    def test_fixed_allotments_applied(self, small_graph):
+        allocator = AllotmentAllocator({"a": 2, "b": 3, "c": 1, "d": 4})
+        result = ListScheduler(8, allocator).run(small_graph)
+        assert result.schedule["b"].procs == 3
+        assert result.schedule["d"].procs == 4
+
+    def test_missing_task_rejected(self, small_graph):
+        allocator = AllotmentAllocator({"a": 1})
+        with pytest.raises(InvalidParameterError):
+            ListScheduler(8, allocator).run(small_graph)
+
+
+class TestAllotmentPhase:
+    def test_empty_graph(self):
+        assert cpa_allotment(TaskGraph(), 8) == {}
+
+    def test_single_chain_gets_processors(self):
+        """A lone chain is pure critical path: CPA parallelizes each task
+        until the time gains stop (Amdahl: always gains, up to the budget)."""
+        g = chain(4, amdahl)
+        alloc = cpa_allotment(g, 16)
+        assert all(p > 1 for p in alloc.values())
+
+    def test_many_independent_tasks_stay_narrow(self):
+        """With abundant parallel work, C < A/P immediately: no growth."""
+        g = independent_tasks(64, amdahl)
+        alloc = cpa_allotment(g, 4)
+        assert all(p == 1 for p in alloc.values())
+
+    def test_respects_p_max(self):
+        g = chain(2, lambda: RooflineModel(100.0, 3))
+        alloc = cpa_allotment(g, 64)
+        assert all(p <= 3 for p in alloc.values())
+
+    def test_balance_condition_or_saturation(self):
+        factory = RandomModelFactory(family="amdahl", seed=5)
+        g = cholesky(6, factory)
+        P = 32
+        alloc = cpa_allotment(g, P)
+        models = {t.id: t.model for t in g.tasks()}
+        times = {tid: models[tid].time(p) for tid, p in alloc.items()}
+        area = sum(models[tid].area(p) for tid, p in alloc.items())
+        # Recompute C under the final allotment.
+        longest: dict = {}
+        for u in g.topological_order():
+            longest[u] = times[u] + max(
+                (longest[q] for q in g.predecessors(u)), default=0.0
+            )
+        C = max(longest.values())
+        saturated = all(
+            p >= models[tid].max_useful_processors(P) for tid, p in alloc.items()
+        )
+        assert C <= area / P * (1 + 1e-9) or not saturated
+
+
+class TestCpaSchedule:
+    def test_feasible(self, small_graph):
+        result = cpa_schedule(small_graph, 8)
+        result.schedule.validate(small_graph)
+
+    def test_respects_lower_bound(self, small_graph):
+        result = cpa_schedule(small_graph, 8)
+        assert result.makespan >= makespan_lower_bound(small_graph, 8).value * (1 - 1e-9)
+
+    def test_competitive_with_online_on_cholesky(self):
+        """An offline allotment tuner should be in the same league as (and
+        often better than) the online algorithm."""
+        factory = RandomModelFactory(family="amdahl", seed=3)
+        g = cholesky(7, factory)
+        P = 32
+        offline = cpa_schedule(g, P).makespan
+        online = OnlineScheduler.for_family("amdahl", P).run(g).makespan
+        assert offline <= online * 1.25
+
+    def test_improves_on_unit_allotment_for_chain(self):
+        g = chain(6, amdahl)
+        P = 16
+        cpa = cpa_schedule(g, P).makespan
+        unit = ListScheduler(
+            P, AllotmentAllocator({t: 1 for t in g})
+        ).run(g).makespan
+        assert cpa < unit

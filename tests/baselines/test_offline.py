@@ -1,0 +1,77 @@
+"""Unit tests for the offline (critical-path priority) baseline."""
+
+import pytest
+
+from repro.baselines.offline import bottom_levels, offline_list_schedule
+from repro.bounds import makespan_lower_bound
+from repro.core import OnlineScheduler
+from repro.graph.analysis import minimum_critical_path
+from repro.graph.generators import layered_random
+from repro.speedup import AmdahlModel, RandomModelFactory
+
+
+class TestBottomLevels:
+    def test_diamond(self, small_graph):
+        P = 8
+        levels = bottom_levels(small_graph, P)
+        t = {x.id: x.model.t_min(P) for x in small_graph.tasks()}
+        assert levels["d"] == pytest.approx(t["d"])
+        assert levels["b"] == pytest.approx(t["b"] + t["d"])
+        assert levels["a"] == pytest.approx(t["a"] + max(t["b"], t["c"]) + t["d"])
+
+    def test_max_level_is_c_min(self, small_graph):
+        P = 8
+        assert max(bottom_levels(small_graph, P).values()) == pytest.approx(
+            minimum_critical_path(small_graph, P)
+        )
+
+
+class TestOfflineListSchedule:
+    def test_feasible(self, small_graph):
+        result = offline_list_schedule(small_graph, 16)
+        result.schedule.validate(small_graph)
+
+    def test_respects_lower_bound(self, small_graph):
+        result = offline_list_schedule(small_graph, 16)
+        assert result.makespan >= makespan_lower_bound(small_graph, 16).value * (
+            1 - 1e-9
+        )
+
+    def test_critical_path_priority_helps_on_skewed_graph(self):
+        """A graph with one long chain + filler: CP priority beats FIFO."""
+        from repro.graph import TaskGraph
+
+        g = TaskGraph()
+        # 30 cheap filler tasks inserted *before* the chain (worst FIFO order).
+        for i in range(30):
+            g.add_task(("filler", i), AmdahlModel(4.0, 1.0))
+        prev = None
+        for i in range(6):
+            g.add_task(("chain", i), AmdahlModel(40.0, 4.0))
+            if prev is not None:
+                g.add_edge(prev, ("chain", i))
+            prev = ("chain", i)
+        P = 8
+        # Same allocator for both, so the only difference is the priority.
+        from repro.core import LpaAllocator, MU_STAR
+
+        allocator = LpaAllocator(MU_STAR["amdahl"])
+        offline = offline_list_schedule(g, P, allocator=allocator).makespan
+        online = OnlineScheduler.for_family("amdahl", P).run(g).makespan
+        assert offline <= online * (1 + 1e-9)
+
+    def test_custom_allocator(self, small_graph):
+        from repro.baselines.online import SingleProcessorAllocator
+
+        result = offline_list_schedule(small_graph, 8, allocator=SingleProcessorAllocator())
+        assert all(e.procs == 1 for e in result.schedule)
+
+    def test_comparable_to_online_on_random_graphs(self):
+        factory = RandomModelFactory(family="general", seed=3)
+        g = layered_random(6, 8, factory, seed=3)
+        P = 32
+        offline = offline_list_schedule(g, P)
+        offline.schedule.validate(g)
+        online = OnlineScheduler.for_family("general", P).run(g)
+        # The oracle should not be dramatically worse than the online run.
+        assert offline.makespan <= online.makespan * 1.5

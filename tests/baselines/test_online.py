@@ -1,0 +1,82 @@
+"""Unit tests for the baseline online allocators."""
+
+import pytest
+
+from repro.baselines.online import (
+    AvailableProcessorsAllocator,
+    BASELINE_NAMES,
+    FixedFractionAllocator,
+    MaxUsefulAllocator,
+    SingleProcessorAllocator,
+    make_baseline,
+)
+from repro.exceptions import InvalidParameterError
+from repro.speedup import AmdahlModel, CommunicationModel, RooflineModel
+
+
+class TestMaxUseful:
+    def test_allocates_p_max(self):
+        alloc = MaxUsefulAllocator().allocate(CommunicationModel(100.0, 1.0), 64)
+        assert alloc.final == 10  # sqrt(100)
+
+    def test_respects_parallelism_bound(self):
+        alloc = MaxUsefulAllocator().allocate(RooflineModel(10.0, 4), 64)
+        assert alloc.final == 4
+
+
+class TestSingleProcessor:
+    def test_always_one(self, any_model):
+        alloc = SingleProcessorAllocator().allocate(any_model, 64)
+        assert alloc.final == alloc.initial == 1
+
+
+class TestFixedFraction:
+    def test_fraction_of_platform(self):
+        alloc = FixedFractionAllocator(0.5).allocate(AmdahlModel(10.0, 1.0), 64)
+        assert alloc.final == 32
+
+    def test_clamped_by_p_max(self):
+        alloc = FixedFractionAllocator(0.5).allocate(RooflineModel(10.0, 4), 64)
+        assert alloc.final == 4
+
+    def test_at_least_one(self):
+        alloc = FixedFractionAllocator(0.01).allocate(AmdahlModel(10.0, 1.0), 8)
+        assert alloc.final == 1
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -0.2])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(InvalidParameterError):
+            FixedFractionAllocator(bad)
+
+    def test_name_includes_fraction(self):
+        assert FixedFractionAllocator(0.25).name == "fraction-0.25"
+
+
+class TestGrabFree:
+    def test_uses_free_processors(self):
+        alloc = AvailableProcessorsAllocator().allocate(
+            AmdahlModel(10.0, 1.0), 64, free=5
+        )
+        assert alloc.final == 5
+
+    def test_falls_back_to_one_when_none_free(self):
+        alloc = AvailableProcessorsAllocator().allocate(
+            AmdahlModel(10.0, 1.0), 64, free=0
+        )
+        assert alloc.final == 1
+
+    def test_defaults_to_whole_platform(self):
+        alloc = AvailableProcessorsAllocator().allocate(AmdahlModel(10.0, 1.0), 16)
+        assert alloc.final == 16
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_all_names_buildable_and_runnable(self, name, small_graph):
+        scheduler = make_baseline(name, 8)
+        result = scheduler.run(small_graph)
+        result.schedule.validate(small_graph)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_baseline("oracle", 8)

@@ -1,0 +1,61 @@
+"""Unit tests for Lemma 2's makespan lower bound."""
+
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.graph import TaskGraph
+from repro.graph.generators import chain, independent_tasks
+from repro.speedup import AmdahlModel, RooflineModel
+
+
+class TestComponents:
+    def test_diamond_values(self, small_graph):
+        P = 8
+        lb = makespan_lower_bound(small_graph, P)
+        assert lb.area_bound == pytest.approx(33.75 / 8)
+        t = {x.id: x.model.t_min(P) for x in small_graph.tasks()}
+        assert lb.critical_path_bound == pytest.approx(t["a"] + t["b"] + t["d"])
+
+    def test_value_is_max(self, small_graph):
+        lb = makespan_lower_bound(small_graph, 8)
+        assert lb.value == max(lb.area_bound, lb.critical_path_bound)
+
+    def test_binding_label(self):
+        # Many independent tasks on few processors: area binds.
+        g = independent_tasks(50, lambda: AmdahlModel(4.0, 1.0))
+        lb = makespan_lower_bound(g, 2)
+        assert lb.binding == "area"
+        # A long chain on many processors: critical path binds.
+        g2 = chain(20, lambda: AmdahlModel(4.0, 1.0))
+        lb2 = makespan_lower_bound(g2, 256)
+        assert lb2.binding == "critical_path"
+
+
+class TestSoundness:
+    """No scheduler can beat the bound -- checked against real schedules."""
+
+    @pytest.mark.parametrize("P", [1, 3, 8, 64])
+    def test_all_schedulers_respect_bound(self, small_graph, P):
+        from repro.baselines import make_baseline
+        from repro.core import OnlineScheduler
+
+        lb = makespan_lower_bound(small_graph, P).value
+        schedulers = [
+            OnlineScheduler.for_family("amdahl", P),
+            make_baseline("max-useful", P),
+            make_baseline("one-proc", P),
+            make_baseline("grab-free", P),
+        ]
+        for scheduler in schedulers:
+            assert scheduler.run(small_graph).makespan >= lb * (1 - 1e-9)
+
+    def test_single_task_bound_tight(self):
+        g = TaskGraph()
+        g.add_task("a", RooflineModel(32.0, 8))
+        lb = makespan_lower_bound(g, 8)
+        # One task: C_min = t_min = 4; A_min/P = 32/8 = 4.  Both tight.
+        assert lb.value == pytest.approx(4.0)
+
+    def test_bound_monotone_in_P(self, small_graph):
+        values = [makespan_lower_bound(small_graph, P).value for P in (1, 2, 4, 8, 16)]
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(values, values[1:]))

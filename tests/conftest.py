@@ -1,0 +1,56 @@
+"""Shared fixtures: a zoo of speedup models and small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    LogParallelismModel,
+    PowerLawModel,
+    RooflineModel,
+    TabulatedModel,
+)
+
+
+def model_zoo() -> list:
+    """One representative of every model family (module-level so tests can
+    parametrize over it)."""
+    return [
+        RooflineModel(w=10.0, max_parallelism=8),
+        RooflineModel(w=1.0, max_parallelism=1),
+        CommunicationModel(w=50.0, c=0.5),
+        CommunicationModel(w=2.0, c=3.0),
+        AmdahlModel(w=30.0, d=2.0),
+        AmdahlModel(w=1.0, d=10.0),
+        GeneralModel(w=40.0, d=1.0, c=0.2, max_parallelism=24),
+        GeneralModel(w=5.0),
+        PowerLawModel(w=12.0, exponent=0.5),
+        LogParallelismModel(),
+        TabulatedModel([4.0, 2.5, 2.0, 1.9, 1.9]),
+    ]
+
+
+@pytest.fixture(params=model_zoo(), ids=lambda m: repr(m))
+def any_model(request):
+    """Parametrized fixture over the whole model zoo."""
+    return request.param
+
+
+@pytest.fixture
+def small_graph():
+    """A diamond graph with Amdahl tasks: a -> {b, c} -> d."""
+    from repro.graph import TaskGraph
+
+    g = TaskGraph()
+    g.add_task("a", AmdahlModel(8.0, 1.0))
+    g.add_task("b", AmdahlModel(16.0, 2.0))
+    g.add_task("c", AmdahlModel(4.0, 0.5))
+    g.add_task("d", AmdahlModel(2.0, 0.25))
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g

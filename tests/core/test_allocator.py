@@ -1,0 +1,193 @@
+"""Unit tests for Algorithm 2 (the two-step LPA allocator)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import Allocation, LpaAllocator
+from repro.core.constants import MU_MAX, MU_STAR, delta
+from repro.exceptions import AllocationError, InvalidParameterError
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    LogParallelismModel,
+    RooflineModel,
+    TabulatedModel,
+)
+
+
+class TestAllocationRecord:
+    def test_valid(self):
+        a = Allocation(initial=5, final=3)
+        assert a.initial == 5 and a.final == 3
+
+    def test_final_cannot_exceed_initial(self):
+        with pytest.raises(AllocationError):
+            Allocation(initial=2, final=3)
+
+    def test_final_at_least_one(self):
+        with pytest.raises(AllocationError):
+            Allocation(initial=2, final=0)
+
+
+class TestConstruction:
+    def test_delta_computed(self):
+        alloc = LpaAllocator(0.25)
+        assert alloc.delta == pytest.approx(delta(0.25))
+
+    @pytest.mark.parametrize("bad", [0.0, MU_MAX + 0.01, 0.5, -0.1])
+    def test_rejects_invalid_mu(self, bad):
+        with pytest.raises(InvalidParameterError):
+            LpaAllocator(bad)
+
+    def test_mu_max_accepted(self):
+        LpaAllocator(MU_MAX)  # delta = 1 exactly: still feasible
+
+
+class TestStep2Cap:
+    def test_cap_applied(self):
+        # Roofline with full parallelism: step 1 yields P, step 2 caps.
+        model = RooflineModel(100.0, 100)
+        alloc = LpaAllocator(MU_STAR["roofline"]).allocate(model, 100)
+        assert alloc.initial == 100
+        assert alloc.final == math.ceil(MU_STAR["roofline"] * 100)
+
+    def test_small_allocation_unchanged(self):
+        model = RooflineModel(100.0, 3)
+        alloc = LpaAllocator(0.3).allocate(model, 100)
+        assert alloc.initial == 3
+        assert alloc.final == 3
+
+    def test_final_in_valid_range(self, any_model):
+        for mu in (0.1, 0.25, MU_MAX):
+            for P in (1, 7, 64):
+                alloc = LpaAllocator(mu).allocate(any_model, P)
+                assert 1 <= alloc.final <= P
+                assert alloc.final <= max(1, math.ceil(mu * P))
+
+
+class TestStep1Constraint:
+    def test_beta_constraint_respected(self, any_model):
+        """The initial allocation's time ratio never exceeds delta."""
+        for mu in (0.15, 0.3, MU_MAX):
+            allocator = LpaAllocator(mu)
+            for P in (4, 32, 100):
+                p = allocator.initial_allocation(any_model, P)
+                t_min = any_model.t_min(P)
+                assert any_model.time(p) <= allocator.delta * t_min * (1 + 1e-6)
+
+    def test_area_minimal_among_feasible(self, any_model):
+        """Brute force: no feasible allocation has smaller area."""
+        mu = 0.25
+        allocator = LpaAllocator(mu)
+        P = 40
+        p = allocator.initial_allocation(any_model, P)
+        p_max = any_model.max_useful_processors(P)
+        threshold = allocator.delta * any_model.t_min(P) * (1 + allocator.rtol)
+        feasible_areas = [
+            any_model.area(q)
+            for q in range(1, p_max + 1)
+            if any_model.time(q) <= threshold
+        ]
+        assert any_model.area(p) <= min(feasible_areas) * (1 + 1e-9)
+
+    def test_roofline_realizes_lemma6(self):
+        """alpha = beta = 1: the allocator picks p-tilde for roofline tasks."""
+        model = RooflineModel(60.0, 12)
+        for mu in (0.1, 0.25, MU_MAX):
+            p = LpaAllocator(mu).initial_allocation(model, 64)
+            assert p == 12  # fastest among the all-equal-area choices
+
+    def test_amdahl_ceil_rule(self):
+        """Lemma 8's construction: p = ceil(x w/d) at the beta boundary."""
+        model = AmdahlModel(w=100.0, d=1.0)
+        mu = MU_STAR["amdahl"]
+        allocator = LpaAllocator(mu)
+        P = 10**6  # so t_min ~ d and the boundary formula is clean
+        p = allocator.initial_allocation(model, P)
+        # Boundary: w/p + d = delta (w/P + d) => p ~ w / (d (delta - 1)).
+        expected = math.ceil(100.0 / (allocator.delta * (1 + 100.0 / P) - 1))
+        assert p == expected
+
+    def test_monotonic_and_scan_paths_agree(self, any_model):
+        """The binary-search fast path equals the exhaustive scan."""
+        allocator = LpaAllocator(0.3)
+        P = 48
+        p_max = any_model.max_useful_processors(P)
+        threshold = allocator.delta * any_model.t_min(P) * (1 + allocator.rtol)
+        assert allocator._initial_monotonic(
+            any_model, p_max, threshold
+        ) == allocator._initial_scan(any_model, p_max, threshold) or (
+            not any_model.monotonic_hint
+        )
+
+
+class TestNonMonotonicModels:
+    def test_tabulated_dip(self):
+        # Time dips at p=2; p=3 is slower but within budget; area favors p=2.
+        model = TabulatedModel([4.0, 1.0, 1.2])
+        p = LpaAllocator(0.2).initial_allocation(model, 3)
+        assert p == 2
+
+    def test_log_model_small_allocation(self):
+        """For t(p) = 1/(lg p + 1), the area-minimizing feasible p is tiny."""
+        model = LogParallelismModel()
+        P = 1024
+        mu = MU_STAR["general"]
+        allocator = LpaAllocator(mu)
+        p = allocator.initial_allocation(model, P)
+        # Need lg(p) + 1 >= (lg(P) + 1)/delta -> p >= 2^((11/delta) - 1).
+        needed = math.ceil(2 ** ((math.log2(P) + 1) / allocator.delta - 1))
+        assert p <= 2 * needed  # small, nowhere near P
+        assert model.time(p) <= allocator.delta * model.t_min(P) * (1 + 1e-9)
+
+
+@st.composite
+def eq1_models(draw):
+    w = draw(st.floats(min_value=1e-2, max_value=1e5))
+    d = draw(st.one_of(st.just(0.0), st.floats(min_value=1e-3, max_value=1e2)))
+    c = draw(st.one_of(st.just(0.0), st.floats(min_value=1e-4, max_value=10.0)))
+    ptilde = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=64)))
+    return GeneralModel(w, d=d, c=c, max_parallelism=ptilde)
+
+
+class TestAllocatorProperties:
+    @given(
+        eq1_models(),
+        st.floats(min_value=0.05, max_value=MU_MAX),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fast_path_matches_brute_force(self, model, mu, P):
+        """Binary search == brute-force minimum over the feasible set."""
+        allocator = LpaAllocator(mu)
+        p = allocator.initial_allocation(model, P)
+        p_max = model.max_useful_processors(P)
+        threshold = allocator.delta * model.t_min(P) * (1 + allocator.rtol)
+        best_area = min(
+            model.area(q)
+            for q in range(1, p_max + 1)
+            if model.time(q) <= threshold
+        )
+        assert model.time(p) <= threshold
+        assert model.area(p) <= best_area * (1 + 1e-9)
+
+    @given(
+        eq1_models(),
+        st.floats(min_value=0.05, max_value=MU_MAX),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_guarantees_hold(self, model, mu, P):
+        """The realized (alpha, beta) satisfy Lemma 5's preconditions."""
+        allocator = LpaAllocator(mu)
+        alloc = allocator.allocate(model, P)
+        a_min, t_min = model.a_min(P), model.t_min(P)
+        beta = model.time(alloc.initial) / t_min
+        assert beta <= allocator.delta * (1 + 1e-6)
+        # Final area never exceeds initial area (area monotonic, p' <= p).
+        assert model.area(alloc.final) <= model.area(alloc.initial) * (1 + 1e-12)
+        assert model.area(alloc.initial) >= a_min * (1 - 1e-12)

@@ -1,0 +1,47 @@
+"""Tolerance behaviour of Algorithm 2's beta constraint.
+
+The adversarial instances sit essentially on the constraint boundary
+(t(p) = delta * t_min by construction), so the allocator's relative
+tolerance decides whether the boundary counts as feasible.  These tests
+pin that behaviour with mu = 1/3 (delta = 3/2) and a two-point tabulated
+model whose one-processor area is the smaller one.
+"""
+
+import pytest
+
+from repro.core.allocator import LpaAllocator
+from repro.exceptions import InvalidParameterError
+from repro.speedup import TabulatedModel
+
+MU_THIRD = 1.0 / 3.0  # delta(1/3) = 3/2
+
+
+class TestBoundary:
+    def test_delta_value(self):
+        assert LpaAllocator(MU_THIRD).delta == pytest.approx(1.5)
+
+    def test_exact_boundary_is_feasible_with_default_rtol(self):
+        # t(1)/t_min = 1.5 = delta; area(1) = 1.5 < area(2) = 2.0.
+        model = TabulatedModel([1.5, 1.0])
+        assert LpaAllocator(MU_THIRD).initial_allocation(model, 2) == 1
+
+    def test_clearly_over_boundary_is_rejected(self):
+        model = TabulatedModel([1.52, 1.0])
+        assert LpaAllocator(MU_THIRD).initial_allocation(model, 2) == 2
+
+    def test_rtol_widens_the_budget(self):
+        model = TabulatedModel([1.5001, 1.0])
+        assert LpaAllocator(MU_THIRD).initial_allocation(model, 2) == 2
+        assert LpaAllocator(MU_THIRD, rtol=1e-3).initial_allocation(model, 2) == 1
+
+    def test_equal_area_tie_prefers_faster(self):
+        # area(1) = area(2) = 2: the tie-break takes the faster allocation.
+        model = TabulatedModel([2.0, 1.0])
+        allocator = LpaAllocator(0.25)  # delta ~ 2.67: both feasible
+        assert allocator.initial_allocation(model, 2) == 2
+
+    def test_rtol_bounds_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            LpaAllocator(0.3, rtol=0.01)  # > 1e-3 cap
+        with pytest.raises(InvalidParameterError):
+            LpaAllocator(0.3, rtol=-1e-9)

@@ -1,0 +1,81 @@
+"""Unit tests for the per-model constants (Theorems 1-4)."""
+
+import math
+
+import pytest
+
+from repro.core.constants import (
+    MODEL_FAMILIES,
+    MU_MAX,
+    MU_STAR,
+    TABLE1_PAPER,
+    X_STAR,
+    delta,
+    mu_for_family,
+    mu_upper_limit,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestDelta:
+    def test_formula(self):
+        mu = 0.25
+        assert delta(mu) == pytest.approx((1 - 0.5) / (0.25 * 0.75))
+
+    def test_equals_one_at_mu_max(self):
+        """mu = (3 - sqrt 5)/2 solves delta(mu) = 1 (Section 4.2)."""
+        assert delta(MU_MAX) == pytest.approx(1.0)
+
+    def test_decreasing_in_mu(self):
+        assert delta(0.1) > delta(0.2) > delta(0.3)
+
+    @pytest.mark.parametrize("bad", [0.0, 0.5, -0.1, 1.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(InvalidParameterError):
+            delta(bad)
+
+    def test_identity_from_lemma5(self):
+        """delta(mu) = 1/mu - 1/(1-mu), the form used in Lemma 5's proof."""
+        for mu in (0.1, 0.2, 0.3, 0.38):
+            assert delta(mu) == pytest.approx(1 / mu - 1 / (1 - mu))
+
+
+class TestMuStar:
+    def test_families(self):
+        assert MODEL_FAMILIES == ("roofline", "communication", "amdahl", "general")
+        assert set(MU_STAR) == set(MODEL_FAMILIES)
+
+    def test_roofline_exact(self):
+        assert MU_STAR["roofline"] == pytest.approx((3 - math.sqrt(5)) / 2)
+
+    def test_paper_rounded_values(self):
+        """Paper: mu ~= 0.382 / 0.324 / 0.271 / 0.211 (Theorems 1-4)."""
+        assert MU_STAR["roofline"] == pytest.approx(0.382, abs=5e-4)
+        assert MU_STAR["communication"] == pytest.approx(0.324, abs=1e-3)
+        assert MU_STAR["amdahl"] == pytest.approx(0.271, abs=1e-3)
+        assert MU_STAR["general"] == pytest.approx(0.211, abs=1e-3)
+
+    def test_all_within_valid_range(self):
+        for mu in MU_STAR.values():
+            assert 0 < mu <= MU_MAX + 1e-15
+
+    def test_x_star_paper_values(self):
+        """Paper: x* ~= 0.446 / 0.759 / 1.972."""
+        assert X_STAR["communication"] == pytest.approx(0.446, abs=2e-3)
+        assert X_STAR["amdahl"] == pytest.approx(0.759, abs=2e-3)
+        assert X_STAR["general"] == pytest.approx(1.972, abs=2e-3)
+
+    def test_mu_for_family(self):
+        assert mu_for_family("amdahl") == MU_STAR["amdahl"]
+        with pytest.raises(InvalidParameterError):
+            mu_for_family("nonsense")
+
+    def test_mu_upper_limit(self):
+        assert mu_upper_limit() == MU_MAX
+        assert MU_MAX == pytest.approx(0.381966, abs=1e-6)
+
+    def test_table1_paper_constants(self):
+        assert TABLE1_PAPER["roofline"] == (2.62, 2.61)
+        assert TABLE1_PAPER["communication"] == (3.61, 3.51)
+        assert TABLE1_PAPER["amdahl"] == (4.74, 4.73)
+        assert TABLE1_PAPER["general"] == (5.72, 5.25)

@@ -1,0 +1,122 @@
+"""Fidelity tests: the allocator realizes the exact allocations the
+paper's Lemmas 6-9 construct, case by case.
+
+Each test instantiates the precise parameter regime of one proof case and
+checks that Algorithm 2 picks the allocation the proof says it can, with
+(alpha, beta) inside the lemma's guarantee.
+"""
+
+import math
+
+import pytest
+
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import MU_STAR, delta
+from repro.speedup import AmdahlModel, CommunicationModel, GeneralModel, RooflineModel
+
+
+def ratios(model, p, P):
+    return (
+        model.area(p) / model.a_min(P),
+        model.time(p) / model.t_min(P),
+    )
+
+
+class TestLemma6Roofline:
+    def test_alpha_beta_one(self):
+        """Lemma 6: allocating p-tilde achieves alpha = beta = 1."""
+        model = RooflineModel(w=100.0, max_parallelism=13)
+        allocator = LpaAllocator(MU_STAR["roofline"])
+        p = allocator.initial_allocation(model, 64)
+        alpha, beta = ratios(model, p, 64)
+        assert p == 13
+        assert alpha == pytest.approx(1.0)
+        assert beta == pytest.approx(1.0)
+
+
+class TestLemma7Case1Communication:
+    """w' <= 9: the proof's three subcases by p_max."""
+
+    MU = MU_STAR["communication"]
+
+    def test_pmax_1(self):
+        # w' <= 2 -> t(1) <= t(2) -> p_max = 1 -> p = 1, alpha = beta = 1.
+        model = CommunicationModel(w=1.5, c=1.0)
+        assert model.max_useful_processors(64) == 1
+        p = LpaAllocator(self.MU).initial_allocation(model, 64)
+        assert p == 1
+
+    def test_pmax_2_picks_one_processor(self):
+        # 2 < w' <= 6 -> p_max = 2; proof: p = 1 with beta <= 3/2 < delta.
+        model = CommunicationModel(w=4.0, c=1.0)
+        assert model.max_useful_processors(64) == 2
+        p = LpaAllocator(self.MU).initial_allocation(model, 64)
+        alpha, beta = ratios(model, p, 64)
+        assert p == 1
+        assert alpha == pytest.approx(1.0)
+        assert beta <= 1.5 + 1e-12
+
+    def test_pmax_3_picks_two_processors(self):
+        # 6 <= w' <= 9 -> p_max = 3; p = 1 violates the budget, p = 2 fits
+        # with alpha <= 4/3 and beta <= 11/10 (the proof's numbers).
+        model = CommunicationModel(w=8.0, c=1.0)
+        assert model.max_useful_processors(64) == 3
+        allocator = LpaAllocator(self.MU)
+        assert model.time(1) / model.t_min(64) > allocator.delta
+        p = allocator.initial_allocation(model, 64)
+        alpha, beta = ratios(model, p, 64)
+        assert p == 2
+        assert alpha <= 4.0 / 3.0 + 1e-12
+        assert beta <= 1.1 + 1e-12
+
+
+class TestLemma7Case2Communication:
+    def test_allocation_near_x_sqrt_w(self):
+        """w' > 9: p ~ ceil(x sqrt(w')), realizing alpha_x and beta_x."""
+        model = CommunicationModel(w=400.0, c=1.0)  # w' = 400, sqrt = 20
+        mu = MU_STAR["communication"]
+        allocator = LpaAllocator(mu)
+        P = 256
+        p = allocator.initial_allocation(model, P)
+        alpha, beta = ratios(model, p, P)
+        # The lemma's guarantees with x in the valid range:
+        x = p / math.sqrt(400.0)
+        assert (math.sqrt(13) - 1) / 6 - 0.06 <= x <= 0.5 + 0.06
+        assert alpha <= 1 + x**2 + x / 3 + 1e-9
+        assert beta <= delta(mu) * (1 + 1e-9)
+
+
+class TestLemma8Amdahl:
+    def test_allocation_is_ceil_x_w_over_d(self):
+        """Lemma 8: p = ceil(x w/d) at the beta boundary, alpha <= 1 + x."""
+        model = AmdahlModel(w=200.0, d=2.0)
+        mu = MU_STAR["amdahl"]
+        allocator = LpaAllocator(mu)
+        P = 10**5
+        p = allocator.initial_allocation(model, P)
+        alpha, beta = ratios(model, p, P)
+        x = p * model.d / model.w
+        assert alpha <= 1 + x + 1e-9
+        assert beta <= 1 + 1 / x + 1e-9
+        assert beta <= allocator.delta * (1 + 1e-9)
+
+
+class TestLemma9General:
+    def test_case1_tiny_work(self):
+        """w' <= 1 -> p_max = 1 -> p = 1, alpha = beta = 1."""
+        model = GeneralModel(w=0.5, d=1.0, c=1.0)
+        assert model.max_useful_processors(64) == 1
+        p = LpaAllocator(MU_STAR["general"]).initial_allocation(model, 64)
+        assert p == 1
+
+    def test_case2_guarantees(self):
+        """w' > 1: realized (alpha, beta) within Lemma 9's x-curve."""
+        model = GeneralModel(w=900.0, d=5.0, c=1.0)  # w' = 900, d' = 5
+        mu = MU_STAR["general"]
+        allocator = LpaAllocator(mu)
+        P = 512
+        p = allocator.initial_allocation(model, P)
+        alpha, beta = ratios(model, p, P)
+        # Lemma 9 with x* ~ 1.97: alpha <= 1 + 1/x + 1/x^2 ~ 1.76.
+        assert alpha <= 1.77
+        assert beta <= allocator.delta * (1 + 1e-9)

@@ -1,0 +1,47 @@
+"""Golden-value regression tests.
+
+Pins exact makespans of seeded runs so any unintended behaviour change in
+the engine, the allocator, the random factories, or the generators shows
+up immediately.  If one of these fails after an *intentional* change,
+re-derive the golden values and document the change.
+"""
+
+import pytest
+
+from repro.adversary import communication_instance, roofline_instance
+from repro.adversary.arbitrary import equal_allocation_schedule
+from repro.core import OnlineScheduler
+from repro.speedup import RandomModelFactory
+from repro.workflows import cholesky, instantiate, montage
+
+
+def _run(family, graph, P):
+    return OnlineScheduler.for_family(family, P).run(graph).makespan
+
+
+class TestGoldenMakespans:
+    def test_cholesky_amdahl(self):
+        graph = cholesky(6, RandomModelFactory(family="amdahl", seed=123))
+        assert _run("amdahl", graph, 32) == pytest.approx(191.9832761, rel=1e-7)
+
+    def test_montage_communication(self):
+        graph = montage(16, RandomModelFactory(family="communication", seed=123))
+        assert _run("communication", graph, 32) == pytest.approx(114.0603342, rel=1e-7)
+
+    def test_catalog_ligo_general(self):
+        graph = instantiate("ligo", 4)
+        assert _run("general", graph, 64) == pytest.approx(366.0, rel=1e-7)
+
+    def test_roofline_instance_p100(self):
+        inst = roofline_instance(100)
+        assert inst.run().makespan == pytest.approx(100.0 / 39.0, rel=1e-12)
+
+    def test_communication_instance_p50(self):
+        inst = communication_instance(50)
+        # Closed form: Y (t_A(ceil(mu P)) + t_B(2)) + t_C(1).
+        assert inst.run().makespan == pytest.approx(inst.predicted_makespan, rel=1e-12)
+        assert inst.predicted_makespan == pytest.approx(406.1249026, rel=1e-6)
+
+    def test_equal_allocation_ell3(self):
+        _, bps = equal_allocation_schedule(3)
+        assert bps[-1] == pytest.approx(1.4091109, rel=1e-6)

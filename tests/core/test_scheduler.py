@@ -1,0 +1,128 @@
+"""Unit and invariant tests for Algorithm 1 (the online scheduler).
+
+Beyond basic behaviour, these verify the *analysis* on simulated runs:
+Lemma 3 and Lemma 4's inequalities over the interval decomposition, and
+Lemma 5's final competitive bound against the Lemma-2 lower bound.
+"""
+
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.core.constants import MODEL_FAMILIES, MU_STAR, delta
+from repro.core.ratios import upper_bound
+from repro.core.scheduler import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    chain,
+    erdos_renyi_dag,
+    fork_join,
+    independent_tasks,
+    layered_random,
+)
+from repro.sim.intervals import decompose_intervals
+from repro.speedup import AmdahlModel, RandomModelFactory, RooflineModel
+
+
+class TestConstruction:
+    def test_for_family(self):
+        sched = OnlineScheduler.for_family("amdahl", 32)
+        assert sched.mu == MU_STAR["amdahl"]
+        assert sched.P == 32
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineScheduler.for_family("magic", 32)
+
+    def test_explicit_mu(self):
+        assert OnlineScheduler(16, 0.2).mu == 0.2
+
+
+class TestBasicBehaviour:
+    def test_feasible_on_diamond(self, small_graph):
+        result = OnlineScheduler.for_family("amdahl", 16).run(small_graph)
+        result.schedule.validate(small_graph)
+
+    def test_single_roofline_task_capped(self):
+        """The Theorem-5 phenomenon: a lone task is capped at ceil(mu P)."""
+        from repro.graph import TaskGraph
+
+        P = 100
+        g = TaskGraph()
+        g.add_task("only", RooflineModel(float(P), P))
+        result = OnlineScheduler.for_family("roofline", P).run(g)
+        import math
+
+        assert result.schedule["only"].procs == math.ceil(MU_STAR["roofline"] * P)
+
+    def test_makespan_at_least_lower_bound(self, small_graph):
+        P = 16
+        result = OnlineScheduler.for_family("amdahl", P).run(small_graph)
+        assert result.makespan >= makespan_lower_bound(small_graph, P).value * (1 - 1e-9)
+
+
+def _workloads(family, seed=1234):
+    factory = RandomModelFactory(family=family, seed=seed)
+    return [
+        chain(6, factory),
+        independent_tasks(20, factory),
+        fork_join(10, factory, stages=2),
+        layered_random(5, 6, factory, seed=seed),
+        erdos_renyi_dag(25, factory, edge_probability=0.15, seed=seed),
+    ]
+
+
+class TestCompetitiveGuarantee:
+    """T <= ratio * T_opt must hold with T_opt >= max(A_min/P, C_min)."""
+
+    @pytest.mark.parametrize("family", MODEL_FAMILIES)
+    @pytest.mark.parametrize("P", [4, 16, 61])
+    def test_within_proven_ratio_of_lower_bound(self, family, P):
+        bound = upper_bound(family)
+        scheduler = OnlineScheduler.for_family(family, P)
+        for graph in _workloads(family):
+            result = scheduler.run(graph)
+            result.schedule.validate(graph)
+            lb = makespan_lower_bound(graph, P).value
+            assert result.makespan <= bound * lb * (1 + 1e-9)
+
+
+class TestAnalysisInvariants:
+    """Lemmas 3-5 checked on real simulated runs, per Section 4.2."""
+
+    @pytest.mark.parametrize("family", MODEL_FAMILIES)
+    def test_lemma3_and_lemma4_inequalities(self, family):
+        P = 32
+        mu = MU_STAR[family]
+        d = delta(mu)
+        scheduler = OnlineScheduler(P, mu)
+        for graph in _workloads(family):
+            result = scheduler.run(graph)
+            decomposition = decompose_intervals(result.schedule, mu)
+            lb = makespan_lower_bound(graph, P)
+            # List scheduling never leaves the platform fully idle.
+            assert decomposition.T0 == pytest.approx(0.0, abs=1e-9)
+            # Lemma 3 with alpha from the realized allocations.
+            alpha = max(
+                graph.task(t).model.area(a.initial) / graph.task(t).model.a_min(P)
+                for t, a in result.allocations.items()
+            )
+            assert decomposition.lemma3_lhs() <= alpha * lb.area_bound * (1 + 1e-9)
+            # Lemma 4 with beta = delta(mu) (the Step-1 budget).
+            assert decomposition.lemma4_lhs(d) <= lb.critical_path_bound * (1 + 1e-9)
+
+    def test_makespan_equals_T1_T2_T3(self):
+        P = 16
+        mu = MU_STAR["general"]
+        graph = _workloads("general")[3]
+        result = OnlineScheduler(P, mu).run(graph)
+        dec = decompose_intervals(result.schedule, mu)
+        assert dec.total == pytest.approx(result.makespan)
+
+
+class TestPriorityExtension:
+    def test_priority_rule_changes_order_not_feasibility(self, small_graph):
+        sched = OnlineScheduler(
+            8, MU_STAR["amdahl"], priority=lambda task, alloc: -alloc.final
+        )
+        result = sched.run(small_graph)
+        result.schedule.validate(small_graph)

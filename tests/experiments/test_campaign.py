@@ -1,0 +1,89 @@
+"""Tests for the campaign runner."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.graph.generators import fork_join
+from repro.workflows import cholesky
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        workloads={
+            "chol4": lambda f: cholesky(4, f),
+            "fj6": lambda f: fork_join(6, f),
+        },
+        families=("amdahl", "roofline"),
+        Ps=(8, 32),
+        schedulers=("algorithm1", "one-proc"),
+        replications=2,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignSpec(workloads={})
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            small_spec(families=("quantum",))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            small_spec(schedulers=("oracle",))
+
+    def test_bad_P_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            small_spec(Ps=(0,))
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_campaign(small_spec())
+
+    def test_grid_size(self, result):
+        # 2 families x 2 workloads x 2 Ps x 2 schedulers.
+        assert len(result.rows) == 16
+
+    def test_summaries_have_replication_count(self, result):
+        assert all(r.ratio.n == 2 for r in result.rows)
+
+    def test_ratios_at_least_one(self, result):
+        assert all(r.ratio.minimum >= 1.0 - 1e-9 for r in result.rows)
+
+    def test_deterministic(self):
+        a = run_campaign(small_spec())
+        b = run_campaign(small_spec())
+        assert [r.ratio.mean for r in a.rows] == [r.ratio.mean for r in b.rows]
+
+    def test_best_scheduler_lookup(self, result):
+        best = result.best_scheduler("amdahl", "chol4", 32)
+        assert best in ("algorithm1", "one-proc")
+
+    def test_best_scheduler_unknown_cell(self, result):
+        with pytest.raises(InvalidParameterError):
+            result.best_scheduler("amdahl", "nope", 32)
+
+    def test_table_rendering(self, result):
+        table = result.to_table()
+        assert "mean" in table and "chol4" in table
+
+    def test_csv_rendering(self, result):
+        csv = result.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("family,workload")
+        assert len(lines) == 17
+
+    def test_algorithm1_beats_one_proc_on_chol(self, result):
+        cells = {
+            (r.scheduler): r.ratio.mean
+            for r in result.rows
+            if r.family == "amdahl" and r.workload == "chol4" and r.P == 32
+        }
+        assert cells["algorithm1"] < cells["one-proc"]

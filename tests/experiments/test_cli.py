@@ -1,0 +1,25 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_figure3_with_ell(self, capsys):
+        assert main(["figure3", "--ell", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "K=4" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_empirical_with_overrides(self, capsys):
+        assert main(["empirical", "--P", "16", "--seed", "1"]) == 0
+        assert "algorithm1" in capsys.readouterr().out

@@ -1,0 +1,168 @@
+"""Integration tests: every table/figure experiment runs and reproduces
+its paper-side values at test-friendly sizes."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import REGISTRY, get_experiment, run_experiment
+from repro.experiments.registry import ExperimentReport
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(REGISTRY) == {
+            "table1",
+            "table2",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "empirical",
+            "ablation",
+            "release",
+            "failures",
+            "priorities",
+            "convergence",
+            "sweep",
+            "offline_gap",
+            "malleable_gap",
+            "waiting",
+            "certificates",
+            "misspecification",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(InvalidParameterError):
+            get_experiment("table9")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        sizes = {"roofline": 500, "communication": 80, "amdahl": 16, "general": 16}
+        return run_experiment("table1", sizes=sizes)
+
+    def test_report_type(self, report):
+        assert isinstance(report, ExperimentReport)
+        assert "roofline" in report.text
+
+    def test_upper_bounds_match_paper(self, report):
+        paper = {"roofline": 2.62, "communication": 3.61, "amdahl": 4.74, "general": 5.72}
+        for family, expected in paper.items():
+            assert report.data[family]["upper_bound"] == pytest.approx(
+                expected, abs=0.011
+            )
+
+    def test_lower_limits_match_paper(self, report):
+        paper = {"roofline": 2.61, "communication": 3.51, "amdahl": 4.73, "general": 5.25}
+        for family, expected in paper.items():
+            assert report.data[family]["lower_limit"] >= expected
+
+    def test_measured_between_one_and_limit(self, report):
+        for family in ("roofline", "communication", "amdahl", "general"):
+            d = report.data[family]
+            assert 1.0 < d["measured_lower"] <= d["lower_limit"] + 1e-6
+
+
+class TestTable2:
+    def test_contains_this_library(self):
+        report = run_experiment("table2")
+        assert "This library" in report.text
+        assert "moldable task graphs/online" in report.data
+
+
+class TestFigure1:
+    def test_task_count_identity(self):
+        report = run_experiment("figure1", sizes={"communication": 15, "amdahl": 6})
+        for family, d in report.data.items():
+            assert d["tasks"] == (d["X"] + 1) * d["Y"] + 1
+            assert d["depth"] == d["Y"] + 1
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("figure2", P=40)
+
+    def test_algorithm_serializes(self, report):
+        """The shape contrast of Figure 2: low vs full utilization."""
+        assert report.data["algorithm_avg_utilization"] < 0.7
+        assert report.data["alternative_avg_utilization"] > 0.9
+
+    def test_ratio_above_two(self, report):
+        assert report.data["ratio"] > 2.0
+
+    def test_text_has_both_profiles(self, report):
+        assert "(a) Algorithm 1" in report.text
+        assert "(b) alternative" in report.text
+
+
+class TestFigure3:
+    def test_paper_instance(self):
+        report = run_experiment("figure3", ell=2)
+        assert report.data["K"] == 4
+        assert report.data["n_chains"] == 15
+        assert report.data["P"] == 32
+        assert report.data["group_counts"] == {1: 8, 2: 4, 3: 2, 4: 1}
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("figure4", ell=2)
+
+    def test_offline_makespan_one(self, report):
+        assert report.data["offline_makespan"] == pytest.approx(1.0)
+
+    def test_equal_allocation_breakpoints(self, report):
+        bps = report.data["equal_allocation_breakpoints"]
+        assert bps[1] == pytest.approx(0.5)
+        assert bps[2] == pytest.approx(5 / 6)
+        assert bps[4] == pytest.approx(1.2314, abs=1e-3)
+
+    def test_algorithm_beats_bound(self, report):
+        assert report.data["algorithm_makespan"] >= report.data["theorem9_bound"]
+
+
+class TestEmpirical:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("empirical", P=32, baselines=("one-proc",))
+
+    def test_algorithm_far_below_worst_case(self, report):
+        """The paper's anticipation: practice beats the 5.72 worst case."""
+        assert report.data["_summary"]["algorithm1"] < 4.0
+
+    def test_all_ratios_at_least_one(self, report):
+        for key, ratios in report.data.items():
+            if key.startswith("_"):
+                continue
+            for value in ratios.values():
+                assert value >= 1.0 - 1e-9
+
+
+class TestAblation:
+    def test_mu_star_best_or_near_best(self):
+        from repro.core.constants import MU_MAX
+
+        report = run_experiment("ablation", P=32, mus=(0.05, 0.211, MU_MAX))
+        for family, d in report.data.items():
+            # Tiny mu (over-serialized) must be clearly worse than mu*.
+            assert d["mu=0.050"] >= min(d["mu=0.211"], d["mu=0.382"]) * 0.99
+
+
+class TestFigure2Families:
+    def test_amdahl_variant(self):
+        report = run_experiment("figure2", P=64, family="amdahl")
+        assert report.data["family"] == "amdahl"
+        assert report.data["ratio"] > 2.0
+        assert "interval classes" in report.text
+
+    def test_general_variant(self):
+        report = run_experiment("figure2", P=49, family="general")
+        assert report.data["P"] == 49  # K = 7
+        assert report.data["ratio"] > 2.0
+
+    def test_roofline_rejected(self):
+        with pytest.raises(InvalidParameterError, match="single task"):
+            run_experiment("figure2", family="roofline")

@@ -1,0 +1,203 @@
+"""Integration tests for the extension experiments (Ext-C..F)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestRelease:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment(
+            "release", P=16, n=40, rates=(0.5, 4.0), baselines=("one-proc",)
+        )
+
+    def test_all_ratios_at_least_one(self, report):
+        for ratios in report.data.values():
+            for value in ratios.values():
+                assert value >= 1.0 - 1e-9
+
+    def test_low_load_is_nearly_optimal(self, report):
+        """With sparse arrivals every scheduler is near the lower bound."""
+        for key, ratios in report.data.items():
+            if "rate=0.5" in key:
+                assert ratios["algorithm1"] < 1.6
+
+    def test_text_mentions_setting(self, report):
+        assert "released over time" in report.text
+
+
+class TestFailures:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("failures", P=16, probabilities=(0.0, 0.3))
+
+    def test_inflation_grows_with_q(self, report):
+        for family in ("roofline", "communication", "amdahl", "general"):
+            assert (
+                report.data[f"{family}/q=0.3"]["inflation"]
+                >= report.data[f"{family}/q=0"]["inflation"]
+            )
+
+    def test_guarantee_transfers(self, report):
+        """Ratio vs the realized graph's bound stays below the guarantee."""
+        for d in report.data.values():
+            assert d["ratio_vs_realized_lb"] <= d["guarantee"] + 1e-9
+
+    def test_more_attempts_with_failures(self, report):
+        for family in ("roofline", "general"):
+            assert (
+                report.data[f"{family}/q=0.3"]["mean_attempts"]
+                > report.data[f"{family}/q=0"]["mean_attempts"]
+            )
+
+
+class TestPriorities:
+    def test_rules_all_reported(self):
+        report = run_experiment("priorities", P=16)
+        for d in report.data.values():
+            assert set(d) == {
+                "fifo",
+                "largest-work",
+                "longest-time",
+                "narrowest",
+                "widest",
+                "bottom-level*",
+            }
+            assert all(v >= 1.0 - 1e-9 for v in d.values())
+
+
+class TestConvergence:
+    def test_series_monotone_toward_limit(self):
+        report = run_experiment(
+            "convergence",
+            sizes={
+                "roofline": (50, 500),
+                "communication": (30, 90),
+                "amdahl": (8, 20),
+                "general": (8, 20),
+            },
+        )
+        from repro.core.ratios import algorithm_lower_bound
+
+        for family, series in report.data.items():
+            ratios = [point["ratio"] for point in series]
+            assert ratios == sorted(ratios)
+            assert ratios[-1] <= algorithm_lower_bound(family) + 1e-6
+
+    def test_csv_present(self):
+        report = run_experiment(
+            "convergence",
+            sizes={
+                "roofline": (50,),
+                "communication": (30,),
+                "amdahl": (8,),
+                "general": (8,),
+            },
+        )
+        assert "CSV:" in report.text
+        assert "model,size,P" in report.text
+
+
+class TestOfflineGap:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("offline_gap", P=32)
+
+    def test_all_schedulers_reported(self, report):
+        for key, ratios in report.data.items():
+            if key.startswith("_"):
+                continue
+            assert set(ratios) == {"algorithm1", "ect", "offline-cp", "cpa"}
+
+    def test_all_ratios_at_least_one(self, report):
+        for key, ratios in report.data.items():
+            if key.startswith("_"):
+                continue
+            assert all(v >= 1.0 - 1e-9 for v in ratios.values())
+
+    def test_offline_allotment_tuning_pays(self, report):
+        """CPA's global allotment tuning beats the online mean."""
+        summary = report.data["_summary"]
+        assert summary["cpa"] < summary["algorithm1"]
+
+
+class TestWaiting:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("waiting", P=16, n=40, rates=(4.0,))
+
+    def test_metrics_nonnegative(self, report):
+        for d in report.data.values():
+            assert d["mean_wait"] >= 0.0
+            assert d["mean_stretch"] >= 1.0 - 1e-9
+
+    def test_all_schedulers_covered(self, report):
+        schedulers = {key.rsplit("/", 1)[1] for key in report.data}
+        assert schedulers == {"algorithm1", "max-useful", "grab-free"}
+
+    def test_greedy_time_blocks_queue(self, report):
+        """max-useful's huge allocations cause head-of-line blocking."""
+        for family in ("amdahl",):
+            greedy = report.data[f"{family}/rate=4/max-useful"]["mean_wait"]
+            ours = report.data[f"{family}/rate=4/algorithm1"]["mean_wait"]
+            assert greedy > ours
+
+
+class TestMalleableGap:
+    def test_flexibility_ordering(self):
+        report = run_experiment("malleable_gap", P=32)
+        summary = report.data["_summary"]
+        assert summary["malleable"] <= summary["moldable"] + 1e-9
+        assert summary["moldable"] < summary["rigid-one"]
+
+
+class TestCertificates:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("certificates", P=32)
+
+    def test_every_family_fully_certified(self, report):
+        for d in report.data.values():
+            assert d["all_certified"]
+
+    def test_realized_ratios_within_budgets(self, report):
+        for d in report.data.values():
+            assert d["max_alpha"] <= d["alpha_x"] + 1e-6
+            assert d["max_beta"] <= d["delta"] * (1 + 1e-6)
+
+    def test_achieved_below_certified(self, report):
+        for d in report.data.values():
+            assert d["mean_achieved"] <= d["mean_certified"] + 1e-9
+
+    def test_interval_shares_sum_to_one(self, report):
+        for d in report.data.values():
+            total = d["T1_share"] + d["T2_share"] + d["T3_share"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestMisspecification:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("misspecification", P=32)
+
+    def test_all_mu_columns_present(self, report):
+        summary = report.data["_summary"]
+        assert len(summary) == 4
+        assert any("general" in k for k in summary)
+
+    def test_ratios_at_least_one(self, report):
+        for key, ratios in report.data.items():
+            if key.startswith("_"):
+                continue
+            assert all(v >= 1.0 - 1e-9 for v in ratios.values())
+
+    def test_guaranteed_mu_within_its_bound(self, report):
+        """Mixed Eq-1 tasks under the general mu* keep the 5.72 guarantee."""
+        from repro.core.ratios import upper_bound
+
+        general_col = next(k for k in report.data["_summary"] if "general" in k)
+        for key, ratios in report.data.items():
+            if key.startswith("_"):
+                continue
+            assert ratios[general_col] <= upper_bound("general") + 1e-9

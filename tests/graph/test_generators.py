@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic DAG generators."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    chain,
+    erdos_renyi_dag,
+    fork_join,
+    in_tree,
+    independent_tasks,
+    layered_random,
+    out_tree,
+)
+from repro.speedup import AmdahlModel
+
+
+def factory():
+    return AmdahlModel(4.0, 1.0)
+
+
+class TestChain:
+    def test_structure(self):
+        g = chain(5, factory)
+        assert len(g) == 5
+        assert g.num_edges() == 4
+        assert g.longest_path_length() == 5
+        assert g.sources() == [0] and g.sinks() == [4]
+
+    def test_single_task(self):
+        g = chain(1, factory)
+        assert len(g) == 1 and g.num_edges() == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            chain(0, factory)
+
+
+class TestIndependent:
+    def test_no_edges(self):
+        g = independent_tasks(7, factory)
+        assert len(g) == 7 and g.num_edges() == 0
+        assert g.longest_path_length() == 1
+
+
+class TestForkJoin:
+    def test_single_stage(self):
+        g = fork_join(4, factory)
+        assert len(g) == 6  # src + 4 + sink
+        assert g.num_edges() == 8
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+        assert g.longest_path_length() == 3
+
+    def test_multi_stage_chains_sinks(self):
+        g = fork_join(3, factory, stages=2)
+        assert len(g) == 1 + 2 * (3 + 1)
+        assert g.longest_path_length() == 5
+
+
+class TestTrees:
+    def test_out_tree_counts(self):
+        g = out_tree(3, 2, factory)
+        assert len(g) == 7  # 1 + 2 + 4
+        assert g.longest_path_length() == 3
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 4
+
+    def test_in_tree_is_reversed(self):
+        g = in_tree(3, 2, factory)
+        assert len(g) == 7
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 1
+
+    def test_depth_one_is_single_node(self):
+        assert len(out_tree(1, 5, factory)) == 1
+
+
+class TestLayeredRandom:
+    def test_layer_count_and_depth(self):
+        g = layered_random(4, 3, factory, seed=0)
+        assert len(g) == 12
+        assert g.longest_path_length() == 4
+
+    def test_every_later_task_has_predecessor(self):
+        g = layered_random(5, 4, factory, edge_probability=0.0, seed=0)
+        # Even with p=0, the generator guarantees connectivity.
+        for t in range(4, 20):
+            assert g.in_degree(t) >= 1
+
+    def test_deterministic_given_seed(self):
+        a = layered_random(4, 4, factory, seed=42)
+        b = layered_random(4, 4, factory, seed=42)
+        assert a.edges() == b.edges()
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidParameterError):
+            layered_random(2, 2, factory, edge_probability=1.5)
+
+
+class TestErdosRenyi:
+    def test_is_acyclic_by_construction(self):
+        g = erdos_renyi_dag(30, factory, edge_probability=0.3, seed=1)
+        order = g.topological_order()  # raises if cyclic
+        assert len(order) == 30
+
+    def test_edges_follow_vertex_order(self):
+        g = erdos_renyi_dag(20, factory, edge_probability=0.5, seed=2)
+        assert all(u < v for u, v in g.edges())
+
+    def test_probability_zero_gives_no_edges(self):
+        assert erdos_renyi_dag(10, factory, edge_probability=0.0).num_edges() == 0
+
+    def test_probability_one_gives_complete_dag(self):
+        g = erdos_renyi_dag(6, factory, edge_probability=1.0)
+        assert g.num_edges() == 15
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_dag(15, factory, edge_probability=0.2, seed=9)
+        b = erdos_renyi_dag(15, factory, edge_probability=0.2, seed=9)
+        assert a.edges() == b.edges()

@@ -1,0 +1,126 @@
+"""Unit tests for graph/model (de)serialization and networkx interop."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import TaskGraph, from_networkx, to_networkx
+from repro.graph.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.speedup import (
+    AmdahlModel,
+    CallableModel,
+    CommunicationModel,
+    GeneralModel,
+    LogParallelismModel,
+    PowerLawModel,
+    RooflineModel,
+    TabulatedModel,
+)
+
+MODELS = [
+    RooflineModel(5.0, 4),
+    CommunicationModel(5.0, 0.5),
+    AmdahlModel(5.0, 1.0),
+    GeneralModel(5.0, d=1.0, c=0.5, max_parallelism=8),
+    GeneralModel(5.0),
+    PowerLawModel(5.0, 0.6),
+    LogParallelismModel(2.0),
+    TabulatedModel([3.0, 2.0, 1.5]),
+]
+
+
+class TestModelRoundTrip:
+    @pytest.mark.parametrize("model", MODELS, ids=repr)
+    def test_round_trip_preserves_times(self, model):
+        clone = model_from_dict(model_to_dict(model))
+        assert type(clone) is type(model)
+        for p in (1, 2, 5, 16):
+            assert clone.time(p) == pytest.approx(model.time(p))
+
+    def test_callable_not_serializable(self):
+        with pytest.raises(GraphError):
+            model_to_dict(CallableModel(lambda p: 1.0))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError):
+            model_from_dict({"kind": "teleport"})
+
+
+class TestGraphRoundTrip:
+    def test_dict_round_trip(self, small_graph):
+        clone = graph_from_dict(graph_to_dict(small_graph))
+        assert list(clone) == list(small_graph)
+        assert clone.edges() == small_graph.edges()
+
+    def test_json_round_trip(self, small_graph):
+        clone = graph_from_json(graph_to_json(small_graph))
+        assert len(clone) == len(small_graph)
+        assert clone.edges() == small_graph.edges()
+
+    def test_tags_preserved(self):
+        g = TaskGraph()
+        g.add_task("a", AmdahlModel(1.0, 1.0), tag="POTRF")
+        clone = graph_from_dict(graph_to_dict(g))
+        assert clone.task("a").tag == "POTRF"
+
+
+class TestNetworkx:
+    def test_to_networkx_structure(self, small_graph):
+        nxg = to_networkx(small_graph)
+        assert isinstance(nxg, nx.DiGraph)
+        assert set(nxg.nodes) == set(small_graph)
+        assert set(nxg.edges) == set(small_graph.edges())
+        assert nxg.nodes["a"]["model"] is small_graph.task("a").model
+
+    def test_round_trip(self, small_graph):
+        clone = from_networkx(to_networkx(small_graph))
+        assert set(clone.edges()) == set(small_graph.edges())
+
+    def test_cyclic_digraph_rejected(self):
+        g = nx.DiGraph([(1, 2), (2, 1)])
+        with pytest.raises(GraphError, match="DAG"):
+            from_networkx(g)
+
+    def test_missing_model_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a")
+        with pytest.raises(GraphError, match="model"):
+            from_networkx(g)
+
+    def test_interop_with_networkx_algorithms(self, small_graph):
+        nxg = to_networkx(small_graph)
+        assert nx.dag_longest_path_length(nxg) == 2  # edges on longest path
+
+
+class TestDotExport:
+    def test_contains_nodes_and_edges(self, small_graph):
+        from repro.graph.io import to_dot
+
+        dot = to_dot(small_graph, name="demo")
+        assert dot.startswith('digraph "demo"')
+        assert '"a" -> "b";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_tags_in_labels(self):
+        from repro.graph import TaskGraph
+        from repro.graph.io import to_dot
+
+        g = TaskGraph()
+        g.add_task("k", AmdahlModel(1.0, 1.0), tag="GEMM")
+        assert "GEMM" in to_dot(g)
+
+    def test_quotes_escaped(self):
+        from repro.graph import TaskGraph
+        from repro.graph.io import to_dot
+
+        g = TaskGraph()
+        g.add_task('we"ird', AmdahlModel(1.0, 1.0))
+        dot = to_dot(g)
+        assert '\\"' in dot

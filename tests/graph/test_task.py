@@ -1,0 +1,26 @@
+"""Unit tests for the Task record."""
+
+import pytest
+
+from repro.graph import Task
+from repro.speedup import AmdahlModel
+
+
+class TestTask:
+    def test_delegation(self):
+        model = AmdahlModel(8.0, 2.0)
+        task = Task("t", model)
+        assert task.time(4) == pytest.approx(model.time(4))
+        assert task.area(4) == pytest.approx(model.area(4))
+
+    def test_frozen(self):
+        task = Task("t", AmdahlModel(1.0, 1.0))
+        with pytest.raises(AttributeError):
+            task.id = "other"
+
+    def test_tag_not_compared(self):
+        m = AmdahlModel(1.0, 1.0)
+        assert Task("t", m, tag="x") == Task("t", m, tag="y")
+
+    def test_default_tag_empty(self):
+        assert Task("t", AmdahlModel(1.0, 1.0)).tag == ""

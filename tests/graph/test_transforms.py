@@ -1,0 +1,142 @@
+"""Tests for task-graph transformations."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import TaskGraph, to_networkx
+from repro.graph.generators import chain, erdos_renyi_dag, fork_join
+from repro.graph.transforms import (
+    compose_parallel,
+    compose_series,
+    level_decomposition,
+    relabel,
+    reverse,
+    transitive_reduction,
+)
+from repro.speedup import AmdahlModel
+
+
+def factory():
+    return AmdahlModel(4.0, 1.0)
+
+
+class TestRelabel:
+    def test_maps_ids(self, small_graph):
+        out = relabel(small_graph, lambda t: t.upper())
+        assert set(out) == {"A", "B", "C", "D"}
+        assert ("A", "B") in out.edges()
+
+    def test_collision_rejected(self, small_graph):
+        with pytest.raises(GraphError):
+            relabel(small_graph, lambda t: "same")
+
+    def test_models_shared(self, small_graph):
+        out = relabel(small_graph, lambda t: t.upper())
+        assert out.task("A").model is small_graph.task("a").model
+
+
+class TestReverse:
+    def test_flips_edges(self, small_graph):
+        out = reverse(small_graph)
+        assert set(out.edges()) == {(v, u) for u, v in small_graph.edges()}
+
+    def test_involution(self, small_graph):
+        assert set(reverse(reverse(small_graph)).edges()) == set(small_graph.edges())
+
+    def test_swaps_sources_and_sinks(self, small_graph):
+        out = reverse(small_graph)
+        assert out.sources() == small_graph.sinks()
+        assert out.sinks() == small_graph.sources()
+
+
+class TestCompose:
+    def test_series_depth_adds(self):
+        a, b = chain(3, factory), chain(2, factory)
+        out = compose_series(a, b)
+        assert len(out) == 5
+        assert out.longest_path_length() == 5
+
+    def test_series_links_sinks_to_sources(self):
+        a = fork_join(2, factory)  # one sink
+        b = fork_join(3, factory)  # one source
+        out = compose_series(a, b)
+        sink = (0, a.sinks()[0])
+        source = (1, b.sources()[0])
+        assert source in out.successors(sink)
+
+    def test_series_empty(self):
+        assert len(compose_series()) == 0
+
+    def test_parallel_width_adds(self):
+        a, b = chain(3, factory), chain(3, factory)
+        out = compose_parallel(a, b)
+        assert len(out) == 6
+        assert out.longest_path_length() == 3
+        assert len(out.sources()) == 2
+
+    def test_parallel_no_cross_edges(self):
+        out = compose_parallel(chain(2, factory), chain(2, factory))
+        for u, v in out.edges():
+            assert u[0] == v[0]
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut_edge(self):
+        g = TaskGraph()
+        for t in "abc":
+            g.add_task(t, factory())
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "c")  # redundant
+        out = transitive_reduction(g)
+        assert set(out.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_keeps_required_edges(self, small_graph):
+        out = transitive_reduction(small_graph)
+        assert set(out.edges()) == set(small_graph.edges())
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, n, p, seed):
+        g = erdos_renyi_dag(n, factory, edge_probability=p, seed=seed)
+        ours = transitive_reduction(g)
+        reference = nx.transitive_reduction(to_networkx(g))
+        assert set(ours.edges()) == set(reference.edges())
+
+    @given(
+        st.integers(min_value=2, max_value=14),
+        st.floats(min_value=0.1, max_value=1.0),
+        st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_preserves_reachability(self, n, p, seed):
+        g = erdos_renyi_dag(n, factory, edge_probability=p, seed=seed)
+        out = transitive_reduction(g)
+        assert nx.transitive_closure(to_networkx(g)).edges == nx.transitive_closure(
+            to_networkx(out)
+        ).edges
+
+
+class TestLevelDecomposition:
+    def test_diamond(self, small_graph):
+        assert level_decomposition(small_graph) == [["a"], ["b", "c"], ["d"]]
+
+    def test_empty(self):
+        assert level_decomposition(TaskGraph()) == []
+
+    def test_levels_partition_tasks(self):
+        g = erdos_renyi_dag(30, factory, edge_probability=0.2, seed=1)
+        levels = level_decomposition(g)
+        flat = [t for level in levels for t in level]
+        assert sorted(flat) == sorted(g)
+
+    def test_level_count_is_depth(self):
+        g = chain(7, factory)
+        assert len(level_decomposition(g)) == 7

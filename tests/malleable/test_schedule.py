@@ -1,0 +1,110 @@
+"""Tests for the malleable schedule type."""
+
+import pytest
+
+from repro.exceptions import (
+    CapacityExceededError,
+    PrecedenceViolationError,
+    ScheduleError,
+)
+from repro.graph import TaskGraph
+from repro.malleable import MalleableSchedule
+from repro.speedup import RooflineModel
+
+
+class TestSegments:
+    def test_add_and_query(self):
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 1.0, 4)
+        s.add_segment("a", 1.0, 3.0, 8)
+        assert len(s.segments("a")) == 2
+        assert s.start("a") == 0.0
+        assert s.end("a") == 3.0
+        assert s.n_reallocations() == 1
+
+    def test_overlapping_segments_rejected(self):
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 2.0, 4)
+        with pytest.raises(ScheduleError, match="overlap"):
+            s.add_segment("a", 1.0, 3.0, 4)
+
+    def test_gap_between_segments_allowed(self):
+        # Malleability includes being paused (allocation 0 = no segment).
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 1.0, 4)
+        s.add_segment("a", 5.0, 6.0, 4)
+        assert s.end("a") == 6.0
+
+    def test_over_capacity_segment_rejected(self):
+        s = MalleableSchedule(4)
+        with pytest.raises(CapacityExceededError):
+            s.add_segment("a", 0.0, 1.0, 5)
+
+    def test_unknown_task(self):
+        with pytest.raises(ScheduleError):
+            MalleableSchedule(4).segments("ghost")
+
+
+class TestMetrics:
+    def test_makespan_and_area(self):
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 2.0, 4)
+        s.add_segment("b", 1.0, 3.0, 2)
+        assert s.makespan() == 3.0
+        assert s.total_area() == pytest.approx(8 + 4)
+
+    def test_utilization_profile(self):
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 2.0, 4)
+        s.add_segment("b", 1.0, 3.0, 2)
+        bps, usage = s.utilization_profile()
+        assert bps.tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert usage.tolist() == [4, 6, 2]
+
+
+class TestValidation:
+    def _graph(self):
+        g = TaskGraph()
+        g.add_task("a", RooflineModel(8.0, 8))
+        g.add_task("b", RooflineModel(8.0, 8))
+        g.add_edge("a", "b")
+        return g
+
+    def test_valid_schedule_passes(self):
+        g = self._graph()
+        s = MalleableSchedule(8)
+        # a: 1.0 at 4 procs (t(4)=2 -> progress 0.5), then 0.5 at 8 procs.
+        s.add_segment("a", 0.0, 1.0, 4)
+        s.add_segment("a", 1.0, 1.5, 8)
+        s.add_segment("b", 1.5, 2.5, 8)
+        s.validate(g)
+
+    def test_under_execution_detected(self):
+        g = self._graph()
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 1.0, 4)  # only half the work
+        s.add_segment("b", 1.0, 2.0, 8)
+        with pytest.raises(ScheduleError, match="progress"):
+            s.validate(g)
+
+    def test_precedence_violation_detected(self):
+        g = self._graph()
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 2.0, 4)  # complete: t(4) = 2
+        s.add_segment("b", 0.5, 1.5, 4)  # starts before a ends
+        with pytest.raises(PrecedenceViolationError):
+            s.validate(g)
+
+    def test_capacity_violation_detected(self):
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 1.0, 6)
+        s.add_segment("b", 0.0, 1.0, 6)
+        with pytest.raises(CapacityExceededError):
+            s.validate()
+
+    def test_missing_task_detected(self):
+        g = self._graph()
+        s = MalleableSchedule(8)
+        s.add_segment("a", 0.0, 1.0, 8)
+        with pytest.raises(ScheduleError, match="never scheduled"):
+            s.validate(g)

@@ -1,0 +1,126 @@
+"""Tests for the failure-injection source (re-execution until success)."""
+
+import pytest
+
+from repro.bounds import makespan_lower_bound
+from repro.core import OnlineScheduler
+from repro.core.ratios import upper_bound
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import chain, fork_join
+from repro.resilience import FailureInjectingSource, attempt_counts
+from repro.speedup import AmdahlModel, RandomModelFactory
+
+
+def amdahl():
+    return AmdahlModel(8.0, 1.0)
+
+
+class TestConstruction:
+    def test_probability_one_rejected(self, small_graph):
+        with pytest.raises(InvalidParameterError):
+            FailureInjectingSource(small_graph, 1.0)
+
+    def test_probability_out_of_range_rejected(self, small_graph):
+        with pytest.raises(InvalidParameterError):
+            FailureInjectingSource(small_graph, 1.5)
+
+    def test_callable_probability(self, small_graph):
+        src = FailureInjectingSource(
+            small_graph, lambda tid: 0.5 if tid == "a" else 0.0, seed=0
+        )
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        attempts = attempt_counts(result)
+        assert all(attempts[t] == 1 for t in ("b", "c", "d"))
+
+
+class TestNoFailures:
+    def test_q_zero_matches_plain_run(self, small_graph):
+        P = 8
+        scheduler = OnlineScheduler.for_family("amdahl", P)
+        plain = scheduler.run(small_graph)
+        injected = scheduler.run(FailureInjectingSource(small_graph, 0.0, seed=1))
+        assert injected.makespan == pytest.approx(plain.makespan)
+        assert len(injected.schedule) == len(plain.schedule)
+
+    def test_attempt_ids(self, small_graph):
+        src = FailureInjectingSource(small_graph, 0.0, seed=1)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert ("a", 1) in result.schedule
+
+
+class TestWithFailures:
+    @pytest.fixture
+    def run_chain(self):
+        def _run(q, seed=7, length=10):
+            graph = chain(length, amdahl)
+            src = FailureInjectingSource(graph, q, seed=seed)
+            result = OnlineScheduler.for_family("amdahl", 8).run(src)
+            return graph, src, result
+
+        return _run
+
+    def test_retries_appear_in_schedule(self, run_chain):
+        _, src, result = run_chain(0.5)
+        assert len(result.schedule) > 10  # more attempts than tasks
+
+    def test_realized_graph_feasible(self, run_chain):
+        _, src, result = run_chain(0.3)
+        result.schedule.validate(result.graph)
+
+    def test_retry_chains_in_realized_graph(self, run_chain):
+        _, src, result = run_chain(0.5)
+        realized = result.graph
+        for original, n in src.attempts().items():
+            for attempt in range(2, n + 1):
+                assert (original, attempt - 1) in set(
+                    realized.predecessors((original, attempt))
+                )
+
+    def test_successors_wait_for_success(self, run_chain):
+        _, src, result = run_chain(0.5)
+        attempts = src.attempts()
+        for i in range(1, 10):
+            first_attempt = result.schedule[(i, 1)]
+            final_of_pred = result.schedule[(i - 1, attempts[i - 1])]
+            assert first_attempt.start >= final_of_pred.end * (1 - 1e-12)
+
+    def test_deterministic_given_seed(self, run_chain):
+        _, _, a = run_chain(0.3, seed=42)
+        _, _, b = run_chain(0.3, seed=42)
+        assert a.makespan == b.makespan
+
+    def test_different_seeds_differ(self, run_chain):
+        _, _, a = run_chain(0.5, seed=1)
+        _, _, b = run_chain(0.5, seed=2)
+        assert a.makespan != b.makespan  # overwhelmingly likely
+
+    def test_makespan_grows_with_q(self):
+        graph = chain(20, amdahl)
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        makespans = []
+        for q in (0.0, 0.3, 0.6):
+            src = FailureInjectingSource(graph, q, seed=5)
+            makespans.append(scheduler.run(src).makespan)
+        assert makespans[0] < makespans[1] < makespans[2]
+
+    def test_max_attempts_caps_retries(self):
+        graph = chain(3, amdahl)
+        src = FailureInjectingSource(graph, 0.99, seed=0, max_attempts=5)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert max(attempt_counts(result).values()) <= 5
+
+    def test_guarantee_transfers_to_realized_graph(self):
+        """T <= ratio * LB(realized graph): the paper's carry-over claim."""
+        factory = RandomModelFactory(family="general", seed=9)
+        graph = fork_join(8, factory, stages=3)
+        src = FailureInjectingSource(graph, 0.3, seed=9)
+        result = OnlineScheduler.for_family("general", 32).run(src)
+        lb = makespan_lower_bound(result.graph, 32).value
+        assert result.makespan <= upper_bound("general") * lb * (1 + 1e-9)
+
+
+class TestAttemptCounts:
+    def test_counts_match_source(self, small_graph):
+        src = FailureInjectingSource(small_graph, 0.5, seed=3)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert attempt_counts(result) == src.attempts()

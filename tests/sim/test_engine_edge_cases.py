@@ -1,0 +1,101 @@
+"""Engine edge cases: ill-behaved sources, combined capabilities."""
+
+import pytest
+
+from repro.baselines.online import MaxUsefulAllocator
+from repro.exceptions import SimulationError
+from repro.graph import Task, TaskGraph
+from repro.sim import ListScheduler, ReleasedTaskSource
+from repro.speedup import AmdahlModel, RooflineModel
+
+
+class _LyingSource:
+    """Claims exhaustion incorrectly: reveals nothing but holds tasks."""
+
+    def initial_tasks(self):
+        return []
+
+    def on_complete(self, task_id):  # pragma: no cover - never called
+        return []
+
+    def is_exhausted(self):
+        return False  # lies: nothing was ever revealed
+
+    def realized_graph(self):
+        return TaskGraph()
+
+
+class _DoubleRevealSource:
+    def __init__(self):
+        self._g = TaskGraph()
+        self._task = self._g.add_task("dup", AmdahlModel(1.0, 1.0))
+
+    def initial_tasks(self):
+        return [self._task, self._task]
+
+    def on_complete(self, task_id):
+        return []
+
+    def is_exhausted(self):
+        return True
+
+    def realized_graph(self):
+        return self._g
+
+
+class TestIllBehavedSources:
+    def test_unexhausted_source_detected(self):
+        with pytest.raises(SimulationError, match="unrevealed"):
+            ListScheduler(4, MaxUsefulAllocator()).run(_LyingSource())
+
+    def test_double_reveal_detected(self):
+        with pytest.raises(SimulationError, match="revealed twice"):
+            ListScheduler(4, MaxUsefulAllocator()).run(_DoubleRevealSource())
+
+    def test_release_source_unknown_completion(self):
+        src = ReleasedTaskSource([(0.0, "a", AmdahlModel(1.0, 1.0))])
+        src.initial_tasks()
+        with pytest.raises(SimulationError, match="unknown"):
+            src.on_complete("ghost")
+
+    def test_release_source_double_completion(self):
+        src = ReleasedTaskSource([(0.0, "a", AmdahlModel(1.0, 1.0))])
+        src.initial_tasks()
+        src.on_complete("a")
+        with pytest.raises(SimulationError, match="twice"):
+            src.on_complete("a")
+
+
+class TestCombinedCapabilities:
+    def test_timed_source_with_priority_rule(self):
+        """Releases + a priority rule: later-released high-priority task
+        overtakes queued earlier arrivals."""
+        entries = [
+            (0.0, "hog", RooflineModel(40.0, 4)),  # runs [0, 10] on all 4
+            (1.0, "low", RooflineModel(4.0, 4)),
+            (2.0, "high", RooflineModel(4.0, 4)),
+        ]
+        src = ReleasedTaskSource(entries)
+        scheduler = ListScheduler(
+            4,
+            MaxUsefulAllocator(),
+            priority=lambda task, alloc: 0 if task.id == "high" else 1,
+        )
+        result = scheduler.run(src)
+        assert result.schedule["high"].start < result.schedule["low"].start
+
+    def test_reveal_times_with_releases(self):
+        entries = [(3.0, "late", RooflineModel(4.0, 4))]
+        result = ListScheduler(4, MaxUsefulAllocator()).run(
+            ReleasedTaskSource(entries)
+        )
+        assert result.revealed_at["late"] == pytest.approx(3.0)
+        assert result.waiting_times()["late"] == pytest.approx(0.0)
+
+    def test_release_ties_keep_input_order(self):
+        m = RooflineModel(4.0, 2)
+        entries = [(1.0, "first", m), (1.0, "second", m)]
+        result = ListScheduler(2, MaxUsefulAllocator()).run(
+            ReleasedTaskSource(entries)
+        )
+        assert result.schedule["first"].start < result.schedule["second"].start

@@ -1,0 +1,70 @@
+"""Unit tests for the I1/I2/I3 interval decomposition (Section 4.2)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sim import Schedule, decompose_intervals
+
+
+def build(P, segments):
+    """Build a schedule with back-to-back dummy segments of given usage."""
+    s = Schedule(P)
+    now = 0.0
+    for i, (duration, busy) in enumerate(segments):
+        if busy:
+            s.add(("seg", i), now, now + duration, busy)
+        now += duration
+    return s
+
+
+class TestClassification:
+    def test_boundaries(self):
+        # P = 10, mu = 0.3: ceil(mu P) = 3, ceil((1-mu) P) = 7.
+        s = build(10, [(1.0, 2), (1.0, 3), (1.0, 6), (1.0, 7), (1.0, 10)])
+        d = decompose_intervals(s, 0.3)
+        assert d.T1 == pytest.approx(1.0)  # usage 2 < 3
+        assert d.T2 == pytest.approx(2.0)  # usages 3, 6 in [3, 7)
+        assert d.T3 == pytest.approx(2.0)  # usages 7, 10 in [7, 10]
+
+    def test_idle_time_in_T0(self):
+        s = Schedule(10)
+        s.add("a", 0.0, 1.0, 5)
+        s.add("b", 3.0, 4.0, 5)
+        d = decompose_intervals(s, 0.3)
+        assert d.T0 == pytest.approx(2.0)
+
+    def test_total_equals_makespan(self):
+        s = build(8, [(0.5, 1), (1.5, 4), (2.0, 8)])
+        d = decompose_intervals(s, 0.25)
+        assert d.total == pytest.approx(s.makespan())
+
+    def test_intervals_exposed(self):
+        s = build(4, [(1.0, 2), (2.0, 4)])
+        d = decompose_intervals(s, 0.3)
+        assert d.intervals == ((0.0, 1.0, 2), (1.0, 3.0, 4))
+
+    def test_invalid_mu_rejected(self):
+        s = build(4, [(1.0, 2)])
+        for mu in (0.0, 0.5, -0.1, 1.0):
+            with pytest.raises(InvalidParameterError):
+                decompose_intervals(s, mu)
+
+
+class TestLemmaHelpers:
+    def test_lemma3_lhs(self):
+        s = build(10, [(2.0, 5), (3.0, 9)])
+        d = decompose_intervals(s, 0.3)
+        assert d.lemma3_lhs() == pytest.approx(0.3 * 2.0 + 0.7 * 3.0)
+
+    def test_lemma4_lhs(self):
+        s = build(10, [(2.0, 1), (3.0, 5)])
+        d = decompose_intervals(s, 0.3)
+        assert d.lemma4_lhs(beta=2.0) == pytest.approx(2.0 / 2.0 + 0.3 * 3.0)
+
+    def test_full_platform_is_T3(self):
+        s = build(7, [(4.0, 7)])
+        d = decompose_intervals(s, 0.382)
+        assert d.T3 == pytest.approx(4.0)
+        assert d.T1 == d.T2 == 0.0

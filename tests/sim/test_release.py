@@ -1,0 +1,137 @@
+"""Tests for the release-over-time setting (ReleasedTaskSource + engine)."""
+
+import pytest
+
+from repro.baselines.online import MaxUsefulAllocator, SingleProcessorAllocator
+from repro.bounds import release_makespan_lower_bound
+from repro.core import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.sim import ListScheduler, ReleasedTaskSource
+from repro.speedup import AmdahlModel, RooflineModel
+
+
+def _source(entries):
+    return ReleasedTaskSource(entries)
+
+
+class TestReleasedTaskSource:
+    def test_initial_tasks_are_time_zero_releases(self):
+        src = _source([(0.0, AmdahlModel(4.0, 1.0)), (1.0, AmdahlModel(4.0, 1.0))])
+        assert len(src.initial_tasks()) == 1
+        assert src.next_release_time() == 1.0
+
+    def test_release_due_delivers_in_order(self):
+        src = _source([(2.0, "b", AmdahlModel(1.0, 1.0)), (1.0, "a", AmdahlModel(1.0, 1.0))])
+        src.initial_tasks()
+        released = src.release_due(1.5)
+        assert [t.id for t in released] == ["a"]
+        assert src.next_release_time() == 2.0
+
+    def test_custom_ids(self):
+        src = _source([(0.5, "x", AmdahlModel(1.0, 1.0))])
+        src.initial_tasks()
+        assert [t.id for t in src.release_due(0.5)] == ["x"]
+
+    def test_duplicate_ids_rejected(self):
+        m = AmdahlModel(1.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            _source([(0.0, "x", m), (1.0, "x", m)])
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _source([(-1.0, AmdahlModel(1.0, 1.0))])
+
+    def test_bad_entry_shape_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _source([(0.0,)])
+
+    def test_exhaustion(self):
+        src = _source([(0.0, "a", AmdahlModel(1.0, 1.0))])
+        (task,) = src.initial_tasks()
+        assert not src.is_exhausted()
+        src.on_complete("a")
+        assert src.is_exhausted()
+
+    def test_release_times_map(self):
+        src = _source([(3.0, "b", AmdahlModel(1.0, 1.0)), (1.0, "a", AmdahlModel(1.0, 1.0))])
+        assert src.release_times() == {"a": 1.0, "b": 3.0}
+
+
+class TestEngineWithReleases:
+    def test_task_never_starts_before_release(self):
+        src = _source(
+            [
+                (0.0, "early", RooflineModel(4.0, 4)),
+                (10.0, "late", RooflineModel(4.0, 4)),
+            ]
+        )
+        result = ListScheduler(8, MaxUsefulAllocator()).run(src)
+        assert result.schedule["early"].start == 0.0
+        assert result.schedule["late"].start == pytest.approx(10.0)
+
+    def test_idle_platform_jumps_to_next_release(self):
+        # Nothing at t=0 at all.
+        src = _source([(5.0, "only", RooflineModel(2.0, 2))])
+        result = ListScheduler(4, MaxUsefulAllocator()).run(src)
+        assert result.schedule["only"].start == pytest.approx(5.0)
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_release_during_busy_period_queues(self):
+        src = _source(
+            [
+                (0.0, "hog", RooflineModel(40.0, 4)),  # runs [0, 10] on 4 procs
+                (2.0, "small", RooflineModel(4.0, 4)),  # released while busy
+            ]
+        )
+        result = ListScheduler(4, MaxUsefulAllocator()).run(src)
+        assert result.schedule["small"].start == pytest.approx(10.0)
+
+    def test_simultaneous_release_and_completion(self):
+        src = _source(
+            [
+                (0.0, "a", RooflineModel(8.0, 4)),  # ends at 2.0
+                (2.0, "b", RooflineModel(8.0, 4)),  # released exactly then
+            ]
+        )
+        result = ListScheduler(4, MaxUsefulAllocator()).run(src)
+        assert result.schedule["b"].start == pytest.approx(2.0)
+
+    def test_algorithm1_runs_release_setting(self):
+        entries = [(float(i) * 0.5, AmdahlModel(8.0, 1.0)) for i in range(20)]
+        src = _source(entries)
+        result = OnlineScheduler.for_family("amdahl", 16).run(src)
+        assert len(result.schedule) == 20
+        result.schedule.validate(result.graph)
+
+
+class TestReleaseLowerBound:
+    def test_empty(self):
+        assert release_makespan_lower_bound(_source([]), 4).value == 0.0
+
+    def test_task_bound(self):
+        src = _source([(10.0, AmdahlModel(8.0, 2.0))])
+        lb = release_makespan_lower_bound(src, 8)
+        assert lb.task_bound == pytest.approx(10.0 + 8.0 / 8 + 2.0)
+
+    def test_area_bound(self):
+        src = _source([(0.0, AmdahlModel(8.0, 2.0))] * 16)
+        lb = release_makespan_lower_bound(src, 4)
+        assert lb.area_bound == pytest.approx(16 * 10.0 / 4)
+
+    def test_suffix_bound_dominates_with_late_burst(self):
+        # One early task, a burst of 8 heavy tasks at t=100 on P=2.
+        entries = [(0.0, AmdahlModel(1.0, 0.5))] + [
+            (100.0, AmdahlModel(10.0, 1.0)) for _ in range(8)
+        ]
+        lb = release_makespan_lower_bound(_source(entries), 2)
+        assert lb.suffix_bound >= 100.0 + 8 * 11.0 / 2
+        assert lb.value == lb.suffix_bound
+
+    def test_no_scheduler_beats_bound(self):
+        entries = [(float(i % 4), AmdahlModel(4.0 + i, 1.0), ) for i in range(12)]
+        entries = [(r, m) for r, m in entries]
+        for allocator in (MaxUsefulAllocator(), SingleProcessorAllocator()):
+            src = _source(entries)
+            result = ListScheduler(4, allocator).run(src)
+            lb = release_makespan_lower_bound(src, 4).value
+            assert result.makespan >= lb * (1 - 1e-9)

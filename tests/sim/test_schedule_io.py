@@ -1,0 +1,58 @@
+"""Tests for schedule (de)serialization."""
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.exceptions import ScheduleError
+from repro.sim import Schedule
+from repro.sim.schedule_io import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.speedup import RandomModelFactory
+from repro.workflows import cholesky
+
+
+@pytest.fixture
+def schedule():
+    s = Schedule(8)
+    s.add("a", 0.0, 2.0, 4, initial_alloc=6, tag="x")
+    s.add(("tuple", 1), 2.0, 3.0, 2)
+    return s
+
+
+class TestDictRoundTrip:
+    def test_round_trip(self, schedule):
+        clone = schedule_from_dict(schedule_to_dict(schedule))
+        assert clone.P == 8
+        assert len(clone) == 2
+        assert clone["a"].initial_alloc == 6
+        assert clone["a"].tag == "x"
+        assert clone[("tuple", 1)].procs == 2
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_dict({"entries": []})
+
+
+class TestJsonRoundTrip:
+    def test_tuple_ids_survive(self, schedule):
+        clone = schedule_from_json(schedule_to_json(schedule))
+        assert ("tuple", 1) in clone
+        assert clone.makespan() == schedule.makespan()
+
+    def test_real_run_round_trip(self):
+        factory = RandomModelFactory(family="amdahl", seed=1)
+        graph = cholesky(5, factory)
+        result = OnlineScheduler.for_family("amdahl", 16).run(graph)
+        clone = schedule_from_json(schedule_to_json(result.schedule))
+        clone.validate(graph)  # tuple kernel ids preserved exactly
+        assert clone.makespan() == pytest.approx(result.makespan)
+
+    def test_nested_tuples(self):
+        s = Schedule(2)
+        s.add((("a", 1), 2), 0.0, 1.0, 1)
+        clone = schedule_from_json(schedule_to_json(s))
+        assert (("a", 1), 2) in clone

@@ -1,0 +1,61 @@
+"""Property-based tests for Schedule bookkeeping (conservation laws)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Schedule
+
+
+@st.composite
+def random_schedules(draw):
+    P = draw(st.integers(min_value=1, max_value=32))
+    n = draw(st.integers(min_value=0, max_value=25))
+    s = Schedule(P)
+    for i in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=100.0))
+        duration = draw(st.floats(min_value=0.0, max_value=50.0))
+        procs = draw(st.integers(min_value=1, max_value=P))
+        s.add(i, start, start + duration, procs)
+    return s
+
+
+class TestConservation:
+    @given(random_schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_profile_area_equals_total_area(self, s):
+        """Integrating the utilization profile recovers the summed areas."""
+        bps, usage = s.utilization_profile()
+        integrated = float(np.sum(np.diff(bps) * usage)) if usage.size else 0.0
+        assert integrated == pytest.approx(s.total_area(), rel=1e-9, abs=1e-9)
+
+    @given(random_schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_profile_covers_exact_span(self, s):
+        bps, usage = s.utilization_profile()
+        if len(s) == 0:
+            assert usage.size == 0
+            return
+        assert bps[0] == min(e.start for e in s.entries)
+        assert bps[-1] == s.makespan()
+
+    @given(random_schedules())
+    @settings(max_examples=80, deadline=None)
+    def test_peak_bounds_every_instant(self, s):
+        _, usage = s.utilization_profile()
+        if usage.size:
+            assert s.peak_utilization() == int(usage.max())
+
+    @given(random_schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_average_utilization_in_unit_range_when_feasible(self, s):
+        if len(s) == 0 or s.peak_utilization() > s.P:
+            return  # random stacking may be infeasible; skip those
+        assert 0.0 <= s.average_utilization() <= 1.0 + 1e-9
+
+    @given(random_schedules())
+    @settings(max_examples=50, deadline=None)
+    def test_breakpoints_sorted_unique(self, s):
+        bps, _ = s.utilization_profile()
+        assert np.all(np.diff(bps) > 0) or bps.size == 1

@@ -1,0 +1,54 @@
+"""Unit tests for the StaticGraphSource online-reveal adapter."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.sources import GraphSource, StaticGraphSource
+
+
+class TestStaticGraphSource:
+    def test_initial_tasks_are_sources(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        assert [t.id for t in src.initial_tasks()] == ["a"]
+
+    def test_reveal_order_follows_insertion(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        src.initial_tasks()
+        revealed = src.on_complete("a")
+        assert [t.id for t in revealed] == ["b", "c"]
+
+    def test_join_waits_for_all_predecessors(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        src.initial_tasks()
+        src.on_complete("a")
+        assert src.on_complete("b") == []  # d still waits on c
+        assert [t.id for t in src.on_complete("c")] == ["d"]
+
+    def test_exhaustion(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        src.initial_tasks()
+        for t in ("a", "b", "c"):
+            src.on_complete(t)
+        assert not src.is_exhausted()
+        src.on_complete("d")
+        assert src.is_exhausted()
+
+    def test_double_completion_rejected(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        src.initial_tasks()
+        src.on_complete("a")
+        with pytest.raises(SimulationError, match="twice"):
+            src.on_complete("a")
+
+    def test_unrevealed_completion_rejected(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        src.initial_tasks()
+        with pytest.raises(SimulationError, match="unrevealed"):
+            src.on_complete("d")
+
+    def test_realized_graph_is_original(self, small_graph):
+        src = StaticGraphSource(small_graph)
+        assert src.realized_graph() is small_graph
+
+    def test_satisfies_protocol(self, small_graph):
+        assert isinstance(StaticGraphSource(small_graph), GraphSource)

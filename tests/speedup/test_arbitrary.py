@@ -1,0 +1,92 @@
+"""Unit tests for tabulated, callable, and log-parallelism models."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup import CallableModel, LogParallelismModel, TabulatedModel
+
+
+class TestTabulated:
+    def test_lookup(self):
+        m = TabulatedModel([3.0, 2.0, 1.5])
+        assert m.time(1) == 3.0
+        assert m.time(2) == 2.0
+        assert m.time(3) == 1.5
+
+    def test_saturates_beyond_table(self):
+        m = TabulatedModel([3.0, 2.0])
+        assert m.time(10) == 2.0
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TabulatedModel([])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_bad_entries_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            TabulatedModel([1.0, bad])
+
+    def test_max_useful_with_non_monotone_table(self):
+        # Time dips at p=2 then rises: p_max must be 2, not 4.
+        m = TabulatedModel([3.0, 1.0, 2.0, 0.9])
+        assert m.max_useful_processors(3) == 2
+        assert m.max_useful_processors(4) == 4
+
+    def test_a_min_scans_range(self):
+        # area: 3, 2, 6 -> min at p=2, not p=1.
+        m = TabulatedModel([3.0, 1.0, 2.0])
+        assert m.a_min(3) == pytest.approx(2.0)
+
+
+class TestCallable:
+    def test_delegates(self):
+        m = CallableModel(lambda p: 10.0 / p)
+        assert m.time(5) == pytest.approx(2.0)
+
+    def test_monotonic_flag(self):
+        assert CallableModel(lambda p: 1.0 / p, monotonic=True).monotonic_hint
+        assert not CallableModel(lambda p: 1.0 / p).monotonic_hint
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(InvalidParameterError):
+            CallableModel(42)
+
+    def test_invalid_return_value_rejected(self):
+        m = CallableModel(lambda p: -1.0)
+        with pytest.raises(InvalidParameterError):
+            m.time(1)
+
+
+class TestLogParallelism:
+    def test_theorem9_values(self):
+        """t(2^(i-1)) = 1/i -- the identity behind Figure 4(a)."""
+        m = LogParallelismModel()
+        for i in range(1, 8):
+            assert m.time(2 ** (i - 1)) == pytest.approx(1.0 / i)
+
+    def test_scaling(self):
+        m = LogParallelismModel(base=3.0)
+        assert m.time(1) == pytest.approx(3.0)
+        assert m.time(2) == pytest.approx(1.5)
+
+    def test_all_processors_useful(self):
+        assert LogParallelismModel().max_useful_processors(77) == 77
+
+    def test_area_increasing(self):
+        # a(1) = a(2) = 1 exactly; strictly increasing from p = 2 on.
+        m = LogParallelismModel()
+        areas = [m.area(p) for p in range(1, 100)]
+        assert areas[0] == areas[1] == 1.0
+        assert all(b > a for a, b in zip(areas[1:], areas[2:]))
+
+    def test_monotonic(self):
+        assert LogParallelismModel().is_monotonic(128)
+
+    def test_a_min(self):
+        assert LogParallelismModel(base=2.0).a_min(64) == pytest.approx(2.0)
+
+    def test_equality(self):
+        assert LogParallelismModel() == LogParallelismModel()
+        assert LogParallelismModel(2.0) != LogParallelismModel(3.0)

@@ -1,0 +1,62 @@
+"""Tests for speedup/efficiency curve helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup import AmdahlModel, CommunicationModel, RooflineModel
+from repro.speedup.curves import (
+    efficiency_curve,
+    karp_flatt,
+    scaling_table,
+    speedup_curve,
+)
+
+
+class TestSpeedupCurve:
+    def test_roofline_linear_then_flat(self):
+        m = RooflineModel(32.0, 4)
+        s = speedup_curve(m, 8)
+        assert s[:4] == pytest.approx([1, 2, 3, 4])
+        assert s[4:] == pytest.approx([4, 4, 4, 4])
+
+    def test_starts_at_one(self, any_model):
+        assert speedup_curve(any_model, 8)[0] == pytest.approx(1.0)
+
+    def test_never_superlinear_for_eq1(self):
+        m = AmdahlModel(10.0, 1.0)
+        s = speedup_curve(m, 32)
+        assert np.all(s <= np.arange(1, 33) + 1e-9)
+
+
+class TestEfficiencyCurve:
+    def test_bounded_by_one(self, any_model):
+        e = efficiency_curve(any_model, 16)
+        assert np.all(e <= 1.0 + 1e-9)
+
+    def test_amdahl_efficiency_decreasing(self):
+        e = efficiency_curve(AmdahlModel(10.0, 1.0), 32)
+        assert np.all(np.diff(e) <= 1e-12)
+
+
+class TestKarpFlatt:
+    def test_recovers_amdahl_serial_fraction(self):
+        m = AmdahlModel(9.0, 1.0)  # serial fraction 0.1
+        for p in (2, 4, 16, 64):
+            assert karp_flatt(m, p) == pytest.approx(0.1)
+
+    def test_grows_with_communication_overhead(self):
+        m = CommunicationModel(100.0, 0.5)
+        assert karp_flatt(m, 8) > karp_flatt(m, 2)
+
+    def test_rejects_p_one(self):
+        with pytest.raises(InvalidParameterError):
+            karp_flatt(AmdahlModel(1.0, 1.0), 1)
+
+
+class TestScalingTable:
+    def test_renders(self):
+        text = scaling_table(AmdahlModel(10.0, 1.0), ps=[1, 2, 4])
+        assert "speedup" in text
+        assert "karp-flatt" in text
+        assert len(text.splitlines()) == 6

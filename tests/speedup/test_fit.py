@@ -1,0 +1,167 @@
+"""Tests for fitting speedup models to (processors, time) samples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FittingError
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    PowerLawModel,
+    RooflineModel,
+)
+from repro.speedup.fit import (
+    fit_amdahl,
+    fit_best,
+    fit_communication,
+    fit_general,
+    fit_power_law,
+    fit_roofline,
+)
+
+
+def _samples(model, ps):
+    return [(p, model.time(p)) for p in ps]
+
+
+class TestFitAmdahl:
+    def test_exact_recovery(self):
+        model = AmdahlModel(10.0, 1.0)
+        fitted = fit_amdahl(_samples(model, [1, 2, 4, 8]))
+        assert fitted.w == pytest.approx(10.0, rel=1e-9)
+        assert fitted.d == pytest.approx(1.0, rel=1e-9)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        model = AmdahlModel(50.0, 5.0)
+        samples = [
+            (p, model.time(p) * (1 + rng.normal(0, 0.01))) for p in range(1, 33)
+        ]
+        fitted = fit_amdahl(samples)
+        assert fitted.w == pytest.approx(50.0, rel=0.05)
+        assert fitted.d == pytest.approx(5.0, rel=0.1)
+
+    def test_needs_two_distinct_p(self):
+        with pytest.raises(FittingError):
+            fit_amdahl([(4, 1.0), (4, 1.1)])
+
+    def test_linear_speedup_rejected(self):
+        model = GeneralModel(8.0)  # pure w/p: d fits to 0
+        with pytest.raises(FittingError):
+            fit_amdahl(_samples(model, [1, 2, 4, 8]))
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(FittingError):
+            fit_amdahl([(0, 1.0), (2, 0.5)])
+        with pytest.raises(FittingError):
+            fit_amdahl([(1, -1.0), (2, 0.5)])
+
+
+class TestFitCommunication:
+    def test_exact_recovery(self):
+        model = CommunicationModel(36.0, 0.5)
+        fitted = fit_communication(_samples(model, [1, 2, 4, 6, 10]))
+        assert fitted.w == pytest.approx(36.0, rel=1e-9)
+        assert fitted.c == pytest.approx(0.5, rel=1e-9)
+
+    def test_no_overhead_rejected(self):
+        model = GeneralModel(8.0)
+        with pytest.raises(FittingError):
+            fit_communication(_samples(model, [1, 2, 4]))
+
+
+class TestFitGeneral:
+    def test_exact_recovery(self):
+        model = GeneralModel(24.0, d=2.0, c=0.25)
+        fitted = fit_general(_samples(model, [1, 2, 3, 4, 6, 8, 12]))
+        assert fitted.w == pytest.approx(24.0, rel=1e-6)
+        assert fitted.d == pytest.approx(2.0, rel=1e-6)
+        assert fitted.c == pytest.approx(0.25, rel=1e-6)
+
+    def test_needs_three_distinct_p(self):
+        with pytest.raises(FittingError):
+            fit_general([(1, 3.0), (2, 2.0)])
+
+    def test_degenerates_to_special_cases(self):
+        model = AmdahlModel(10.0, 1.0)
+        fitted = fit_general(_samples(model, [1, 2, 4, 8, 16]))
+        assert fitted.c == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFitRoofline:
+    def test_recovers_parallelism_bound(self):
+        model = RooflineModel(48.0, 6)
+        fitted = fit_roofline(_samples(model, [1, 2, 4, 6, 8, 16]))
+        assert fitted.w == pytest.approx(48.0, rel=1e-9)
+        assert fitted.max_parallelism == 6
+
+    def test_unbounded_picks_largest_sample(self):
+        model = GeneralModel(48.0)  # never flattens
+        fitted = fit_roofline(_samples(model, [1, 2, 4, 8]))
+        assert fitted.max_parallelism == 8
+
+
+class TestFitPowerLaw:
+    def test_exact_recovery(self):
+        model = PowerLawModel(20.0, 0.6)
+        fitted = fit_power_law(_samples(model, [1, 2, 4, 8, 16]))
+        assert fitted.w == pytest.approx(20.0, rel=1e-9)
+        assert fitted.exponent == pytest.approx(0.6, rel=1e-9)
+
+    def test_superlinear_rejected(self):
+        samples = [(1, 8.0), (2, 2.0), (4, 0.5)]  # t ~ p^-2
+        with pytest.raises(FittingError):
+            fit_power_law(samples)
+
+
+class TestFitBest:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            AmdahlModel(10.0, 1.0),
+            CommunicationModel(36.0, 0.5),
+            RooflineModel(48.0, 6),
+            PowerLawModel(20.0, 0.6),
+        ],
+        ids=repr,
+    )
+    def test_selects_generating_family(self, model):
+        fitted = fit_best(_samples(model, [1, 2, 3, 4, 6, 8, 12, 16]))
+        for p in (1, 2, 5, 10):
+            assert fitted.time(p) == pytest.approx(model.time(p), rel=1e-6)
+
+    def test_unfittable_rejected_with_threshold(self):
+        # Time *increases* with processors: no family fits well.
+        with pytest.raises(FittingError):
+            fit_best([(1, 1.0), (2, 5.0), (4, 25.0)], max_relative_error=0.2)
+
+    def test_without_threshold_falls_back_to_least_bad(self):
+        model = fit_best([(1, 1.0), (2, 5.0), (4, 25.0)])
+        assert model is not None  # best-effort constant-ish fit
+
+
+class TestFitProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=1e4),
+        st.floats(min_value=0.01, max_value=1e2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_amdahl_round_trip(self, w, d):
+        model = AmdahlModel(w, d)
+        fitted = fit_amdahl(_samples(model, [1, 2, 4, 8, 16, 32]))
+        assert fitted.w == pytest.approx(w, rel=1e-6)
+        assert fitted.d == pytest.approx(d, rel=1e-6)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_communication_round_trip(self, w, c):
+        model = CommunicationModel(w, c)
+        fitted = fit_communication(_samples(model, [1, 2, 4, 8, 16]))
+        assert fitted.w == pytest.approx(w, rel=1e-6)
+        assert fitted.c == pytest.approx(c, rel=1e-6)

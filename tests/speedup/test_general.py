@@ -1,0 +1,129 @@
+"""Unit tests for the general speedup model (Equation (1))."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup import GeneralModel
+
+
+class TestConstruction:
+    def test_defaults(self):
+        m = GeneralModel(10.0)
+        assert m.w == 10.0 and m.d == 0.0 and m.c == 0.0
+        assert m.max_parallelism is None
+
+    @pytest.mark.parametrize("bad_w", [0, -1, math.nan, "x"])
+    def test_rejects_bad_work(self, bad_w):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(bad_w)
+
+    def test_rejects_negative_d(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(1.0, d=-0.1)
+
+    def test_rejects_negative_c(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(1.0, c=-0.1)
+
+    @pytest.mark.parametrize("bad_p", [0, -2, 1.5, "x"])
+    def test_rejects_bad_max_parallelism(self, bad_p):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(1.0, max_parallelism=bad_p)
+
+
+class TestTime:
+    def test_equation_one(self):
+        m = GeneralModel(w=12.0, d=3.0, c=0.5, max_parallelism=4)
+        # t(p) = w / min(p, 4) + d + c (p - 1)
+        assert m.time(1) == pytest.approx(12.0 + 3.0)
+        assert m.time(2) == pytest.approx(6.0 + 3.0 + 0.5)
+        assert m.time(4) == pytest.approx(3.0 + 3.0 + 1.5)
+        # Beyond max_parallelism the work term saturates, overhead grows.
+        assert m.time(8) == pytest.approx(3.0 + 3.0 + 3.5)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(1.0).time(0)
+
+    def test_rejects_fractional_processors(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(1.0).time(1.5)
+
+    def test_area_is_p_times_t(self):
+        m = GeneralModel(w=10.0, d=1.0, c=0.1)
+        for p in (1, 3, 7):
+            assert m.area(p) == pytest.approx(p * m.time(p))
+
+
+class TestMaxUsefulProcessors:
+    def test_no_overhead_uses_everything(self):
+        assert GeneralModel(10.0).max_useful_processors(64) == 64
+
+    def test_clamped_by_max_parallelism(self):
+        assert GeneralModel(10.0, max_parallelism=5).max_useful_processors(64) == 5
+
+    def test_sqrt_w_over_c_rule(self):
+        # s = sqrt(100 / 1) = 10 exactly.
+        m = GeneralModel(w=100.0, c=1.0)
+        assert m.max_useful_processors(64) == 10
+
+    def test_floor_vs_ceil_choice(self):
+        # s = sqrt(10) ~ 3.162: compares t(3) and t(4).
+        m = GeneralModel(w=10.0, c=1.0)
+        p = m.max_useful_processors(64)
+        assert p in (3, 4)
+        assert m.time(p) == min(m.time(3), m.time(4))
+
+    def test_matches_brute_force(self, any_model):
+        """Equation (5) equals the brute-force argmin for every zoo model."""
+        P = 40
+        p_max = any_model.max_useful_processors(P)
+        best = min(range(1, P + 1), key=lambda p: (any_model.time(p), p))
+        assert any_model.time(p_max) == pytest.approx(any_model.time(best))
+
+    def test_clamped_by_platform(self):
+        m = GeneralModel(w=1000.0, c=0.001)  # s ~ 1000
+        assert m.max_useful_processors(8) == 8
+
+
+class TestMinQuantities:
+    def test_t_min_is_time_at_p_max(self, any_model):
+        P = 32
+        assert any_model.t_min(P) == pytest.approx(
+            any_model.time(any_model.max_useful_processors(P))
+        )
+
+    def test_a_min_is_single_processor_area_for_eq1(self):
+        m = GeneralModel(w=10.0, d=2.0, c=0.5)
+        assert m.a_min(16) == pytest.approx(m.area(1)) == pytest.approx(12.0)
+
+    def test_a_min_never_exceeds_any_area(self, any_model):
+        P = 32
+        a_min = any_model.a_min(P)
+        p_max = any_model.max_useful_processors(P)
+        assert all(
+            a_min <= any_model.area(p) * (1 + 1e-12) for p in range(1, p_max + 1)
+        )
+
+
+class TestScaledWork:
+    def test_w_prime(self):
+        assert GeneralModel(w=10.0, c=2.0).scaled_work() == pytest.approx(5.0)
+
+    def test_undefined_without_overhead(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralModel(w=10.0).scaled_work()
+
+
+class TestEqualityAndHash:
+    def test_equal_models(self):
+        assert GeneralModel(1.0, d=2.0) == GeneralModel(1.0, d=2.0)
+
+    def test_unequal_models(self):
+        assert GeneralModel(1.0) != GeneralModel(2.0)
+
+    def test_hash_consistent(self):
+        a, b = GeneralModel(1.0, c=0.5), GeneralModel(1.0, c=0.5)
+        assert hash(a) == hash(b)

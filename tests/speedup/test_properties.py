@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the Equation (1) model family.
+
+These pin the structural facts the paper's analysis rests on: Lemma 1
+(monotonicity on [1, p_max]), Equation (6) (no superlinear speedup), and
+the correctness of the closed-form p_max (Equation (5)) against brute
+force.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.speedup import GeneralModel
+
+# Strategy over Equation (1) parameters, covering all degenerate corners
+# (d = 0, c = 0, tiny/huge work, bounded/unbounded parallelism).
+works = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+seqs = st.one_of(st.just(0.0), st.floats(min_value=1e-3, max_value=1e3))
+comms = st.one_of(st.just(0.0), st.floats(min_value=1e-4, max_value=1e2))
+ptildes = st.one_of(st.none(), st.integers(min_value=1, max_value=128))
+platforms = st.integers(min_value=1, max_value=96)
+
+
+@st.composite
+def eq1_models(draw):
+    return GeneralModel(
+        draw(works), d=draw(seqs), c=draw(comms), max_parallelism=draw(ptildes)
+    )
+
+
+class TestLemma1:
+    @given(eq1_models(), platforms)
+    @settings(max_examples=200)
+    def test_time_non_increasing_up_to_p_max(self, model, P):
+        p_max = model.max_useful_processors(P)
+        times = [model.time(p) for p in range(1, p_max + 1)]
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(times, times[1:]))
+
+    @given(eq1_models(), platforms)
+    @settings(max_examples=200)
+    def test_area_non_decreasing_up_to_p_max(self, model, P):
+        p_max = model.max_useful_processors(P)
+        areas = [model.area(p) for p in range(1, p_max + 1)]
+        assert all(b >= a * (1 - 1e-12) for a, b in zip(areas, areas[1:]))
+
+
+class TestEquation5:
+    @given(eq1_models(), platforms)
+    @settings(max_examples=200)
+    def test_p_max_achieves_brute_force_minimum(self, model, P):
+        p_max = model.max_useful_processors(P)
+        assert 1 <= p_max <= P
+        brute = min(model.time(p) for p in range(1, P + 1))
+        assert model.time(p_max) == pytest.approx(brute, rel=1e-12)
+
+    @given(eq1_models(), platforms)
+    @settings(max_examples=100)
+    def test_t_min_and_a_min_consistent(self, model, P):
+        assert model.t_min(P) == pytest.approx(
+            model.time(model.max_useful_processors(P))
+        )
+        assert model.a_min(P) == pytest.approx(model.w + model.d)
+
+
+class TestEquation6:
+    @given(eq1_models(), platforms, st.data())
+    @settings(max_examples=200)
+    def test_no_superlinear_speedup(self, model, P, data):
+        p_max = model.max_useful_processors(P)
+        p = data.draw(st.integers(min_value=1, max_value=p_max), label="p")
+        q = data.draw(st.integers(min_value=p, max_value=p_max), label="q")
+        # t(p)/t(q) <= q/p.
+        assert model.time(p) / model.time(q) <= q / p * (1 + 1e-9)
+
+
+class TestConvexity:
+    @given(eq1_models())
+    @settings(max_examples=100)
+    def test_time_convex_in_linear_region(self, model):
+        """t is convex on the region below p-tilde (proof of Lemma 1)."""
+        limit = model.max_parallelism or 30
+        ps = range(2, min(limit, 30))
+        for p in ps:
+            mid = model.time(p)
+            assert 2 * mid <= model.time(p - 1) + model.time(p + 1) + 1e-9 * mid

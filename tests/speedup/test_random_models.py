@@ -1,0 +1,133 @@
+"""Unit tests for the random model generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    RandomModelFactory,
+    RooflineModel,
+    random_amdahl,
+    random_communication,
+    random_general,
+    random_roofline,
+)
+
+
+class TestGenerators:
+    def test_roofline_type_and_ranges(self):
+        m = random_roofline(0, w_range=(2.0, 4.0), p_range=(3, 5))
+        assert isinstance(m, RooflineModel)
+        assert 2.0 <= m.w <= 4.0
+        assert 3 <= m.max_parallelism <= 5
+
+    def test_communication_type_and_ranges(self):
+        m = random_communication(0, w_range=(1.0, 2.0), c_range=(0.1, 0.2))
+        assert isinstance(m, CommunicationModel)
+        assert 1.0 <= m.w <= 2.0
+        assert 0.1 <= m.c <= 0.2
+
+    def test_amdahl_sequential_fraction(self):
+        m = random_amdahl(0, w_range=(10.0, 10.0), sequential_fraction=(0.25, 0.25))
+        assert isinstance(m, AmdahlModel)
+        assert m.d == pytest.approx(2.5)
+        assert m.w == pytest.approx(7.5)
+
+    def test_general_all_params(self):
+        m = random_general(0)
+        assert isinstance(m, GeneralModel)
+        assert m.w > 0 and m.d > 0 and m.c > 0
+        assert m.max_parallelism is not None
+
+    def test_general_unbounded_parallelism(self):
+        m = random_general(0, p_range=None)
+        assert m.max_parallelism is None
+
+    def test_deterministic_with_seed(self):
+        a = random_general(123)
+        b = random_general(123)
+        assert a.w == b.w and a.d == b.d and a.c == b.c
+
+    def test_shared_generator_advances(self):
+        rng = np.random.default_rng(1)
+        a = random_amdahl(rng)
+        b = random_amdahl(rng)
+        assert (a.w, a.d) != (b.w, b.d)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_roofline(0, p_range=(5, 3))
+
+    def test_bad_loguniform_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_communication(0, w_range=(-1.0, 2.0))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("family,cls", [
+        ("roofline", RooflineModel),
+        ("communication", CommunicationModel),
+        ("amdahl", AmdahlModel),
+        ("general", GeneralModel),
+    ])
+    def test_family_dispatch(self, family, cls):
+        factory = RandomModelFactory(family=family, seed=0)
+        assert isinstance(factory(), cls)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RandomModelFactory(family="quantum")
+
+    def test_work_hint_scales(self):
+        lo = RandomModelFactory(family="amdahl", seed=0)
+        hi = RandomModelFactory(family="amdahl", seed=0)
+        small = lo(0.001)
+        large = hi(1000.0)
+        total_small = small.w + small.d
+        total_large = large.w + large.d
+        assert total_large > total_small * 100
+
+    def test_seeded_factory_reproducible(self):
+        a = [RandomModelFactory(family="general", seed=5)() for _ in range(3)]
+        b = [RandomModelFactory(family="general", seed=5)() for _ in range(3)]
+        assert [(m.w, m.d, m.c) for m in a] == [(m.w, m.d, m.c) for m in b]
+
+
+class TestMixedFactory:
+    def test_draws_multiple_families(self):
+        from repro.speedup import MixedModelFactory
+
+        factory = MixedModelFactory(seed=3)
+        kinds = {type(factory()).__name__ for _ in range(40)}
+        assert len(kinds) >= 3
+
+    def test_restricted_families(self):
+        from repro.speedup import AmdahlModel, MixedModelFactory, RooflineModel
+
+        factory = MixedModelFactory(families=("roofline", "amdahl"), seed=3)
+        for _ in range(20):
+            assert isinstance(factory(), (RooflineModel, AmdahlModel))
+
+    def test_unknown_family_rejected(self):
+        from repro.exceptions import InvalidParameterError
+        from repro.speedup import MixedModelFactory
+
+        with pytest.raises(InvalidParameterError):
+            MixedModelFactory(families=("quantum",))
+
+    def test_empty_families_rejected(self):
+        from repro.exceptions import InvalidParameterError
+        from repro.speedup import MixedModelFactory
+
+        with pytest.raises(InvalidParameterError):
+            MixedModelFactory(families=())
+
+    def test_seeded_reproducible(self):
+        from repro.speedup import MixedModelFactory
+
+        a = [type(m).__name__ for m in (MixedModelFactory(seed=9)() for _ in range(10))]
+        b = [type(m).__name__ for m in (MixedModelFactory(seed=9)() for _ in range(10))]
+        assert a == b

@@ -1,0 +1,142 @@
+"""Unit tests for the roofline, communication, Amdahl, and power-law models."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    PowerLawModel,
+    RooflineModel,
+)
+
+
+class TestRoofline:
+    def test_equation_two(self):
+        m = RooflineModel(w=12.0, max_parallelism=4)
+        assert m.time(1) == 12.0
+        assert m.time(4) == 3.0
+        assert m.time(100) == 3.0  # flat beyond p-tilde
+
+    def test_linear_speedup_region(self):
+        m = RooflineModel(w=60.0, max_parallelism=10)
+        for p in range(1, 11):
+            assert m.time(p) == pytest.approx(60.0 / p)
+
+    def test_area_flat_up_to_parallelism(self):
+        m = RooflineModel(w=60.0, max_parallelism=10)
+        for p in range(1, 11):
+            assert m.area(p) == pytest.approx(60.0)
+
+    def test_p_max_is_min_of_P_and_parallelism(self):
+        m = RooflineModel(w=1.0, max_parallelism=10)
+        assert m.max_useful_processors(4) == 4
+        assert m.max_useful_processors(100) == 10
+
+    def test_requires_max_parallelism(self):
+        with pytest.raises(TypeError):
+            RooflineModel(1.0)  # max_parallelism is mandatory
+
+    def test_is_a_general_model_special_case(self):
+        m = RooflineModel(w=7.0, max_parallelism=3)
+        g = GeneralModel(w=7.0, max_parallelism=3)
+        for p in range(1, 10):
+            assert m.time(p) == g.time(p)
+
+
+class TestCommunication:
+    def test_equation_three(self):
+        m = CommunicationModel(w=10.0, c=0.5)
+        assert m.time(1) == pytest.approx(10.0)
+        assert m.time(2) == pytest.approx(5.5)
+        assert m.time(5) == pytest.approx(4.0)
+
+    def test_rejects_zero_overhead(self):
+        with pytest.raises(InvalidParameterError):
+            CommunicationModel(w=1.0, c=0.0)
+
+    def test_interior_optimum(self):
+        # s = sqrt(100/1) = 10: adding processors past 10 hurts.
+        m = CommunicationModel(w=100.0, c=1.0)
+        assert m.max_useful_processors(1000) == 10
+        assert m.time(11) > m.time(10)
+        assert m.time(9) >= m.time(10)
+
+    def test_a_min_at_one_processor(self):
+        m = CommunicationModel(w=10.0, c=0.5)
+        assert m.a_min(100) == pytest.approx(10.0)
+
+
+class TestAmdahl:
+    def test_equation_four(self):
+        m = AmdahlModel(w=10.0, d=2.0)
+        assert m.time(1) == pytest.approx(12.0)
+        assert m.time(10) == pytest.approx(3.0)
+
+    def test_rejects_zero_sequential(self):
+        with pytest.raises(InvalidParameterError):
+            AmdahlModel(w=1.0, d=0.0)
+
+    def test_all_processors_useful(self):
+        m = AmdahlModel(w=10.0, d=2.0)
+        assert m.max_useful_processors(64) == 64
+
+    def test_time_approaches_d(self):
+        m = AmdahlModel(w=10.0, d=2.0)
+        assert m.time(10**6) == pytest.approx(2.0, rel=1e-4)
+
+    def test_area_linear_in_p(self):
+        m = AmdahlModel(w=10.0, d=2.0)
+        assert m.area(5) == pytest.approx(10.0 + 2.0 * 5)
+
+
+class TestPowerLaw:
+    def test_time_formula(self):
+        m = PowerLawModel(w=16.0, exponent=0.5)
+        assert m.time(4) == pytest.approx(8.0)
+        assert m.time(16) == pytest.approx(4.0)
+
+    def test_exponent_one_is_perfect_speedup(self):
+        m = PowerLawModel(w=10.0, exponent=1.0)
+        assert m.time(10) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_exponent(self, bad):
+        with pytest.raises(InvalidParameterError):
+            PowerLawModel(1.0, exponent=bad)
+
+    def test_monotonic(self):
+        assert PowerLawModel(5.0, 0.7).is_monotonic(64)
+
+    def test_a_min(self):
+        assert PowerLawModel(5.0, 0.7).a_min(64) == pytest.approx(5.0)
+
+
+class TestLemma1Monotonicity:
+    """Lemma 1: every Equation (1) model is monotonic on [1, p_max]."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            RooflineModel(10.0, 6),
+            CommunicationModel(30.0, 0.7),
+            AmdahlModel(20.0, 3.0),
+            GeneralModel(25.0, d=1.0, c=0.3, max_parallelism=12),
+            GeneralModel(100.0, d=0.0, c=2.0),
+        ],
+        ids=repr,
+    )
+    def test_is_monotonic(self, model):
+        assert model.is_monotonic(64)
+
+    def test_no_superlinear_speedup(self, any_model):
+        """Equation (6): t(p)/t(q) <= q/p for p < q <= p_max."""
+        P = 24
+        p_max = any_model.max_useful_processors(P)
+        times = [any_model.time(p) for p in range(1, p_max + 1)]
+        for p in range(1, p_max + 1):
+            for q in range(p + 1, p_max + 1):
+                assert times[p - 1] / times[q - 1] <= q / p * (1 + 1e-9)

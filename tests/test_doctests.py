@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module/class docstrings.
+
+Docstring examples are part of the documentation deliverable; this keeps
+them executable so they cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.experiments.campaign
+import repro.graph.taskgraph
+import repro.speedup.fit
+
+MODULES = [
+    repro.speedup.fit,
+    repro.graph.taskgraph,
+    repro.experiments.campaign,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

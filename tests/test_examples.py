@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Examples are part of the public deliverable; these tests execute each one
+(with small arguments where supported) and assert on key output lines so
+a broken example fails CI, not a user.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "makespan:" in out
+        assert "allocations" in out
+
+    def test_model_comparison(self, capsys):
+        out = run_example("model_comparison.py", [], capsys)
+        assert "roofline" in out and "general" in out
+
+    def test_workflow_study_small(self, capsys):
+        out = run_example("workflow_study.py", ["32"], capsys)
+        assert "algorithm1" in out
+        assert "cholesky-10" in out
+
+    def test_arbitrary_adversary(self, capsys):
+        out = run_example("arbitrary_adversary.py", [], capsys)
+        assert "equal-allocation" in out
+        assert "True" in out  # Lemma 10 column
+
+    def test_calibrated_pipeline(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = run_example("calibrated_pipeline.py", [str(trace)], capsys)
+        assert "CERTIFIED" in out
+        assert trace.exists()
+        import json
+
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_failure_resilience(self, capsys):
+        out = run_example("failure_resilience.py", [], capsys)
+        assert "certified" in out
+
+    @pytest.mark.slow
+    def test_adversarial_lower_bounds(self, capsys):
+        out = run_example("adversarial_lower_bounds.py", [], capsys)
+        assert "roofline: limit" in out
+        assert "% of limit" in out
+
+    def test_paper_walkthrough(self, capsys):
+        out = run_example("paper_walkthrough.py", [], capsys)
+        assert "every theorem of the paper reproduced" in out
+        assert "Lemma 10 holds: True" in out
+
+    def test_cluster_queue(self, capsys):
+        out = run_example("cluster_queue.py", ["16", "4"], capsys)
+        assert "mean wait" in out
+        assert "algorithm1" in out
+
+    def test_campaign_study(self, capsys):
+        out = run_example("campaign_study.py", [], capsys)
+        assert "winners per cell" in out
+        assert "family,workload,P,scheduler" in out

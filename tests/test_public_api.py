@@ -1,0 +1,53 @@
+"""Smoke tests for the package's public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_works(self):
+        """The snippet from the package docstring must run as written."""
+        from repro import AmdahlModel, OnlineScheduler, TaskGraph
+
+        g = TaskGraph()
+        g.add_task("prep", AmdahlModel(w=40.0, d=2.0))
+        g.add_task("solve", AmdahlModel(w=200.0, d=5.0))
+        g.add_edge("prep", "solve")
+        result = OnlineScheduler.for_family("amdahl", P=64).run(g)
+        assert result.makespan > 0
+
+    def test_table1_convenience(self):
+        rows = repro.table1()
+        assert len(rows) == 4
+
+    def test_mu_star_exported(self):
+        assert set(repro.MU_STAR) == {"roofline", "communication", "amdahl", "general"}
+
+    def test_exception_hierarchy(self):
+        from repro.exceptions import (
+            CycleError,
+            GraphError,
+            InvalidParameterError,
+            ReproError,
+            ScheduleError,
+        )
+
+        assert issubclass(CycleError, GraphError)
+        assert issubclass(GraphError, ReproError)
+        assert issubclass(ScheduleError, ReproError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_invalid_input_raises_library_error(self):
+        from repro import AmdahlModel
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            AmdahlModel(-1.0, 1.0)

@@ -1,0 +1,96 @@
+"""Randomized cross-scheduler properties (ECT, CPA, malleable, releases).
+
+Complements ``test_integration_properties``: every *alternative* scheduling
+paradigm in the library must produce feasible schedules that respect the
+appropriate lower bound on arbitrary random workloads.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EctScheduler, cpa_schedule
+from repro.bounds import makespan_lower_bound, release_makespan_lower_bound
+from repro.core.constants import MODEL_FAMILIES
+from repro.graph.generators import erdos_renyi_dag, fork_join, layered_random
+from repro.malleable import MalleableScheduler
+from repro.sim import ListScheduler, ReleasedTaskSource
+from repro.baselines.online import MaxUsefulAllocator
+from repro.speedup.random import RandomModelFactory
+
+
+@st.composite
+def graphs(draw):
+    family = draw(st.sampled_from(MODEL_FAMILIES))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    factory = RandomModelFactory(family=family, seed=seed)
+    shape = draw(st.sampled_from(["forkjoin", "layered", "random"]))
+    if shape == "forkjoin":
+        graph = fork_join(draw(st.integers(2, 8)), factory, stages=draw(st.integers(1, 2)))
+    elif shape == "layered":
+        graph = layered_random(draw(st.integers(1, 4)), draw(st.integers(2, 6)), factory, seed=seed)
+    else:
+        graph = erdos_renyi_dag(
+            draw(st.integers(3, 18)), factory,
+            edge_probability=draw(st.floats(0.0, 0.4)), seed=seed,
+        )
+    P = draw(st.sampled_from([2, 7, 24, 64]))
+    return graph, P
+
+
+class TestEct:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_and_above_bound(self, workload):
+        graph, P = workload
+        result = EctScheduler(P).run(graph)
+        result.schedule.validate(graph)
+        assert result.makespan >= makespan_lower_bound(graph, P).value * (1 - 1e-9)
+
+
+class TestCpa:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_and_above_bound(self, workload):
+        graph, P = workload
+        result = cpa_schedule(graph, P)
+        result.schedule.validate(graph)
+        assert result.makespan >= makespan_lower_bound(graph, P).value * (1 - 1e-9)
+
+
+class TestMalleable:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_and_above_bound(self, workload):
+        graph, P = workload
+        result = MalleableScheduler(P).run(graph)
+        result.schedule.validate(graph)
+        assert result.makespan >= makespan_lower_bound(graph, P).value * (1 - 1e-6)
+
+
+class TestReleases:
+    @given(
+        st.sampled_from(MODEL_FAMILIES),
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=25),
+        st.sampled_from([2, 8, 32]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_release_runs_respect_release_bound(self, family, seed, n, P):
+        factory = RandomModelFactory(family=family, seed=seed)
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        releases = []
+        now = 0.0
+        for _ in range(n):
+            now += float(rng.exponential(2.0))
+            releases.append((now, factory()))
+        source = ReleasedTaskSource(releases)
+        result = ListScheduler(P, MaxUsefulAllocator()).run(source)
+        result.schedule.validate(result.graph)
+        lb = release_makespan_lower_bound(source, P).value
+        assert result.makespan >= lb * (1 - 1e-9)
+        # No task starts before its release.
+        for task_id, r in source.release_times().items():
+            assert result.schedule[task_id].start >= r - 1e-9

@@ -1,0 +1,59 @@
+"""Unit tests for repro.util.seq (harmonic numbers)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.util.seq import EULER_GAMMA, harmonic, harmonic_bounds, harmonic_fraction
+
+
+class TestHarmonic:
+    def test_zero_is_empty_sum(self):
+        assert harmonic(0) == 0.0
+
+    def test_first_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(3) == pytest.approx(11 / 6)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            harmonic(-1)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_matches_exact_fraction(self, n):
+        assert harmonic(n) == pytest.approx(float(harmonic_fraction(n)), rel=1e-14)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_strictly_increasing(self, n):
+        assert harmonic(n + 1) > harmonic(n)
+
+
+class TestHarmonicFraction:
+    def test_exact_h4(self):
+        assert harmonic_fraction(4) == Fraction(25, 12)
+
+    def test_zero(self):
+        assert harmonic_fraction(0) == 0
+
+
+class TestHarmonicBounds:
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_paper_bracketing(self, n):
+        """ln(n) + gamma < H(n) < ln(n) + gamma + 1/n (used in Theorem 9)."""
+        low, high = harmonic_bounds(n)
+        h = harmonic(n)
+        assert low < h < high
+
+    def test_gamma_value(self):
+        assert EULER_GAMMA == pytest.approx(0.5772156649, abs=1e-9)
+
+    def test_width_is_one_over_n(self):
+        low, high = harmonic_bounds(10)
+        assert high - low == pytest.approx(0.1)
+        assert low == pytest.approx(math.log(10) + EULER_GAMMA)

@@ -1,0 +1,60 @@
+"""Tests for the replication-summary statistics."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.util.stats import Summary, geometric_mean, summarize
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSummarize:
+    def test_single_observation(self):
+        s = summarize([2.5])
+        assert s.n == 1
+        assert s.mean == 2.5
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.ci95 == pytest.approx(1.96 / math.sqrt(3))
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([1.0, float("nan")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+    def test_frozen(self):
+        s = summarize([1.0])
+        with pytest.raises(Exception):
+            s.mean = 2.0

@@ -1,0 +1,54 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_csv, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("bb")
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["x"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]], float_fmt=".2f")
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_int_not_float_formatted(self):
+        text = format_table(["v"], [[7]], float_fmt=".3f")
+        assert "7" in text
+        assert "7.000" not in text
+
+    def test_bool_rendered_as_word(self):
+        text = format_table(["v"], [[True]])
+        assert "True" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_columns_are_aligned(self):
+        text = format_table(["x", "y"], [["a", "b"], ["long", "c"]])
+        rows = text.splitlines()[2:]
+        # 'b' and 'c' start in the same column.
+        assert rows[0].index("b") == rows[1].index("c")
+
+
+class TestFormatCsv:
+    def test_header_and_rows(self):
+        text = format_csv(["a", "b"], [[1, 2.5]])
+        assert text.splitlines() == ["a,b", "1,2.5"]
+
+    def test_rejects_commas_in_cells(self):
+        with pytest.raises(ValueError):
+            format_csv(["a"], [["x,y"]])

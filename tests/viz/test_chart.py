@@ -1,0 +1,56 @@
+"""Tests for the ASCII series chart."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.viz import render_series
+
+
+class TestRenderSeries:
+    def test_single_series(self):
+        text = render_series({"a": [(1, 1.0), (2, 2.0), (3, 3.0)]})
+        assert "o=a" in text
+        assert text.count("o") >= 3 + 1  # points + legend
+
+    def test_multiple_series_have_distinct_marks(self):
+        text = render_series({"up": [(1, 1.0), (2, 2.0)], "down": [(1, 2.0), (2, 1.0)]})
+        assert "o=up" in text and "x=down" in text
+
+    def test_title(self):
+        text = render_series({"a": [(1, 1.0)]}, title="My chart")
+        assert text.splitlines()[0] == "My chart"
+
+    def test_log_x_axis_label(self):
+        text = render_series({"a": [(1, 1.0), (1000, 2.0)]}, log_x=True)
+        assert "(log x)" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            render_series({"a": [(0, 1.0)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            render_series({})
+        with pytest.raises(InvalidParameterError):
+            render_series({"a": []})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [(1, float(i))] for i in range(9)}
+        with pytest.raises(InvalidParameterError):
+            render_series(series)
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values appear on higher (earlier) rows."""
+        text = render_series({"a": [(1, 1.0), (10, 10.0)]}, width=20, height=10)
+        rows = [l for l in text.splitlines() if "|" in l]
+        first_mark_row = next(i for i, l in enumerate(rows) if "o" in l)
+        last_mark_row = max(i for i, l in enumerate(rows) if "o" in l)
+        assert first_mark_row < last_mark_row
+
+    def test_constant_series_handled(self):
+        text = render_series({"flat": [(1, 2.0), (2, 2.0)]})
+        assert "o=flat" in text
+
+    def test_y_bounds_override(self):
+        text = render_series({"a": [(1, 5.0)]}, y_min=0.0, y_max=10.0)
+        assert "10" in text

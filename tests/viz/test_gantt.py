@@ -1,0 +1,102 @@
+"""Unit tests for the ASCII schedule renderers."""
+
+import pytest
+
+from repro.sim import Schedule
+from repro.viz import render_gantt, render_utilization
+
+
+@pytest.fixture
+def schedule():
+    s = Schedule(8)
+    s.add("first", 0.0, 4.0, 4)
+    s.add("second", 0.0, 2.0, 4)
+    s.add("third", 2.0, 6.0, 2)
+    return s
+
+
+class TestRenderUtilization:
+    def test_empty(self):
+        assert "empty" in render_utilization(Schedule(4))
+
+    def test_axis_labels(self, schedule):
+        text = render_utilization(schedule, width=40, height=4)
+        assert "t=0" in text
+        assert "t=6" in text
+
+    def test_row_count(self, schedule):
+        text = render_utilization(schedule, width=40, height=5)
+        assert len(text.splitlines()) == 5 + 2  # rows + axis + time labels
+
+    def test_full_platform_fills_top_row(self):
+        s = Schedule(4)
+        s.add("a", 0.0, 1.0, 4)
+        top = render_utilization(s, width=10, height=4).splitlines()[0]
+        assert "#" in top
+
+    def test_low_utilization_leaves_top_empty(self):
+        s = Schedule(100)
+        s.add("a", 0.0, 1.0, 1)
+        top = render_utilization(s, width=10, height=10).splitlines()[0]
+        assert "#" not in top
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert "empty" in render_gantt(Schedule(4))
+
+    def test_one_row_per_task(self, schedule):
+        text = render_gantt(schedule, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3 + 1  # tasks + time axis
+
+    def test_labels_show_id_and_procs(self, schedule):
+        text = render_gantt(schedule, width=40)
+        assert "first" in text and "p=4" in text
+
+    def test_bars_positioned(self, schedule):
+        lines = render_gantt(schedule, width=60).splitlines()
+        first = next(l for l in lines if "first" in l)
+        third = next(l for l in lines if "third" in l)
+        # 'third' starts at t=2/6 of the span: its bar starts further right.
+        assert first.index("#") < third.index("#")
+
+    def test_truncation_notice(self):
+        s = Schedule(4)
+        for i in range(15):
+            s.add(i, float(i), float(i + 1), 1)
+        text = render_gantt(s, max_rows=10)
+        assert "5 more tasks" in text
+
+    def test_zero_duration_tasks_still_render(self):
+        s = Schedule(4)
+        s.add("instant", 1.0, 1.0, 1)
+        s.add("real", 0.0, 2.0, 1)
+        text = render_gantt(s, width=20)
+        assert "instant" in text
+
+
+class TestRenderIntervalClasses:
+    def test_empty(self):
+        from repro.viz import render_interval_classes
+
+        assert "empty" in render_interval_classes(Schedule(4), 0.3)
+
+    def test_classes_marked(self):
+        from repro.viz import render_interval_classes
+
+        s = Schedule(10)
+        s.add("light", 0.0, 1.0, 1)   # I1 (< ceil(0.3*10) = 3)
+        s.add("mid", 1.0, 2.0, 5)     # I2 ([3, 7))
+        s.add("heavy", 2.0, 3.0, 10)  # I3
+        text = render_interval_classes(s, 0.3, width=30)
+        row = text.splitlines()[0]
+        assert "." in row and "-" in row and "#" in row
+
+    def test_legend_contains_durations(self):
+        from repro.viz import render_interval_classes
+
+        s = Schedule(10)
+        s.add("a", 0.0, 2.0, 10)
+        text = render_interval_classes(s, 0.3)
+        assert "T3=2" in text

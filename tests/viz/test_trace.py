@@ -1,0 +1,78 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.sim import Schedule
+from repro.viz import schedule_to_trace_events, schedule_to_trace_json
+
+
+@pytest.fixture
+def schedule():
+    s = Schedule(4)
+    s.add("a", 0.0, 2.0, 2, tag="stageA")
+    s.add("b", 0.0, 1.0, 2)
+    s.add("c", 2.0, 3.0, 4)
+    return s
+
+
+class TestTraceEvents:
+    def test_one_event_per_processor_row(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        assert len(events) == 2 + 2 + 4
+
+    def test_event_shape(self, schedule):
+        events = schedule_to_trace_events(schedule, name="demo")
+        e = next(ev for ev in events if ev["name"] == "a")
+        assert e["ph"] == "X"
+        assert e["pid"] == "demo"
+        assert e["ts"] == 0.0
+        assert e["dur"] == pytest.approx(2_000_000.0)
+        assert e["args"]["procs"] == 2
+
+    def test_category_from_tag(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        cats = {e["name"]: e["cat"] for e in events}
+        assert cats["a"] == "stageA"
+        assert cats["b"] == "task"
+
+    def test_rows_never_double_booked(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        by_row: dict[int, list[tuple[float, float]]] = {}
+        for e in events:
+            by_row.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+        for spans in by_row.values():
+            spans.sort()
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_rows_within_platform(self, schedule):
+        events = schedule_to_trace_events(schedule)
+        assert all(0 <= e["tid"] < 4 for e in events)
+
+    def test_real_schedule_roundtrip(self, small_graph):
+        result = OnlineScheduler.for_family("amdahl", 8).run(small_graph)
+        events = schedule_to_trace_events(result.schedule)
+        assert len(events) == sum(e.procs for e in result.schedule)
+
+
+class TestTraceJson:
+    def test_valid_json_document(self, schedule):
+        doc = json.loads(schedule_to_trace_json(schedule))
+        assert "traceEvents" in doc
+        assert len(doc["traceEvents"]) == 8
+
+
+class TestInfeasibleFallback:
+    def test_overbooked_schedule_still_renders(self):
+        """Row assignment falls back gracefully on infeasible schedules."""
+        from repro.viz import schedule_to_trace_events
+
+        s = Schedule(2)
+        s.add("a", 0.0, 1.0, 2)
+        s.add("b", 0.0, 1.0, 2)  # double-booked: 4 > P=2
+        events = schedule_to_trace_events(s)
+        assert len(events) == 4
+        assert all(0 <= e["tid"] < 2 for e in events)

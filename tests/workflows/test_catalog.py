@@ -1,0 +1,74 @@
+"""Tests for the named workflow catalog with kernel profiles."""
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.speedup import GeneralModel
+from repro.workflows import CATALOG, KERNEL_PROFILES, instantiate, kernel_model
+
+
+class TestKernelModel:
+    def test_profile_applied(self):
+        m = kernel_model("GEMM", 100.0)
+        frac, comm, p_tilde = KERNEL_PROFILES["GEMM"]
+        assert isinstance(m, GeneralModel)
+        assert m.w == pytest.approx(100.0 * (1 - frac))
+        assert m.d == pytest.approx(100.0 * frac)
+        assert m.c == pytest.approx(100.0 * comm)
+        assert m.max_parallelism == p_tilde
+
+    def test_unknown_tag_uses_default(self):
+        m = kernel_model("MYSTERY", 10.0)
+        assert m.w + m.d == pytest.approx(10.0)
+        assert m.max_parallelism == 64
+
+    def test_rejects_nonpositive_work(self):
+        with pytest.raises(InvalidParameterError):
+            kernel_model("GEMM", 0.0)
+
+    def test_sequential_kernels_scale_poorly(self):
+        seq = kernel_model("mImgtbl", 100.0)  # 70% sequential
+        par = kernel_model("GEMM", 100.0)
+        assert seq.time(64) / seq.time(1) > par.time(64) / par.time(1)
+
+
+class TestInstantiate:
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_every_entry_builds_and_schedules(self, name):
+        graph = instantiate(name, 4)
+        assert len(graph) > 0
+        result = OnlineScheduler.for_family("general", 32).run(graph)
+        result.schedule.validate(graph)
+
+    def test_deterministic(self):
+        a = instantiate("cholesky", 6)
+        b = instantiate("cholesky", 6)
+        assert a.edges() == b.edges()
+        for ta, tb in zip(a.tasks(), b.tasks()):
+            assert ta.model == tb.model
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="available"):
+            instantiate("warp-drive", 4)
+
+    def test_base_work_scales_models(self):
+        small = instantiate("fft", 3, base_work=1.0)
+        large = instantiate("fft", 3, base_work=100.0)
+        t = next(iter(small))
+        assert large.task(t).model.w == pytest.approx(
+            100.0 * small.task(t).model.w
+        )
+
+    def test_tags_preserved(self):
+        g = instantiate("montage", 6)
+        assert {t.tag for t in g.tasks()} >= {"mProject", "mAdd"}
+
+    def test_work_hint_respected(self):
+        """Cholesky GEMMs carry ~6x the work of POTRFs (2 vs 1/3 hints)."""
+        g = instantiate("cholesky", 5)
+        gemm = next(t for t in g.tasks() if t.tag == "GEMM")
+        potrf = next(t for t in g.tasks() if t.tag == "POTRF")
+        gemm_total = gemm.model.w + gemm.model.d
+        potrf_total = potrf.model.w + potrf.model.d
+        assert gemm_total / potrf_total == pytest.approx(6.0)

@@ -1,0 +1,88 @@
+"""Structure tests for the Pegasus-style workflows."""
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.speedup import AmdahlModel, RandomModelFactory
+from repro.workflows import cybershake, epigenomics, ligo
+
+
+def factory(work_hint: float = 1.0):
+    return AmdahlModel(4.0 * work_hint, 0.5 * work_hint)
+
+
+class TestEpigenomics:
+    def test_task_count(self):
+        g = epigenomics(5, factory, pipeline_depth=4)
+        assert len(g) == 1 + 5 * 4 + 3
+
+    def test_single_source_single_sink(self):
+        g = epigenomics(4, factory)
+        assert g.sources() == ["split"]
+        assert g.sinks() == ["pileup"]
+
+    def test_depth(self):
+        g = epigenomics(4, factory, pipeline_depth=3)
+        # split + 3 pipeline stages + merge + index + pileup.
+        assert g.longest_path_length() == 7
+
+    def test_lanes_are_parallel(self):
+        g = epigenomics(6, factory, pipeline_depth=2)
+        from repro.graph.analysis import graph_stats
+
+        assert graph_stats(g, 16).width == 6
+
+
+class TestLigo:
+    def test_task_count(self):
+        g = ligo(3, factory, group_size=5)
+        assert len(g) == 3 * (4 * 5 + 2)
+
+    def test_groups_independent(self):
+        g = ligo(2, factory, group_size=3)
+        assert len(g.sources()) == 2 * 3  # all TmpltBanks
+        assert len(g.sinks()) == 2  # one Thinca2 per group
+
+    def test_two_pass_structure(self):
+        g = ligo(1, factory, group_size=2)
+        assert g.longest_path_length() == 6  # bank-insp-thinca-trig-insp-thinca
+
+    def test_thinca_fan_in(self):
+        g = ligo(1, factory, group_size=4)
+        assert g.in_degree(("Thinca1", 0)) == 4
+
+
+class TestCybershake:
+    def test_task_count(self):
+        g = cybershake(2, factory, variations=8)
+        assert len(g) == 2 * (2 + 2 * 8 + 2)
+
+    def test_synthesis_depends_on_both_sgts(self):
+        g = cybershake(1, factory, variations=3)
+        preds = set(g.predecessors(("SeisSynth", 0, 1)))
+        assert preds == {("ExtractSGT", 0, "x"), ("ExtractSGT", 0, "y")}
+
+    def test_two_collection_sinks_per_site(self):
+        g = cybershake(3, factory)
+        assert len(g.sinks()) == 2 * 3
+
+    def test_depth(self):
+        g = cybershake(1, factory)
+        # SGT -> synth -> peak -> ZipPSA.
+        assert g.longest_path_length() == 4
+
+
+class TestSchedulability:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda f: epigenomics(6, f),
+            lambda f: ligo(3, f),
+            lambda f: cybershake(4, f),
+        ],
+        ids=["epigenomics", "ligo", "cybershake"],
+    )
+    def test_feasible_under_algorithm1(self, builder):
+        graph = builder(RandomModelFactory(family="general", seed=4))
+        result = OnlineScheduler.for_family("general", 24).run(graph)
+        result.schedule.validate(graph)

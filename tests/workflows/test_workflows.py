@@ -1,0 +1,177 @@
+"""Structure tests for the realistic workflow generators.
+
+Each workflow is checked for exact task counts, acyclicity (implicit in
+TaskGraph), depth, kernel tagging, and end-to-end schedulability under
+Algorithm 1.
+"""
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.exceptions import InvalidParameterError
+from repro.speedup import AmdahlModel, RandomModelFactory
+from repro.workflows import WORKFLOWS, cholesky, fft, lu, mapreduce, montage, qr, stencil
+
+
+def factory(work_hint: float = 1.0):
+    return AmdahlModel(4.0 * work_hint, 0.5 * work_hint)
+
+
+class TestCholesky:
+    def test_task_count(self):
+        # n tiles: sum over k of 1 + (n-k-1) SYRK+TRSM pairs + gemms = n(n+1)(n+2)/6.
+        for n in (1, 2, 4, 6):
+            g = cholesky(n, factory)
+            assert len(g) == n * (n + 1) * (n + 2) // 6
+
+    def test_kernel_tags(self):
+        g = cholesky(4, factory)
+        tags = {t.tag for t in g.tasks()}
+        assert tags == {"POTRF", "TRSM", "SYRK", "GEMM"}
+
+    def test_depth_linear_in_tiles(self):
+        # Critical path: POTRF -> TRSM -> SYRK per step: 3(n-1) + 1 tasks.
+        g = cholesky(5, factory)
+        assert g.longest_path_length() == 3 * 4 + 1
+
+    def test_single_source(self):
+        g = cholesky(5, factory)
+        assert g.sources() == [("POTRF", 0)]
+
+    def test_single_sink(self):
+        g = cholesky(5, factory)
+        assert g.sinks() == [("POTRF", 4)]
+
+
+class TestLU:
+    def test_task_count(self):
+        # sum over k of 1 + 2(n-k-1) + (n-k-1)^2 = sum (n-k)^2 = n(n+1)(2n+1)/6.
+        for n in (1, 2, 4, 6):
+            g = lu(n, factory)
+            assert len(g) == n * (n + 1) * (2 * n + 1) // 6
+
+    def test_tags(self):
+        assert {t.tag for t in lu(3, factory).tasks()} == {"GETRF", "TRSM", "GEMM"}
+
+    def test_source_and_sink(self):
+        g = lu(4, factory)
+        assert g.sources() == [("GETRF", 0)]
+        assert g.sinks() == [("GETRF", 3)]
+
+
+class TestQR:
+    def test_task_count(self):
+        # per step k with m = n-k-1: 1 + m + m + m^2 = (m+1)^2 -> same as LU.
+        for n in (1, 2, 4):
+            assert len(qr(n, factory)) == n * (n + 1) * (2 * n + 1) // 6
+
+    def test_tags(self):
+        assert {t.tag for t in qr(3, factory).tasks()} == {
+            "GEQRT",
+            "ORMQR",
+            "TSQRT",
+            "TSMQR",
+        }
+
+    def test_flat_tree_chains_tsqrt(self):
+        g = qr(4, factory)
+        assert ("TSQRT", 2, 0) in g.successors(("TSQRT", 1, 0))
+        assert ("TSQRT", 3, 0) in g.successors(("TSQRT", 2, 0))
+
+
+class TestFFT:
+    def test_task_count(self):
+        for s in (1, 3, 5):
+            assert len(fft(s, factory)) == 2**s * (s + 1)
+
+    def test_butterfly_dependencies(self):
+        g = fft(3, factory)
+        # Stage-2 chunk 5 (101b) depends on stage-1 chunks 5 and 7 (111b).
+        preds = set(g.predecessors(("BFLY", 2, 5)))
+        assert preds == {("BFLY", 1, 5), ("BFLY", 1, 7)}
+
+    def test_depth(self):
+        assert fft(4, factory).longest_path_length() == 5
+
+    def test_rejects_huge(self):
+        with pytest.raises(InvalidParameterError):
+            fft(21, factory)
+
+
+class TestStencil:
+    def test_task_count(self):
+        assert len(stencil(3, 4, factory)) == 12
+        assert len(stencil(3, 4, factory, sweeps=2)) == 24
+
+    def test_wavefront_depth(self):
+        # Diagonal wavefront: rows + cols - 1; successive sweeps pipeline
+        # behind each other, adding one wavefront step per extra sweep.
+        assert stencil(3, 5, factory).longest_path_length() == 7
+        assert stencil(3, 5, factory, sweeps=2).longest_path_length() == 8
+
+    def test_corner_dependencies(self):
+        g = stencil(3, 3, factory)
+        assert set(g.predecessors(("T", 0, 1, 1))) == {
+            ("T", 0, 0, 1),
+            ("T", 0, 1, 0),
+        }
+
+
+class TestMapReduce:
+    def test_task_count(self):
+        assert len(mapreduce(4, 2, factory)) == 7  # 4 + 2 + collect
+        assert len(mapreduce(4, 2, factory, rounds=3)) == 19
+
+    def test_all_to_all_shuffle(self):
+        g = mapreduce(3, 2, factory)
+        for k in range(2):
+            assert set(g.predecessors(("REDUCE", 0, k))) == {
+                ("MAP", 0, m) for m in range(3)
+            }
+
+    def test_rounds_are_chained(self):
+        g = mapreduce(2, 2, factory, rounds=2)
+        assert set(g.predecessors(("MAP", 1, 0))) == {
+            ("REDUCE", 0, 0),
+            ("REDUCE", 0, 1),
+        }
+
+
+class TestMontage:
+    def test_phases_present(self):
+        tags = {t.tag for t in montage(8, factory).tasks()}
+        assert tags == {
+            "mProject",
+            "mDiffFit",
+            "mBgModel",
+            "mBackground",
+            "mImgtbl",
+            "mAdd",
+        }
+
+    def test_task_count(self):
+        n, overlap = 10, 2
+        g = montage(n, factory, overlap=overlap)
+        assert len(g) == n + n * overlap + 1 + n + 2
+
+    def test_single_final_sink(self):
+        assert montage(6, factory).sinks() == ["mAdd"]
+
+
+class TestSchedulability:
+    @pytest.mark.parametrize("name", sorted(WORKFLOWS))
+    def test_every_workflow_schedulable(self, name):
+        gen = WORKFLOWS[name]
+        rng_factory = RandomModelFactory(family="general", seed=11)
+        if name in ("cholesky", "lu", "qr"):
+            graph = gen(4, rng_factory)
+        elif name == "fft":
+            graph = gen(3, rng_factory)
+        elif name == "stencil":
+            graph = gen(4, 4, rng_factory)
+        elif name == "mapreduce":
+            graph = gen(6, 3, rng_factory)
+        else:
+            graph = gen(10, rng_factory)
+        result = OnlineScheduler.for_family("general", 16).run(graph)
+        result.schedule.validate(graph)
