@@ -1,7 +1,6 @@
 """Extension benchmarks (Ext-C..G): release setting, failures, priorities,
 convergence series, and the platform sweep."""
 
-import pytest
 
 from repro.experiments import run_experiment
 

@@ -18,6 +18,8 @@ __all__ = [
     "CapacityExceededError",
     "PrecedenceViolationError",
     "SimulationError",
+    "InvariantViolationError",
+    "TaskAbortedError",
     "AllocationError",
     "FittingError",
 ]
@@ -57,6 +59,45 @@ class PrecedenceViolationError(ScheduleError):
 
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class InvariantViolationError(SimulationError):
+    """A runtime invariant of the engine was violated mid-simulation.
+
+    Carries structured event context so a failing run can be diagnosed
+    without re-executing it: the simulated ``time``, the ``event`` kind
+    being processed, and (when applicable) the ``task_id`` involved.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        time: float | None = None,
+        event: str | None = None,
+        task_id: object | None = None,
+    ) -> None:
+        context = []
+        if time is not None:
+            context.append(f"t={time:.6g}")
+        if event is not None:
+            context.append(f"event={event}")
+        if task_id is not None:
+            context.append(f"task={task_id!r}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(message + suffix)
+        self.time = time
+        self.event = event
+        self.task_id = task_id
+
+
+class TaskAbortedError(SimulationError):
+    """A task exhausted its retry budget after repeated processor failures."""
+
+    def __init__(self, message: str, *, task_id: object | None = None, attempts: int | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.attempts = attempts
 
 
 class AllocationError(ReproError):

@@ -34,6 +34,7 @@ _ACCEPTS: dict[str, tuple[str, ...]] = {
     "waiting": ("P", "seed"),
     "certificates": ("P", "seed"),
     "misspecification": ("P", "seed"),
+    "resilience": ("P", "seed"),
 }
 
 

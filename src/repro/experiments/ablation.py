@@ -13,8 +13,6 @@ Two knobs of Algorithm 2 are ablated on a fixed workload set:
 
 from __future__ import annotations
 
-import math
-
 from repro.bounds import makespan_lower_bound
 from repro.core.allocator import Allocation, LpaAllocator
 from repro.core.constants import MODEL_FAMILIES, MU_MAX, MU_STAR

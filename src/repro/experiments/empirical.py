@@ -16,7 +16,6 @@ has workloads that blow it up.
 
 from __future__ import annotations
 
-from typing import Callable
 
 import numpy as np
 

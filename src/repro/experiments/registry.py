@@ -56,6 +56,7 @@ REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "waiting": _lazy("repro.experiments.waiting"),
     "certificates": _lazy("repro.experiments.certificates"),
     "misspecification": _lazy("repro.experiments.misspecification"),
+    "resilience": _lazy("repro.experiments.resilience_sweep"),
 }
 
 

@@ -17,7 +17,6 @@ from typing import Callable
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
 from repro.graph.taskgraph import TaskGraph
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_positive_int, check_probability

@@ -8,7 +8,7 @@ and level decomposition.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.exceptions import GraphError
 from repro.graph.taskgraph import TaskGraph

@@ -26,7 +26,7 @@ from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
 from repro.malleable.schedule import MalleableSchedule
 from repro.sim.sources import GraphSource, StaticGraphSource
-from repro.types import TaskId, Time
+from repro.types import Time
 from repro.util.validation import check_positive_int
 
 __all__ = ["MalleableScheduler", "MalleableResult"]

@@ -1,13 +1,51 @@
-"""Failure-prone execution: re-run tasks until they succeed.
+"""Fault tolerance: task failures, processor faults, and retry policies.
 
-The semi-online scenario of Benoit et al. [3, 4], which the paper notes its
-results "readily carry over to": tasks can fail silently (detected only at
-completion) and must be re-executed — with a freshly chosen processor
-allocation — until a successful attempt.  The realized execution is itself
-a moldable task graph (each retry is a new task chained after the failed
-attempt), so Algorithm 1's competitive guarantee applies to it verbatim.
+Two failure regimes are modelled:
+
+* **End-of-attempt task failures** (the semi-online scenario of Benoit et
+  al. [3, 4], which the paper notes its results "readily carry over to"):
+  tasks fail silently, detected only at completion, and are re-executed —
+  with a freshly chosen allocation — until a successful attempt.  The
+  realized execution is itself a moldable task graph, so Algorithm 1's
+  competitive guarantee applies to it verbatim.  See
+  :class:`FailureInjectingSource`.
+
+* **Processor faults** (:mod:`repro.resilience.faults`): individual
+  processors fail and recover mid-run, killing the attempts running on
+  them and shrinking the live capacity :math:`P_t`; the engine re-caps
+  allocations at :math:`\\lceil\\mu P_t\\rceil` and re-executes killed
+  tasks under a :class:`RetryPolicy` (max attempts, exponential backoff,
+  optional checkpoint/restart).  Pass a fault model to
+  :meth:`repro.sim.engine.ListScheduler.run` via ``faults=``.
 """
 
-from repro.resilience.failures import FailureInjectingSource, attempt_counts
+from repro.resilience.failures import (
+    FailureInjectingSource,
+    attempt_counts,
+    wasted_area,
+    wasted_time,
+)
+from repro.resilience.faults import (
+    BurstFaultModel,
+    ExponentialFaultModel,
+    FaultEvent,
+    FaultModel,
+    FaultTimeline,
+    FaultTrace,
+)
+from repro.resilience.retry import ResidualWorkModel, RetryPolicy
 
-__all__ = ["FailureInjectingSource", "attempt_counts"]
+__all__ = [
+    "FailureInjectingSource",
+    "attempt_counts",
+    "wasted_time",
+    "wasted_area",
+    "FaultEvent",
+    "FaultTimeline",
+    "FaultTrace",
+    "FaultModel",
+    "ExponentialFaultModel",
+    "BurstFaultModel",
+    "RetryPolicy",
+    "ResidualWorkModel",
+]

@@ -20,7 +20,7 @@ from repro.sim.engine import SimulationResult
 from repro.types import TaskId
 from repro.util.validation import check_positive_int, check_probability
 
-__all__ = ["FailureInjectingSource", "attempt_counts"]
+__all__ = ["FailureInjectingSource", "attempt_counts", "wasted_time", "wasted_area"]
 
 
 class FailureInjectingSource:
@@ -37,9 +37,14 @@ class FailureInjectingSource:
         RNG seed (or a ``numpy.random.Generator``) — failures are the only
         randomness, so runs are reproducible.
     max_attempts:
-        Safety valve: after this many failed attempts the next one succeeds
-        deterministically (keeps adversarially high probabilities from
-        hanging the simulation).
+        Hard cap on the *total* number of attempts a task may take.  The
+        guarantee is explicit: attempt ``max_attempts`` **always succeeds**,
+        whatever the failure probability (so ``max_attempts=1`` disables
+        failure injection entirely).  This keeps adversarially high
+        probabilities from hanging the simulation.  The RNG is drawn once
+        per completed attempt regardless, so the random stream — and hence
+        every earlier attempt's outcome — is identical across different
+        ``max_attempts`` settings.
     """
 
     def __init__(
@@ -96,10 +101,11 @@ class FailureInjectingSource:
             raise SimulationError(f"unexpected completion of {task_id!r}")
         if original in self._succeeded:
             raise SimulationError(f"task {original!r} already succeeded")
-        failed = (
-            attempt < self.max_attempts
-            and float(self._rng.random()) < self._prob(original)
-        )
+        # Draw the RNG unconditionally so the stream does not depend on
+        # max_attempts, then enforce the explicit guarantee that the last
+        # allowed attempt always succeeds.
+        roll_failed = float(self._rng.random()) < self._prob(original)
+        failed = roll_failed and attempt < self.max_attempts
         if failed:
             return [self._reveal_attempt(original, attempt + 1)]
         # Success: record it and reveal newly-ready successors.
@@ -136,3 +142,29 @@ def attempt_counts(result: SimulationResult) -> dict[TaskId, int]:
         original, attempt = entry.task_id
         counts[original] = max(counts.get(original, 0), attempt)
     return counts
+
+
+def wasted_time(result: SimulationResult) -> float:
+    """Total execution time burned on *failed* attempts.
+
+    Every attempt before a task's final one failed (the final attempt is
+    the success, guaranteed by the ``max_attempts`` contract), so this sums
+    the durations of all non-final attempts.  See also
+    :func:`wasted_area` for the processor-time product.
+    """
+    finals = attempt_counts(result)
+    return sum(
+        entry.duration
+        for entry in result.schedule
+        if entry.task_id[1] < finals[entry.task_id[0]]
+    )
+
+
+def wasted_area(result: SimulationResult) -> float:
+    """Processor-time product burned on failed attempts (cf. :func:`wasted_time`)."""
+    finals = attempt_counts(result)
+    return sum(
+        entry.area
+        for entry in result.schedule
+        if entry.task_id[1] < finals[entry.task_id[0]]
+    )

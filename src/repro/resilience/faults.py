@@ -1,0 +1,324 @@
+"""Processor fault models: timed fail/recover events for individual processors.
+
+The paper's platform is ``P`` identical processors that never fail.  This
+module drops that assumption: a *fault model* produces a time-ordered
+stream of :class:`FaultEvent`\\ s (``fail`` / ``recover`` per processor)
+that the engine (:meth:`repro.sim.engine.ListScheduler.run` with
+``faults=...``) consumes to shrink and restore the live capacity
+:math:`P_t` mid-run.
+
+Three generator families are provided:
+
+* :class:`ExponentialFaultModel` — per-processor exponential MTBF/MTTR
+  (the classic memoryless cluster model);
+* :class:`FaultTrace` — trace-driven: an explicit, validated event list
+  (also the common interchange type every generator produces);
+* :class:`BurstFaultModel` — adversarial bursts: a fraction of the
+  platform fails simultaneously at chosen instants and returns after a
+  fixed outage.
+
+All randomness flows through seeded ``numpy.random.Generator`` objects, so
+fault traces — and therefore entire faulty simulations — are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.types import Time
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "FaultEvent",
+    "FaultTimeline",
+    "FaultTrace",
+    "FaultModel",
+    "ExponentialFaultModel",
+    "BurstFaultModel",
+]
+
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One processor state transition at a simulated instant."""
+
+    time: Time
+    kind: str  # "fail" or "recover"
+    processor: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FAIL, RECOVER):
+            raise InvalidParameterError(
+                f"fault event kind must be 'fail' or 'recover', got {self.kind!r}"
+            )
+        if self.time < 0:
+            raise InvalidParameterError(
+                f"fault event time must be >= 0, got {self.time}"
+            )
+        if self.processor < 0:
+            raise InvalidParameterError(
+                f"processor index must be >= 0, got {self.processor}"
+            )
+
+
+class FaultTimeline:
+    """A consumable, time-ordered stream of fault events for one run.
+
+    The engine only needs two operations: :meth:`peek` the next event time
+    and :meth:`pop` the next event.  A timeline is single-use.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent]) -> None:
+        self._events = list(events)
+        self._next = 0
+
+    def peek(self) -> Time | None:
+        """Time of the next event, or ``None`` when drained."""
+        if self._next >= len(self._events):
+            return None
+        return self._events[self._next].time
+
+    def pop(self) -> FaultEvent:
+        event = self._events[self._next]
+        self._next += 1
+        return event
+
+
+class FaultTrace:
+    """A validated, sorted sequence of fault events (trace-driven model).
+
+    Events may be given in any order; they are stably sorted by time.
+    Validation enforces per-processor alternation — a processor must
+    recover before it can fail again, and cannot recover while up.
+
+    Parameters
+    ----------
+    events:
+        Iterable of :class:`FaultEvent` or ``(time, kind, processor)``
+        tuples.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent | tuple] = ()) -> None:
+        parsed: list[FaultEvent] = []
+        for entry in events:
+            if not isinstance(entry, FaultEvent):
+                entry = FaultEvent(float(entry[0]), entry[1], int(entry[2]))
+            parsed.append(entry)
+        parsed.sort(key=lambda e: e.time)
+        down: set[int] = set()
+        for event in parsed:
+            if event.kind == FAIL:
+                if event.processor in down:
+                    raise InvalidParameterError(
+                        f"processor {event.processor} fails at t={event.time:.6g} "
+                        "while already down"
+                    )
+                down.add(event.processor)
+            else:
+                if event.processor not in down:
+                    raise InvalidParameterError(
+                        f"processor {event.processor} recovers at t={event.time:.6g} "
+                        "while already up"
+                    )
+                down.discard(event.processor)
+        self._events: tuple[FaultEvent, ...] = tuple(parsed)
+
+    @classmethod
+    def from_downtimes(
+        cls, windows: Iterable[tuple[int, float, float | None]]
+    ) -> "FaultTrace":
+        """Build a trace from ``(processor, fail_time, recover_time)`` windows.
+
+        ``recover_time=None`` means the processor never comes back.
+        """
+        events: list[FaultEvent] = []
+        for proc, fail_at, recover_at in windows:
+            events.append(FaultEvent(float(fail_at), FAIL, int(proc)))
+            if recover_at is not None:
+                if recover_at <= fail_at:
+                    raise InvalidParameterError(
+                        f"processor {proc}: recovery at {recover_at} does not "
+                        f"follow failure at {fail_at}"
+                    )
+                events.append(FaultEvent(float(recover_at), RECOVER, int(proc)))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def timeline(self, P: int) -> FaultTimeline:
+        """Events affecting processors ``0..P-1``, as a consumable stream."""
+        P = check_positive_int(P, "P")
+        return FaultTimeline(e for e in self._events if e.processor < P)
+
+    def capacity_timeline(self, P: int) -> list[tuple[Time, int]]:
+        """Piecewise-constant live capacity ``[(time, capacity), ...]``.
+
+        Starts at ``(0.0, P)``; each subsequent entry is the capacity from
+        that instant on.  Simultaneous events are merged into one step.
+        """
+        P = check_positive_int(P, "P")
+        steps: list[tuple[Time, int]] = [(0.0, P)]
+        capacity = P
+        for event in self._events:
+            if event.processor >= P:
+                continue
+            capacity += -1 if event.kind == FAIL else 1
+            if steps and steps[-1][0] == event.time:
+                steps[-1] = (event.time, capacity)
+            else:
+                steps.append((event.time, capacity))
+        return steps
+
+    def min_capacity(self, P: int) -> int:
+        """Smallest live capacity the trace ever reaches on ``P`` processors."""
+        return min(c for _, c in self.capacity_timeline(P))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultTrace({len(self._events)} events)"
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Anything that can emit a fault-event stream for a ``P``-processor run."""
+
+    def timeline(self, P: int) -> FaultTimeline: ...
+
+
+class ExponentialFaultModel:
+    """Memoryless per-processor faults: Exp(MTBF) uptimes, Exp(MTTR) repairs.
+
+    Each processor alternates independently between *up* periods drawn from
+    an exponential distribution with mean ``mtbf`` and *down* periods with
+    mean ``mttr``.  ``mttr=None`` makes every failure permanent.
+
+    Because the engine cannot know a run's duration in advance, the trace
+    is generated up to a ``horizon``; events past it are dropped.  Pick the
+    horizon comfortably above the expected makespan (the resilience sweep
+    uses a multiple of the fault-free makespan).
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failures of one processor (> 0).
+    mttr:
+        Mean time to repair (> 0), or ``None`` for permanent failures.
+    horizon:
+        Generate events in ``[0, horizon)``.
+    seed:
+        RNG seed (or a ``numpy.random.Generator``).
+    """
+
+    def __init__(
+        self,
+        mtbf: float,
+        *,
+        mttr: float | None = None,
+        horizon: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if mtbf <= 0:
+            raise InvalidParameterError(f"mtbf must be > 0, got {mtbf}")
+        if mttr is not None and mttr <= 0:
+            raise InvalidParameterError(f"mttr must be > 0 or None, got {mttr}")
+        if horizon <= 0:
+            raise InvalidParameterError(f"horizon must be > 0, got {horizon}")
+        self.mtbf = float(mtbf)
+        self.mttr = None if mttr is None else float(mttr)
+        self.horizon = float(horizon)
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    def trace(self, P: int) -> FaultTrace:
+        """Sample one fault trace for processors ``0..P-1``."""
+        P = check_positive_int(P, "P")
+        events: list[FaultEvent] = []
+        for proc in range(P):
+            t = 0.0
+            while True:
+                t += float(self._rng.exponential(self.mtbf))
+                if t >= self.horizon:
+                    break
+                events.append(FaultEvent(t, FAIL, proc))
+                if self.mttr is None:
+                    break
+                t += float(self._rng.exponential(self.mttr))
+                if t >= self.horizon:
+                    break
+                events.append(FaultEvent(t, RECOVER, proc))
+        return FaultTrace(events)
+
+    def timeline(self, P: int) -> FaultTimeline:
+        return self.trace(P).timeline(P)
+
+
+class BurstFaultModel:
+    """Adversarial bursts: a block of processors fails simultaneously.
+
+    At each instant in ``times``, the ``fraction`` lowest-indexed
+    processors fail together and recover ``downtime`` later (``None`` for
+    permanent loss).  Low indices are the adversarial choice: the engine
+    assigns tasks to the lowest free indices first, so bursts preferentially
+    hit *running* work rather than idle capacity.
+    """
+
+    def __init__(
+        self,
+        times: Iterable[float],
+        *,
+        fraction: float = 0.5,
+        downtime: float | None = None,
+    ) -> None:
+        self.times = tuple(sorted(float(t) for t in times))
+        if any(t < 0 for t in self.times):
+            raise InvalidParameterError("burst times must be >= 0")
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidParameterError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        if downtime is not None and downtime <= 0:
+            raise InvalidParameterError(f"downtime must be > 0 or None, got {downtime}")
+        self.fraction = float(fraction)
+        self.downtime = None if downtime is None else float(downtime)
+        if self.downtime is None and len(self.times) > 1:
+            raise InvalidParameterError(
+                "permanent bursts (downtime=None) allow a single burst time"
+            )
+        if self.downtime is not None:
+            for earlier, later in zip(self.times, self.times[1:]):
+                if later < earlier + self.downtime:
+                    raise InvalidParameterError(
+                        "burst times closer than the downtime would re-fail "
+                        "processors that are still down"
+                    )
+
+    def trace(self, P: int) -> FaultTrace:
+        P = check_positive_int(P, "P")
+        count = max(1, int(np.ceil(self.fraction * P)))
+        count = min(count, P)
+        windows: list[tuple[int, float, float | None]] = []
+        for t in self.times:
+            for proc in range(count):
+                recover = None if self.downtime is None else t + self.downtime
+                windows.append((proc, t, recover))
+        return FaultTrace.from_downtimes(windows)
+
+    def timeline(self, P: int) -> FaultTimeline:
+        return self.trace(P).timeline(P)

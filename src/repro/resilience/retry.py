@@ -1,0 +1,155 @@
+"""Retry policies for task attempts killed by processor failures.
+
+When a processor fails mid-run, the attempt running on it is killed and the
+task must be re-executed.  A :class:`RetryPolicy` decides the three knobs of
+that re-execution:
+
+* **how many times** a task may be attempted (``max_attempts``; exhausting
+  the budget raises :class:`~repro.exceptions.TaskAbortedError`);
+* **when** the retry becomes visible to the scheduler again — an
+  exponential-backoff delay in *simulated* time, modelling the requeue /
+  node-drain latency of real resource managers;
+* **how much work** the retry carries: a full restart, or — with
+  ``checkpoint=True`` — only the remaining work
+  :math:`w \\cdot (1 - \\text{progress})` of the killed attempt
+  (:class:`ResidualWorkModel`).
+
+Every Equation (1) model is linear in the work parameter ``w``, so scaling
+the *time* function by the un-finished fraction is exactly equivalent to
+re-running the task with work :math:`w(1-f)`; the wrapper therefore works
+for arbitrary user models too, and preserves monotonicity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.speedup.base import SpeedupModel
+
+__all__ = ["RetryPolicy", "ResidualWorkModel"]
+
+
+class ResidualWorkModel(SpeedupModel):
+    """A speedup model scaled to the un-finished fraction of its work.
+
+    ``time(p) = fraction * inner.time(p)`` — the checkpoint/restart
+    semantics where a killed task resumes with remaining work
+    :math:`w \\cdot (1 - \\text{progress})`.  Nested wrappers collapse
+    (fractions multiply), so repeated kills of the same task stay flat.
+    """
+
+    def __init__(self, inner: SpeedupModel, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise InvalidParameterError(
+                f"residual fraction must be in [0, 1], got {fraction}"
+            )
+        if isinstance(inner, ResidualWorkModel):
+            fraction *= inner.fraction
+            inner = inner.inner
+        self.inner = inner
+        self.fraction = float(fraction)
+        self.monotonic_hint = inner.monotonic_hint
+
+    def time(self, p: int) -> float:
+        return self.fraction * self.inner.time(p)
+
+    def max_useful_processors(self, P: int) -> int:
+        # Scaling the time function by a positive constant does not move
+        # its argmin; for fraction 0 every allocation is equally (in)useful.
+        if self.fraction == 0.0:
+            return 1
+        return self.inner.max_useful_processors(P)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResidualWorkModel({self.inner!r}, fraction={self.fraction:.6g})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens to a task attempt killed by a processor failure.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts a task may consume (first run included); ``None``
+        means unlimited.  A kill that would exceed the budget raises
+        :class:`~repro.exceptions.TaskAbortedError`.
+    backoff_base:
+        Simulated-time delay before the second attempt is re-revealed to
+        the scheduler; ``0`` re-enqueues immediately.
+    backoff_factor:
+        Multiplier applied per additional failure (exponential backoff).
+    backoff_cap:
+        Upper bound on any single delay.
+    checkpoint:
+        When ``True``, a killed attempt resumes with the remaining work
+        ``w * (1 - progress)`` instead of restarting from scratch.
+    """
+
+    max_attempts: int | None = None
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = math.inf
+    checkpoint: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise InvalidParameterError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise InvalidParameterError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap <= 0:
+            raise InvalidParameterError(
+                f"backoff_cap must be > 0, got {self.backoff_cap}"
+            )
+
+    # ------------------------------------------------------------------
+    def allows(self, next_attempt: int) -> bool:
+        """Whether attempt number ``next_attempt`` (1-based) may run."""
+        return self.max_attempts is None or next_attempt <= self.max_attempts
+
+    def backoff_delay(self, failed_attempt: int) -> float:
+        """Delay before the retry of (1-based) attempt ``failed_attempt``."""
+        if failed_attempt < 1:
+            raise InvalidParameterError(
+                f"failed_attempt must be >= 1, got {failed_attempt}"
+            )
+        if self.backoff_base == 0.0:
+            return 0.0
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** (failed_attempt - 1),
+        )
+
+    def residual_model(self, model: SpeedupModel, progress: float) -> SpeedupModel:
+        """Speedup model of the retry after a kill at ``progress`` in [0, 1).
+
+        Without checkpointing the task restarts from scratch (the model is
+        returned unchanged, and any residual wrapper from earlier resumes
+        is unwrapped).  With checkpointing the remaining-work fraction
+        compounds across repeated kills.
+        """
+        if not self.checkpoint:
+            return model.inner if isinstance(model, ResidualWorkModel) else model
+        progress = min(max(progress, 0.0), 1.0)
+        return ResidualWorkModel(model, 1.0 - progress)
+
+    def __str__(self) -> str:
+        parts = []
+        parts.append(
+            "attempts=inf" if self.max_attempts is None else f"attempts={self.max_attempts}"
+        )
+        if self.backoff_base > 0:
+            parts.append(f"backoff={self.backoff_base:g}x{self.backoff_factor:g}")
+        if self.checkpoint:
+            parts.append("checkpoint")
+        return "retry(" + ", ".join(parts) + ")"

@@ -12,8 +12,9 @@ interval decomposition of Section 4.2 used to check the analysis.
 from repro.sim.allocation import Allocation, Allocator
 from repro.sim.schedule import Schedule, ScheduledTask
 from repro.sim.sources import GraphSource, ReleasedTaskSource, StaticGraphSource
-from repro.sim.engine import ListScheduler, SimulationResult
+from repro.sim.engine import AttemptRecord, ListScheduler, SimulationResult
 from repro.sim.intervals import IntervalDecomposition, decompose_intervals
+from repro.sim.invariants import InvariantChecker, validate_result
 
 __all__ = [
     "Allocation",
@@ -25,6 +26,9 @@ __all__ = [
     "ReleasedTaskSource",
     "ListScheduler",
     "SimulationResult",
+    "AttemptRecord",
     "IntervalDecomposition",
     "decompose_intervals",
+    "InvariantChecker",
+    "validate_result",
 ]

@@ -13,6 +13,15 @@ At time 0 and at every task completion the engine
 3. appends the tasks to the waiting queue,
 4. scans the queue in order, starting every task that fits in the free
    processors (list scheduling, lines 7-11 of Algorithm 1).
+
+Beyond the paper's fault-free platform, :meth:`ListScheduler.run` also
+supports *processor faults* (``faults=``): a fault model
+(:mod:`repro.resilience.faults`) emits timed fail/recover events for
+individual processors, a failure kills the attempt running on the victim
+processor, and the task is re-enqueued under a retry policy
+(:mod:`repro.resilience.retry`).  The allocator is re-consulted with the
+*live* capacity :math:`P_t`, so the paper's :math:`\\lceil\\mu P\\rceil`
+cap tracks the shrinking (and recovering) platform.
 """
 
 from __future__ import annotations
@@ -20,10 +29,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, TaskAbortedError
 from repro.sim.allocation import Allocation, Allocator
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
@@ -32,10 +41,38 @@ from repro.sim.sources import GraphSource, StaticGraphSource
 from repro.types import TaskId, Time
 from repro.util.validation import check_positive_int
 
-__all__ = ["ListScheduler", "SimulationResult"]
+__all__ = ["ListScheduler", "SimulationResult", "AttemptRecord"]
 
 #: Optional priority key: smaller keys run earlier in the waiting queue.
 PriorityRule = Callable[[Task, Allocation], object]
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution attempt of a task (telemetry of fault-injected runs).
+
+    ``completed=False`` marks an attempt killed mid-run by a processor
+    failure; its ``end`` is the kill instant.  ``proc_ids`` are the
+    concrete processor indices the attempt occupied (empty for runs that
+    do not track identities).
+    """
+
+    task_id: TaskId
+    attempt: int
+    start: Time
+    end: Time
+    procs: int
+    completed: bool
+    proc_ids: tuple[int, ...] = ()
+
+    @property
+    def duration(self) -> Time:
+        return self.end - self.start
+
+    @property
+    def area(self) -> float:
+        """Processor-time product consumed by this attempt."""
+        return self.procs * self.duration
 
 
 @dataclass(frozen=True)
@@ -48,6 +85,12 @@ class SimulationResult:
     #: Simulated instant each task became available to the scheduler
     #: (empty for schedulers that do not record it).
     revealed_at: dict[TaskId, Time] = field(default_factory=dict)
+    #: Every execution attempt, including ones killed by processor faults
+    #: (empty for fault-free runs, which execute each task exactly once).
+    attempt_log: tuple[AttemptRecord, ...] = ()
+    #: Piecewise-constant live capacity ``[(time, P_t), ...]`` (empty for
+    #: fault-free runs, where capacity is the constant ``P``).
+    capacity_timeline: tuple[tuple[Time, int], ...] = ()
 
     @property
     def makespan(self) -> Time:
@@ -64,6 +107,35 @@ class SimulationResult:
             for task_id, revealed in self.revealed_at.items()
         }
 
+    # -- failure telemetry ---------------------------------------------
+    def attempt_counts(self) -> dict[TaskId, int]:
+        """Engine-level attempts per task (1 for every fault-free task)."""
+        if not self.attempt_log:
+            return {entry.task_id: 1 for entry in self.schedule}
+        counts: dict[TaskId, int] = {}
+        for record in self.attempt_log:
+            counts[record.task_id] = max(counts.get(record.task_id, 0), record.attempt)
+        return counts
+
+    def killed_attempts(self) -> int:
+        """Number of attempts killed by processor failures."""
+        return sum(1 for record in self.attempt_log if not record.completed)
+
+    def wasted_work(self) -> float:
+        """Total processor-time area consumed by killed attempts.
+
+        With checkpoint/restart retries part of this area is *not* redone
+        (the retry carries only the remaining work), but it was still
+        burned on the platform, which is what this metric measures.
+        """
+        return sum(record.area for record in self.attempt_log if not record.completed)
+
+    def min_capacity(self) -> int:
+        """Smallest live capacity reached during the run (``P`` if fault-free)."""
+        if not self.capacity_timeline:
+            return self.schedule.P
+        return min(capacity for _, capacity in self.capacity_timeline)
+
 
 @dataclass(frozen=True)
 class _Waiting:
@@ -72,6 +144,30 @@ class _Waiting:
     task: Task
     allocation: Allocation
     seq: int
+    #: 1-based attempt number (> 1 after processor-fault retries).
+    attempt: int = 1
+    #: Model override for checkpointed retries (``None`` -> ``task.model``).
+    model: object = None
+    #: Live capacity the allocation was computed against; the resilient
+    #: loop re-allocates when the capacity has changed since.
+    cap_at_alloc: int = -1
+
+    @property
+    def effective_model(self):
+        return self.model if self.model is not None else self.task.model
+
+
+@dataclass
+class _Running:
+    """A started attempt occupying concrete processor indices."""
+
+    task: Task
+    alloc: Allocation
+    proc_ids: tuple[int, ...]
+    start: Time
+    end: Time
+    attempt: int
+    model: object  # residual model under checkpoint retries
 
 
 class ListScheduler:
@@ -103,15 +199,54 @@ class ListScheduler:
         self.priority = priority
 
     # ------------------------------------------------------------------
-    def run(self, source: GraphSource | TaskGraph) -> SimulationResult:
+    def run(
+        self,
+        source: GraphSource | TaskGraph,
+        *,
+        faults=None,
+        retry=None,
+        check_invariants: bool | None = None,
+    ) -> SimulationResult:
         """Simulate the schedule of ``source`` and return the result.
 
         Accepts either a :class:`~repro.sim.sources.GraphSource` or a bare
         :class:`~repro.graph.TaskGraph` (wrapped in a
         :class:`~repro.sim.sources.StaticGraphSource`).
+
+        Parameters
+        ----------
+        faults:
+            Optional processor fault model — anything with a
+            ``timeline(P)`` method (:class:`~repro.resilience.faults.FaultTrace`,
+            :class:`~repro.resilience.faults.ExponentialFaultModel`, ...).
+            Failures kill running attempts and shrink the live capacity;
+            recoveries restore it.
+        retry:
+            Optional :class:`~repro.resilience.retry.RetryPolicy` governing
+            killed attempts (default: unlimited immediate restarts).  Only
+            meaningful together with ``faults``.
+        check_invariants:
+            Run the :class:`~repro.sim.invariants.InvariantChecker` after
+            every engine event.  Defaults to ``True`` for fault-injected
+            runs and ``False`` (zero overhead) for fault-free ones.
         """
         if isinstance(source, TaskGraph):
             source = StaticGraphSource(source)
+        if faults is not None or retry is not None:
+            if check_invariants is None:
+                check_invariants = True
+            return self._run_resilient(source, faults, retry, check_invariants)
+        return self._run_plain(source, bool(check_invariants))
+
+    # ------------------------------------------------------------------
+    # Fault-free fast path (the paper's setting)
+    # ------------------------------------------------------------------
+    def _run_plain(self, source: GraphSource, check_invariants: bool) -> SimulationResult:
+        checker = None
+        if check_invariants:
+            from repro.sim.invariants import InvariantChecker
+
+            checker = InvariantChecker(self.P)
 
         schedule = Schedule(self.P)
         allocations: dict[TaskId, Allocation] = {}
@@ -142,6 +277,8 @@ class ListScheduler:
                     )
                 allocations[task.id] = alloc
                 revealed_at[task.id] = now
+                if checker is not None:
+                    checker.on_reveal(now, task.id)
                 queue.append(_Waiting(task, alloc, next(seq)))
             if self.priority is not None:
                 queue.sort(key=lambda w: (self.priority(w.task, w.allocation), w.seq))
@@ -152,6 +289,14 @@ class ListScheduler:
             for waiting in queue:
                 procs = waiting.allocation.final
                 if procs <= free:
+                    # Start-time guard: the platform never shrinks here, but
+                    # an allocator bug (or a mutated allocation) must fail
+                    # loudly rather than silently over-pack the platform.
+                    if procs > self.P:
+                        raise SimulationError(
+                            f"task {waiting.task.id!r}: allocation {procs} exceeds "
+                            f"capacity P={self.P} at start time t={now:.6g}"
+                        )
                     free -= procs
                     duration = waiting.task.model.time(procs)
                     schedule.add(
@@ -162,6 +307,8 @@ class ListScheduler:
                         initial_alloc=waiting.allocation.initial,
                         tag=waiting.task.tag,
                     )
+                    if checker is not None:
+                        checker.on_start(now, waiting.task.id, procs)
                     heapq.heappush(
                         events, (now + duration, next(seq), waiting.task.id, procs)
                     )
@@ -197,6 +344,8 @@ class ListScheduler:
             while events and events[0][0] == now:
                 _, _, task_id, procs = heapq.heappop(events)
                 free += procs
+                if checker is not None:
+                    checker.on_complete(now, task_id)
                 revealed.extend(source.on_complete(task_id))
             admit(revealed)
             start_fitting()
@@ -211,6 +360,332 @@ class ListScheduler:
                 "source still holds unrevealed tasks after the queue drained; "
                 "the revealed graph is disconnected from its sources"
             )
+        if checker is not None:
+            checker.on_end(now)
         return SimulationResult(
             schedule, allocations, source.realized_graph(), revealed_at
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-aware path: dynamic capacity, kills, retries
+    # ------------------------------------------------------------------
+    def _run_resilient(
+        self,
+        source: GraphSource,
+        faults,
+        retry,
+        check_invariants: bool,
+    ) -> SimulationResult:
+        # Lazy imports keep sim/ below resilience/ in the layering: the
+        # engine only duck-types fault models, and reaches up for the
+        # default retry policy at call time.
+        from repro.resilience.faults import FaultTimeline
+        from repro.resilience.retry import RetryPolicy
+
+        if retry is None:
+            retry = RetryPolicy()
+        timeline = faults.timeline(self.P) if faults is not None else FaultTimeline(())
+        checker = None
+        if check_invariants:
+            from repro.sim.invariants import InvariantChecker
+
+            checker = InvariantChecker(self.P)
+
+        schedule = Schedule(self.P)
+        allocations: dict[TaskId, Allocation] = {}
+        revealed_at: dict[TaskId, Time] = {}
+        queue: list[_Waiting] = []
+        seq = itertools.count()
+        now: Time = 0.0
+
+        # Processor identities: the engine packs tasks onto the lowest free
+        # indices, faults name their victim processor explicitly.
+        down: set[int] = set()
+        free_set: set[int] = set(range(self.P))
+        proc_owner: dict[int, TaskId] = {}
+        capacity = self.P
+
+        running: dict[TaskId, _Running] = {}
+        # Heap entries: (time, seq, kind, payload) with kind "complete"
+        # (payload: (task_id, attempt) — stale after a kill) or "retry"
+        # (payload: _Waiting to re-admit after its backoff delay).
+        events: list[tuple[Time, int, str, object]] = []
+        attempt_log: list[AttemptRecord] = []
+        capacity_log: list[tuple[Time, int]] = [(0.0, self.P)]
+
+        allocate_task = getattr(self.allocator, "allocate_task", None)
+
+        def allocate(task: Task, model, P_t: int) -> Allocation:
+            """Consult the allocator for the live capacity ``P_t``."""
+            if callable(allocate_task):
+                alloc = allocate_task(task, P_t, free=len(free_set))
+            else:
+                alloc = self.allocator.allocate(model, P_t, free=len(free_set))
+            if not 1 <= alloc.final <= P_t:
+                raise SimulationError(
+                    f"allocator returned infeasible allocation {alloc} for task "
+                    f"{task.id!r} on live capacity P_t={P_t}"
+                )
+            return alloc
+
+        def record_capacity() -> None:
+            if capacity_log[-1][0] == now:
+                capacity_log[-1] = (now, capacity)
+            else:
+                capacity_log.append((now, capacity))
+            if checker is not None:
+                checker.on_capacity(now, capacity)
+
+        def resort() -> None:
+            if self.priority is not None:
+                queue.sort(key=lambda w: (self.priority(w.task, w.allocation), w.seq))
+
+        def admit(tasks: list[Task]) -> None:
+            """Admit freshly revealed tasks (first attempts)."""
+            for task in tasks:
+                if task.id in allocations:
+                    raise SimulationError(f"task {task.id!r} revealed twice")
+                cap = max(capacity, 1)  # provisional if the platform is fully down
+                alloc = allocate(task, task.model, cap)
+                allocations[task.id] = alloc
+                revealed_at[task.id] = now
+                if checker is not None:
+                    checker.on_reveal(now, task.id)
+                queue.append(
+                    _Waiting(task, alloc, next(seq), cap_at_alloc=capacity)
+                )
+            resort()
+
+        def requeue(waiting: _Waiting) -> None:
+            """Re-admit a killed task's next attempt."""
+            cap = max(capacity, 1)
+            alloc = allocate(waiting.task, waiting.effective_model, cap)
+            allocations[waiting.task.id] = alloc
+            queue.append(
+                replace(
+                    waiting,
+                    allocation=alloc,
+                    seq=next(seq),
+                    cap_at_alloc=capacity,
+                )
+            )
+            resort()
+
+        def start_fitting() -> None:
+            remaining: list[_Waiting] = []
+            for waiting in queue:
+                if capacity < 1:
+                    remaining.append(waiting)
+                    continue
+                if waiting.cap_at_alloc != capacity:
+                    # Re-cap at the live capacity: the allocator's
+                    # ceil(mu * P_t) cap must track P_t, and an allocation
+                    # computed for a larger platform may no longer fit.
+                    alloc = allocate(waiting.task, waiting.effective_model, capacity)
+                    allocations[waiting.task.id] = alloc
+                    waiting = replace(waiting, allocation=alloc, cap_at_alloc=capacity)
+                procs = waiting.allocation.final
+                if procs > capacity:
+                    # Start-time guard (never reachable with a law-abiding
+                    # allocator): refuse to over-pack the live platform.
+                    raise SimulationError(
+                        f"task {waiting.task.id!r}: allocation {procs} exceeds live "
+                        f"capacity P_t={capacity} at start time t={now:.6g}"
+                    )
+                if procs <= len(free_set):
+                    ids = tuple(heapq.nsmallest(procs, free_set))
+                    free_set.difference_update(ids)
+                    for q in ids:
+                        proc_owner[q] = waiting.task.id
+                    model = waiting.effective_model
+                    duration = model.time(procs)
+                    end = now + duration
+                    running[waiting.task.id] = _Running(
+                        waiting.task,
+                        waiting.allocation,
+                        ids,
+                        now,
+                        end,
+                        waiting.attempt,
+                        model,
+                    )
+                    if checker is not None:
+                        checker.on_start(now, waiting.task.id, procs)
+                    heapq.heappush(
+                        events,
+                        (end, next(seq), "complete", (waiting.task.id, waiting.attempt)),
+                    )
+                else:
+                    remaining.append(waiting)
+            queue[:] = remaining
+
+        def complete(task_id: TaskId) -> list[Task]:
+            rec = running.pop(task_id)
+            for q in rec.proc_ids:
+                del proc_owner[q]
+                free_set.add(q)
+            schedule.add(
+                task_id,
+                rec.start,
+                now,
+                rec.alloc.final,
+                initial_alloc=rec.alloc.initial,
+                tag=rec.task.tag,
+            )
+            attempt_log.append(
+                AttemptRecord(
+                    task_id, rec.attempt, rec.start, now, rec.alloc.final, True, rec.proc_ids
+                )
+            )
+            if checker is not None:
+                checker.on_complete(now, task_id)
+            return source.on_complete(task_id)
+
+        def kill(task_id: TaskId, failed_proc: int) -> None:
+            rec = running.pop(task_id)
+            for q in rec.proc_ids:
+                del proc_owner[q]
+                if q != failed_proc and q not in down:
+                    free_set.add(q)
+            attempt_log.append(
+                AttemptRecord(
+                    task_id, rec.attempt, rec.start, now, rec.alloc.final, False, rec.proc_ids
+                )
+            )
+            if checker is not None:
+                checker.on_kill(now, task_id)
+            next_attempt = rec.attempt + 1
+            if not retry.allows(next_attempt):
+                raise TaskAbortedError(
+                    f"task {task_id!r} killed by a processor failure on attempt "
+                    f"{rec.attempt}/{retry.max_attempts} at t={now:.6g}; retry "
+                    "budget exhausted",
+                    task_id=task_id,
+                    attempts=rec.attempt,
+                )
+            duration = rec.end - rec.start
+            progress = 0.0 if duration <= 0 else (now - rec.start) / duration
+            model = retry.residual_model(rec.model, min(progress, 1.0))
+            waiting = _Waiting(
+                rec.task, rec.alloc, -1, attempt=next_attempt, model=model
+            )
+            delay = retry.backoff_delay(rec.attempt)
+            if delay > 0:
+                heapq.heappush(events, (now + delay, next(seq), "retry", waiting))
+            else:
+                requeue(waiting)
+
+        def apply_fault(event) -> None:
+            nonlocal capacity
+            proc = event.processor
+            if event.kind == "fail":
+                if proc in down:
+                    raise SimulationError(
+                        f"fault trace fails processor {proc} twice (t={now:.6g})"
+                    )
+                down.add(proc)
+                capacity -= 1
+                if proc in free_set:
+                    free_set.discard(proc)
+                else:
+                    victim = proc_owner.get(proc)
+                    if victim is not None:
+                        kill(victim, proc)
+            else:  # recover
+                if proc not in down:
+                    raise SimulationError(
+                        f"fault trace recovers processor {proc} while up (t={now:.6g})"
+                    )
+                down.discard(proc)
+                capacity += 1
+                free_set.add(proc)
+
+        next_release = getattr(source, "next_release_time", None)
+        release_due = getattr(source, "release_due", None)
+        timed = callable(next_release) and callable(release_due)
+
+        def next_event_time() -> Time:
+            """Earliest live heap event, dropping stale completions."""
+            while events:
+                t, _, kind, payload = events[0]
+                if kind == "complete":
+                    task_id, attempt = payload
+                    rec = running.get(task_id)
+                    if rec is None or rec.attempt != attempt:
+                        heapq.heappop(events)  # killed: stale completion
+                        continue
+                return t
+            return math.inf
+
+        # Faults at the initial instant shrink the platform before reveals.
+        initial_faults = False
+        while (t := timeline.peek()) is not None and t <= 0.0:
+            apply_fault(timeline.pop())
+            initial_faults = True
+        if initial_faults:
+            record_capacity()
+        admit(source.initial_tasks())
+        start_fitting()
+
+        while True:
+            t_event = next_event_time()
+            t_release = math.inf
+            if timed:
+                upcoming = next_release()
+                if upcoming is not None:
+                    t_release = upcoming
+            t_fault = timeline.peek()
+            if t_fault is None:
+                t_fault = math.inf
+            if math.isinf(t_event) and math.isinf(t_release):
+                if not queue:
+                    break  # done; trailing fault events cannot matter
+                if math.isinf(t_fault):
+                    stuck = [w.task.id for w in queue[:10]]
+                    raise SimulationError(
+                        f"deadlock: tasks {stuck!r} can never start "
+                        f"(capacity={capacity}, P={self.P}, no recovery pending)"
+                    )
+            now = min(t_event, t_release, t_fault)
+            revealed: list[Task] = []
+            retries: list[_Waiting] = []
+            if timed and t_release <= now:
+                revealed.extend(release_due(now))
+            # Completions at this instant are processed before faults: a
+            # task finishing exactly when its processor dies has finished.
+            while events and events[0][0] == now:
+                _, _, kind, payload = heapq.heappop(events)
+                if kind == "complete":
+                    task_id, attempt = payload
+                    rec = running.get(task_id)
+                    if rec is None or rec.attempt != attempt:
+                        continue  # stale: the attempt was killed
+                    revealed.extend(complete(task_id))
+                else:
+                    retries.append(payload)
+            faults_applied = False
+            while (t := timeline.peek()) is not None and t <= now:
+                apply_fault(timeline.pop())
+                faults_applied = True
+            if faults_applied:
+                record_capacity()
+            admit(revealed)
+            for waiting in retries:
+                requeue(waiting)
+            start_fitting()
+
+        if not source.is_exhausted():
+            raise SimulationError(
+                "source still holds unrevealed tasks after the queue drained; "
+                "the revealed graph is disconnected from its sources"
+            )
+        if checker is not None:
+            checker.on_end(now)
+        return SimulationResult(
+            schedule,
+            allocations,
+            source.realized_graph(),
+            revealed_at,
+            attempt_log=tuple(attempt_log),
+            capacity_timeline=tuple(capacity_log),
         )

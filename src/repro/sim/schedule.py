@@ -10,14 +10,13 @@ execution (each task appears exactly once with one allocation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.exceptions import (
     CapacityExceededError,
-    InvalidParameterError,
     PrecedenceViolationError,
     ScheduleError,
 )

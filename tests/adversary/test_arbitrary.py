@@ -1,6 +1,5 @@
 """Tests for the Theorem-9 chain forest, Figure-4 schedules, and Lemma 10."""
 
-import math
 
 import pytest
 

@@ -11,7 +11,6 @@ from repro.core.constants import MU_MAX, MU_STAR, delta
 from repro.exceptions import AllocationError, InvalidParameterError
 from repro.speedup import (
     AmdahlModel,
-    CommunicationModel,
     GeneralModel,
     LogParallelismModel,
     RooflineModel,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import LpaAllocator, MU_STAR, OnlineScheduler
+from repro.core import MU_STAR, OnlineScheduler
 from repro.core.priorities import (
     PRIORITY_RULES,
     bottom_level,

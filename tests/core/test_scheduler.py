@@ -20,7 +20,7 @@ from repro.graph.generators import (
     layered_random,
 )
 from repro.sim.intervals import decompose_intervals
-from repro.speedup import AmdahlModel, RandomModelFactory, RooflineModel
+from repro.speedup import RandomModelFactory, RooflineModel
 
 
 class TestConstruction:

@@ -29,6 +29,7 @@ class TestRegistry:
             "waiting",
             "certificates",
             "misspecification",
+            "resilience",
         }
 
     def test_unknown_experiment(self):

@@ -52,6 +52,35 @@ class TestFailures:
             )
 
 
+class TestResilience:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment("resilience", P=16, tiles=4)
+
+    def test_fault_free_baseline_has_unit_degradation(self, report):
+        for family in ("roofline", "communication", "amdahl", "general"):
+            assert report.data[f"{family}/mtbf=none"]["degradation"] == 1.0
+
+    def test_capacity_shrinks_under_faults(self, report):
+        dips = [
+            d["min_capacity"]
+            for key, d in report.data.items()
+            if "min_capacity" in d
+        ]
+        assert min(dips) < 16
+
+    def test_checkpoint_beats_restart_at_harsh_mtbf(self, report):
+        """Checkpoint/restart loses at most the requeue time per kill, so at
+        the harshest MTBF it must degrade (weakly) less than full restart."""
+        for family in ("roofline", "general"):
+            restart = report.data[f"{family}/mtbf=0.25T0/restart"]["degradation"]
+            checkpoint = report.data[f"{family}/mtbf=0.25T0/checkpoint"]["degradation"]
+            assert checkpoint <= restart + 1e-9
+
+    def test_text_mentions_recap_rule(self, report):
+        assert "P_t" in report.text
+
+
 class TestPriorities:
     def test_rules_all_reported(self):
         report = run_experiment("priorities", P=16)

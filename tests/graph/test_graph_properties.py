@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import TaskGraph, to_networkx
+from repro.graph import to_networkx
 from repro.graph.analysis import minimum_critical_path, minimum_total_area
 from repro.graph.generators import erdos_renyi_dag, layered_random
 from repro.speedup import AmdahlModel

@@ -7,7 +7,12 @@ from repro.core import OnlineScheduler
 from repro.core.ratios import upper_bound
 from repro.exceptions import InvalidParameterError
 from repro.graph.generators import chain, fork_join
-from repro.resilience import FailureInjectingSource, attempt_counts
+from repro.resilience import (
+    FailureInjectingSource,
+    attempt_counts,
+    wasted_area,
+    wasted_time,
+)
 from repro.speedup import AmdahlModel, RandomModelFactory
 
 
@@ -109,6 +114,33 @@ class TestWithFailures:
         result = OnlineScheduler.for_family("amdahl", 8).run(src)
         assert max(attempt_counts(result).values()) <= 5
 
+    def test_max_attempts_one_disables_failures(self):
+        """Explicit guarantee: the last allowed attempt always succeeds,
+        so max_attempts=1 means every task runs exactly once — even at an
+        overwhelming failure probability."""
+        graph = chain(5, amdahl)
+        src = FailureInjectingSource(graph, 0.999, seed=0, max_attempts=1)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert attempt_counts(result) == {i: 1 for i in range(5)}
+        assert len(result.schedule) == 5
+
+    def test_last_attempt_always_succeeds(self):
+        graph = chain(4, amdahl)
+        src = FailureInjectingSource(graph, 0.95, seed=2, max_attempts=3)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert src.is_exhausted()
+        assert max(attempt_counts(result).values()) <= 3
+
+    def test_rng_stream_independent_of_max_attempts(self):
+        """The RNG is drawn once per attempt regardless of max_attempts, so
+        attempts below the cap fail identically across cap settings."""
+        graph = chain(6, amdahl)
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        capped = scheduler.run(FailureInjectingSource(graph, 0.5, seed=9, max_attempts=10**6))
+        uncapped = scheduler.run(FailureInjectingSource(graph, 0.5, seed=9))
+        assert attempt_counts(capped) == attempt_counts(uncapped)
+        assert capped.makespan == uncapped.makespan
+
     def test_guarantee_transfers_to_realized_graph(self):
         """T <= ratio * LB(realized graph): the paper's carry-over claim."""
         factory = RandomModelFactory(family="general", seed=9)
@@ -124,3 +156,34 @@ class TestAttemptCounts:
         src = FailureInjectingSource(small_graph, 0.5, seed=3)
         result = OnlineScheduler.for_family("amdahl", 8).run(src)
         assert attempt_counts(result) == src.attempts()
+
+
+class TestWastedTime:
+    def test_zero_when_no_failures(self, small_graph):
+        src = FailureInjectingSource(small_graph, 0.0, seed=1)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        assert wasted_time(result) == 0.0
+        assert wasted_area(result) == 0.0
+
+    def test_sums_non_final_attempt_durations(self):
+        graph = chain(6, amdahl)
+        src = FailureInjectingSource(graph, 0.5, seed=7)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        finals = attempt_counts(result)
+        expected_time = sum(
+            e.duration for e in result.schedule if e.task_id[1] < finals[e.task_id[0]]
+        )
+        assert wasted_time(result) == pytest.approx(expected_time)
+        assert wasted_time(result) > 0  # seed chosen so failures occur
+        assert wasted_area(result) >= wasted_time(result)
+
+    def test_total_time_splits_into_useful_and_wasted(self):
+        graph = chain(5, amdahl)
+        src = FailureInjectingSource(graph, 0.4, seed=11)
+        result = OnlineScheduler.for_family("amdahl", 8).run(src)
+        total = sum(e.duration for e in result.schedule)
+        finals = attempt_counts(result)
+        useful = sum(
+            e.duration for e in result.schedule if e.task_id[1] == finals[e.task_id[0]]
+        )
+        assert useful + wasted_time(result) == pytest.approx(total)

@@ -1,0 +1,132 @@
+"""Tests for the processor fault models (traces, generators, timelines)."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.resilience import (
+    BurstFaultModel,
+    ExponentialFaultModel,
+    FaultEvent,
+    FaultTrace,
+)
+
+
+class TestFaultEvent:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultEvent(1.0, "explode", 0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultEvent(-1.0, "fail", 0)
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultEvent(1.0, "fail", -1)
+
+
+class TestFaultTrace:
+    def test_events_sorted_by_time(self):
+        trace = FaultTrace([(5.0, "fail", 1), (1.0, "fail", 0), (2.0, "recover", 0)])
+        assert [e.time for e in trace] == [1.0, 2.0, 5.0]
+
+    def test_tuple_entries_accepted(self):
+        trace = FaultTrace([(1.0, "fail", 0)])
+        assert trace.events[0] == FaultEvent(1.0, "fail", 0)
+
+    def test_double_fail_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultTrace([(1.0, "fail", 0), (2.0, "fail", 0)])
+
+    def test_recover_while_up_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultTrace([(1.0, "recover", 0)])
+
+    def test_from_downtimes(self):
+        trace = FaultTrace.from_downtimes([(0, 1.0, 3.0), (1, 2.0, None)])
+        kinds = [(e.time, e.kind, e.processor) for e in trace]
+        assert kinds == [(1.0, "fail", 0), (2.0, "fail", 1), (3.0, "recover", 0)]
+
+    def test_from_downtimes_rejects_inverted_window(self):
+        with pytest.raises(InvalidParameterError):
+            FaultTrace.from_downtimes([(0, 3.0, 1.0)])
+
+    def test_capacity_timeline(self):
+        trace = FaultTrace.from_downtimes([(0, 1.0, 3.0), (1, 1.0, 4.0)])
+        assert trace.capacity_timeline(4) == [(0.0, 4), (1.0, 2), (3.0, 3), (4.0, 4)]
+        assert trace.min_capacity(4) == 2
+
+    def test_timeline_filters_processors_beyond_P(self):
+        trace = FaultTrace.from_downtimes([(7, 1.0, 2.0), (0, 3.0, None)])
+        timeline = trace.timeline(4)
+        assert timeline.peek() == 3.0
+        assert timeline.pop().processor == 0
+        assert timeline.peek() is None
+
+    def test_capacity_merges_simultaneous_events(self):
+        trace = FaultTrace.from_downtimes([(0, 1.0, None), (1, 1.0, None)])
+        assert trace.capacity_timeline(4) == [(0.0, 4), (1.0, 2)]
+
+
+class TestExponentialFaultModel:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialFaultModel(0.0, horizon=1.0)
+        with pytest.raises(InvalidParameterError):
+            ExponentialFaultModel(1.0, mttr=-1.0, horizon=1.0)
+        with pytest.raises(InvalidParameterError):
+            ExponentialFaultModel(1.0, horizon=0.0)
+
+    def test_same_seed_same_trace(self):
+        a = ExponentialFaultModel(5.0, mttr=1.0, horizon=100.0, seed=42).trace(8)
+        b = ExponentialFaultModel(5.0, mttr=1.0, horizon=100.0, seed=42).trace(8)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = ExponentialFaultModel(5.0, mttr=1.0, horizon=100.0, seed=1).trace(8)
+        b = ExponentialFaultModel(5.0, mttr=1.0, horizon=100.0, seed=2).trace(8)
+        assert a.events != b.events
+
+    def test_events_within_horizon(self):
+        trace = ExponentialFaultModel(2.0, mttr=0.5, horizon=30.0, seed=0).trace(4)
+        assert all(0 <= e.time < 30.0 for e in trace)
+
+    def test_permanent_failures_never_recover(self):
+        trace = ExponentialFaultModel(1.0, horizon=1000.0, seed=3).trace(16)
+        assert all(e.kind == "fail" for e in trace)
+        assert len(trace) <= 16
+
+    def test_trace_is_valid_alternation(self):
+        # FaultTrace construction validates alternation; just build a big one.
+        trace = ExponentialFaultModel(1.0, mttr=0.2, horizon=200.0, seed=9).trace(8)
+        assert len(trace) > 10
+
+
+class TestBurstFaultModel:
+    def test_kills_fraction_of_platform(self):
+        trace = BurstFaultModel([10.0], fraction=0.5, downtime=5.0).trace(8)
+        assert trace.min_capacity(8) == 4
+        assert trace.capacity_timeline(8) == [(0.0, 8), (10.0, 4), (15.0, 8)]
+
+    def test_low_indices_chosen(self):
+        trace = BurstFaultModel([1.0], fraction=0.25, downtime=1.0).trace(8)
+        assert {e.processor for e in trace} == {0, 1}
+
+    def test_repeated_bursts(self):
+        trace = BurstFaultModel([10.0, 20.0], fraction=1.0, downtime=2.0).trace(4)
+        assert trace.min_capacity(4) == 0
+        assert len(trace) == 16
+
+    def test_bursts_closer_than_downtime_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BurstFaultModel([10.0, 11.0], downtime=5.0)
+
+    def test_multiple_permanent_bursts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BurstFaultModel([1.0, 2.0], downtime=None)
+
+    def test_fraction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BurstFaultModel([1.0], fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            BurstFaultModel([1.0], fraction=1.5)

@@ -1,0 +1,103 @@
+"""Tests for retry policies and the residual-work (checkpoint) model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.resilience import ResidualWorkModel, RetryPolicy
+from repro.speedup import AmdahlModel
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_unlimited_immediate_restart(self):
+        policy = RetryPolicy()
+        assert policy.allows(10**9)
+        assert policy.backoff_delay(5) == 0.0
+        assert not policy.checkpoint
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(backoff_cap=0.0)
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0)
+        assert [policy.backoff_delay(k) for k in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0, backoff_cap=5.0)
+        assert policy.backoff_delay(3) == 5.0
+
+    def test_invalid_attempt_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy().backoff_delay(0)
+
+
+class TestAllows:
+    def test_limited_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(3)
+        assert not policy.allows(4)
+
+
+class TestResidualWorkModel:
+    def test_time_scales_linearly(self):
+        inner = AmdahlModel(8.0, 1.0)
+        model = ResidualWorkModel(inner, 0.25)
+        for p in (1, 2, 8):
+            assert model.time(p) == pytest.approx(0.25 * inner.time(p))
+
+    def test_nested_wrappers_collapse(self):
+        inner = AmdahlModel(8.0, 1.0)
+        nested = ResidualWorkModel(ResidualWorkModel(inner, 0.5), 0.5)
+        assert nested.inner is inner
+        assert nested.fraction == pytest.approx(0.25)
+
+    def test_preserves_monotonic_hint_and_pmax(self):
+        inner = AmdahlModel(8.0, 1.0)
+        model = ResidualWorkModel(inner, 0.3)
+        assert model.monotonic_hint == inner.monotonic_hint
+        assert model.max_useful_processors(16) == inner.max_useful_processors(16)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ResidualWorkModel(AmdahlModel(8.0, 1.0), 1.5)
+
+
+class TestResidualModelSelection:
+    def test_no_checkpoint_restarts_from_scratch(self):
+        inner = AmdahlModel(8.0, 1.0)
+        policy = RetryPolicy()
+        assert policy.residual_model(inner, 0.7) is inner
+        # An earlier checkpointed resume is unwrapped back to full work.
+        wrapped = ResidualWorkModel(inner, 0.4)
+        assert policy.residual_model(wrapped, 0.7) is inner
+
+    def test_checkpoint_keeps_remaining_fraction(self):
+        inner = AmdahlModel(8.0, 1.0)
+        policy = RetryPolicy(checkpoint=True)
+        model = policy.residual_model(inner, 0.75)
+        assert isinstance(model, ResidualWorkModel)
+        assert model.fraction == pytest.approx(0.25)
+
+    def test_checkpoint_compounds_across_kills(self):
+        inner = AmdahlModel(8.0, 1.0)
+        policy = RetryPolicy(checkpoint=True)
+        first = policy.residual_model(inner, 0.5)
+        second = policy.residual_model(first, 0.5)
+        assert second.fraction == pytest.approx(0.25)
+        assert second.inner is inner
+
+    def test_progress_clamped(self):
+        policy = RetryPolicy(checkpoint=True)
+        model = policy.residual_model(AmdahlModel(8.0, 1.0), 1.5)
+        assert model.fraction == 0.0
+        assert math.isfinite(model.time(4)) and model.time(4) == 0.0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.online import MaxUsefulAllocator
 from repro.exceptions import SimulationError
-from repro.graph import Task, TaskGraph
+from repro.graph import TaskGraph
 from repro.sim import ListScheduler, ReleasedTaskSource
 from repro.speedup import AmdahlModel, RooflineModel
 

@@ -1,6 +1,5 @@
 """Unit tests for the I1/I2/I3 interval decomposition (Section 4.2)."""
 
-import math
 
 import pytest
 

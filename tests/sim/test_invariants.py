@@ -1,0 +1,196 @@
+"""Tests for the runtime invariant checker and the post-hoc validator."""
+
+import pytest
+
+from repro.core import OnlineScheduler
+from repro.exceptions import InvariantViolationError
+from repro.graph import TaskGraph
+from repro.graph.generators import chain
+from repro.resilience import FaultTrace, RetryPolicy
+from repro.sim import AttemptRecord, InvariantChecker, Schedule, validate_result
+from repro.sim.engine import SimulationResult
+from repro.speedup import AmdahlModel
+
+
+def amdahl():
+    return AmdahlModel(8.0, 1.0)
+
+
+class TestCheckerHooks:
+    def test_clean_lifecycle(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 2)
+        c.on_complete(1.0, "a")
+        c.on_end(1.0)
+        assert c.events_checked == 4
+
+    def test_time_moving_backwards(self):
+        c = InvariantChecker(4)
+        c.on_reveal(5.0, "a")
+        with pytest.raises(InvariantViolationError, match="backwards"):
+            c.on_start(4.0, "a", 1)
+
+    def test_start_before_reveal(self):
+        c = InvariantChecker(4)
+        with pytest.raises(InvariantViolationError, match="revealed"):
+            c.on_start(0.0, "ghost", 1)
+
+    def test_self_overlap(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 1)
+        with pytest.raises(InvariantViolationError, match="self-overlap"):
+            c.on_start(0.5, "a", 1)
+
+    def test_start_after_complete(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 1)
+        c.on_complete(1.0, "a")
+        with pytest.raises(InvariantViolationError, match="after completing"):
+            c.on_start(2.0, "a", 1)
+
+    def test_allocation_exceeds_live_capacity(self):
+        c = InvariantChecker(4)
+        c.on_capacity(0.0, 2)
+        c.on_reveal(0.0, "a")
+        with pytest.raises(InvariantViolationError, match=r"outside \[1, P_t=2\]"):
+            c.on_start(0.0, "a", 3)
+
+    def test_overpacking_rejected(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_reveal(0.0, "b")
+        c.on_start(0.0, "a", 3)
+        with pytest.raises(InvariantViolationError, match="exceed"):
+            c.on_start(0.0, "b", 2)
+
+    def test_capacity_drop_without_kill(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 4)
+        with pytest.raises(InvariantViolationError, match="victims"):
+            c.on_capacity(1.0, 2)
+
+    def test_kill_then_capacity_drop_ok(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 4)
+        c.on_kill(1.0, "a")
+        c.on_capacity(1.0, 2)
+        assert c.capacity == 2
+
+    def test_kill_of_non_running(self):
+        c = InvariantChecker(4)
+        with pytest.raises(InvariantViolationError, match="not running"):
+            c.on_kill(0.0, "a")
+
+    def test_complete_of_non_running(self):
+        c = InvariantChecker(4)
+        with pytest.raises(InvariantViolationError, match="not running"):
+            c.on_complete(0.0, "a")
+
+    def test_end_with_running_task(self):
+        c = InvariantChecker(4)
+        c.on_reveal(0.0, "a")
+        c.on_start(0.0, "a", 1)
+        with pytest.raises(InvariantViolationError, match="still running"):
+            c.on_end(1.0)
+
+    def test_capacity_out_of_range(self):
+        c = InvariantChecker(4)
+        with pytest.raises(InvariantViolationError, match="outside"):
+            c.on_capacity(0.0, 5)
+
+    def test_error_carries_context(self):
+        c = InvariantChecker(4)
+        try:
+            c.on_kill(3.0, "a")
+        except InvariantViolationError as err:
+            assert err.time == 3.0
+            assert err.event == "kill"
+            assert err.task_id == "a"
+        else:  # pragma: no cover
+            pytest.fail("expected InvariantViolationError")
+
+
+class TestEngineIntegration:
+    def test_plain_run_with_checker_enabled(self, small_graph):
+        result = OnlineScheduler.for_family("amdahl", 8).run(
+            small_graph, check_invariants=True
+        )
+        result.schedule.validate(small_graph)
+
+    def test_faulty_run_passes_checker(self):
+        graph = chain(6, amdahl)
+        trace = FaultTrace.from_downtimes([(p, 2.0, 6.0) for p in range(4)])
+        result = OnlineScheduler.for_family("amdahl", 8).run(
+            graph, faults=trace, retry=RetryPolicy(checkpoint=True)
+        )
+        validate_result(result, result.graph)
+
+
+def _result_with(attempts, capacity_timeline, P=4, graph=None, schedule=None):
+    if schedule is None:
+        schedule = Schedule(P)
+        for a in attempts:
+            if a.completed:
+                schedule.add(a.task_id, a.start, a.end, a.procs)
+    return SimulationResult(
+        schedule,
+        {},
+        graph if graph is not None else TaskGraph(),
+        {},
+        attempt_log=tuple(attempts),
+        capacity_timeline=tuple(capacity_timeline),
+    )
+
+
+class TestValidateResult:
+    def test_plain_result_without_telemetry(self, small_graph):
+        result = OnlineScheduler.for_family("amdahl", 8).run(small_graph)
+        validate_result(result, small_graph, check_durations=True)
+
+    def test_detects_self_overlap(self):
+        attempts = [
+            AttemptRecord("a", 1, 0.0, 5.0, 1, False),
+            AttemptRecord("a", 2, 4.0, 6.0, 1, True),
+        ]
+        with pytest.raises(InvariantViolationError, match="before attempt"):
+            validate_result(_result_with(attempts, [(0.0, 4)]))
+
+    def test_detects_capacity_overrun(self):
+        attempts = [
+            AttemptRecord("a", 1, 0.0, 10.0, 3, True),
+            AttemptRecord("b", 1, 0.0, 10.0, 3, True),
+        ]
+        with pytest.raises(InvariantViolationError, match="busy"):
+            validate_result(_result_with(attempts, [(0.0, 4)]))
+
+    def test_detects_allocation_beyond_live_capacity(self):
+        attempts = [AttemptRecord("a", 1, 5.0, 6.0, 4, True)]
+        with pytest.raises(InvariantViolationError, match="live capacity"):
+            validate_result(_result_with(attempts, [(0.0, 4), (4.0, 2), (7.0, 4)]))
+
+    def test_detects_double_completion(self):
+        attempts = [
+            AttemptRecord("a", 1, 0.0, 1.0, 1, True),
+            AttemptRecord("a", 2, 2.0, 3.0, 1, True),
+        ]
+        schedule = Schedule(4)
+        schedule.add("a", 0.0, 1.0, 1)
+        with pytest.raises(InvariantViolationError, match="more than once"):
+            validate_result(_result_with(attempts, [(0.0, 4)], schedule=schedule))
+
+    def test_detects_schedule_disagreement(self):
+        attempts = [AttemptRecord("a", 1, 0.0, 1.0, 1, True)]
+        schedule = Schedule(4)
+        schedule.add("a", 0.0, 2.0, 1)  # end disagrees with the attempt log
+        with pytest.raises(InvariantViolationError, match="disagrees"):
+            validate_result(_result_with(attempts, [(0.0, 4)], schedule=schedule))
+
+    def test_respects_capacity_recovery_windows(self):
+        # 2 procs busy while capacity is 2: legal only inside the window.
+        attempts = [AttemptRecord("a", 1, 4.0, 6.0, 2, True)]
+        validate_result(_result_with(attempts, [(0.0, 4), (3.0, 2), (7.0, 4)]))

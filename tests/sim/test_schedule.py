@@ -1,6 +1,5 @@
 """Unit tests for Schedule recording and feasibility validation."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import (
@@ -8,9 +7,7 @@ from repro.exceptions import (
     PrecedenceViolationError,
     ScheduleError,
 )
-from repro.graph import TaskGraph
 from repro.sim import Schedule
-from repro.speedup import AmdahlModel
 
 
 class TestRecording:

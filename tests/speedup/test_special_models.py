@@ -1,6 +1,5 @@
 """Unit tests for the roofline, communication, Amdahl, and power-law models."""
 
-import math
 
 import pytest
 

@@ -57,6 +57,9 @@ class TestExamples:
     def test_failure_resilience(self, capsys):
         out = run_example("failure_resilience.py", [], capsys)
         assert "certified" in out
+        # Part 2: processor faults with recovery under retry policies.
+        assert "min P_t" in out
+        assert "checkpoint" in out
 
     @pytest.mark.slow
     def test_adversarial_lower_bounds(self, capsys):

@@ -9,7 +9,6 @@ randomly drawn workload and platform,
   (allocation constraints, Lemmas 3-5).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,7 +16,7 @@ from repro.analysis import verify_run
 from repro.baselines import make_baseline
 from repro.baselines.online import BASELINE_NAMES
 from repro.bounds import makespan_lower_bound
-from repro.core import MU_STAR, OnlineScheduler
+from repro.core import OnlineScheduler
 from repro.core.constants import MODEL_FAMILIES
 from repro.graph.generators import (
     chain,

@@ -5,7 +5,6 @@ paradigm in the library must produce feasible schedules that respect the
 appropriate lower bound on arbitrary random workloads.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.exceptions import InvalidParameterError
-from repro.util.stats import Summary, geometric_mean, summarize
+from repro.util.stats import geometric_mean, summarize
 
 
 class TestGeometricMean:
