@@ -1,0 +1,65 @@
+"""Campaign-runtime benchmarks: cache round-trip cost and hit-path latency.
+
+The orchestration layer must be cheap relative to the experiments it
+schedules: a cache hit has to be orders of magnitude faster than the
+experiment it replaces, and the lossless JSON codec must handle
+report-sized payloads in milliseconds.
+"""
+
+from repro.experiments.registry import ExperimentReport
+from repro.runtime import ResultCache, run_campaign_experiments
+from repro.runtime.serialization import content_digest, decode_value, encode_value
+
+#: A report with the pathological shapes the codec exists for.
+REPORT = ExperimentReport(
+    name="bench",
+    title="Codec benchmark",
+    text="x" * 2000,
+    data={
+        "profile": [(i * 0.5, i % 7) for i in range(500)],
+        "series": {P: 1.0 + P / 1000 for P in range(1, 200)},
+        "nested": {f"k{i}": {"ratio": i * 1.1, "pair": (i, i + 1)} for i in range(100)},
+    },
+)
+
+
+def test_codec_roundtrip(benchmark):
+    """Encode + decode a report-sized payload."""
+    result = benchmark(lambda: decode_value(encode_value(REPORT.data)))
+    assert result == REPORT.data
+
+
+def test_content_digest(benchmark):
+    """Content addressing of a full report payload."""
+    digest = benchmark(content_digest, REPORT.data)
+    assert len(digest) == 64
+
+
+def test_cache_store_and_hit(benchmark, tmp_path):
+    """One put + get cycle through the on-disk cache."""
+    cache = ResultCache(tmp_path / "cache")
+
+    def cycle():
+        cache.put("bench", {"P": 64}, REPORT, compute_time_s=1.0)
+        return cache.get("bench", {"P": 64})
+
+    entry = benchmark(cycle)
+    assert entry.report == REPORT
+
+
+def test_warm_campaign(benchmark, tmp_path, show):
+    """A fully cached campaign over cheap experiments: the hit path."""
+    names = ["figure3", "figure4", "table2"]
+    cache = ResultCache(tmp_path / "cache")
+    run_campaign_experiments(names=names, jobs=1, cache=cache)  # warm it
+
+    outcome = benchmark.pedantic(
+        lambda: run_campaign_experiments(names=names, jobs=1, cache=cache),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.manifest.cache_hit_rate() == 1.0
+    show(
+        f"warm campaign: {outcome.manifest.wall_time_s * 1e3:.1f} ms wall, "
+        f"speedup vs serial {outcome.manifest.speedup_vs_serial:.1f}x"
+    )

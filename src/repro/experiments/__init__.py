@@ -8,9 +8,20 @@ the per-experiment index and EXPERIMENTS.md for recorded outputs.
 
 from repro.experiments.registry import (
     ExperimentReport,
+    ExperimentSpec,
     REGISTRY,
     get_experiment,
+    get_spec,
+    register,
     run_experiment,
 )
 
-__all__ = ["ExperimentReport", "REGISTRY", "get_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentReport",
+    "ExperimentSpec",
+    "REGISTRY",
+    "get_experiment",
+    "get_spec",
+    "register",
+    "run_experiment",
+]

@@ -5,7 +5,20 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments table1
     python -m repro.experiments figure4 --ell 3
-    python -m repro.experiments all --out results/
+    python -m repro.experiments all --jobs 4 --out results/
+    python -m repro.experiments campaign --jobs 2 --select figure3 --select table2
+
+A single experiment id runs directly and prints its report, exactly as
+before.  ``all`` and ``campaign`` route through the campaign runtime
+(:mod:`repro.runtime`): runs fan out over ``--jobs`` worker processes,
+results are served from / stored into a content-addressed cache (disable
+with ``--no-cache``, recompute with ``--refresh``), and two artifacts are
+written — a run manifest (``results/manifest.json``) and a timing
+trajectory (``BENCH_experiments.json``).
+
+Which ``--P/--ell/--seed`` overrides reach each experiment is declared by
+its registry entry (``ExperimentSpec.accepts``); flags an experiment does
+not accept are ignored for that experiment rather than passed blindly.
 """
 
 from __future__ import annotations
@@ -15,39 +28,86 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.experiments.registry import REGISTRY, run_experiment
+from repro.experiments.registry import REGISTRY, get_spec, run_experiment
 
 __all__ = ["main"]
 
-#: Which keyword overrides each experiment accepts.
-_ACCEPTS: dict[str, tuple[str, ...]] = {
-    "figure2": ("P",),
-    "figure3": ("ell",),
-    "figure4": ("ell",),
-    "empirical": ("P", "seed"),
-    "ablation": ("P", "seed"),
-    "release": ("P", "seed"),
-    "failures": ("P", "seed"),
-    "priorities": ("P", "seed"),
-    "offline_gap": ("P", "seed"),
-    "malleable_gap": ("P", "seed"),
-    "waiting": ("P", "seed"),
-    "certificates": ("P", "seed"),
-    "misspecification": ("P", "seed"),
-    "resilience": ("P", "seed"),
-}
+#: Global override flags the CLI exposes; each experiment receives the
+#: subset its registry spec declares in ``accepts``.
+OVERRIDE_KEYS = ("P", "ell", "seed")
+
+
+def _write_report(out: Path, name: str, text: str) -> None:
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.txt").write_text(text + "\n")
+
+
+def _run_campaign(args: argparse.Namespace, names: list[str]) -> int:
+    from repro.runtime import ResultCache, append_bench_entry, run_campaign_experiments
+    from repro.util.tables import format_table
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    overrides = {key: getattr(args, key) for key in OVERRIDE_KEYS}
+    outcome = run_campaign_experiments(
+        names=names,
+        overrides=overrides,
+        base_seed=args.campaign_seed,
+        jobs=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+    )
+    manifest = outcome.manifest
+
+    # Persist artifacts before printing: a closed stdout (e.g. `| head`)
+    # must not lose reports, the manifest, or the bench trajectory.
+    if args.out is not None:
+        for name in names:
+            _write_report(args.out, name, str(outcome.reports[name]))
+    manifest.write(args.manifest)
+    append_bench_entry(args.bench, manifest)
+
+    if args.experiment == "all":
+        for name in names:
+            print(outcome.reports[name])
+            print()
+    else:
+        body = [
+            [
+                r.experiment,
+                r.cache_status,
+                r.compute_time_s,
+                r.worker,
+                r.result_digest[:12],
+            ]
+            for r in manifest.runs
+        ]
+        print(
+            format_table(
+                ["experiment", "cache", "compute_s", "worker", "digest"],
+                body,
+                float_fmt=".3f",
+            )
+        )
+        print(
+            f"\n{len(manifest.runs)} runs | jobs={manifest.jobs} | "
+            f"wall {manifest.wall_time_s:.2f}s | "
+            f"serial-equivalent {manifest.serial_equivalent_s:.2f}s | "
+            f"speedup {manifest.speedup_vs_serial:.2f}x | "
+            f"cache hit rate {manifest.cache_hit_rate():.0%}"
+        )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Run one experiment (or ``all``) and print/save its report."""
+    """Run one experiment, ``all``, or a ``campaign``; print/save reports."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(REGISTRY), "all", "list"],
-        help="experiment id (paper table/figure number), 'all', or 'list'",
+        choices=[*sorted(REGISTRY), "all", "campaign", "list"],
+        help="experiment id (paper table/figure number), 'all', 'campaign', or 'list'",
     )
     parser.add_argument("--P", type=int, default=None, help="platform size override")
     parser.add_argument("--ell", type=int, default=None, help="Theorem-9 ell override")
@@ -58,6 +118,54 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="directory to also write each report to (<id>.txt)",
     )
+    campaign = parser.add_argument_group("campaign runtime (all / campaign)")
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for all/campaign (default: 1)",
+    )
+    campaign.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="restrict 'campaign' to this experiment (repeatable)",
+    )
+    campaign.add_argument(
+        "--campaign-seed",
+        type=int,
+        default=None,
+        help="spawn a deterministic per-experiment seed from this base seed",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path("results/cache"),
+        help="result cache directory (default: results/cache)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    campaign.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every run and overwrite its cache entry",
+    )
+    campaign.add_argument(
+        "--manifest",
+        type=Path,
+        default=Path("results/manifest.json"),
+        help="run-manifest path (default: results/manifest.json)",
+    )
+    campaign.add_argument(
+        "--bench",
+        type=Path,
+        default=Path("BENCH_experiments.json"),
+        help="timing-trajectory path (default: BENCH_experiments.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -65,20 +173,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
-    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        kwargs = {}
-        accepted = _ACCEPTS.get(name, ())
-        for key in ("P", "ell", "seed"):
-            value = getattr(args, key)
-            if value is not None and key in accepted:
-                kwargs[key] = value
-        report = run_experiment(name, **kwargs)
-        print(report)
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(str(report) + "\n")
+    if args.select is not None and args.experiment != "campaign":
+        parser.error("--select only applies to the 'campaign' subcommand")
+
+    if args.experiment in ("all", "campaign"):
+        names = sorted(REGISTRY)
+        if args.experiment == "campaign" and args.select:
+            unknown = [name for name in args.select if name not in REGISTRY]
+            if unknown:
+                parser.error(f"unknown experiment(s) in --select: {unknown}")
+            names = sorted(set(args.select))
+        return _run_campaign(args, names)
+
+    # Single experiment: run directly (no cache, no pool), print the report.
+    spec = get_spec(args.experiment)
+    kwargs = {
+        key: getattr(args, key)
+        for key in OVERRIDE_KEYS
+        if key in spec.accepts and getattr(args, key) is not None
+    }
+    report = run_experiment(args.experiment, **kwargs)
+    if args.out is not None:
+        _write_report(args.out, args.experiment, str(report))
+    print(report)
+    print()
     return 0
 
 

@@ -1,4 +1,12 @@
-"""Experiment registry and report type."""
+"""Experiment registry and report type.
+
+Each registry entry is an :class:`ExperimentSpec` that names the module
+implementing the experiment *and* declares which CLI-overridable keyword
+arguments its ``run()`` accepts.  The CLI and the campaign runtime
+introspect ``accepts`` instead of maintaining a parallel table, so a new
+experiment cannot silently drop its overrides (a test asserts the
+declaration against the actual ``run()`` signature).
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,15 @@ from typing import Any, Callable
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["ExperimentReport", "REGISTRY", "get_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentReport",
+    "ExperimentSpec",
+    "REGISTRY",
+    "register",
+    "get_experiment",
+    "get_spec",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -22,52 +38,115 @@ class ExperimentReport:
     def __str__(self) -> str:
         return f"== {self.name}: {self.title} ==\n{self.text}"
 
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialize losslessly to JSON (see :mod:`repro.runtime.serialization`)."""
+        import json
 
-def _lazy(module: str) -> Callable[..., ExperimentReport]:
-    """Import the experiment module on first use (keeps CLI startup fast)."""
+        from repro.runtime.serialization import encode_value
 
-    def runner(**kwargs: Any) -> ExperimentReport:
+        payload = {
+            "name": self.name,
+            "title": self.title,
+            "text": self.text,
+            "data": encode_value(self.data),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Inverse of :meth:`to_json`: ``from_json(r.to_json()) == r``."""
+        import json
+
+        from repro.runtime.serialization import decode_value
+
+        payload = json.loads(text)
+        try:
+            return cls(
+                name=payload["name"],
+                title=payload["title"],
+                text=payload["text"],
+                data=decode_value(payload["data"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise InvalidParameterError(
+                f"malformed ExperimentReport JSON: {exc!r}"
+            ) from exc
+
+    def digest(self) -> str:
+        """Stable content address of this report (SHA-256 of canonical JSON)."""
+        from repro.runtime.serialization import content_digest
+
+        return content_digest(
+            {"name": self.name, "title": self.title, "text": self.text, "data": self.data}
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: experiment id, implementing module, CLI surface."""
+
+    name: str
+    module: str
+    #: Names of ``run()`` keyword arguments the CLI may override
+    #: (the subset of the global override flags: ``P``, ``ell``, ``seed``).
+    accepts: tuple[str, ...] = ()
+
+    def __call__(self, **kwargs: Any) -> ExperimentReport:
+        """Import the experiment module on first use and run it."""
         import importlib
 
-        mod = importlib.import_module(module)
+        mod = importlib.import_module(self.module)
         return mod.run(**kwargs)
 
-    return runner
 
-
-#: Experiment id -> runner.  Ids follow the paper's table/figure numbers;
+#: Experiment id -> spec.  Ids follow the paper's table/figure numbers;
 #: ``empirical`` and ``ablation`` are the extensions indexed in DESIGN.md.
-REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
-    "table1": _lazy("repro.experiments.table1"),
-    "table2": _lazy("repro.experiments.table2"),
-    "figure1": _lazy("repro.experiments.figure1"),
-    "figure2": _lazy("repro.experiments.figure2"),
-    "figure3": _lazy("repro.experiments.figure3"),
-    "figure4": _lazy("repro.experiments.figure4"),
-    "empirical": _lazy("repro.experiments.empirical"),
-    "ablation": _lazy("repro.experiments.ablation"),
-    "release": _lazy("repro.experiments.release"),
-    "failures": _lazy("repro.experiments.failures"),
-    "priorities": _lazy("repro.experiments.priorities"),
-    "convergence": _lazy("repro.experiments.convergence"),
-    "sweep": _lazy("repro.experiments.sweep"),
-    "offline_gap": _lazy("repro.experiments.offline_gap"),
-    "malleable_gap": _lazy("repro.experiments.malleable_gap"),
-    "waiting": _lazy("repro.experiments.waiting"),
-    "certificates": _lazy("repro.experiments.certificates"),
-    "misspecification": _lazy("repro.experiments.misspecification"),
-    "resilience": _lazy("repro.experiments.resilience_sweep"),
-}
+REGISTRY: dict[str, ExperimentSpec] = {}
 
 
-def get_experiment(name: str) -> Callable[..., ExperimentReport]:
-    """Return the runner for experiment ``name``."""
+def register(name: str, module: str, accepts: tuple[str, ...] = ()) -> ExperimentSpec:
+    """Add an experiment to the registry (id must be unique)."""
+    if name in REGISTRY:
+        raise InvalidParameterError(f"experiment {name!r} already registered")
+    spec = ExperimentSpec(name=name, module=module, accepts=tuple(accepts))
+    REGISTRY[name] = spec
+    return spec
+
+
+register("table1", "repro.experiments.table1")
+register("table2", "repro.experiments.table2")
+register("figure1", "repro.experiments.figure1")
+register("figure2", "repro.experiments.figure2", accepts=("P",))
+register("figure3", "repro.experiments.figure3", accepts=("ell",))
+register("figure4", "repro.experiments.figure4", accepts=("ell",))
+register("empirical", "repro.experiments.empirical", accepts=("P", "seed"))
+register("ablation", "repro.experiments.ablation", accepts=("P", "seed"))
+register("release", "repro.experiments.release", accepts=("P", "seed"))
+register("failures", "repro.experiments.failures", accepts=("P", "seed"))
+register("priorities", "repro.experiments.priorities", accepts=("P", "seed"))
+register("convergence", "repro.experiments.convergence")
+register("sweep", "repro.experiments.sweep", accepts=("seed",))
+register("offline_gap", "repro.experiments.offline_gap", accepts=("P", "seed"))
+register("malleable_gap", "repro.experiments.malleable_gap", accepts=("P", "seed"))
+register("waiting", "repro.experiments.waiting", accepts=("P", "seed"))
+register("certificates", "repro.experiments.certificates", accepts=("P", "seed"))
+register("misspecification", "repro.experiments.misspecification", accepts=("P", "seed"))
+register("resilience", "repro.experiments.resilience_sweep", accepts=("P", "seed"))
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Return the :class:`ExperimentSpec` for experiment ``name``."""
     try:
         return REGISTRY[name]
     except KeyError:
         raise InvalidParameterError(
             f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
         ) from None
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentReport]:
+    """Return the runner for experiment ``name``."""
+    return get_spec(name)
 
 
 def run_experiment(name: str, **kwargs: Any) -> ExperimentReport:

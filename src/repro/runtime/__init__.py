@@ -1,0 +1,51 @@
+"""Campaign runtime: parallel experiment orchestration with caching.
+
+This package turns the experiment registry into a *campaign* system:
+
+* :mod:`repro.runtime.executor` — fans runs out over worker processes with
+  order-free seed spawning (parallel results are bit-identical to serial);
+* :mod:`repro.runtime.cache` — a content-addressed on-disk result cache
+  keyed on ``(experiment, kwargs, version)``;
+* :mod:`repro.runtime.manifest` — per-run observability records and the
+  ``BENCH_experiments.json`` timing trajectory;
+* :mod:`repro.runtime.serialization` — the lossless JSON codec underneath
+  all of it.
+
+See ``docs/campaigns.md`` for the cache layout, manifest schema, and CLI.
+"""
+
+from repro.runtime.cache import CacheEntry, CacheStats, ResultCache
+from repro.runtime.executor import (
+    CampaignExecutor,
+    CampaignOutcome,
+    RunRequest,
+    build_requests,
+    derive_seed,
+    run_campaign_experiments,
+)
+from repro.runtime.manifest import RunManifest, RunRecord, append_bench_entry
+from repro.runtime.serialization import (
+    canonical_json,
+    content_digest,
+    decode_value,
+    encode_value,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "CampaignExecutor",
+    "CampaignOutcome",
+    "RunRequest",
+    "build_requests",
+    "derive_seed",
+    "run_campaign_experiments",
+    "RunManifest",
+    "RunRecord",
+    "append_bench_entry",
+    "canonical_json",
+    "content_digest",
+    "decode_value",
+    "encode_value",
+]

@@ -1,0 +1,101 @@
+"""Lossless JSON codec for experiment payloads, plus content digests.
+
+Plain ``json.dumps`` silently mangles the structures our experiments put in
+``ExperimentReport.data``: integer dict keys become strings (Figure 3's
+``group_counts``, the sweep's per-``P`` series), tuples become lists
+(Figure 2's utilization profiles), and NumPy scalars are rejected outright.
+The campaign cache stores reports as JSON on disk, so the round trip must be
+*exact* — a cache hit has to hand back a report equal to the one the
+experiment computed.
+
+:func:`encode_value` therefore rewrites the offending structures into tagged
+JSON objects that :func:`decode_value` can invert:
+
+* a dict with non-string keys  -> ``{"__repro__": "dict", "items": [[k, v]...]}``
+* a tuple                      -> ``{"__repro__": "tuple", "items": [...]}``
+* a NumPy scalar               -> its Python equivalent (``.item()``)
+* a NumPy array                -> tagged tuple of (nested) tuples
+
+Everything JSON already handles passes through untouched, so cache entries
+stay greppable.  :func:`canonical_json` fixes key order and separators, which
+makes :func:`content_digest` a stable content address: the same payload
+always hashes to the same key, on every platform and in every process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "canonical_json",
+    "content_digest",
+]
+
+#: Tag key marking an encoded container that plain JSON cannot represent.
+TAG = "__repro__"
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value: Any) -> Any:
+    """Rewrite ``value`` into a JSON-representable tree (losslessly)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, np.generic):  # np.float64, np.int64, np.bool_, ...
+        return encode_value(value.item())
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return encode_value(tuple(value.tolist()))
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and TAG not in value:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            TAG: "dict",
+            "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    raise InvalidParameterError(
+        f"cannot JSON-encode {type(value).__name__!r} value {value!r}; "
+        "experiment data must hold str/int/float/bool/None, lists, tuples, "
+        "dicts, or NumPy scalars/arrays"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        kind = value.get(TAG)
+        if kind is None:
+            return {k: decode_value(v) for k, v in value.items()}
+        if kind == "tuple":
+            return tuple(decode_value(v) for v in value["items"])
+        if kind == "dict":
+            return {decode_value(k): decode_value(v) for k, v in value["items"]}
+        raise InvalidParameterError(f"unknown encoded kind {kind!r}")
+    raise InvalidParameterError(f"cannot decode {type(value).__name__!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text for ``value`` (sorted keys, fixed separators)."""
+    return json.dumps(encode_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON — its content address."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

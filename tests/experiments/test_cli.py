@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro.experiments`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -23,3 +25,65 @@ class TestCli:
     def test_empirical_with_overrides(self, capsys):
         assert main(["empirical", "--P", "16", "--seed", "1"]) == 0
         assert "algorithm1" in capsys.readouterr().out
+
+
+class TestCampaignCli:
+    def args(self, tmp_path, *extra):
+        return [
+            "campaign",
+            "--select",
+            "figure3",
+            "--select",
+            "table2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--manifest",
+            str(tmp_path / "manifest.json"),
+            "--bench",
+            str(tmp_path / "BENCH_experiments.json"),
+            *extra,
+        ]
+
+    def test_campaign_writes_manifest_and_bench(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--jobs", "2")) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["jobs"] == 2
+        assert manifest["n_runs"] == 2
+        assert {r["experiment"] for r in manifest["runs"]} == {"figure3", "table2"}
+        bench = json.loads((tmp_path / "BENCH_experiments.json").read_text())
+        assert len(bench["entries"]) == 1
+
+    def test_second_campaign_run_hits_cache(self, tmp_path):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path)) == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["cache_hit_rate"] == 1.0
+        bench = json.loads((tmp_path / "BENCH_experiments.json").read_text())
+        assert len(bench["entries"]) == 2
+
+    def test_no_cache_never_stores(self, tmp_path):
+        assert main(self.args(tmp_path, "--no-cache")) == 0
+        assert not (tmp_path / "cache").exists()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert {r["cache_status"] for r in manifest["runs"]} == {"uncached"}
+
+    def test_refresh_overwrites_entries(self, tmp_path):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path, "--refresh")) == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert {r["cache_status"] for r in manifest["runs"]} == {"refresh"}
+
+    def test_out_writes_report_files(self, tmp_path):
+        assert main(self.args(tmp_path, "--out", str(tmp_path / "reports"))) == 0
+        assert (tmp_path / "reports" / "figure3.txt").exists()
+        assert (tmp_path / "reports" / "table2.txt").exists()
+
+    def test_select_rejected_outside_campaign(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table2", "--select", "figure3"])
+
+    def test_unknown_select_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.args(tmp_path, "--select", "nope"))

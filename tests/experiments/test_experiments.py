@@ -1,11 +1,14 @@
 """Integration tests: every table/figure experiment runs and reproduces
 its paper-side values at test-friendly sizes."""
 
+import importlib
+import inspect
+
 import pytest
 
 from repro.exceptions import InvalidParameterError
 from repro.experiments import REGISTRY, get_experiment, run_experiment
-from repro.experiments.registry import ExperimentReport
+from repro.experiments.registry import ExperimentReport, ExperimentSpec, register
 
 
 class TestRegistry:
@@ -35,6 +38,34 @@ class TestRegistry:
     def test_unknown_experiment(self):
         with pytest.raises(InvalidParameterError):
             get_experiment("table9")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register("table1", "repro.experiments.table1")
+
+    def test_specs_expose_accepts(self):
+        assert all(isinstance(spec, ExperimentSpec) for spec in REGISTRY.values())
+        assert REGISTRY["figure2"].accepts == ("P",)
+        assert REGISTRY["figure3"].accepts == ("ell",)
+        assert REGISTRY["table1"].accepts == ()
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_accepts_matches_run_signature(self, name):
+        """The declared CLI surface is exactly the run() parameters it claims.
+
+        ``accepts`` must (a) only name real keyword arguments of the
+        experiment's ``run()`` and (b) not omit any of the global CLI
+        override keys the signature *does* take — the failure mode the old
+        hand-maintained table had (overrides silently dropped).
+        """
+        from repro.experiments.__main__ import OVERRIDE_KEYS
+
+        spec = REGISTRY[name]
+        params = inspect.signature(
+            importlib.import_module(spec.module).run
+        ).parameters
+        assert set(spec.accepts) <= set(params)
+        assert set(spec.accepts) == {k for k in OVERRIDE_KEYS if k in params}
 
 
 class TestTable1:

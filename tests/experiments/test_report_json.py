@@ -1,0 +1,61 @@
+"""Regression: every registry experiment's report round-trips through JSON.
+
+The campaign cache persists reports with :meth:`ExperimentReport.to_json`;
+an experiment whose ``data`` cannot round-trip exactly (NumPy leftovers,
+unencodable objects) would silently corrupt cache hits.  Each experiment is
+run once at a test-friendly size and its report must satisfy
+``from_json(to_json(r)) == r``.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, ExperimentReport, run_experiment
+
+#: Small-but-representative kwargs per experiment (defaults are too slow
+#: for unit tests); every registry id must appear here.
+SMALL_KWARGS = {
+    "table1": {"sizes": {"roofline": 500, "communication": 80, "amdahl": 16, "general": 16}},
+    "table2": {},
+    "figure1": {"sizes": {"communication": 15, "amdahl": 6}},
+    "figure2": {"P": 40},
+    "figure3": {"ell": 2},
+    "figure4": {"ell": 2},
+    "empirical": {"P": 16, "baselines": ("one-proc",)},
+    "ablation": {"P": 16, "mus": (0.05, 0.211)},
+    "release": {"P": 16, "n": 30, "rates": (1.0,)},
+    "failures": {"P": 16, "probabilities": (0.0, 0.3)},
+    "priorities": {"P": 16},
+    "convergence": {
+        "sizes": {
+            "roofline": (40, 80),
+            "communication": (20, 50),
+            "amdahl": (6, 10),
+            "general": (6, 10),
+        }
+    },
+    "sweep": {"Ps": (8, 16), "families": ("roofline",)},
+    "offline_gap": {"P": 16},
+    "malleable_gap": {"P": 16},
+    "waiting": {"P": 16, "n": 40, "rates": (4.0,)},
+    "certificates": {"P": 16},
+    "misspecification": {"P": 16},
+    "resilience": {"P": 16, "tiles": 4},
+}
+
+
+def test_every_experiment_has_small_kwargs():
+    assert set(SMALL_KWARGS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_report_roundtrips_exactly(name):
+    report = run_experiment(name, **SMALL_KWARGS[name])
+    restored = ExperimentReport.from_json(report.to_json())
+    assert restored == report
+    assert restored.digest() == report.digest()
+
+
+def test_digest_distinguishes_reports():
+    a = run_experiment("figure3", ell=2)
+    b = run_experiment("figure3", ell=3)
+    assert a.digest() != b.digest()

@@ -1,0 +1,106 @@
+"""Content-addressed cache: hits, misses, invalidation, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import ExperimentReport
+from repro.runtime.cache import ResultCache
+
+REPORT = ExperimentReport(
+    name="demo",
+    title="Demo",
+    text="body",
+    data={"ratio": 2.5, "series": {8: 1.0, 16: 1.1}, "profile": [(0.0, 1)]},
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, cache):
+        assert cache.get("demo", {"P": 16}) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_put_then_get_returns_identical_report(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.25)
+        entry = cache.get("demo", {"P": 16})
+        assert entry is not None
+        assert entry.report == REPORT
+        assert entry.compute_time_s == 0.25
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_changed_kwargs_miss(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        assert cache.get("demo", {"P": 32}) is None
+        assert cache.get("demo", {"P": 16, "seed": 1}) is None
+
+    def test_different_experiment_miss(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        assert cache.get("other", {"P": 16}) is None
+
+    def test_kwarg_order_is_irrelevant(self, cache):
+        cache.put("demo", {"P": 16, "seed": 3}, REPORT, compute_time_s=0.1)
+        assert cache.get("demo", {"seed": 3, "P": 16}) is not None
+
+
+class TestVersioning:
+    def test_version_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", version="1.0.0")
+        old.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        new = ResultCache(tmp_path / "cache", version="1.1.0")
+        assert new.get("demo", {"P": 16}) is None
+        # The old entry is still addressable under the old version.
+        assert old.get("demo", {"P": 16}) is not None
+
+    def test_key_includes_version(self, cache):
+        a = cache.key_for("demo", {"P": 16})
+        b = ResultCache(cache.root, version="other").key_for("demo", {"P": 16})
+        assert a != b
+
+
+class TestCorruption:
+    def put_one(self, cache):
+        key = cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        return cache.root / f"{key}.json"
+
+    def test_truncated_entry_recovers(self, cache):
+        path = self.put_one(cache)
+        path.write_text(path.read_text()[:40])
+        with pytest.warns(RuntimeWarning, match="corrupt cache entry"):
+            assert cache.get("demo", {"P": 16}) is None
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_tampered_payload_fails_digest_check(self, cache):
+        path = self.put_one(cache)
+        payload = json.loads(path.read_text())
+        payload["text"] = "tampered"
+        path.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="digest mismatch"):
+            assert cache.get("demo", {"P": 16}) is None
+        assert cache.stats.invalidations == 1
+
+    def test_recompute_after_eviction_repopulates(self, cache):
+        path = self.put_one(cache)
+        path.write_text("not json")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get("demo", {"P": 16}) is None
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.2)
+        entry = cache.get("demo", {"P": 16})
+        assert entry is not None and entry.report == REPORT
+
+
+class TestMaintenance:
+    def test_len_and_clear(self, cache):
+        assert len(cache) == 0
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        cache.put("demo", {"P": 32}, REPORT, compute_time_s=0.1)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0

@@ -1,0 +1,104 @@
+"""The JSON codec must invert exactly on everything experiments produce."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.runtime.serialization import (
+    canonical_json,
+    content_digest,
+    decode_value,
+    encode_value,
+)
+
+
+def roundtrip(value):
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -3,
+            1.5,
+            "text",
+            [1, 2, 3],
+            {"a": 1, "b": [2.5, None]},
+        ],
+    )
+    def test_plain_json_passthrough(self, value):
+        assert roundtrip(value) == value
+        assert encode_value(value) == value
+
+    def test_tuple(self):
+        value = (1, "two", 3.0)
+        out = roundtrip(value)
+        assert out == value
+        assert isinstance(out, tuple)
+
+    def test_nested_tuples_in_lists(self):
+        value = {"profile": [(0.0, 1), (0.5, 2), (1.0, 0)]}
+        out = roundtrip(value)
+        assert out == value
+        assert all(isinstance(p, tuple) for p in out["profile"])
+
+    def test_int_keys(self):
+        value = {1: 8, 2: 4, 3: 2, 4: 1}  # Figure 3's group_counts
+        out = roundtrip(value)
+        assert out == value
+        assert all(isinstance(k, int) for k in out)
+
+    def test_mixed_and_collision_prone_keys(self):
+        value = {1: "int", "1": "str"}
+        out = roundtrip(value)
+        assert out == value
+        assert set(map(type, out)) == {int, str}
+
+    def test_tuple_keys(self):
+        value = {(1, 2): "pair"}
+        assert roundtrip(value) == value
+
+    def test_numpy_scalars_become_python(self):
+        out = roundtrip({"f": np.float64(1.5), "i": np.int64(7), "b": np.bool_(True)})
+        assert out == {"f": 1.5, "i": 7, "b": True}
+        assert type(out["i"]) is int
+        assert type(out["b"]) is bool
+
+    def test_numpy_array_becomes_tuple(self):
+        out = roundtrip({"a": np.array([1.0, 2.0])})
+        assert out == {"a": (1.0, 2.0)}
+
+    def test_infinity_survives(self):
+        assert roundtrip({"lim": float("inf")}) == {"lim": float("inf")}
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(InvalidParameterError, match="cannot JSON-encode"):
+            encode_value({"bad": object()})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown encoded kind"):
+            decode_value({"__repro__": "mystery", "items": []})
+
+
+class TestDigest:
+    def test_key_order_insensitive(self):
+        assert content_digest({"a": 1, "b": 2}) == content_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert content_digest({"a": 1}) != content_digest({"a": 2})
+
+    def test_type_sensitive(self):
+        # A tuple is not a list, an int key is not a str key.
+        assert content_digest((1, 2)) != content_digest([1, 2])
+        assert content_digest({1: "x"}) != content_digest({"1": "x"})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_json({"b": 1, "a": 2})
+        assert text == '{"a":2,"b":1}'
