@@ -23,11 +23,15 @@ def test_long_chain(benchmark):
     assert len(result.schedule) == 2000
 
 
-def test_wide_independent(benchmark):
+def test_wide_independent(benchmark, record_engine_stats):
     graph = independent_tasks(5000, lambda: CommunicationModel(50.0, 0.5))
     scheduler = OnlineScheduler.for_family("communication", 64)
     result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=3, iterations=1)
+    record_engine_stats(result)
     assert len(result.schedule) == 5000
+    # 5000 identical kernels resolve to one allocator-cache entry; the
+    # min-demand bound keeps queue passes from rescanning blocked tasks.
+    assert result.stats.alloc_cache_hit_rate() > 0.9
 
 
 def test_layered_random_10k(benchmark):
@@ -38,14 +42,16 @@ def test_layered_random_10k(benchmark):
     assert len(result.schedule) == 10_000
 
 
-def test_adversarial_instance_end_to_end(benchmark):
+def test_adversarial_instance_end_to_end(benchmark, record_engine_stats):
     instance = communication_instance(200)  # ~13k tasks
 
-    def run():
-        return instance.run().makespan
-
-    makespan = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert makespan == pytest.approx(instance.predicted_makespan)
+    result = benchmark.pedantic(instance.run, rounds=1, iterations=1)
+    record_engine_stats(result)
+    assert result.makespan == pytest.approx(instance.predicted_makespan)
+    # Dense adversarial instances reuse a handful of model
+    # parameterizations thousands of times: the allocation cache must
+    # essentially always hit (the ISSUE's >90% acceptance bar).
+    assert result.stats.alloc_cache_hit_rate() > 0.9
 
 
 def test_allocator_throughput(benchmark):

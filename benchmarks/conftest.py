@@ -7,11 +7,25 @@ Run with::
 Each benchmark regenerates one of the paper's tables or figures (asserting
 the reproduced values) and times the regeneration.  Add ``-s`` to also see
 the reproduced tables printed as the paper reports them.
+
+Engine benchmarks (``bench_engine.py``) additionally append their timings
+and :class:`~repro.sim.engine.EngineStats` counters to the repo-root
+``BENCH_engine.json`` trajectory at session end, so every benchmark run
+extends the performance record (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
+
+#: Engine counters stashed by the ``record_engine_stats`` fixture, keyed by
+#: test name; flushed into BENCH_engine.json at session end.
+_ENGINE_STATS: dict[str, dict] = {}
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture
@@ -23,3 +37,47 @@ def show(capsys):
         print(text)
 
     return _show
+
+
+@pytest.fixture
+def record_engine_stats(request):
+    """Stash a run's engine counters for the BENCH_engine.json session entry."""
+
+    def _record(result) -> None:
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            _ENGINE_STATS[request.node.name] = stats.as_dict()
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's engine-benchmark timings to BENCH_engine.json."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    timings: dict[str, dict] = {}
+    for bench in bench_session.benchmarks:
+        if "bench_engine" not in str(getattr(bench, "fullname", "")):
+            continue
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        timings[bench.name] = {
+            "min_s": round(stats.min, 6),
+            "median_s": round(stats.median, 6),
+            "mean_s": round(stats.mean, 6),
+            "rounds": stats.rounds,
+        }
+    if not timings:
+        return
+    from repro.runtime.manifest import append_engine_bench_entry
+
+    append_engine_bench_entry(
+        _BENCH_PATH,
+        {
+            "unix_time": int(time.time()),
+            "benchmarks": timings,
+            "engine_stats": dict(_ENGINE_STATS),
+        },
+    )

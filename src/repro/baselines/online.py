@@ -81,6 +81,9 @@ class AvailableProcessorsAllocator(Allocator):
     """
 
     name = "grab-free"
+    #: The decision depends on the instantaneous ``free`` count, so it is
+    #: not a pure function of ``(model, P)`` and must never be memoized.
+    uses_free = True
 
     def allocate(
         self, model: SpeedupModel, P: int, *, free: int | None = None

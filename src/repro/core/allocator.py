@@ -14,6 +14,15 @@ The :class:`LpaAllocator` implements the paper's two-step strategy:
 For monotonic models (the whole Equation (1) family, Lemma 1) step 1 is
 solved with two binary searches; arbitrary models fall back to a linear
 scan over :math:`[1, p^{\\max}]`.
+
+The allocation is a pure function of ``(model, P)``, so the engine calls
+Algorithm 2 through the memoized
+:meth:`~repro.sim.allocation.Allocator.allocate_cached` entry point:
+tasks sharing a speedup-model parameterization (hashable
+:meth:`~repro.speedup.SpeedupModel.cache_key`) resolve from a per-allocator
+LRU cache in O(1), including resilient-mode re-allocations at each
+recurring live capacity.  ``LpaAllocator(...).cache_info()`` exposes the
+hit/miss counters; ``configure_cache(0)`` disables memoization.
 """
 
 from __future__ import annotations
@@ -22,11 +31,11 @@ import math
 
 from repro.core.constants import MU_MAX, delta
 from repro.exceptions import AllocationError
-from repro.sim.allocation import Allocation, Allocator
+from repro.sim.allocation import Allocation, AllocationCacheInfo, Allocator
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_in_range, check_positive_int
 
-__all__ = ["Allocation", "Allocator", "LpaAllocator"]
+__all__ = ["Allocation", "AllocationCacheInfo", "Allocator", "LpaAllocator"]
 
 
 class LpaAllocator(Allocator):

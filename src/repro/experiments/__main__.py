@@ -113,6 +113,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--ell", type=int, default=None, help="Theorem-9 ell override")
     parser.add_argument("--seed", type=int, default=None, help="RNG seed override")
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print aggregated engine performance counters after a single "
+        "experiment (events, queue scans, allocator cache traffic)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -176,6 +182,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.select is not None and args.experiment != "campaign":
         parser.error("--select only applies to the 'campaign' subcommand")
 
+    if args.profile and args.experiment in ("all", "campaign"):
+        # Campaign workers run in separate processes and do not report
+        # their engine counters back; profiling is single-experiment only.
+        parser.error("--profile only applies to a single experiment id")
+
     if args.experiment in ("all", "campaign"):
         names = sorted(REGISTRY)
         if args.experiment == "campaign" and args.select:
@@ -192,11 +203,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         for key in OVERRIDE_KEYS
         if key in spec.accepts and getattr(args, key) is not None
     }
-    report = run_experiment(args.experiment, **kwargs)
+    if args.profile:
+        from repro.sim.engine import profile_engine
+
+        with profile_engine() as stats:
+            report = run_experiment(args.experiment, **kwargs)
+    else:
+        stats = None
+        report = run_experiment(args.experiment, **kwargs)
     if args.out is not None:
         _write_report(args.out, args.experiment, str(report))
     print(report)
     print()
+    if stats is not None:
+        print(stats.summary())
+        print()
     return 0
 
 

@@ -116,6 +116,23 @@ class TaskGraph:
         self._require(task_id)
         return list(self._succ[task_id])
 
+    def successor_map(self) -> dict[TaskId, tuple[TaskId, ...]]:
+        """Snapshot of the whole adjacency: id -> direct successors.
+
+        One bulk copy instead of ``len(graph)`` :meth:`successors` calls;
+        used by simulation sources that walk the adjacency on their hot
+        path.  The snapshot is decoupled from later graph mutations.
+        """
+        return {t: tuple(s) for t, s in self._succ.items()}
+
+    def in_degree_map(self) -> dict[TaskId, int]:
+        """Snapshot of every task's in-degree, in insertion order."""
+        return {t: len(p) for t, p in self._pred.items()}
+
+    def task_map(self) -> dict[TaskId, Task]:
+        """Snapshot mapping every id to its :class:`Task`, in insertion order."""
+        return dict(self._tasks)
+
     def predecessors(self, task_id: TaskId) -> list[TaskId]:
         """Return direct predecessors of ``task_id`` in insertion order."""
         self._require(task_id)

@@ -23,7 +23,12 @@ from repro.runtime.executor import (
     derive_seed,
     run_campaign_experiments,
 )
-from repro.runtime.manifest import RunManifest, RunRecord, append_bench_entry
+from repro.runtime.manifest import (
+    RunManifest,
+    RunRecord,
+    append_bench_entry,
+    append_engine_bench_entry,
+)
 from repro.runtime.serialization import (
     canonical_json,
     content_digest,
@@ -44,6 +49,7 @@ __all__ = [
     "RunManifest",
     "RunRecord",
     "append_bench_entry",
+    "append_engine_bench_entry",
     "canonical_json",
     "content_digest",
     "decode_value",

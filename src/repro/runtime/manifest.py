@@ -25,7 +25,7 @@ from typing import Any, Mapping
 from repro._version import __version__
 from repro.runtime.serialization import encode_value
 
-__all__ = ["RunRecord", "RunManifest", "append_bench_entry"]
+__all__ = ["RunRecord", "RunManifest", "append_bench_entry", "append_engine_bench_entry"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +134,30 @@ def append_bench_entry(path: Path | str, manifest: RunManifest) -> Path:
     }
     del entry["runs"]
     trajectory["entries"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=1) + "\n")
+    return path
+
+
+def append_engine_bench_entry(path: Path | str, entry: Mapping[str, Any]) -> Path:
+    """Append one engine-benchmark entry to the ``BENCH_engine.json`` trajectory.
+
+    Same append-only discipline as :func:`append_bench_entry`, under the
+    artifact header ``{"benchmark": "engine", "entries": [...]}``.  Entries
+    typically carry per-benchmark timings plus the
+    :class:`~repro.sim.engine.EngineStats` counters of the timed runs (see
+    ``benchmarks/conftest.py``).
+    """
+    path = Path(path)
+    trajectory: dict[str, Any] = {"benchmark": "engine", "entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded.get("entries"), list):
+                trajectory = loaded
+        except (OSError, ValueError):
+            pass
+    trajectory["entries"].append(encode_value(dict(entry)))
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(trajectory, indent=1) + "\n")
     return path

@@ -9,15 +9,22 @@ full feasibility validation, and :mod:`repro.sim.intervals` provides the
 interval decomposition of Section 4.2 used to check the analysis.
 """
 
-from repro.sim.allocation import Allocation, Allocator
+from repro.sim.allocation import Allocation, AllocationCacheInfo, Allocator
 from repro.sim.schedule import Schedule, ScheduledTask
 from repro.sim.sources import GraphSource, ReleasedTaskSource, StaticGraphSource
-from repro.sim.engine import AttemptRecord, ListScheduler, SimulationResult
+from repro.sim.engine import (
+    AttemptRecord,
+    EngineStats,
+    ListScheduler,
+    SimulationResult,
+    profile_engine,
+)
 from repro.sim.intervals import IntervalDecomposition, decompose_intervals
 from repro.sim.invariants import InvariantChecker, validate_result
 
 __all__ = [
     "Allocation",
+    "AllocationCacheInfo",
     "Allocator",
     "Schedule",
     "ScheduledTask",
@@ -27,6 +34,8 @@ __all__ = [
     "ListScheduler",
     "SimulationResult",
     "AttemptRecord",
+    "EngineStats",
+    "profile_engine",
     "IntervalDecomposition",
     "decompose_intervals",
     "InvariantChecker",

@@ -14,6 +14,16 @@ At time 0 and at every task completion the engine
 4. scans the queue in order, starting every task that fits in the free
    processors (list scheduling, lines 7-11 of Algorithm 1).
 
+The fault-free loop implements this with a *provably transparent* fast
+path (see ``docs/performance.md``): allocations are memoized per
+parameterization (:meth:`~repro.sim.allocation.Allocator.allocate_cached`),
+queue passes that cannot start anything are skipped via a lower bound on
+the minimum waiting demand, and priority queues are maintained by sorted
+insertion instead of per-admit re-sorts.  Schedules are bit-identical to
+the naive full-rescan loop; :class:`EngineStats` (attached to every
+:class:`SimulationResult`, aggregated by :func:`profile_engine`) counts
+events, scans, scan steps, and allocator cache traffic to prove it cheaply.
+
 Beyond the paper's fault-free platform, :meth:`ListScheduler.run` also
 supports *processor faults* (``faults=``): a fault model
 (:mod:`repro.resilience.faults`) emits timed fail/recover events for
@@ -29,8 +39,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from bisect import insort
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.exceptions import SimulationError, TaskAbortedError
 from repro.sim.allocation import Allocation, Allocator
@@ -41,7 +53,119 @@ from repro.sim.sources import GraphSource, StaticGraphSource
 from repro.types import TaskId, Time
 from repro.util.validation import check_positive_int
 
-__all__ = ["ListScheduler", "SimulationResult", "AttemptRecord"]
+__all__ = [
+    "ListScheduler",
+    "SimulationResult",
+    "AttemptRecord",
+    "EngineStats",
+    "profile_engine",
+]
+
+
+@dataclass
+class EngineStats:
+    """Performance counters of one engine run (pure observability).
+
+    The counters measure *work done by the simulator*, not properties of
+    the schedule: identical schedules produced by different engine versions
+    may report different stats.  ``queue_scans`` counts :func:`start_fitting`
+    passes that actually walked the waiting queue; ``scans_skipped`` counts
+    passes proven unnecessary by the min-demand bound (no waiting task can
+    fit in the free processors); ``scan_steps`` is the total number of queue
+    entries examined, the quantity the incremental fast path keeps near
+    linear in the task count.  Allocator-cache counters are diffs of the
+    allocator's cumulative :meth:`~repro.sim.allocation.Allocator.cache_info`
+    taken across the run.
+    """
+
+    #: Discrete event instants the main loop processed.
+    events: int = 0
+    #: Task attempts started.
+    tasks_started: int = 0
+    #: Waiting-queue passes that examined at least one entry.
+    queue_scans: int = 0
+    #: Passes skipped outright because ``free < min waiting demand``.
+    scans_skipped: int = 0
+    #: Total queue entries examined across all passes.
+    scan_steps: int = 0
+    #: Allocator consultations (reveals plus resilient re-allocations).
+    allocator_calls: int = 0
+    #: Allocations served from the allocator's memoization cache.
+    alloc_cache_hits: int = 0
+    #: Allocations computed and stored in the cache.
+    alloc_cache_misses: int = 0
+    #: Allocations that bypassed the cache (unhashable model, ...).
+    alloc_cache_bypasses: int = 0
+
+    def alloc_cache_hit_rate(self) -> float:
+        """Fraction of allocator calls served from the cache (0.0 if none)."""
+        total = self.alloc_cache_hits + self.alloc_cache_misses + self.alloc_cache_bypasses
+        if total == 0:
+            return 0.0
+        return self.alloc_cache_hits / total
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate ``other``'s counters into this block (for profiling)."""
+        self.events += other.events
+        self.tasks_started += other.tasks_started
+        self.queue_scans += other.queue_scans
+        self.scans_skipped += other.scans_skipped
+        self.scan_steps += other.scan_steps
+        self.allocator_calls += other.allocator_calls
+        self.alloc_cache_hits += other.alloc_cache_hits
+        self.alloc_cache_misses += other.alloc_cache_misses
+        self.alloc_cache_bypasses += other.alloc_cache_bypasses
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (JSON-safe) including the derived hit rate."""
+        return {
+            "events": self.events,
+            "tasks_started": self.tasks_started,
+            "queue_scans": self.queue_scans,
+            "scans_skipped": self.scans_skipped,
+            "scan_steps": self.scan_steps,
+            "allocator_calls": self.allocator_calls,
+            "alloc_cache_hits": self.alloc_cache_hits,
+            "alloc_cache_misses": self.alloc_cache_misses,
+            "alloc_cache_bypasses": self.alloc_cache_bypasses,
+            "alloc_cache_hit_rate": round(self.alloc_cache_hit_rate(), 4),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-block summary (used by the ``--profile`` flag)."""
+        return (
+            f"engine stats: {self.events} events | {self.tasks_started} tasks started\n"
+            f"queue: {self.queue_scans} scans ({self.scans_skipped} skipped), "
+            f"{self.scan_steps} scan steps\n"
+            f"allocator: {self.allocator_calls} calls, "
+            f"{self.alloc_cache_hits} cache hits / {self.alloc_cache_misses} misses / "
+            f"{self.alloc_cache_bypasses} bypasses "
+            f"({self.alloc_cache_hit_rate():.1%} hit rate)"
+        )
+
+
+#: Optional accumulator every finished run merges its stats into
+#: (installed by :func:`profile_engine`, read by the ``--profile`` CLI flag).
+_PROFILE_SINK: EngineStats | None = None
+
+
+@contextmanager
+def profile_engine() -> Iterator[EngineStats]:
+    """Accumulate the stats of every engine run inside the ``with`` block.
+
+    Yields an :class:`EngineStats` that grows as simulations complete —
+    including runs started deep inside experiments that never expose their
+    :class:`SimulationResult`.  Profiling is process-local: runs executed in
+    campaign worker processes do not report back.
+    """
+    global _PROFILE_SINK
+    previous = _PROFILE_SINK
+    sink = EngineStats()
+    _PROFILE_SINK = sink
+    try:
+        yield sink
+    finally:
+        _PROFILE_SINK = previous
 
 #: Optional priority key: smaller keys run earlier in the waiting queue.
 PriorityRule = Callable[[Task, Allocation], object]
@@ -91,6 +215,9 @@ class SimulationResult:
     #: Piecewise-constant live capacity ``[(time, P_t), ...]`` (empty for
     #: fault-free runs, where capacity is the constant ``P``).
     capacity_timeline: tuple[tuple[Time, int], ...] = ()
+    #: Engine performance counters (``None`` for results built by
+    #: schedulers that do not run the event-driven engine).
+    stats: EngineStats | None = None
 
     @property
     def makespan(self) -> Time:
@@ -155,6 +282,11 @@ class _Waiting:
     @property
     def effective_model(self):
         return self.model if self.model is not None else self.task.model
+
+
+def _entry_key(entry: tuple) -> object:
+    """Sort key of a plain-path queue entry (its precomputed first slot)."""
+    return entry[0]
 
 
 @dataclass
@@ -251,70 +383,141 @@ class ListScheduler:
         schedule = Schedule(self.P)
         allocations: dict[TaskId, Allocation] = {}
         revealed_at: dict[TaskId, Time] = {}
-        queue: list[_Waiting] = []
+        # Queue entries are bare ``(sort_key, task, allocation)`` tuples
+        # rather than :class:`_Waiting` records: the fault-free path never
+        # retries or re-allocates, and tuple construction is an order of
+        # magnitude cheaper than a frozen dataclass on this per-task path.
+        # ``sort_key`` is ``None`` under FIFO and ``(priority, seq)`` under
+        # a priority rule.
+        queue: list[tuple[object, Task, Allocation]] = []
         # Completion events: (time, tiebreak seq, task id, procs to release).
         events: list[tuple[Time, int, TaskId, int]] = []
         seq = itertools.count()
         free = self.P
         now: Time = 0.0
+        stats = EngineStats()
+        P = self.P
+        priority = self.priority
+        # Lower bound on the smallest processor demand among waiting tasks
+        # (inf for an empty queue).  The bound lets the engine *prove* a
+        # queue pass useless (free < bound => nothing fits) and early-exit
+        # passes once the free count drops below it; it is exact after any
+        # pass that examined the whole queue and merely conservative (never
+        # unsound) otherwise, so schedules are identical to full rescans.
+        min_demand: float = math.inf
 
         # Task-aware allocators (e.g. fixed per-task allotments) expose
-        # `allocate_task`; plain allocators only see the speedup model.
+        # `allocate_task`; plain allocators only see the speedup model
+        # (routed through the memoizing entry point when available).
         allocate_task = getattr(self.allocator, "allocate_task", None)
+        allocate_model = getattr(self.allocator, "allocate_cached", None)
+        if not callable(allocate_model):
+            allocate_model = self.allocator.allocate
+        use_task_alloc = callable(allocate_task)
+        cache_info = getattr(self.allocator, "cache_info", None)
+        cache_info0 = cache_info() if callable(cache_info) else None
+        schedule_add = schedule.add
+        heappush = heapq.heappush
 
         def admit(tasks: list[Task]) -> None:
+            nonlocal min_demand
             for task in tasks:
-                if task.id in allocations:
-                    raise SimulationError(f"task {task.id!r} revealed twice")
-                if callable(allocate_task):
-                    alloc = allocate_task(task, self.P, free=free)
+                tid = task.id
+                if tid in allocations:
+                    raise SimulationError(f"task {tid!r} revealed twice")
+                stats.allocator_calls += 1
+                if use_task_alloc:
+                    alloc = allocate_task(task, P, free=free)
                 else:
-                    alloc = self.allocator.allocate(task.model, self.P, free=free)
-                if not 1 <= alloc.final <= self.P:
+                    alloc = allocate_model(task.model, P, free=free)
+                final = alloc.final
+                if not 1 <= final <= P:
                     raise SimulationError(
                         f"allocator returned infeasible allocation {alloc} "
-                        f"for task {task.id!r} on P={self.P}"
+                        f"for task {tid!r} on P={P}"
                     )
-                allocations[task.id] = alloc
-                revealed_at[task.id] = now
+                allocations[tid] = alloc
+                revealed_at[tid] = now
                 if checker is not None:
-                    checker.on_reveal(now, task.id)
-                queue.append(_Waiting(task, alloc, next(seq)))
-            if self.priority is not None:
-                queue.sort(key=lambda w: (self.priority(w.task, w.allocation), w.seq))
+                    checker.on_reveal(now, tid)
+                if final < min_demand:
+                    min_demand = final
+                if priority is None:
+                    # FIFO skips the seq draw: admit-side seq values never
+                    # enter the event heap, and the heap's tie-break only
+                    # needs event seqs to be strictly increasing (which
+                    # they remain), so the schedule is unchanged.
+                    queue.append((None, task, alloc))
+                else:
+                    # Sorted insertion replaces the former per-admit full
+                    # sort: allocations and priorities are immutable here,
+                    # so inserting by the precomputed (priority, seq) key
+                    # reproduces repeated stable sorts exactly.
+                    s = next(seq)
+                    insort(
+                        queue,
+                        ((priority(task, alloc), s), task, alloc),
+                        key=_entry_key,
+                    )
 
         def start_fitting() -> None:
-            nonlocal free
-            remaining: list[_Waiting] = []
-            for waiting in queue:
-                procs = waiting.allocation.final
+            nonlocal free, min_demand
+            if not queue:
+                return
+            if free < min_demand:
+                stats.scans_skipped += 1
+                return
+            stats.queue_scans += 1
+            remaining: list[tuple[object, Task, Allocation]] = []
+            keep = remaining.append
+            n = len(queue)
+            scanned = n
+            new_min: float | None = math.inf
+            for idx in range(n):
+                entry = queue[idx]
+                alloc = entry[2]
+                procs = alloc.final
                 if procs <= free:
+                    task = entry[1]
                     # Start-time guard: the platform never shrinks here, but
                     # an allocator bug (or a mutated allocation) must fail
                     # loudly rather than silently over-pack the platform.
-                    if procs > self.P:
+                    if procs > P:
                         raise SimulationError(
-                            f"task {waiting.task.id!r}: allocation {procs} exceeds "
-                            f"capacity P={self.P} at start time t={now:.6g}"
+                            f"task {task.id!r}: allocation {procs} exceeds "
+                            f"capacity P={P} at start time t={now:.6g}"
                         )
                     free -= procs
-                    duration = waiting.task.model.time(procs)
-                    schedule.add(
-                        waiting.task.id,
+                    stats.tasks_started += 1
+                    end = now + task.model.time(procs)
+                    schedule_add(
+                        task.id,
                         now,
-                        now + duration,
+                        end,
                         procs,
-                        initial_alloc=waiting.allocation.initial,
-                        tag=waiting.task.tag,
+                        initial_alloc=alloc.initial,
+                        tag=task.tag,
                     )
                     if checker is not None:
-                        checker.on_start(now, waiting.task.id, procs)
-                    heapq.heappush(
-                        events, (now + duration, next(seq), waiting.task.id, procs)
-                    )
+                        checker.on_start(now, task.id, procs)
+                    heappush(events, (end, next(seq), task.id, procs))
                 else:
-                    remaining.append(waiting)
+                    keep(entry)
+                    if procs < new_min:
+                        new_min = procs
+                if free < min_demand:
+                    # Nothing further can fit: keep the unscanned tail (order
+                    # preserved) and stop.  The stale bound stays valid — it
+                    # lower-bounds a superset of the remaining queue.
+                    scanned = idx + 1
+                    if scanned < n:
+                        remaining.extend(queue[scanned:])
+                        new_min = None
+                    break
+            stats.scan_steps += scanned
             queue[:] = remaining
+            if new_min is not None:
+                min_demand = new_min if remaining else math.inf
 
         # Sources may additionally release tasks at future wall-clock times
         # (the "independent tasks released over time" setting); the engine
@@ -326,32 +529,53 @@ class ListScheduler:
         admit(source.initial_tasks())
         start_fitting()
 
-        while True:
-            t_completion = events[0][0] if events else math.inf
-            t_release = math.inf
-            if timed:
+        heappop = heapq.heappop
+        on_complete = source.on_complete
+
+        if not timed:
+            # Untimed sources (the paper's setting): the next event is
+            # always the earliest completion, so the loop runs heap-driven
+            # without the release-time bookkeeping of the general case.
+            while events:
+                now = events[0][0]
+                stats.events += 1
+                revealed: list[Task] = []
+                # Drain every completion at this instant before rescanning
+                # the queue, so simultaneous completions release processors
+                # together.
+                while events and events[0][0] == now:
+                    _, _, task_id, procs = heappop(events)
+                    free += procs
+                    if checker is not None:
+                        checker.on_complete(now, task_id)
+                    revealed.extend(on_complete(task_id))
+                admit(revealed)
+                start_fitting()
+        else:
+            while True:
+                t_completion = events[0][0] if events else math.inf
+                t_release = math.inf
                 upcoming = next_release()
                 if upcoming is not None:
                     t_release = upcoming
-            if math.isinf(t_completion) and math.isinf(t_release):
-                break
-            now = min(t_completion, t_release)
-            revealed: list[Task] = []
-            if timed and t_release <= now:
-                revealed.extend(release_due(now))
-            # Drain every completion at this instant before rescanning the
-            # queue, so simultaneous completions release processors together.
-            while events and events[0][0] == now:
-                _, _, task_id, procs = heapq.heappop(events)
-                free += procs
-                if checker is not None:
-                    checker.on_complete(now, task_id)
-                revealed.extend(source.on_complete(task_id))
-            admit(revealed)
-            start_fitting()
+                if math.isinf(t_completion) and math.isinf(t_release):
+                    break
+                now = min(t_completion, t_release)
+                stats.events += 1
+                revealed = []
+                if t_release <= now:
+                    revealed.extend(release_due(now))
+                while events and events[0][0] == now:
+                    _, _, task_id, procs = heappop(events)
+                    free += procs
+                    if checker is not None:
+                        checker.on_complete(now, task_id)
+                    revealed.extend(on_complete(task_id))
+                admit(revealed)
+                start_fitting()
 
         if queue:
-            stuck = [w.task.id for w in queue[:10]]
+            stuck = [entry[1].id for entry in queue[:10]]
             raise SimulationError(
                 f"deadlock: tasks {stuck!r} can never start (free={free}, P={self.P})"
             )
@@ -362,8 +586,15 @@ class ListScheduler:
             )
         if checker is not None:
             checker.on_end(now)
+        if cache_info0 is not None:
+            info = cache_info()
+            stats.alloc_cache_hits = info.hits - cache_info0.hits
+            stats.alloc_cache_misses = info.misses - cache_info0.misses
+            stats.alloc_cache_bypasses = info.bypasses - cache_info0.bypasses
+        if _PROFILE_SINK is not None:
+            _PROFILE_SINK.merge(stats)
         return SimulationResult(
-            schedule, allocations, source.realized_graph(), revealed_at
+            schedule, allocations, source.realized_graph(), revealed_at, stats=stats
         )
 
     # ------------------------------------------------------------------
@@ -412,15 +643,25 @@ class ListScheduler:
         events: list[tuple[Time, int, str, object]] = []
         attempt_log: list[AttemptRecord] = []
         capacity_log: list[tuple[Time, int]] = [(0.0, self.P)]
+        stats = EngineStats()
 
         allocate_task = getattr(self.allocator, "allocate_task", None)
+        # Memoized entry point: re-allocations at a recurring live capacity
+        # P_t hit the same (cache_key, P_t) entry instead of re-running the
+        # allocator's searches.
+        allocate_model = getattr(self.allocator, "allocate_cached", None)
+        if not callable(allocate_model):
+            allocate_model = self.allocator.allocate
+        cache_info = getattr(self.allocator, "cache_info", None)
+        cache_info0 = cache_info() if callable(cache_info) else None
 
         def allocate(task: Task, model, P_t: int) -> Allocation:
             """Consult the allocator for the live capacity ``P_t``."""
+            stats.allocator_calls += 1
             if callable(allocate_task):
                 alloc = allocate_task(task, P_t, free=len(free_set))
             else:
-                alloc = self.allocator.allocate(model, P_t, free=len(free_set))
+                alloc = allocate_model(model, P_t, free=len(free_set))
             if not 1 <= alloc.final <= P_t:
                 raise SimulationError(
                     f"allocator returned infeasible allocation {alloc} for task "
@@ -472,6 +713,12 @@ class ListScheduler:
             resort()
 
         def start_fitting() -> None:
+            # The resilient queue pass stays exhaustive: re-capping mutates
+            # waiting allocations as the live capacity moves, so the plain
+            # path's min-demand early exit would be unsound here.
+            if queue:
+                stats.queue_scans += 1
+                stats.scan_steps += len(queue)
             remaining: list[_Waiting] = []
             for waiting in queue:
                 if capacity < 1:
@@ -497,6 +744,7 @@ class ListScheduler:
                     free_set.difference_update(ids)
                     for q in ids:
                         proc_owner[q] = waiting.task.id
+                    stats.tasks_started += 1
                     model = waiting.effective_model
                     duration = model.time(procs)
                     end = now + duration
@@ -647,6 +895,7 @@ class ListScheduler:
                         f"(capacity={capacity}, P={self.P}, no recovery pending)"
                     )
             now = min(t_event, t_release, t_fault)
+            stats.events += 1
             revealed: list[Task] = []
             retries: list[_Waiting] = []
             if timed and t_release <= now:
@@ -681,6 +930,13 @@ class ListScheduler:
             )
         if checker is not None:
             checker.on_end(now)
+        if cache_info0 is not None:
+            info = cache_info()
+            stats.alloc_cache_hits = info.hits - cache_info0.hits
+            stats.alloc_cache_misses = info.misses - cache_info0.misses
+            stats.alloc_cache_bypasses = info.bypasses - cache_info0.bypasses
+        if _PROFILE_SINK is not None:
+            _PROFILE_SINK.merge(stats)
         return SimulationResult(
             schedule,
             allocations,
@@ -688,4 +944,5 @@ class ListScheduler:
             revealed_at,
             attempt_log=tuple(attempt_log),
             capacity_timeline=tuple(capacity_log),
+            stats=stats,
         )

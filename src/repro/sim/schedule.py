@@ -10,8 +10,7 @@ execution (each task appears exactly once with one allocation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -27,13 +26,16 @@ from repro.util.validation import check_positive_int
 __all__ = ["ScheduledTask", "Schedule"]
 
 
-@dataclass(frozen=True)
-class ScheduledTask:
+class ScheduledTask(NamedTuple):
     """One task's placement in a schedule.
 
     ``initial_alloc`` records the allocation computed by Step 1 of
     Algorithm 2, before the :math:`\\lceil\\mu P\\rceil` cap; for schedulers
     without a two-step allocation it equals ``procs``.
+
+    A lightweight named tuple: one is created per started task on the
+    engine's hot path, and :meth:`Schedule.add` (the canonical
+    constructor) validates the fields before building the record.
     """
 
     task_id: TaskId
@@ -42,18 +44,6 @@ class ScheduledTask:
     procs: int
     initial_alloc: int = 0
     tag: str = ""
-
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ScheduleError(
-                f"task {self.task_id!r}: end {self.end} before start {self.start}"
-            )
-        if self.procs < 1:
-            raise ScheduleError(
-                f"task {self.task_id!r}: allocation must be >= 1, got {self.procs}"
-            )
-        if self.initial_alloc == 0:
-            object.__setattr__(self, "initial_alloc", self.procs)
 
     @property
     def duration(self) -> Time:
@@ -94,7 +84,15 @@ class Schedule:
             raise CapacityExceededError(
                 f"task {task_id!r} allocated {procs} > P={self.P} processors"
             )
-        entry = ScheduledTask(task_id, start, end, procs, initial_alloc, tag)
+        if end < start:
+            raise ScheduleError(f"task {task_id!r}: end {end} before start {start}")
+        if procs < 1:
+            raise ScheduleError(
+                f"task {task_id!r}: allocation must be >= 1, got {procs}"
+            )
+        entry = ScheduledTask(
+            task_id, start, end, procs, initial_alloc if initial_alloc else procs, tag
+        )
         self._entries.append(entry)
         self._by_task[task_id] = entry
         return entry

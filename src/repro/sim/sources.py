@@ -59,13 +59,19 @@ class StaticGraphSource:
 
     def __init__(self, graph: TaskGraph) -> None:
         self._graph = graph
-        self._indegree: dict[TaskId, int] = {t: graph.in_degree(t) for t in graph}
-        self._order: dict[TaskId, int] = {t: i for i, t in enumerate(graph)}
+        # Bulk snapshots: `on_complete` sits on the engine's per-completion
+        # hot path, and the per-node accessors (`successors`, `task`, ...)
+        # validate and copy on every call.
+        self._indegree: dict[TaskId, int] = graph.in_degree_map()
+        self._order: dict[TaskId, int] = {t: i for i, t in enumerate(self._indegree)}
+        self._succ: dict[TaskId, tuple[TaskId, ...]] = graph.successor_map()
+        self._tasks: dict[TaskId, Task] = graph.task_map()
         self._completed: set[TaskId] = set()
         self._revealed: set[TaskId] = set()
 
     def initial_tasks(self) -> list[Task]:
-        ready = [self._graph.task(t) for t in self._graph if self._indegree[t] == 0]
+        indegree = self._indegree
+        ready = [task for t, task in self._tasks.items() if indegree[t] == 0]
         self._revealed.update(t.id for t in ready)
         return ready
 
@@ -76,14 +82,18 @@ class StaticGraphSource:
             raise SimulationError(f"task {task_id!r} completed twice")
         self._completed.add(task_id)
         newly_ready: list[TaskId] = []
-        for succ in self._graph.successors(task_id):
-            self._indegree[succ] -= 1
-            if self._indegree[succ] == 0:
+        indegree = self._indegree
+        for succ in self._succ[task_id]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
                 newly_ready.append(succ)
+        if not newly_ready:
+            return []
         # Insertion-order tie-break for simultaneous reveals.
         newly_ready.sort(key=self._order.__getitem__)
         self._revealed.update(newly_ready)
-        return [self._graph.task(t) for t in newly_ready]
+        tasks = self._tasks
+        return [tasks[t] for t in newly_ready]
 
     def is_exhausted(self) -> bool:
         return len(self._completed) == len(self._graph)

@@ -52,6 +52,9 @@ class TabulatedModel(SpeedupModel):
             return self._times[p - 1]
         return self._times[-1]
 
+    def cache_key(self) -> tuple:
+        return ("tabulated", self._times)
+
     def max_useful_processors(self, P: int) -> int:
         P = self._check_P(P)
         limit = min(P, len(self._times))
@@ -116,6 +119,9 @@ class LogParallelismModel(SpeedupModel):
     def time(self, p: int) -> float:
         p = self._check_p(p)
         return self.base / (math.log2(p) + 1.0)
+
+    def cache_key(self) -> tuple:
+        return ("logp", self.base)
 
     def max_useful_processors(self, P: int) -> int:
         # Time is strictly decreasing, so all processors are useful.

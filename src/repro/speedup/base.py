@@ -29,11 +29,36 @@ class SpeedupModel(abc.ABC):
     * :attr:`monotonic_hint` — ``True`` promises that on ``[1, p_max(P)]``
       the time is non-increasing and the area non-decreasing (Lemma 1 proves
       this for the whole Equation (1) family), enabling binary search inside
-      Algorithm 2 instead of a linear scan.
+      Algorithm 2 instead of a linear scan.  The generic
+      :meth:`max_useful_processors` additionally reads the hint as a promise
+      that the time is *unimodal* on ``[1, P]`` (non-increasing up to the
+      optimum, never dipping below it afterwards), which every built-in
+      monotonic model satisfies; set the hint to ``False`` for models that
+      violate unimodality.
+    * :meth:`cache_key` — a hashable value identifying the time function,
+      letting allocators memoize their decisions across tasks that share a
+      parameterization (see :meth:`repro.sim.allocation.Allocator.allocate_cached`).
     """
 
     #: Whether time/area monotonicity on ``[1, p_max]`` is guaranteed.
     monotonic_hint: bool = False
+
+    def cache_key(self) -> object | None:
+        """Return a hashable identity of the time function, or ``None``.
+
+        Two models returning equal keys must implement the *same*
+        :meth:`time` function — allocators use the key to memoize
+        allocation decisions (keyed on ``(cache_key, P)``), so a stale or
+        colliding key would silently misallocate.  The key must be derived
+        from the model's current parameters: mutating a parameter then
+        yields a different key and the cache stays correct.
+
+        The base implementation returns ``None`` ("not cacheable"), which
+        makes every allocator bypass its cache for this model.  Subclasses
+        whose time function is fully determined by immutable-ish parameters
+        should override (the whole Equation (1) family does).
+        """
+        return None
 
     @abc.abstractmethod
     def time(self, p: int) -> float:
@@ -56,10 +81,17 @@ class SpeedupModel(abc.ABC):
         reach the minimum time, the *smallest* one is returned (it has the
         smallest area among them by monotonicity of the area).
 
-        The generic implementation scans ``[1, P]``; Equation (1) subclasses
-        override it with the closed form of the paper.
+        The generic implementation scans ``[1, P]`` for arbitrary models;
+        when :attr:`monotonic_hint` promises a unimodal time function it
+        switches to two :math:`O(\\log P)` binary searches (first locating
+        the last strict improvement, then the left end of the minimum-time
+        plateau, preserving the "smallest p reaching t_min" tie-break).
+        Equation (1) subclasses override it with the closed form of the
+        paper.
         """
         P = self._check_P(P)
+        if self.monotonic_hint and P > 2:
+            return self._max_useful_unimodal(P)
         best_p = 1
         best_t = self.time(1)
         for p in range(2, P + 1):
@@ -68,6 +100,34 @@ class SpeedupModel(abc.ABC):
                 best_t = t
                 best_p = p
         return best_p
+
+    def _max_useful_unimodal(self, P: int) -> int:
+        """Binary-search :math:`p^{\\max}` for a unimodal time function.
+
+        Step 1 finds the smallest ``p`` with ``time(p+1) > time(p)`` — the
+        predicate is monotone (False then True) for a time that is
+        non-increasing up to its optimum and never dips below it again, so
+        ``time(p*)`` is the global minimum :math:`t^{\\min}`.  Step 2
+        binary-searches the non-increasing prefix ``[1, p*]`` for the
+        smallest allocation reaching :math:`t^{\\min}`, matching the linear
+        scan's tie-break exactly (plateaus resolve to their left end).
+        """
+        lo, hi = 1, P
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.time(mid + 1) > self.time(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        t_min = self.time(lo)
+        left, right = 1, lo
+        while left < right:
+            mid = (left + right) // 2
+            if self.time(mid) <= t_min:
+                right = mid
+            else:
+                left = mid + 1
+        return left
 
     def t_min(self, P: int) -> float:
         """Return the minimum execution time :math:`t^{\\min} = t(p^{\\max})`."""
@@ -90,9 +150,14 @@ class SpeedupModel(abc.ABC):
     # Diagnostics
     # ------------------------------------------------------------------
     def times(self, P: int) -> np.ndarray:
-        """Return the vector ``[t(1), ..., t(P)]`` as a NumPy array."""
+        """Return the vector ``[t(1), ..., t(P)]`` as a NumPy array.
+
+        The generic implementation fills a preallocated array straight from
+        the ``time`` generator (no intermediate Python list); closed-form
+        families override it with fully vectorized NumPy expressions.
+        """
         P = self._check_P(P)
-        return np.array([self.time(p) for p in range(1, P + 1)], dtype=float)
+        return np.fromiter((self.time(p) for p in range(1, P + 1)), dtype=float, count=P)
 
     def areas(self, P: int) -> np.ndarray:
         """Return the vector ``[a(1), ..., a(P)]`` as a NumPy array."""

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.exceptions import InvalidParameterError
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_nonnegative, check_positive
@@ -77,6 +79,25 @@ class GeneralModel(SpeedupModel):
         else:
             effective = min(p, self.max_parallelism)
         return self.w / effective + self.d + self.c * (p - 1)
+
+    def cache_key(self) -> tuple:
+        """Hashable identity shared across the whole Equation (1) family.
+
+        The time function is fully determined by ``(w, d, c, p-tilde)``, so
+        a roofline and a general model with equal parameters may share cache
+        entries — the allocation they induce is identical by construction.
+        """
+        return ("eq1", self.w, self.d, self.c, self.max_parallelism)
+
+    def times(self, P: int) -> np.ndarray:
+        """Vectorized ``[t(1), ..., t(P)]`` (same operation order as ``time``)."""
+        P = self._check_P(P)
+        p = np.arange(1, P + 1, dtype=float)
+        if self.max_parallelism is None:
+            effective = p
+        else:
+            effective = np.minimum(p, float(self.max_parallelism))
+        return self.w / effective + self.d + self.c * (p - 1.0)
 
     def max_useful_processors(self, P: int) -> int:
         """Closed-form :math:`p^{\\max}` per Equation (5).

@@ -33,6 +33,9 @@ class PowerLawModel(SpeedupModel):
         p = self._check_p(p)
         return self.w / p**self.exponent
 
+    def cache_key(self) -> tuple:
+        return ("powerlaw", self.w, self.exponent)
+
     def max_useful_processors(self, P: int) -> int:
         # Strictly decreasing time: every processor helps.
         return self._check_P(P)

@@ -1,0 +1,76 @@
+"""The fast path is exact: every experiment digest matches the seed engine.
+
+``golden_digests.json`` was captured by running the full experiment
+registry (plus one fault-injected resilient run) on the engine *before*
+the fast-path optimizations — allocation memoization, incremental queue
+scanning, sorted priority insertion, vectorized models — landed.  These
+tests re-run everything on the optimized engine and require byte-identical
+:meth:`~repro.experiments.registry.ExperimentReport.digest` values:
+optimizations may only change how fast schedules are computed, never the
+schedules themselves.
+
+If a digest legitimately must change (a *algorithmic* change, not an
+optimization), re-capture the golden file and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+GOLDEN = json.loads((Path(__file__).parent / "golden_digests.json").read_text())
+
+
+def test_golden_covers_registry():
+    """Every registered experiment has a golden digest (and vice versa)."""
+    assert set(GOLDEN) == set(REGISTRY) | {"__resilient_engine__"}
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_experiment_digest_unchanged(name):
+    assert run_experiment(name).digest() == GOLDEN[name], (
+        f"experiment {name!r} no longer reproduces its pre-fast-path digest; "
+        "an engine 'optimization' changed a schedule"
+    )
+
+
+def test_resilient_engine_digest_unchanged():
+    """Fault-injected path: kills, retries, and re-allocations are exact too."""
+    from repro.core.scheduler import OnlineScheduler
+    from repro.graph.generators import layered_random
+    from repro.resilience.faults import FaultTrace
+    from repro.resilience.retry import RetryPolicy
+    from repro.runtime.serialization import content_digest
+    from repro.sim.schedule_io import schedule_to_dict
+    from repro.speedup import RandomModelFactory
+
+    graph = layered_random(
+        6,
+        8,
+        RandomModelFactory(family="communication", seed=7),
+        edge_probability=0.3,
+        seed=7,
+    )
+    trace = FaultTrace(
+        [(5.0, "fail", 3), (9.0, "recover", 3), (12.0, "fail", 0), (20.0, "recover", 0)]
+    )
+    scheduler = OnlineScheduler.for_family("communication", 16)
+    result = scheduler.run(graph, faults=trace, retry=RetryPolicy(max_attempts=5))
+    assert result.killed_attempts() == 1  # the trace really injects a kill
+    payload = {
+        "schedule": schedule_to_dict(result.schedule),
+        "allocations": {
+            str(k): (a.initial, a.final)
+            for k, a in sorted(result.allocations.items(), key=lambda kv: str(kv[0]))
+        },
+        "attempts": [
+            (str(r.task_id), r.attempt, r.start, r.end, r.procs, r.completed)
+            for r in result.attempt_log
+        ],
+        "capacity": result.capacity_timeline,
+    }
+    assert content_digest(payload) == GOLDEN["__resilient_engine__"]

@@ -103,6 +103,11 @@ class TestAllocatorContract:
         seen = []
 
         class SpyAllocator(Allocator):
+            # Observes the instantaneous free count, so it must opt out of
+            # the engine's allocation memoization like any free-dependent
+            # allocator (otherwise the second call is served from cache).
+            uses_free = True
+
             def allocate(self, model, P, *, free=None):
                 seen.append(free)
                 return Allocation(initial=1, final=1)

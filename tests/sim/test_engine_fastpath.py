@@ -1,0 +1,149 @@
+"""Engine fast-path observability: EngineStats, scan skipping, priorities.
+
+Performance counters are pure observability — these tests pin down their
+semantics (what counts as a scan, a skip, a step) and the fast path's
+user-visible guarantees (priority ordering via sorted insertion, stats on
+resilient runs, ``profile_engine`` aggregation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.online import MaxUsefulAllocator
+from repro.core.allocator import LpaAllocator
+from repro.core.constants import MU_STAR
+from repro.core.scheduler import OnlineScheduler
+from repro.graph.generators import chain, independent_tasks
+from repro.graph.taskgraph import TaskGraph
+from repro.resilience.faults import FaultTrace
+from repro.resilience.retry import RetryPolicy
+from repro.sim.engine import EngineStats, ListScheduler, profile_engine
+from repro.sim.sources import ReleasedTaskSource
+from repro.speedup import CommunicationModel, RooflineModel
+
+
+def comm():
+    return CommunicationModel(w=50.0, c=0.5)
+
+
+class TestEngineStats:
+    def test_counters_on_plain_run(self):
+        graph = independent_tasks(40, comm)
+        result = OnlineScheduler.for_family("communication", 16).run(graph)
+        stats = result.stats
+        assert stats is not None
+        assert stats.tasks_started == 40
+        assert stats.events > 0
+        assert stats.allocator_calls == 40
+        # Identical kernels: one miss, the rest cache hits.
+        assert stats.alloc_cache_misses == 1
+        assert stats.alloc_cache_hits == 39
+        assert stats.alloc_cache_hit_rate() == pytest.approx(39 / 40)
+
+    def test_scan_steps_near_linear_on_wide_set(self):
+        """The min-demand bound keeps total scan work ~n, not ~n^2."""
+        n = 400
+        graph = independent_tasks(n, comm)
+        result = OnlineScheduler.for_family("communication", 16).run(graph)
+        assert result.stats.scan_steps <= 3 * n
+
+    def test_hit_rate_zero_when_no_calls(self):
+        assert EngineStats().alloc_cache_hit_rate() == 0.0
+
+    def test_merge_and_as_dict(self):
+        a = EngineStats(events=2, tasks_started=3, alloc_cache_hits=5)
+        b = EngineStats(events=1, queue_scans=4, alloc_cache_misses=5)
+        a.merge(b)
+        d = a.as_dict()
+        assert d["events"] == 3 and d["queue_scans"] == 4
+        assert d["alloc_cache_hit_rate"] == 0.5
+        assert "5 cache hits" in a.summary()
+
+
+class TestScanSkipping:
+    def test_releases_into_full_platform_are_skipped_scans(self):
+        """Tasks arriving while nothing can fit must not walk the queue."""
+        model = RooflineModel(w=100.0, max_parallelism=4)  # 4 procs, 25s
+        releases = [(0.0, model), (1.0, model), (2.0, model), (3.0, model)]
+        source = ReleasedTaskSource(releases)
+        result = ListScheduler(4, MaxUsefulAllocator()).run(source)
+        stats = result.stats
+        assert stats.tasks_started == 4
+        # Releases at t=1,2,3 land on a saturated platform: the min-demand
+        # bound proves those passes useless without touching the queue.
+        assert stats.scans_skipped == 3
+        # Started tasks are each examined exactly once over the whole run.
+        assert stats.scan_steps == 4
+
+    def test_chain_never_scans_blocked_tail(self):
+        graph = chain(50, comm)
+        result = OnlineScheduler.for_family("communication", 8).run(graph)
+        # One task revealed per completion: every scan examines one entry.
+        assert result.stats.scan_steps == 50
+        assert result.stats.queue_scans == 50
+
+
+class TestPriorityOrdering:
+    def test_priority_orders_simultaneous_tasks(self):
+        """On P=1, equal-demand tasks must execute in priority order."""
+        g = TaskGraph()
+        works = [30.0, 10.0, 50.0, 20.0, 40.0]
+        for i, w in enumerate(works):
+            g.add_task(f"t{i}", CommunicationModel(w=w, c=0.5))
+        scheduler = ListScheduler(
+            1,
+            LpaAllocator(MU_STAR["communication"]),
+            priority=lambda task, alloc: task.model.w,  # smallest work first
+        )
+        result = scheduler.run(g)
+        order = sorted(result.schedule.entries, key=lambda e: e.start)
+        assert [e.task_id for e in order] == ["t1", "t3", "t0", "t4", "t2"]
+
+    def test_priority_ties_keep_admission_order(self):
+        g = TaskGraph()
+        for i in range(6):
+            g.add_task(f"t{i}", comm())
+        scheduler = ListScheduler(
+            1, LpaAllocator(MU_STAR["communication"]), priority=lambda t, a: 0
+        )
+        result = scheduler.run(g)
+        order = sorted(result.schedule.entries, key=lambda e: e.start)
+        assert [e.task_id for e in order] == [f"t{i}" for i in range(6)]
+
+
+class TestResilientStats:
+    def test_stats_attached_and_count_reallocations(self):
+        graph = chain(6, comm)
+        trace = FaultTrace([(10.0, "fail", 0), (40.0, "recover", 0)])
+        scheduler = OnlineScheduler.for_family("communication", 4)
+        result = scheduler.run(graph, faults=trace, retry=RetryPolicy(max_attempts=5))
+        stats = result.stats
+        assert stats is not None
+        assert stats.tasks_started >= 6
+        # Capacity changes force re-allocations beyond one call per task.
+        assert stats.allocator_calls >= 6
+        assert stats.queue_scans > 0
+
+
+class TestProfileEngine:
+    def test_sink_accumulates_across_runs(self):
+        graph = independent_tasks(10, comm)
+        scheduler = OnlineScheduler.for_family("communication", 8)
+        with profile_engine() as sink:
+            scheduler.run(graph)
+            scheduler.run(independent_tasks(5, comm))
+            assert sink.tasks_started == 15
+        # Outside the block new runs no longer accumulate.
+        scheduler.run(independent_tasks(3, comm))
+        assert sink.tasks_started == 15
+
+    def test_nested_profiling_restores_outer_sink(self):
+        graph = independent_tasks(4, comm)
+        scheduler = OnlineScheduler.for_family("communication", 8)
+        with profile_engine() as outer:
+            with profile_engine() as inner:
+                scheduler.run(graph)
+            assert inner.tasks_started == 4
+            scheduler.run(graph)
+        assert outer.tasks_started == 4  # only the run outside `inner`
