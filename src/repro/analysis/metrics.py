@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sim.schedule import Schedule
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimulationResult
+    from repro.util.stats import Summary
 
 __all__ = ["ScheduleMetrics", "schedule_metrics", "tag_breakdown", "TagStats"]
 
@@ -96,7 +101,7 @@ def tag_breakdown(schedule: Schedule) -> dict[str, TagStats]:
     return out
 
 
-def waiting_summary(result) -> "Summary":
+def waiting_summary(result: "SimulationResult") -> "Summary":
     """Summarize queueing delays (start minus reveal) of one run.
 
     Requires a :class:`~repro.sim.engine.SimulationResult` whose engine
@@ -111,7 +116,7 @@ def waiting_summary(result) -> "Summary":
     return summarize([max(w, 0.0) for w in waits.values()])
 
 
-def stretch_summary(result, P: int) -> "Summary":
+def stretch_summary(result: "SimulationResult", P: int) -> "Summary":
     """Summarize per-task *stretch*: response time over ideal time.
 
     Stretch of task j = (completion - reveal) / t_min_j(P) — the classic

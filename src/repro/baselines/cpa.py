@@ -18,6 +18,8 @@ and it tunes allotments globally before anything runs.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import InvalidParameterError
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
@@ -25,6 +27,9 @@ from repro.sim.allocation import Allocation, Allocator
 from repro.sim.engine import ListScheduler, SimulationResult
 from repro.types import TaskId
 from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:
+    from repro.speedup.base import SpeedupModel
 
 __all__ = ["cpa_allotment", "cpa_schedule", "AllotmentAllocator"]
 
@@ -37,7 +42,9 @@ class AllotmentAllocator(Allocator):
     def __init__(self, allotment: dict[TaskId, int]) -> None:
         self.allotment = dict(allotment)
 
-    def allocate(self, model, P, *, free=None) -> Allocation:  # pragma: no cover
+    def allocate(
+        self, model: "SpeedupModel", P: int, *, free: int | None = None
+    ) -> Allocation:  # pragma: no cover
         raise InvalidParameterError(
             "AllotmentAllocator needs task identity; use it with ListScheduler, "
             "which calls allocate_task"

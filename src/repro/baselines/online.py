@@ -18,12 +18,16 @@ algorithm; only the per-task processor count differs:
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.core.allocator import Allocation, Allocator
 from repro.exceptions import InvalidParameterError
 from repro.sim.engine import ListScheduler
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_in_range, check_positive_int
+
+if TYPE_CHECKING:  # EctScheduler is imported lazily to keep startup light
+    from repro.baselines.ect import EctScheduler
 
 __all__ = [
     "MaxUsefulAllocator",
@@ -98,7 +102,7 @@ class AvailableProcessorsAllocator(Allocator):
 BASELINE_NAMES = ("max-useful", "one-proc", "half", "quarter", "grab-free", "ect")
 
 
-def make_baseline(name: str, P: int):
+def make_baseline(name: str, P: int) -> "ListScheduler | EctScheduler":
     """Build a baseline scheduler by name (see :data:`BASELINE_NAMES`).
 
     All returned schedulers expose ``run(source) -> SimulationResult``.

@@ -55,13 +55,13 @@ def release_makespan_lower_bound(
     releases = [r for r, _, _ in entries]
 
     area_bound = sum(a_min) / P
-    task_bound = max(r + t for r, t in zip(releases, t_min))
+    task_bound = max(r + t for r, t in zip(releases, t_min, strict=True))
 
     # Suffix bound: for each distinct release instant r, the area of
     # everything released at or after r divided by P, offset by r.
     suffix_bound = 0.0
     suffix_area = 0.0
-    for r, a in zip(reversed(releases), reversed(a_min)):
+    for r, a in zip(reversed(releases), reversed(a_min), strict=True):
         suffix_area += a
         suffix_bound = max(suffix_bound, r + suffix_area / P)
 

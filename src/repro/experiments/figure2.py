@@ -74,10 +74,10 @@ def run(P: int = 100, width: int = 72, family: str = "communication") -> Experim
         "algorithm_avg_utilization": algo.average_utilization(),
         "alternative_avg_utilization": alt.average_utilization(),
         "algorithm_profile": [
-            (s, e, u) for s, e, u in zip(*_profile(algo))
+            (s, e, u) for s, e, u in zip(*_profile(algo), strict=True)
         ],
         "alternative_profile": [
-            (s, e, u) for s, e, u in zip(*_profile(alt))
+            (s, e, u) for s, e, u in zip(*_profile(alt), strict=True)
         ],
     }
     return ExperimentReport("figure2", "Schedule shapes (algorithm vs optimal)", text, data)

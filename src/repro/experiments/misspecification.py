@@ -14,6 +14,8 @@ optimum.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.bounds import makespan_lower_bound
@@ -23,12 +25,15 @@ from repro.experiments.registry import ExperimentReport
 from repro.graph.generators import layered_random
 from repro.speedup.random import MixedModelFactory
 from repro.util.tables import format_table
+
+if TYPE_CHECKING:
+    from repro.graph.taskgraph import TaskGraph
 from repro.workflows import cholesky, fft, montage
 
 __all__ = ["run"]
 
 
-def mixed_suite(seed: int):
+def mixed_suite(seed: int) -> "list[tuple[str, TaskGraph]]":
     """Workloads whose tasks mix all four speedup-model families."""
     factory = MixedModelFactory(seed=seed)
     return [

@@ -1,0 +1,127 @@
+"""Per-file analysis context shared by all rules.
+
+A :class:`FileContext` bundles the parsed AST with the information rules
+repeatedly need: the dotted module name (for scoping rules to packages
+like ``repro.sim``), the import alias table (so ``np.random.rand`` is
+recognized as ``numpy.random.rand`` however numpy was imported), and the
+raw source lines (for messages).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["FileContext", "collect_import_aliases", "module_name_for", "qualified_name"]
+
+
+def collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully-qualified names they were imported as.
+
+    ``import numpy as np``          -> ``{"np": "numpy"}``
+    ``import time``                 -> ``{"time": "time"}``
+    ``from datetime import datetime`` -> ``{"datetime": "datetime.datetime"}``
+    ``from x.y import z as w``      -> ``{"w": "x.y.z"}``
+
+    Only absolute imports are resolved; relative imports (``from . import x``)
+    keep their local name unresolved, which makes rules conservative (they
+    only fire on names they can positively identify).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def qualified_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Resolve an attribute chain to a dotted name, expanding import aliases.
+
+    Returns ``None`` for expressions that are not plain ``Name``/``Attribute``
+    chains (subscripts, calls, literals, ...).
+    """
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    root = aliases.get(cur.id, cur.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: Path) -> str | None:
+    """Derive the dotted module name of ``path`` from its package layout.
+
+    Walks up while ``__init__.py`` files are present, the standard package
+    heuristic.  Returns ``None`` for files outside any package (lint
+    fixtures, scripts); rules scoped to a package treat unknown modules as
+    in-scope so standalone fixture snippets still exercise them.
+    """
+    path = path.resolve()
+    if not path.name.endswith(".py"):
+        return None
+    if not (path.parent / "__init__.py").exists():
+        return None
+    parts = [] if path.name == "__init__.py" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one source file."""
+
+    #: Path as given on the command line (used in findings verbatim).
+    path: str
+    #: Parsed module body.
+    tree: ast.Module
+    #: Raw source text.
+    source: str
+    #: Dotted module name, or ``None`` when the file is not in a package.
+    module: str | None = None
+    #: Local name -> fully-qualified import target.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, *, path: str = "<string>", module: str | None = None
+    ) -> FileContext:
+        """Parse ``source`` and build a context (used by tests and fixtures)."""
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            tree=tree,
+            source=source,
+            module=module,
+            aliases=collect_import_aliases(tree),
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this file belongs to one of the dotted package prefixes.
+
+        Files with an unknown module (standalone snippets) count as
+        in-scope for every package, so fixture files exercise scoped rules.
+        """
+        if self.module is None:
+            return True
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )

@@ -1,0 +1,130 @@
+"""File discovery and rule execution.
+
+:func:`lint_source` checks one source string; :func:`lint_paths` walks
+files and directories, skipping caches and hidden directories.  Both
+apply suppression comments and return findings in deterministic sorted
+order.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.context import FileContext, collect_import_aliases, module_name_for
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["LintReport", "iter_python_files", "lint_source", "lint_paths"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".mypy_cache"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    #: Files that could not be parsed: ``(path, error message)``.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 on findings or parse errors."""
+        return 1 if (self.findings or self.errors) else 0
+
+    def merge(self, other: "LintReport") -> None:
+        """Fold ``other``'s counts and findings into this report."""
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.suppressed += other.suppressed
+        self.errors.extend(other.errors)
+
+    def sort(self) -> None:
+        """Sort findings into the canonical (path, line, col, code) order."""
+        self.findings.sort()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order.
+
+    Directories are walked recursively; cache and VCS directories are
+    skipped.  Non-Python files given explicitly are ignored (so globs may
+    be passed verbatim).
+    """
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> LintReport:
+    """Lint one source string and return its report.
+
+    ``module`` scopes package-restricted rules (e.g. RL002 only runs on
+    ``repro.sim`` / ``repro.core``); leave it ``None`` for standalone
+    snippets, which count as in-scope for every rule.
+    """
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        report.errors.append((path, f"parse error: {exc}"))
+        return report
+    ctx = FileContext(
+        path=path,
+        tree=tree,
+        source=source,
+        module=module,
+        aliases=collect_import_aliases(tree),
+    )
+    suppressions = parse_suppressions(source)
+    active = list(rules) if rules is not None else all_rules()
+    for rule in active:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.line, finding.code):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.sort()
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str | Path], *, rules: Iterable[Rule] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the merged report."""
+    active = list(rules) if rules is not None else all_rules()
+    report = LintReport()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.errors.append((str(file_path), f"read error: {exc}"))
+            report.files_checked += 1
+            continue
+        file_report = lint_source(
+            source,
+            path=str(file_path),
+            module=module_name_for(file_path),
+            rules=active,
+        )
+        report.merge(file_report)
+    report.sort()
+    return report

@@ -1,0 +1,41 @@
+"""The :class:`Finding` record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Findings sort by ``(path, line, col, code)`` so reports are stable
+    regardless of rule execution order — the JSON reporter's output is
+    byte-identical across runs, matching the repository's determinism
+    contract for every other artifact.
+    """
+
+    #: Path of the offending file, as given on the command line.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Rule code, e.g. ``"RL003"``.
+    code: str
+    #: Human-readable description of the violation.
+    message: str = field(compare=False)
+
+    def location(self) -> str:
+        """Return the ``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Return a JSON-serializable representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,106 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:func:`all_rules` triggers the import of :mod:`repro.lint.rules` so the
+registry is always populated before use.  Codes are unique and stable —
+they are the public interface of the linter (suppression comments, CI
+logs, and the documentation in ``docs/static-analysis.md`` all refer to
+them).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Iterator
+from typing import ClassVar, TypeVar
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "resolve_codes"]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+R = TypeVar("R", bound="type[Rule]")
+
+
+class Rule(abc.ABC):
+    """One static-analysis rule with a stable code.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding a :class:`Finding` per violation.  Suppression filtering is
+    handled by the engine, not the rule.
+    """
+
+    #: Stable identifier, e.g. ``"RL003"``.
+    code: ClassVar[str]
+    #: Short kebab-case name, e.g. ``"float-equality"``.
+    name: ClassVar[str]
+    #: One-line description of the invariant the rule protects.
+    description: ClassVar[str]
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether the rule runs on this file at all (default: every file)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield one finding per violation in ``ctx``."""
+
+    def finding(self, ctx: FileContext, line: int, col: int, message: str) -> Finding:
+        """Build a finding for this rule at the given location."""
+        return Finding(path=ctx.path, line=line, col=col, code=self.code, message=message)
+
+
+def register(cls: R) -> R:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    code = rule.code
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {code!r}")
+    _REGISTRY[code] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @register decorator.
+    import repro.lint.rules  # noqa: F401  (import for side effect)
+
+
+def all_rules() -> list[Rule]:
+    """Return every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Return the rule registered under ``code`` (raises ``KeyError``)."""
+    _ensure_loaded()
+    return _REGISTRY[code]
+
+
+def resolve_codes(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Return the active rules after ``--select`` / ``--ignore`` filtering.
+
+    Unknown codes raise ``ValueError`` — a misspelled code silently
+    matching nothing would disable a contract check without anyone
+    noticing.
+    """
+    _ensure_loaded()
+    known = set(_REGISTRY)
+    chosen = set(known)
+    if select is not None:
+        wanted = {c.strip().upper() for c in select if c.strip()}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        chosen = wanted
+    if ignore is not None:
+        dropped = {c.strip().upper() for c in ignore if c.strip()}
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        chosen -= dropped
+    return [_REGISTRY[code] for code in sorted(chosen)]

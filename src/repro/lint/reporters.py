@@ -1,0 +1,48 @@
+"""Text and JSON rendering of a :class:`~repro.lint.engine.LintReport`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+from repro.lint.registry import all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(report: LintReport) -> str:
+    """GCC-style one-line-per-finding text output plus a summary line."""
+    lines = [f"{f.location()}: {f.code} {f.message}" for f in report.findings]
+    lines.extend(f"{path}: error: {message}" for path, message in report.errors)
+    n = len(report.findings)
+    noun = "finding" if n == 1 else "findings"
+    file_noun = "file" if report.files_checked == 1 else "files"
+    summary = (
+        f"{n} {noun} in {report.files_checked} {file_noun}"
+        f" ({report.suppressed} suppressed)"
+    )
+    if report.errors:
+        summary += f", {len(report.errors)} failed to parse"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document (sorted findings, fixed key order)."""
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "findings": [f.to_dict() for f in report.findings],
+        "errors": [{"path": p, "message": m} for p, m in report.errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_list() -> str:
+    """Human-readable table of every registered rule (``--list-rules``)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Domain-aware lint rules for the repro codebase.
+
+Importing this package registers every rule; the registry in
+:mod:`repro.lint.registry` triggers the import lazily, so rule modules
+must never import the registry's *consumers* (engine, reporters).
+
+| Code  | Name                    | Invariant protected                          |
+|-------|-------------------------|----------------------------------------------|
+| RL001 | unseeded-rng            | campaign determinism (seeded RNG everywhere) |
+| RL002 | wall-clock              | reproducible engine (no wall clock in hot paths) |
+| RL003 | float-equality          | exact-schedule guarantee (golden digests)    |
+| RL004 | cache-key-contract      | allocation-cache soundness                   |
+| RL005 | mutable-state           | process-pool safety                          |
+| RL006 | public-annotations      | typed public API (mypy strict surface)       |
+"""
+
+from repro.lint.rules import (
+    rl001_unseeded_rng,
+    rl002_wall_clock,
+    rl003_float_equality,
+    rl004_cache_key,
+    rl005_mutable_state,
+    rl006_annotations,
+)
+
+__all__ = [
+    "rl001_unseeded_rng",
+    "rl002_wall_clock",
+    "rl003_float_equality",
+    "rl004_cache_key",
+    "rl005_mutable_state",
+    "rl006_annotations",
+]

@@ -1,0 +1,112 @@
+"""RL001: no unseeded random-number generation.
+
+Campaign results are content-addressed by ``(experiment, kwargs)`` and the
+parallel executor promises byte-identical results to a serial run
+(PR 2).  Both guarantees die the moment any code path draws from global
+or OS-entropy-seeded RNG state:
+
+* ``random.random()`` & friends — hidden global Mersenne state, shared
+  (and racy) across the process pool;
+* ``np.random.rand()`` / ``np.random.seed()`` — the legacy NumPy global
+  generator, same problem;
+* ``np.random.default_rng()`` / ``SeedSequence()`` *without arguments* —
+  freshly drawn OS entropy, different on every run.
+
+The fix is always the same: thread an explicit ``numpy.random.Generator``
+(or integer seed) down from the experiment registry, as every generator
+in :mod:`repro.speedup.random` and :mod:`repro.graph.generators` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext, qualified_name
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Stdlib ``random`` attributes that are *not* global-state draws.
+_STDLIB_OK = {"Random", "SystemRandom"}
+
+#: ``numpy.random`` attributes that are deterministic-by-construction
+#: (types and constructors that take an explicit seed).  ``default_rng``
+#: and ``SeedSequence`` are allowed only when called with arguments.
+_NUMPY_OK = {
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: Constructors that become nondeterministic when called with no arguments.
+_NEEDS_SEED_ARG = {"default_rng", "SeedSequence"}
+
+
+@register
+class UnseededRngRule(Rule):
+    code = "RL001"
+    name = "unseeded-rng"
+    description = (
+        "no unseeded random/np.random draws; thread an explicit seeded "
+        "Generator instead (campaign determinism)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        qname = qualified_name(node.func, ctx.aliases)
+        if qname is None:
+            return
+        parts = qname.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in _STDLIB_OK:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"call to global-state RNG 'random.{parts[1]}'; use a "
+                    "seeded numpy.random.Generator (or random.Random(seed))",
+                )
+        elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+            attr = parts[2]
+            if attr in _NUMPY_OK:
+                return
+            if attr in _NEEDS_SEED_ARG:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"'numpy.random.{attr}()' without a seed draws fresh OS "
+                        "entropy; pass an explicit seed",
+                    )
+                return
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"call to legacy global RNG 'numpy.random.{attr}'; use "
+                "numpy.random.default_rng(seed)",
+            )
+
+    def _check_import(self, ctx: FileContext, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module != "random" or node.level != 0:
+            return
+        for alias in node.names:
+            if alias.name != "*" and alias.name not in _STDLIB_OK:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"'from random import {alias.name}' exposes the global RNG; "
+                    "use a seeded numpy.random.Generator",
+                )

@@ -1,0 +1,113 @@
+"""RL003: no ``==`` / ``!=`` on floating-point time quantities.
+
+Times, makespans, areas, and the α/β ratios of Algorithm 2 are computed
+floats.  Comparing them with ``==`` either (a) encodes a tolerance
+assumption that silently breaks when an allocator or model changes its
+arithmetic, or (b) is genuinely intentional exact-replay equality — in
+which case it must be visible and justified, because the golden digests
+in ``tests/perf/`` pin bit-exact schedules and any change to such a
+comparison shifts them.
+
+The rule fires when an equality comparison involves
+
+* a non-zero float literal (``x == 0.5``) — comparisons against ``0.0``
+  are allowed, they test the exact-zero sentinel produced by assignment,
+  not arithmetic;
+* a division expression (``a / b == c`` — a computed ratio);
+* a name or attribute whose identifier is a known time quantity
+  (``makespan``, ``t_min``, ``*_time``, ``*_ratio``, ...), including
+  calls to such accessors (``schedule.makespan() == 1.0``).
+
+Intentional exact comparisons carry
+``# repro-lint: disable=RL003 -- <why exactness is sound here>``.
+
+The rule is scoped to the :mod:`repro` package.  In *tests*, exact
+equality on schedule quantities is the point — assertions like
+``schedule.makespan() == 1.0`` (dyadic-rational arithmetic, exact in
+IEEE 754) pin the very guarantee this rule protects in library code.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Identifiers that denote a floating-point time quantity.
+_TIME_NAMES = {
+    "time",
+    "makespan",
+    "t_min",
+    "a_min",
+    "alpha",
+    "beta",
+    "ratio",
+    "duration",
+    "deadline",
+}
+
+_TIME_SUFFIXES = ("_time", "_ratio", "_makespan", "_duration")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_tolerance_idiom(node: ast.expr) -> bool:
+    """``x == pytest.approx(y)`` is the sanctioned tolerant comparison."""
+    return isinstance(node, ast.Call) and _terminal_name(node.func) == "approx"
+
+
+def _is_time_quantity(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float) and node.value != 0.0
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    return name in _TIME_NAMES or name.endswith(_TIME_SUFFIXES)
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "RL003"
+    name = "float-equality"
+    description = (
+        "no float ==/!= on times, makespans, or ratios; use tolerances or "
+        "justify exact-replay equality (golden-digest guarantee)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_is_tolerance_idiom(o) for o in operands):
+                continue
+            culprit = next((o for o in operands if _is_time_quantity(o)), None)
+            if culprit is not None:
+                desc = _terminal_name(culprit)
+                what = f"'{desc}'" if desc else "a computed float"
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"exact equality on time quantity {what}; compare with a "
+                    "tolerance, or suppress with a justification if exact "
+                    "replay equality is intended",
+                )

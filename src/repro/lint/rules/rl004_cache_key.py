@@ -1,0 +1,124 @@
+"""RL004: speedup models overriding identity must define ``cache_key``.
+
+:meth:`repro.sim.allocation.Allocator.allocate_cached` memoizes Algorithm
+2's decision keyed on ``(model.cache_key(), P)``.  A subclass that
+customizes ``__eq__`` / ``__hash__`` has changed what "the same model"
+means — if it inherits a ``cache_key`` that does not reflect that notion
+(or worse, inherits a parent's key while computing different times), two
+distinct time functions can collide in the cache and the engine silently
+misallocates.  The contract: override identity ⇒ restate your cache key
+(returning ``None`` to opt out of caching is always sound).
+
+Detection is syntactic: a class is considered a speedup model when a
+direct base is named ``SpeedupModel`` (any qualification), ends with
+``SpeedupModel``, or is one of the built-in Equation (1) family classes.
+An explicit ``__eq__``/``__hash__`` method or a ``@dataclass(eq=True)``
+decorator counts as overriding identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Built-in model classes commonly used as direct bases.
+_KNOWN_MODEL_BASES = {
+    "SpeedupModel",
+    "GeneralModel",
+    "RooflineModel",
+    "CommunicationModel",
+    "AmdahlModel",
+    "PowerLawModel",
+    "CallableModel",
+    "TabulatedModel",
+    "LogParallelismModel",
+}
+
+_IDENTITY_METHODS = {"__eq__", "__hash__"}
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):  # Generic[...] style bases
+        return _base_name(node.value)
+    return None
+
+
+def _is_model_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = _base_name(base)
+        if name is None:
+            continue
+        if name in _KNOWN_MODEL_BASES or name.endswith("SpeedupModel"):
+            return True
+    return False
+
+
+def _overridden_identity(node: ast.ClassDef) -> list[str]:
+    methods = [
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in _IDENTITY_METHODS
+    ]
+    if not methods and _has_eq_dataclass_decorator(node):
+        methods = ["__eq__ (via @dataclass(eq=True))"]
+    return methods
+
+
+def _has_eq_dataclass_decorator(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = _base_name(deco.func)
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "eq"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _defines_cache_key(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name == "cache_key"
+        for stmt in node.body
+    )
+
+
+@register
+class CacheKeyContractRule(Rule):
+    code = "RL004"
+    name = "cache-key-contract"
+    description = (
+        "SpeedupModel subclasses overriding __eq__/__hash__ must also define "
+        "cache_key (allocation-cache soundness)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_model_class(node):
+                continue
+            overridden = _overridden_identity(node)
+            if overridden and not _defines_cache_key(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"model class '{node.name}' overrides "
+                    f"{', '.join(overridden)} but does not define cache_key(); "
+                    "restate the cache key (or return None to opt out of the "
+                    "allocation cache)",
+                )

@@ -1,0 +1,92 @@
+"""RL005: no mutable default arguments; no module-level mutable state.
+
+The campaign executor (PR 2) fans experiments out over a
+``ProcessPoolExecutor``; workers import :mod:`repro.sim` and
+:mod:`repro.runtime` independently.  Module-level mutable containers are
+then *silently per-process* — code that appears to share state does not,
+and a serial run behaves differently from ``--jobs N``.  Mutable default
+arguments are the classic single-process variant of the same bug (one
+shared instance across calls).
+
+Mutable defaults are flagged everywhere; module-level mutable containers
+only inside :mod:`repro.sim` and :mod:`repro.runtime` (registries in
+other packages are deliberate and initialized at import time).  ``__all__``
+is exempt.  Deliberate sinks (e.g. a profiling accumulator) carry a
+justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+_MODULE_SCOPES = ("repro.sim", "repro.runtime")
+_EXEMPT_NAMES = {"__all__"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS and not node.args and not node.keywords
+    return False
+
+
+@register
+class MutableStateRule(Rule):
+    code = "RL005"
+    name = "mutable-state"
+    description = (
+        "no mutable default arguments (anywhere) or module-level mutable "
+        "containers in repro.sim / repro.runtime (process-pool safety)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_defaults(ctx)
+        if ctx.in_package(*_MODULE_SCOPES):
+            yield from self._check_module_state(ctx)
+
+    def _check_defaults(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in '{name}'; one instance is "
+                        "shared across calls — default to None and construct "
+                        "inside the function",
+                    )
+
+    def _check_module_state(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not _is_mutable_literal(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            names = [n for n in names if n not in _EXEMPT_NAMES]
+            if names:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"module-level mutable container {', '.join(names)!s} in a "
+                    "process-pool-imported module; workers each get their own "
+                    "copy — pass state explicitly or justify with a suppression",
+                )

@@ -1,0 +1,85 @@
+"""RL006: public API functions must carry complete type annotations.
+
+``repro`` ships ``py.typed``: downstream users type-check against our
+signatures, and the mypy strict configuration in ``pyproject.toml`` only
+binds the core packages.  This rule extends the *surface* guarantee to
+the whole tree — every public module-level function and every method of a
+public class must annotate all parameters (including ``*args`` /
+``**kwargs``) and the return type.
+
+Private helpers (leading underscore) and nested functions are exempt;
+dunder methods of public classes are public API and are checked.  The
+rule is scoped to the :mod:`repro` package — test functions and ad-hoc
+scripts are not part of the typed surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_IMPLICIT = {"self", "cls"}
+
+
+def _is_public_name(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    named = args.posonlyargs + args.args + args.kwonlyargs
+    missing = [
+        a.arg for a in named if a.annotation is None and a.arg not in _IMPLICIT
+    ]
+    for vararg, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+        if vararg is not None and vararg.annotation is None:
+            missing.append(prefix + vararg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    code = "RL006"
+    name = "public-annotations"
+    description = (
+        "public functions and methods must annotate every parameter and the "
+        "return type (typed py.typed surface)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_body(ctx, ctx.tree.body, class_public=True, qual="")
+
+    def _check_body(
+        self, ctx: FileContext, body: list[ast.stmt], *, class_public: bool, qual: str
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._check_body(
+                    ctx,
+                    stmt.body,
+                    class_public=class_public and _is_public_name(stmt.name),
+                    qual=f"{qual}{stmt.name}.",
+                )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not class_public or not _is_public_name(stmt.name):
+                    continue
+                missing = _missing_annotations(stmt)
+                if missing:
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"public function '{qual}{stmt.name}' is missing type "
+                        f"annotations for: {', '.join(missing)}",
+                    )

@@ -1,0 +1,80 @@
+"""Parsing of ``# repro-lint: disable=CODE`` suppression comments.
+
+Two forms are recognized:
+
+* ``# repro-lint: disable=RL003`` — suppresses the listed codes on the
+  physical line carrying the comment (comma-separate multiple codes).
+  When the comment stands alone on its line, the suppression also covers
+  the *next* line, so long statements keep their justification readable.
+* ``# repro-lint: disable-file=RL006`` — suppresses the listed codes for
+  the whole file; place it anywhere, conventionally near the top.
+
+Suppressions should carry a justification in the trailing free text, e.g.
+``# repro-lint: disable=RL003 -- event times are exact-replay floats``.
+The linter does not enforce the justification, but review does.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Suppressed codes per line plus file-wide suppressions."""
+
+    #: line number -> codes disabled on that line.
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: codes disabled for the whole file.
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is suppressed at ``line``."""
+        if code in self.file_wide:
+            return True
+        return code in self.by_line.get(line, frozenset())
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    return frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression directives from ``source``'s comments.
+
+    Uses :mod:`tokenize` rather than a per-line regex so directives inside
+    string literals are not mistaken for real suppressions.  Files with
+    tokenization errors (which :func:`ast.parse` would also reject) yield
+    no suppressions.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: frozenset[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if match.group("kind") == "disable-file":
+            file_wide |= codes
+        else:
+            line = tok.start[0]
+            by_line[line] = by_line.get(line, frozenset()) | codes
+            standalone = not tok.line[: tok.start[1]].strip()
+            if standalone:
+                by_line[line + 1] = by_line.get(line + 1, frozenset()) | codes
+    return Suppressions(by_line=by_line, file_wide=file_wide)

@@ -180,6 +180,10 @@ class FaultTrace:
             if event.processor >= P:
                 continue
             capacity += -1 if event.kind == FAIL else 1
+            # Group events at identical instants: both sides are the same
+            # stored float (never computed arithmetic), so exact equality
+            # is sound here.
+            # repro-lint: disable=RL003 -- comparing stored, not computed, floats
             if steps and steps[-1][0] == event.time:
                 steps[-1] = (event.time, capacity)
             else:
@@ -302,7 +306,7 @@ class BurstFaultModel:
                 "permanent bursts (downtime=None) allow a single burst time"
             )
         if self.downtime is not None:
-            for earlier, later in zip(self.times, self.times[1:]):
+            for earlier, later in zip(self.times, self.times[1:], strict=False):
                 if later < earlier + self.downtime:
                     raise InvalidParameterError(
                         "burst times closer than the downtime would re-fail "

@@ -42,7 +42,12 @@ import math
 from bisect import insort
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # layering: sim only duck-types resilience at runtime
+    from repro.resilience.faults import FaultEvent, FaultModel
+    from repro.resilience.retry import RetryPolicy
+    from repro.speedup.base import SpeedupModel
 
 from repro.exceptions import SimulationError, TaskAbortedError
 from repro.sim.allocation import Allocation, Allocator
@@ -274,13 +279,13 @@ class _Waiting:
     #: 1-based attempt number (> 1 after processor-fault retries).
     attempt: int = 1
     #: Model override for checkpointed retries (``None`` -> ``task.model``).
-    model: object = None
+    model: SpeedupModel | None = None
     #: Live capacity the allocation was computed against; the resilient
     #: loop re-allocates when the capacity has changed since.
     cap_at_alloc: int = -1
 
     @property
-    def effective_model(self):
+    def effective_model(self) -> SpeedupModel:
         return self.model if self.model is not None else self.task.model
 
 
@@ -335,8 +340,8 @@ class ListScheduler:
         self,
         source: GraphSource | TaskGraph,
         *,
-        faults=None,
-        retry=None,
+        faults: FaultModel | None = None,
+        retry: RetryPolicy | None = None,
         check_invariants: bool | None = None,
     ) -> SimulationResult:
         """Simulate the schedule of ``source`` and return the result.
@@ -603,8 +608,8 @@ class ListScheduler:
     def _run_resilient(
         self,
         source: GraphSource,
-        faults,
-        retry,
+        faults: FaultModel | None,
+        retry: RetryPolicy | None,
         check_invariants: bool,
     ) -> SimulationResult:
         # Lazy imports keep sim/ below resilience/ in the layering: the
@@ -655,7 +660,7 @@ class ListScheduler:
         cache_info = getattr(self.allocator, "cache_info", None)
         cache_info0 = cache_info() if callable(cache_info) else None
 
-        def allocate(task: Task, model, P_t: int) -> Allocation:
+        def allocate(task: Task, model: SpeedupModel, P_t: int) -> Allocation:
             """Consult the allocator for the live capacity ``P_t``."""
             stats.allocator_calls += 1
             if callable(allocate_task):
@@ -823,7 +828,7 @@ class ListScheduler:
             else:
                 requeue(waiting)
 
-        def apply_fault(event) -> None:
+        def apply_fault(event: FaultEvent) -> None:
             nonlocal capacity
             proc = event.processor
             if event.kind == "fail":

@@ -33,8 +33,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.exceptions import InvariantViolationError
+from repro.graph.taskgraph import TaskGraph
 from repro.types import TaskId, Time
+
+if TYPE_CHECKING:  # avoid the engine <-> invariants import cycle at runtime
+    from repro.sim.engine import SimulationResult
 
 __all__ = ["InvariantChecker", "validate_result"]
 
@@ -190,8 +196,8 @@ class InvariantChecker:
 # Post-hoc validation (the check_schedule idiom)
 # ----------------------------------------------------------------------
 def validate_result(
-    result,
-    graph=None,
+    result: "SimulationResult",
+    graph: TaskGraph | None = None,
     *,
     rtol: float = 1e-9,
     check_durations: bool = False,
@@ -249,7 +255,7 @@ def validate_result(
                 event="replay",
                 task_id=task_id,
             )
-        for earlier, later in zip(records, records[1:]):
+        for earlier, later in zip(records, records[1:], strict=False):
             if later.start < earlier.end - tol:
                 raise InvariantViolationError(
                     f"attempt {later.attempt} starts at {later.start:.6g} "
@@ -291,7 +297,7 @@ def validate_result(
         usage = np.zeros(len(points) - 1, dtype=np.int64)
         starts = np.searchsorted(breakpoints, [a.start for a in attempts])
         ends = np.searchsorted(breakpoints, [a.end for a in attempts])
-        for a, i0, i1 in zip(attempts, starts, ends):
+        for a, i0, i1 in zip(attempts, starts, ends, strict=True):
             usage[i0:i1] += a.procs
         cap_idx = np.searchsorted(cap_times, breakpoints[:-1], side="right") - 1
         cap_idx = np.clip(cap_idx, 0, len(cap_values) - 1)

@@ -153,7 +153,7 @@ class Schedule:
         usage = np.zeros(len(points) - 1, dtype=np.int64)
         starts = np.searchsorted(breakpoints, [e.start for e in self._entries])
         ends = np.searchsorted(breakpoints, [e.end for e in self._entries])
-        for entry, i0, i1 in zip(self._entries, starts, ends):
+        for entry, i0, i1 in zip(self._entries, starts, ends, strict=True):
             usage[i0:i1] += entry.procs
         return breakpoints, usage
 

@@ -14,12 +14,17 @@ exactly this interaction, which lets the same engine drive
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.exceptions import SimulationError
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
 from repro.types import TaskId
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.speedup.base import SpeedupModel
 
 __all__ = ["GraphSource", "StaticGraphSource", "ReleasedTaskSource"]
 
@@ -119,7 +124,10 @@ class ReleasedTaskSource:
         ``("r", index)``.
     """
 
-    def __init__(self, releases) -> None:
+    def __init__(
+        self,
+        releases: "Iterable[tuple[float, SpeedupModel] | tuple[float, TaskId, SpeedupModel]]",
+    ) -> None:
         from repro.exceptions import InvalidParameterError
         from repro.speedup.base import SpeedupModel
 

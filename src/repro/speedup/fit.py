@@ -138,7 +138,7 @@ def fit_power_law(samples: Iterable[tuple[int, float]]) -> PowerLawModel:
 
 def fit_best(
     samples: Iterable[tuple[int, float]], *, max_relative_error: float | None = None
-):
+) -> SpeedupModel:
     """Fit every family and return the model with the smallest squared error.
 
     Ties favour simpler models (fewer parameters).  With
@@ -163,7 +163,7 @@ def fit_best(
             model = fitter(samples)
         except FittingError:
             continue
-        err = float(sum((model.time(int(p)) - t) ** 2 for p, t in zip(ps, ts)))
+        err = float(sum((model.time(int(p)) - t) ** 2 for p, t in zip(ps, ts, strict=True)))
         rel_rms = math.sqrt(err / len(ps)) / scale
         if max_relative_error is not None and rel_rms > max_relative_error:
             continue

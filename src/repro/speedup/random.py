@@ -36,6 +36,32 @@ def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _check_fraction_range(bounds: tuple[float, float], name: str) -> tuple[float, float]:
+    """Validate a (low, high) fraction range *before* any RNG draw.
+
+    Validating the range itself — rather than a value drawn from it — keeps
+    two invariants: invalid inputs fail deterministically (the same error
+    for every seed, where checking the draw raised only when the sample
+    happened to land outside (0, 1)), and error paths never consume RNG
+    state (a rejected call leaves a shared Generator exactly where it was).
+    """
+    lo, hi = bounds
+    if not 0 < lo <= hi < 1:
+        raise InvalidParameterError(
+            f"{name} range must satisfy 0 < low <= high < 1, got {bounds}"
+        )
+    return float(lo), float(hi)
+
+
+def _check_p_range(bounds: tuple[int, int], name: str) -> tuple[int, int]:
+    """Validate an integer (low, high) allocation range before any draw."""
+    lo = check_positive_int(bounds[0], f"{name}[0]")
+    hi = check_positive_int(bounds[1], f"{name}[1]")
+    if lo > hi:
+        raise InvalidParameterError(f"{name} must be ordered, got {bounds}")
+    return lo, hi
+
+
 def _loguniform(rng: np.random.Generator, low: float, high: float) -> float:
     if not 0 < low <= high:
         raise InvalidParameterError(f"need 0 < low <= high, got ({low}, {high})")
@@ -49,12 +75,9 @@ def random_roofline(
     p_range: tuple[int, int] = (1, 64),
 ) -> RooflineModel:
     """Draw a roofline task: log-uniform work, uniform parallelism bound."""
+    lo, hi = _check_p_range(p_range, "p_range")
     gen = _rng(rng)
     w = _loguniform(gen, *w_range)
-    lo = check_positive_int(p_range[0], "p_range[0]")
-    hi = check_positive_int(p_range[1], "p_range[1]")
-    if lo > hi:
-        raise InvalidParameterError(f"p_range must be ordered, got {p_range}")
     return RooflineModel(w, int(gen.integers(lo, hi + 1)))
 
 
@@ -76,13 +99,10 @@ def random_amdahl(
     sequential_fraction: tuple[float, float] = (0.001, 0.3),
 ) -> AmdahlModel:
     """Draw an Amdahl task; ``d`` is a random fraction of the total work."""
+    frac_lo, frac_hi = _check_fraction_range(sequential_fraction, "sequential_fraction")
     gen = _rng(rng)
     w = _loguniform(gen, *w_range)
-    frac = float(gen.uniform(*sequential_fraction))
-    if not 0 < frac < 1:
-        raise InvalidParameterError(
-            f"sequential_fraction range must lie in (0, 1), got {sequential_fraction}"
-        )
+    frac = float(gen.uniform(frac_lo, frac_hi))
     return AmdahlModel(w * (1 - frac), w * frac)
 
 
@@ -95,18 +115,13 @@ def random_general(
     p_range: tuple[int, int] | None = (1, 256),
 ) -> GeneralModel:
     """Draw a general (Equation (1)) task with all four parameters random."""
+    frac_lo, frac_hi = _check_fraction_range(sequential_fraction, "sequential_fraction")
+    p_bounds = None if p_range is None else _check_p_range(p_range, "p_range")
     gen = _rng(rng)
     w = _loguniform(gen, *w_range)
-    frac = float(gen.uniform(*sequential_fraction))
+    frac = float(gen.uniform(frac_lo, frac_hi))
     c = _loguniform(gen, *c_range)
-    if p_range is None:
-        p_tilde = None
-    else:
-        lo = check_positive_int(p_range[0], "p_range[0]")
-        hi = check_positive_int(p_range[1], "p_range[1]")
-        if lo > hi:
-            raise InvalidParameterError(f"p_range must be ordered, got {p_range}")
-        p_tilde = int(gen.integers(lo, hi + 1))
+    p_tilde = None if p_bounds is None else int(gen.integers(p_bounds[0], p_bounds[1] + 1))
     return GeneralModel(w * (1 - frac), d=w * frac, c=c, max_parallelism=p_tilde)
 
 

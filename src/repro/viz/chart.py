@@ -57,7 +57,7 @@ def render_series(
         hi_y = lo_y + 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for mark, (name, pts) in zip(_MARKS, series.items()):
+    for mark, (name, pts) in zip(_MARKS, series.items(), strict=False):
         for x, y in pts:
             col = int((tx(x) - lo_x) / (hi_x - lo_x) * (width - 1))
             row = int((y - lo_y) / (hi_y - lo_y) * (height - 1))
@@ -80,7 +80,7 @@ def render_series(
         + ("  (log x)" if log_x else "")
     )
     legend = "  ".join(
-        f"{mark}={name}" for mark, name in zip(_MARKS, series.keys())
+        f"{mark}={name}" for mark, name in zip(_MARKS, series.keys(), strict=False)
     )
     lines.append(" " * 10 + legend)
     return "\n".join(lines)

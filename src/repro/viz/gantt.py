@@ -78,7 +78,7 @@ def render_gantt(
     shown = entries[:max_rows]
     labels = [f"{str(e.task_id)[:18]:>18} p={e.procs:<5d}" for e in shown]
     lines = []
-    for entry, label in zip(shown, labels):
+    for entry, label in zip(shown, labels, strict=True):
         c0 = int(entry.start / span * width)
         c1 = max(int(entry.end / span * width), c0 + 1)
         c1 = min(c1, width)
@@ -90,7 +90,7 @@ def render_gantt(
     return "\n".join(lines)
 
 
-def render_interval_classes(schedule, mu: float, *, width: int = 72) -> str:
+def render_interval_classes(schedule: Schedule, mu: float, *, width: int = 72) -> str:
     """Render the Section-4.2 interval classes over time.
 
     One character per time column: ``' '`` idle, ``'.'`` lightly loaded

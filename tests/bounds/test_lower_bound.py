@@ -58,4 +58,4 @@ class TestSoundness:
 
     def test_bound_monotone_in_P(self, small_graph):
         values = [makespan_lower_bound(small_graph, P).value for P in (1, 2, 4, 8, 16)]
-        assert all(b <= a * (1 + 1e-12) for a, b in zip(values, values[1:]))
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(values, values[1:], strict=False))

@@ -177,7 +177,7 @@ class TestTheorem9:
 
     def test_grows_logarithmically(self):
         values = [arbitrary_model_lower_bound(ell) for ell in (2, 3, 4, 5)]
-        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(b > a for a, b in zip(values, values[1:], strict=False))
         # Doubling ell roughly adds ln(2^(2^ell)) ... growth is Theta(2^ell * 0 + ...)
         # concretely: ln(K) dominates, K = 2^ell.
         assert values[-1] > math.log(2**5) - math.log(5) - 1  # sanity

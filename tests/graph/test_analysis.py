@@ -65,7 +65,7 @@ class TestCriticalPathTasks:
 
     def test_path_is_connected(self, small_graph):
         path = critical_path_tasks(small_graph, 8)
-        for u, v in zip(path, path[1:]):
+        for u, v in zip(path, path[1:], strict=False):
             assert v in small_graph.successors(u)
 
     def test_path_spans_source_to_sink(self, small_graph):

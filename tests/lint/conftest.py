@@ -1,0 +1,25 @@
+"""Shared helpers for the lint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintReport, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Fixture snippets are stored as ``.txt`` so the repository's own lint run
+#: (``python -m repro.lint src tests``) does not trip over the deliberate
+#: violations inside the positive fixtures.
+RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+
+def lint_fixture(name: str, *, module: str | None = None) -> LintReport:
+    """Lint one fixture snippet as a standalone (module-less) file."""
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=name, module=module)
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

@@ -1,0 +1,89 @@
+"""End-to-end CLI tests for ``python -m repro.lint``."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_lint(*argv: str, cwd: Path | None = None) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+        check=False,
+    )
+
+
+@pytest.fixture
+def dirty_tree(tmp_path: Path) -> Path:
+    (tmp_path / "dirty.py").write_text(
+        "import random\n\n\ndef draw() -> float:\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "clean.py").write_text("X = 1\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path: Path):
+        (tmp_path / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        proc = run_lint(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_findings_exit_one(self, dirty_tree: Path):
+        proc = run_lint(str(dirty_tree))
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+    def test_unknown_code_exits_two(self, tmp_path: Path):
+        proc = run_lint(str(tmp_path), "--select", "RL999")
+        assert proc.returncode == 2
+        assert "RL999" in proc.stderr
+
+    def test_missing_path_exits_two(self, tmp_path: Path):
+        proc = run_lint(str(tmp_path / "nowhere"))
+        assert proc.returncode == 2
+
+
+class TestOutputFormats:
+    def test_text_report_names_location_and_code(self, dirty_tree: Path):
+        proc = run_lint(str(dirty_tree))
+        assert "dirty.py:5:" in proc.stdout
+        assert "RL001" in proc.stdout
+        assert "1 finding" in proc.stdout
+
+    def test_json_report_is_machine_readable(self, dirty_tree: Path):
+        proc = run_lint(str(dirty_tree), "--format", "json")
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 2
+        codes = [f["code"] for f in payload["findings"]]
+        assert codes == ["RL001"]
+
+    def test_list_rules(self):
+        proc = run_lint("--list-rules")
+        assert proc.returncode == 0
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert code in proc.stdout
+
+
+class TestSelection:
+    def test_ignore_silences_rule(self, dirty_tree: Path):
+        proc = run_lint(str(dirty_tree), "--ignore", "RL001")
+        assert proc.returncode == 0
+
+    def test_select_runs_only_named_rules(self, dirty_tree: Path):
+        proc = run_lint(str(dirty_tree), "--select", "RL002,RL003")
+        assert proc.returncode == 0
+        proc = run_lint(str(dirty_tree), "--select", "RL001")
+        assert proc.returncode == 1

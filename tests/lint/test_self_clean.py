@@ -1,0 +1,44 @@
+"""Meta-test: the repository must pass its own linter.
+
+This is the acceptance gate from the static-analysis issue: every RL finding
+in ``src`` and ``tests`` is either fixed or carries a justified
+``# repro-lint: disable=...`` suppression.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_is_lint_clean_in_process():
+    report = lint_paths([REPO_ROOT / "src"])
+    assert report.findings == [], "\n".join(
+        f"{f.location()}: {f.code} {f.message}" for f in report.findings
+    )
+    assert report.files_checked > 50
+
+
+def test_tests_are_lint_clean_in_process():
+    report = lint_paths([REPO_ROOT / "tests"])
+    assert report.findings == [], "\n".join(
+        f"{f.location()}: {f.code} {f.message}" for f in report.findings
+    )
+
+
+def test_cli_on_src_exits_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,65 @@
+"""Suppression-comment parsing and filtering."""
+
+from repro.lint import lint_source, parse_suppressions
+
+BAD_LINE = "def check(makespan: float) -> bool:\n    return makespan == 1.5\n"
+
+
+class TestParsing:
+    def test_same_line_directive(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=RL003\n")
+        assert sup.is_suppressed(1, "RL003")
+        assert not sup.is_suppressed(1, "RL001")
+        assert not sup.is_suppressed(2, "RL003")
+
+    def test_multiple_codes_comma_separated(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=RL003,RL005\n")
+        assert sup.is_suppressed(1, "RL003")
+        assert sup.is_suppressed(1, "RL005")
+
+    def test_standalone_directive_covers_next_line(self):
+        sup = parse_suppressions("# repro-lint: disable=RL003 -- justified\nx = 1\n")
+        assert sup.is_suppressed(2, "RL003")
+
+    def test_trailing_directive_does_not_leak_to_next_line(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=RL003\ny = 2\n")
+        assert not sup.is_suppressed(2, "RL003")
+
+    def test_disable_file(self):
+        sup = parse_suppressions("# repro-lint: disable-file=RL006\nx = 1\n")
+        assert sup.is_suppressed(99, "RL006")
+        assert not sup.is_suppressed(99, "RL003")
+
+    def test_directive_inside_string_ignored(self):
+        sup = parse_suppressions('msg = "# repro-lint: disable=RL003"\n')
+        assert not sup.is_suppressed(1, "RL003")
+
+    def test_case_insensitive_codes(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=rl003\n")
+        assert sup.is_suppressed(1, "RL003")
+
+
+class TestFiltering:
+    def test_suppressed_finding_counted_not_reported(self):
+        src = (
+            "def check(makespan: float) -> bool:\n"
+            "    # repro-lint: disable=RL003 -- exactness is the contract\n"
+            "    return makespan == 1.5\n"
+        )
+        report = lint_source(src)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_unrelated_code_does_not_suppress(self):
+        src = (
+            "def check(makespan: float) -> bool:\n"
+            "    # repro-lint: disable=RL001\n"
+            "    return makespan == 1.5\n"
+        )
+        report = lint_source(src)
+        assert [f.code for f in report.findings] == ["RL003"]
+
+    def test_file_wide_suppression(self):
+        report = lint_source("# repro-lint: disable-file=RL003\n" + BAD_LINE)
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -79,7 +79,7 @@ class TestLogParallelism:
         m = LogParallelismModel()
         areas = [m.area(p) for p in range(1, 100)]
         assert areas[0] == areas[1] == 1.0
-        assert all(b > a for a, b in zip(areas[1:], areas[2:]))
+        assert all(b > a for a, b in zip(areas[1:], areas[2:], strict=False))
 
     def test_monotonic(self):
         assert LogParallelismModel().is_monotonic(128)

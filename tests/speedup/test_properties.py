@@ -34,14 +34,14 @@ class TestLemma1:
     def test_time_non_increasing_up_to_p_max(self, model, P):
         p_max = model.max_useful_processors(P)
         times = [model.time(p) for p in range(1, p_max + 1)]
-        assert all(b <= a * (1 + 1e-12) for a, b in zip(times, times[1:]))
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(times, times[1:], strict=False))
 
     @given(eq1_models(), platforms)
     @settings(max_examples=200)
     def test_area_non_decreasing_up_to_p_max(self, model, P):
         p_max = model.max_useful_processors(P)
         areas = [model.area(p) for p in range(1, p_max + 1)]
-        assert all(b >= a * (1 - 1e-12) for a, b in zip(areas, areas[1:]))
+        assert all(b >= a * (1 - 1e-12) for a, b in zip(areas, areas[1:], strict=False))
 
 
 class TestEquation5:

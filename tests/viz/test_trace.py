@@ -45,7 +45,7 @@ class TestTraceEvents:
             by_row.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
         for spans in by_row.values():
             spans.sort()
-            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:], strict=False):
                 assert s2 >= e1 - 1e-6
 
     def test_rows_within_platform(self, schedule):

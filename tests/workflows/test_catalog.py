@@ -45,7 +45,7 @@ class TestInstantiate:
         a = instantiate("cholesky", 6)
         b = instantiate("cholesky", 6)
         assert a.edges() == b.edges()
-        for ta, tb in zip(a.tasks(), b.tasks()):
+        for ta, tb in zip(a.tasks(), b.tasks(), strict=True):
             assert ta.model == tb.model
 
     def test_unknown_name_rejected(self):
