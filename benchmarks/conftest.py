@@ -25,6 +25,10 @@ import pytest
 #: test name; flushed into BENCH_engine.json at session end.
 _ENGINE_STATS: dict[str, dict] = {}
 
+#: Extra scalar session fields (e.g. the measured NullTracer overhead)
+#: stashed by fixtures and merged into the BENCH_engine.json entry.
+_SESSION_FIELDS: dict[str, object] = {}
+
 _BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -47,6 +51,16 @@ def record_engine_stats(request):
         stats = getattr(result, "stats", None)
         if stats is not None:
             _ENGINE_STATS[request.node.name] = stats.as_dict()
+
+    return _record
+
+
+@pytest.fixture
+def record_session_field():
+    """Stash one scalar field for the BENCH_engine.json session entry."""
+
+    def _record(name: str, value) -> None:
+        _SESSION_FIELDS[name] = value
 
     return _record
 
@@ -79,5 +93,6 @@ def pytest_sessionfinish(session, exitstatus):
             "unix_time": int(time.time()),
             "benchmarks": timings,
             "engine_stats": dict(_ENGINE_STATS),
+            **_SESSION_FIELDS,
         },
     )

@@ -9,7 +9,12 @@
 * :mod:`repro.core.constants` — the optimized :math:`\\mu^*` per model.
 """
 
-from repro.core.allocator import Allocation, Allocator, LpaAllocator
+from repro.core.allocator import (
+    Allocation,
+    AllocationExplanation,
+    Allocator,
+    LpaAllocator,
+)
 from repro.core.constants import MU_STAR, MODEL_FAMILIES, delta, mu_upper_limit
 from repro.core.scheduler import OnlineScheduler
 from repro.core.ratios import (
@@ -22,6 +27,7 @@ from repro.core.ratios import (
 
 __all__ = [
     "Allocation",
+    "AllocationExplanation",
     "Allocator",
     "LpaAllocator",
     "OnlineScheduler",

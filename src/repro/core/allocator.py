@@ -28,6 +28,7 @@ hit/miss counters; ``configure_cache(0)`` disables memoization.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.core.constants import MU_MAX, delta
 from repro.exceptions import AllocationError
@@ -35,7 +36,42 @@ from repro.sim.allocation import Allocation, AllocationCacheInfo, Allocator
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_in_range, check_positive_int
 
-__all__ = ["Allocation", "AllocationCacheInfo", "Allocator", "LpaAllocator"]
+__all__ = [
+    "Allocation",
+    "AllocationCacheInfo",
+    "AllocationExplanation",
+    "Allocator",
+    "LpaAllocator",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationExplanation:
+    """The paper's ratios behind one Algorithm-2 decision.
+
+    Pure observability: computed on demand by :meth:`LpaAllocator.explain`
+    for tracing/analysis, never on the allocation fast path.  ``alpha``
+    and ``beta`` are the paper's :math:`\\alpha_p = a(p_j)/a^{\\min}` and
+    :math:`\\beta_p = t(p_j)/t^{\\min}`; feasibility (Lemma 2) guarantees
+    :math:`\\beta \\le \\delta(\\mu)` up to the allocator's ``rtol``.
+    """
+
+    #: Step-1 initial allocation :math:`p_j`.
+    p: int
+    #: Allocation after the :math:`\lceil\mu P\rceil` adjustment.
+    final: int
+    #: Largest useful processor count :math:`p^{\max}` for this model.
+    p_max: int
+    #: Area ratio :math:`a(p_j)/a^{\min}`.
+    alpha: float
+    #: Time ratio :math:`t(p_j)/t^{\min}`.
+    beta: float
+    #: The time-ratio budget :math:`\delta(\mu)` the constraint enforces.
+    delta: float
+    #: The adjustment threshold :math:`\lceil\mu P\rceil`.
+    cap: int
+    #: Whether step 2 actually reduced the allocation.
+    capped: bool
 
 
 class LpaAllocator(Allocator):
@@ -75,6 +111,40 @@ class LpaAllocator(Allocator):
         cap = math.ceil(self.mu * P)
         final = cap if initial > cap else initial
         return Allocation(initial=initial, final=final)
+
+    def explain(self, model: SpeedupModel, P: int) -> AllocationExplanation:
+        """The :math:`\\alpha_p`/:math:`\\beta_p` ratios behind ``allocate``.
+
+        Re-derives the decision for ``(model, P)`` together with the
+        quantities the paper's analysis tracks.  Intended for tracing and
+        notebooks — it re-queries the model a handful of times (plus a
+        linear area scan for non-monotonic models), so the engine only
+        calls it on traced runs.
+        """
+        P = check_positive_int(P, "P")
+        p_max = model.max_useful_processors(P)
+        t_min = model.time(p_max)
+        initial = self.initial_allocation(model, P)
+        if model.monotonic_hint:
+            # Lemma-1 monotonicity: the area is non-decreasing, so the
+            # minimum over [1, p_max] sits at p = 1.
+            a_min = model.area(1)
+        else:
+            a_min = min(model.area(p) for p in range(1, p_max + 1))
+        alpha = model.area(initial) / a_min if a_min > 0 else math.inf
+        beta = model.time(initial) / t_min if t_min > 0 else math.inf
+        cap = math.ceil(self.mu * P)
+        final = cap if initial > cap else initial
+        return AllocationExplanation(
+            p=initial,
+            final=final,
+            p_max=p_max,
+            alpha=alpha,
+            beta=beta,
+            delta=self.delta,
+            cap=cap,
+            capped=final < initial,
+        )
 
     def initial_allocation(self, model: SpeedupModel, P: int) -> int:
         """Step 1: the constrained area-minimizing allocation :math:`p_j`."""

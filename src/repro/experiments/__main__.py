@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Sequence
 
@@ -119,6 +120,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment (events, queue scans, allocator cache traffic)",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record the simulation event stream of a single experiment: "
+        "'.jsonl' writes one JSON event per line, anything else a Chrome "
+        "trace_event/Perfetto document (open at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the unified metrics-registry summary after a single "
+        "experiment (engine counters plus event-derived distributions)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="configure structured logging for the repro.* loggers "
+        "(DEBUG, INFO, WARNING, ...)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -179,6 +202,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.log_level is not None:
+        from repro.obs.logging import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            parser.error(str(exc))
+
     if args.select is not None and args.experiment != "campaign":
         parser.error("--select only applies to the 'campaign' subcommand")
 
@@ -186,6 +217,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Campaign workers run in separate processes and do not report
         # their engine counters back; profiling is single-experiment only.
         parser.error("--profile only applies to a single experiment id")
+
+    if (args.trace is not None or args.metrics) and args.experiment in (
+        "all",
+        "campaign",
+    ):
+        # A trace file interleaving many experiments' events would be
+        # unreadable; per-run campaign metrics already land in the
+        # manifest.  Both flags are single-experiment only.
+        parser.error("--trace/--metrics only apply to a single experiment id")
 
     if args.experiment in ("all", "campaign"):
         names = sorted(REGISTRY)
@@ -203,13 +243,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         for key in OVERRIDE_KEYS
         if key in spec.accepts and getattr(args, key) is not None
     }
-    if args.profile:
-        from repro.sim.engine import profile_engine
+    stats = None
+    registry = None
+    sink = None
+    with ExitStack() as stack:
+        tracers = []
+        if args.trace is not None:
+            from repro.obs import ChromeTraceSink, JsonlTraceSink
 
-        with profile_engine() as stats:
-            report = run_experiment(args.experiment, **kwargs)
-    else:
-        stats = None
+            if args.trace.suffix == ".jsonl":
+                sink = JsonlTraceSink(args.trace)
+            else:
+                sink = ChromeTraceSink(args.trace, P=args.P)
+            stack.callback(sink.close)
+            tracers.append(sink)
+        if args.metrics:
+            from repro.obs import MetricsRegistry, MetricsTracer, collect_metrics
+
+            # One registry serves --metrics, the event-derived
+            # distributions, and (when combined) --profile, so the flags
+            # compose instead of shadowing each other's collection scope.
+            registry = stack.enter_context(collect_metrics(MetricsRegistry()))
+            tracers.append(MetricsTracer(registry))
+            if args.profile:
+                from repro.sim.engine import EngineStats
+
+                stats = EngineStats()
+                sink_stats = stats
+                registry.subscribe_engine_stats(
+                    lambda s: sink_stats.merge(EngineStats.from_dict(s))
+                )
+        elif args.profile:
+            from repro.sim.engine import profile_engine
+
+            stats = stack.enter_context(profile_engine())
+        if tracers:
+            from repro.obs import MultiTracer, use_tracer
+
+            tracer = tracers[0] if len(tracers) == 1 else MultiTracer(*tracers)
+            stack.enter_context(use_tracer(tracer))
         report = run_experiment(args.experiment, **kwargs)
     if args.out is not None:
         _write_report(args.out, args.experiment, str(report))
@@ -218,6 +290,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if stats is not None:
         print(stats.summary())
         print()
+    if registry is not None:
+        print(registry.summary())
+        print()
+    if sink is not None:
+        kind = "JSONL event log" if args.trace.suffix == ".jsonl" else "Chrome trace"
+        print(f"{kind} written to {args.trace}")
     return 0
 
 

@@ -12,6 +12,7 @@ must never import the registry's *consumers* (engine, reporters).
 | RL004 | cache-key-contract      | allocation-cache soundness                   |
 | RL005 | mutable-state           | process-pool safety                          |
 | RL006 | public-annotations      | typed public API (mypy strict surface)       |
+| RL007 | frozen-events           | immutable, schema-complete event vocabulary  |
 """
 
 from repro.lint.rules import (
@@ -21,6 +22,7 @@ from repro.lint.rules import (
     rl004_cache_key,
     rl005_mutable_state,
     rl006_annotations,
+    rl007_frozen_events,
 )
 
 __all__ = [
@@ -30,4 +32,5 @@ __all__ = [
     "rl004_cache_key",
     "rl005_mutable_state",
     "rl006_annotations",
+    "rl007_frozen_events",
 ]

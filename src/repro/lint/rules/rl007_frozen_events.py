@@ -1,0 +1,131 @@
+"""RL007: simulation event dataclasses must be frozen and fully annotated.
+
+The event vocabulary in :mod:`repro.obs.events` is the contract between
+the engine and every observability consumer (JSONL logs, Chrome traces,
+the metrics registry).  Two structural properties keep that contract
+safe:
+
+* **Frozen.**  Events flow through arbitrary tracers after emission; a
+  mutable event would let a consumer rewrite history another consumer
+  (or a digest test) later reads.  Frozen dataclasses are also hashable,
+  so events can be deduplicated and collected into sets.
+* **Fully annotated.**  ``event_to_dict`` / ``validate_event_dict``
+  derive the JSONL schema from the dataclass field annotations; a bare
+  (unannotated) assignment in the class body would silently become a
+  class attribute instead of a field and drop out of the serialized
+  form.
+
+The rule fires on any ``@dataclass`` class that subclasses ``SimEvent``
+(directly, or transitively through classes in the same file) and is not
+declared ``frozen=True``, and on bare ``name = value`` assignments in an
+event class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Root class of the event vocabulary (matched by name so the rule works
+#: on any file without importing the observability layer).
+_EVENT_BASE = "SimEvent"
+
+
+def _base_names(node: ast.ClassDef) -> list[str]:
+    """Base-class names of ``node`` (last attribute segment for dotted)."""
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if present."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return dec
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    """Whether the dataclass decorator passes ``frozen=True``."""
+    if not isinstance(decorator, ast.Call):
+        return False  # bare @dataclass: frozen defaults to False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+@register
+class FrozenEventsRule(Rule):
+    code = "RL007"
+    name = "frozen-events"
+    description = (
+        "simulation event dataclasses (SimEvent subclasses) must be "
+        "@dataclass(frozen=True) with every field annotated"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # One pre-pass builds the set of event classes in this file so the
+        # rule also covers events inheriting SimEvent transitively (the
+        # classes are visited in definition order, which Python requires
+        # for subclassing anyway).
+        event_classes = {_EVENT_BASE}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                base in event_classes for base in _base_names(node)
+            ):
+                event_classes.add(node.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name not in event_classes or not any(
+                base in event_classes for base in _base_names(node)
+            ):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"event class '{node.name}' must be a "
+                    "@dataclass(frozen=True) (SimEvent subclass)",
+                )
+            elif not _is_frozen(decorator):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"event class '{node.name}' must declare frozen=True "
+                    "(events are shared across tracers and must be immutable)",
+                )
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    targets = ", ".join(
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    )
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"event class '{node.name}': unannotated assignment "
+                        f"'{targets}' is a class attribute, not a field — "
+                        "annotate it so it enters the event schema",
+                    )

@@ -1,0 +1,372 @@
+"""Typed simulation event vocabulary and the tracer protocol.
+
+Every observable step of the engine's loop — reveals, Algorithm-2
+allocation decisions, starts, completions, faults, retries, capacity
+moves, queue passes — is one frozen dataclass below.  The vocabulary is
+the contract between the engine (the producer) and the sinks in
+:mod:`repro.obs.export` (JSONL logs, Chrome traces, text summaries) and
+:mod:`repro.obs.metrics` (the metrics registry): new consumers subscribe
+to the same eight event types instead of reaching into engine internals.
+
+Events are **frozen and fully annotated** (enforced statically by lint
+rule RL007): they are hashable, safe to collect into sets, and carry only
+JSON-representable payloads, so the event stream itself never becomes
+hidden mutable state.
+
+Tracing is strictly opt-in.  The default :class:`NullTracer` advertises
+``enabled = False``, and the engine reduces it to a single ``is not None``
+check per emission site — the fast path of ``docs/performance.md`` is
+untouched (see the NullTracer overhead numbers in
+``docs/observability.md``).  A tracer can be passed to
+:meth:`repro.sim.engine.ListScheduler.run` directly or installed for a
+whole dynamic extent with :func:`use_tracer` (how the CLI's ``--trace``
+flag reaches engines buried inside experiments).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import MISSING, dataclass, fields
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+from repro.types import TaskId, Time
+
+__all__ = [
+    "SimEvent",
+    "TaskRevealed",
+    "AllocationDecided",
+    "TaskStarted",
+    "TaskCompleted",
+    "FaultInjected",
+    "RetryScheduled",
+    "CapacityChanged",
+    "QueueSampled",
+    "EVENT_TYPES",
+    "Tracer",
+    "NullTracer",
+    "CollectingTracer",
+    "MultiTracer",
+    "event_to_dict",
+    "event_from_dict",
+    "validate_event_dict",
+    "use_tracer",
+    "active_tracer",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """Base of every simulation event: something happened at ``time``."""
+
+    #: Simulated instant of the event (engine clock, not wall clock).
+    time: Time
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRevealed(SimEvent):
+    """A task became visible to the scheduler (its predecessors finished)."""
+
+    task_id: TaskId
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationDecided(SimEvent):
+    """Algorithm 2 fixed a task's processor count upon reveal.
+
+    ``initial`` is the constrained area-minimizing :math:`p_j` (step 1),
+    ``final`` the executed :math:`p'_j` after the :math:`\\lceil\\mu
+    P\\rceil` adjustment; ``capped`` records whether the adjustment bound.
+    ``alpha`` / ``beta`` are the paper's area and time ratios
+    :math:`\\alpha_p = a(p_j)/a^{\\min}` and :math:`\\beta_p =
+    t(p_j)/t^{\\min}` when the allocator can explain its decision
+    (``None`` for allocators without ratio semantics).  ``cache`` is the
+    allocator-memoization outcome for this call: ``"hit"``, ``"miss"``,
+    ``"bypass"``, or ``"unknown"`` when the allocator keeps no counters.
+    """
+
+    task_id: TaskId
+    initial: int
+    final: int
+    capacity: int
+    capped: bool
+    cache: str
+    alpha: float | None = None
+    beta: float | None = None
+    attempt: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStarted(SimEvent):
+    """An attempt began executing on ``procs`` processors."""
+
+    task_id: TaskId
+    procs: int
+    expected_end: Time
+    attempt: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TaskCompleted(SimEvent):
+    """An attempt left the platform.
+
+    ``completed=False`` marks an attempt killed by a processor failure
+    (its retry, if any, is announced by :class:`RetryScheduled`).
+    """
+
+    task_id: TaskId
+    procs: int
+    start: Time
+    attempt: int = 1
+    completed: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(SimEvent):
+    """A processor failed or recovered (``kind`` is ``"fail"``/``"recover"``)."""
+
+    processor: int
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class RetryScheduled(SimEvent):
+    """A killed task's next attempt was scheduled after ``delay``."""
+
+    task_id: TaskId
+    attempt: int
+    delay: Time
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityChanged(SimEvent):
+    """The live platform capacity :math:`P_t` moved to ``capacity``."""
+
+    capacity: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueueSampled(SimEvent):
+    """Waiting-queue depth and free processors after one engine event."""
+
+    waiting: int
+    free: int
+
+
+#: Event-type registry: JSON ``type`` tag -> dataclass.
+EVENT_TYPES: dict[str, type[SimEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        TaskRevealed,
+        AllocationDecided,
+        TaskStarted,
+        TaskCompleted,
+        FaultInjected,
+        RetryScheduled,
+        CapacityChanged,
+        QueueSampled,
+    )
+}
+
+#: Fields whose values are task identifiers (serialized via ``str``).
+_ID_FIELDS = frozenset({"task_id"})
+
+
+def event_to_dict(event: SimEvent) -> dict[str, Any]:
+    """JSON-safe dict form of ``event`` with a ``type`` tag.
+
+    Task identifiers are stringified (any hashable is a legal
+    :data:`~repro.types.TaskId`; JSON keys and values are not that
+    liberal).  The result round-trips through :func:`event_from_dict`
+    up to that stringification.
+    """
+    payload: dict[str, Any] = {"type": type(event).__name__}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if f.name in _ID_FIELDS:
+            value = str(value)
+        payload[f.name] = value
+    return payload
+
+
+def event_from_dict(payload: dict[str, Any]) -> SimEvent:
+    """Rebuild an event from its :func:`event_to_dict` form.
+
+    Raises ``ValueError`` on unknown types or mismatched fields.
+    """
+    kind = payload.get("type")
+    cls = EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise ValueError(f"unknown simulation event type: {kind!r}")
+    kwargs = {k: v for k, v in payload.items() if k != "type"}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"malformed {kind} event: {exc}") from exc
+
+
+#: JSON-type expectations per annotation base name (ints are valid floats).
+_FIELD_JSON_TYPES: dict[str, tuple[type, ...]] = {
+    "Time": (int, float),
+    "float": (int, float),
+    "int": (int,),
+    "bool": (bool,),
+    "str": (str,),
+}
+
+
+def validate_event_dict(payload: dict[str, Any]) -> list[str]:
+    """Validate one JSONL event record against the vocabulary schema.
+
+    Returns a list of problems (empty = valid): unknown ``type``, missing
+    required fields, unexpected fields, and JSON-type mismatches against
+    the dataclass annotations.  Used by the CI traced-smoke job and the
+    export tests.
+    """
+    problems: list[str] = []
+    kind = payload.get("type")
+    cls = EVENT_TYPES.get(str(kind))
+    if cls is None:
+        return [f"unknown event type {kind!r}"]
+    known = {f.name: f for f in fields(cls)}
+    for name in payload:
+        if name != "type" and name not in known:
+            problems.append(f"{kind}: unexpected field {name!r}")
+    for name, f in known.items():
+        if name not in payload:
+            if f.default is MISSING:
+                problems.append(f"{kind}: missing required field {name!r}")
+            continue
+        value = payload[name]
+        if name in _ID_FIELDS:
+            if not isinstance(value, str):
+                problems.append(f"{kind}.{name}: expected str, got {type(value).__name__}")
+            continue
+        annotation = f.type if isinstance(f.type, str) else getattr(f.type, "__name__", "")
+        parts = [part.strip() for part in annotation.split("|")]
+        base = parts[0]
+        if value is None:
+            if "None" not in parts:
+                problems.append(f"{kind}.{name}: null not allowed")
+            continue
+        expected = _FIELD_JSON_TYPES.get(base)
+        if expected is None:
+            continue
+        if base == "bool":
+            ok = isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected) and not isinstance(value, bool)
+        if not ok:
+            problems.append(
+                f"{kind}.{name}: expected {base}, got {type(value).__name__}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Tracer protocol and baseline implementations
+# ----------------------------------------------------------------------
+@runtime_checkable
+class Tracer(Protocol):
+    """Consumer of the simulation event stream.
+
+    ``enabled`` lets producers skip event construction entirely when the
+    tracer discards everything (the :class:`NullTracer` contract); sinks
+    that record events set it ``True``.  ``close()`` flushes buffered
+    output — producers do *not* call it (a tracer may span many runs);
+    whoever created the tracer owns its lifecycle.
+    """
+
+    enabled: bool
+
+    def emit(self, event: SimEvent) -> None:
+        """Consume one event (called in nondecreasing ``event.time`` order)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any resources held by the tracer."""
+        ...
+
+
+class NullTracer:
+    """The default tracer: discards everything, costs nothing.
+
+    Producers honor ``enabled = False`` by never constructing events, so
+    a ``NullTracer`` run is byte-identical to (and as fast as) an
+    untraced run.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event: SimEvent) -> None:
+        """Discard ``event``."""
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+
+class CollectingTracer:
+    """In-memory tracer: appends every event to :attr:`events` (tests, REPL)."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.events: list[SimEvent] = []
+
+    def emit(self, event: SimEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to flush; the collected events stay available."""
+
+    def of_type(self, cls: type[SimEvent]) -> list[SimEvent]:
+        """The collected events that are instances of ``cls``, in order."""
+        return [event for event in self.events if isinstance(event, cls)]
+
+
+class MultiTracer:
+    """Fan one event stream out to several tracers (e.g. JSONL + metrics)."""
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers: tuple[Tracer, ...] = tuple(t for t in tracers if t.enabled)
+        self.enabled: bool = bool(self.tracers)
+
+    def emit(self, event: SimEvent) -> None:
+        for tracer in self.tracers:
+            tracer.emit(event)
+
+    def close(self) -> None:
+        for tracer in self.tracers:
+            tracer.close()
+
+
+# ----------------------------------------------------------------------
+# Ambient tracer (dynamic extent)
+# ----------------------------------------------------------------------
+#: Ambient tracer for the current dynamic extent (None = no tracing).  A
+#: ContextVar, not module state: each context (and each campaign worker
+#: process) sees its own binding, so installing a tracer can never leak
+#: into unrelated runs.
+_ACTIVE_TRACER: ContextVar[Tracer | None] = ContextVar("repro_active_tracer", default=None)
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer installed by the innermost :func:`use_tracer`, if any."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the ``with`` block.
+
+    Every engine run inside the block (however deeply nested in
+    experiment code) emits its events to ``tracer``, unless the run was
+    given an explicit ``tracer=`` argument.  Blocks nest; the previous
+    tracer is restored on exit.  The tracer is *not* closed on exit —
+    the caller owns its lifecycle.
+    """
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)

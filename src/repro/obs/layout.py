@@ -1,0 +1,77 @@
+"""Greedy processor-row layout shared by every Gantt-style exporter.
+
+Both the after-the-fact schedule exporter (:mod:`repro.viz.trace`) and
+the live engine-event exporter (:class:`repro.obs.export.ChromeTraceSink`)
+draw each task as a bar spanning one row per allocated processor.  The
+row assignment is the same greedy policy in both: place each task (in
+nondecreasing start order) on the lowest-indexed rows free at its start
+time, with a relative tolerance absorbing float noise in start/end
+stamps, falling back to the soonest-free rows for infeasible
+(over-packed) schedules rather than crashing.
+
+Keeping the policy here — one class, no simulator dependencies — is what
+guarantees the two exporters can never drift apart visually.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RowLayout"]
+
+#: Relative tolerance when testing whether a row is free at a start time:
+#: a row busy until ``t`` is considered free at ``t ± 1e-12·max(1, t)``.
+_ROW_TOLERANCE = 1e-12
+
+
+class RowLayout:
+    """Stateful greedy assignment of task bars onto ``rows`` display rows.
+
+    Call :meth:`place` in nondecreasing ``start`` order (the order engine
+    events arrive, and the order :mod:`repro.viz.trace` sorts schedule
+    entries into).
+    """
+
+    def __init__(self, rows: int, *, grow: bool = False) -> None:
+        if rows < 1:
+            raise ValueError(f"row layout needs at least one row, got {rows}")
+        self.rows = rows
+        #: With ``grow=True`` the layout adds rows instead of falling back
+        #: to soonest-free when full — for consumers that do not know the
+        #: platform size up front (the CLI's live Chrome sink).
+        self.grow = grow
+        self._free_at = [0.0] * rows
+
+    def place(self, start: float, end: float, procs: int) -> tuple[int, ...]:
+        """Assign ``procs`` rows to a bar spanning ``[start, end]``.
+
+        Returns the chosen row indices (ascending).  Rows whose previous
+        bar ends within the relative tolerance of ``start`` count as
+        free.  If fewer than ``procs`` rows are free — an over-packed,
+        infeasible schedule — the soonest-free rows are taken instead, so
+        rendering degrades gracefully instead of failing.
+        """
+        free_at = self._free_at
+        cutoff = start + _ROW_TOLERANCE * max(1.0, abs(start))
+        rows: list[int] = []
+        for row in range(self.rows):
+            if free_at[row] <= cutoff:
+                rows.append(row)
+                if len(rows) == procs:
+                    break
+        if len(rows) < procs:
+            if self.grow:
+                while len(rows) < procs:
+                    rows.append(len(free_at))
+                    free_at.append(0.0)
+                self.rows = len(free_at)
+            else:
+                rows = sorted(range(self.rows), key=free_at.__getitem__)[:procs]
+                rows.sort()
+        for row in rows:
+            free_at[row] = end
+        return tuple(rows)
+
+    def release(self, rows: tuple[int, ...], at: float) -> None:
+        """Mark ``rows`` free from ``at`` on (early completion of a bar)."""
+        for row in rows:
+            if self._free_at[row] > at:
+                self._free_at[row] = at

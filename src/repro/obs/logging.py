@@ -1,0 +1,119 @@
+"""Structured logging for the ``repro.*`` logger namespace.
+
+One configuration entry point, :func:`configure_logging`, wires the
+``repro`` root logger with a key=value structured formatter; modules get
+children via :func:`get_logger` (``repro.runtime.executor``,
+``repro.obs.export``, ...).
+
+Determinism discipline: logging lives strictly *outside* digest-bearing
+state.  Log records are written to a stream and never folded into
+schedules, reports, metrics, cache keys, or manifests, so the RL002/RL003
+contracts (no wall clock or float-equality in digest-relevant paths) are
+untouched no matter the log level — the wall-clock timestamps the
+``logging`` module stamps on records stay in the log text.  The
+simulation hot paths (:mod:`repro.sim`, :mod:`repro.core`) deliberately
+contain no log calls at all; producers above them (runtime, experiments,
+sinks) do the talking.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Any, Mapping
+
+__all__ = ["configure_logging", "get_logger", "log_fields", "StructuredFormatter"]
+
+_ROOT = "repro"
+
+#: ``LogRecord`` attribute names; anything else on a record is a
+#: structured ``extra`` field and gets rendered as ``key=value``.
+_RESERVED: frozenset[str] = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class StructuredFormatter(logging.Formatter):
+    """``level logger message key=value ...`` — grep-friendly, one line.
+
+    Fields passed via ``logger.info("...", extra={...})`` are appended as
+    sorted ``key=value`` pairs; values with spaces are quoted.
+    """
+
+    def __init__(self, *, timestamps: bool = True) -> None:
+        fmt = "%(asctime)s %(levelname)s %(name)s :: %(message)s"
+        if not timestamps:
+            fmt = "%(levelname)s %(name)s :: %(message)s"
+        super().__init__(fmt=fmt, datefmt="%H:%M:%S")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        pairs = {
+            key: value
+            for key, value in vars(record).items()
+            if key not in _RESERVED and not key.startswith("_")
+        }
+        if not pairs:
+            return base
+        rendered = " ".join(
+            f"{key}={self._render(value)}" for key, value in sorted(pairs.items())
+        )
+        return f"{base} [{rendered}]"
+
+    @staticmethod
+    def _render(value: Any) -> str:
+        text = f"{value:.6g}" if isinstance(value, float) else str(value)
+        return f'"{text}"' if " " in text else text
+
+
+def configure_logging(
+    level: int | str = logging.WARNING,
+    *,
+    stream: IO[str] | None = None,
+    timestamps: bool = True,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: reconfiguring replaces the handler installed by a
+    previous call instead of stacking duplicates.  Only the ``repro``
+    namespace is touched — the process-global root logger is left alone,
+    and propagation to it is disabled so embedding applications keep full
+    control of their own logging.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(StructuredFormatter(timestamps=timestamps))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("runtime")``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def log_fields(mapping: Mapping[str, Any]) -> dict[str, Any]:
+    """Wrap structured fields for ``logger.info(..., extra=log_fields(...))``.
+
+    Exists so call sites read as intent (`extra=log_fields({...})`) and to
+    give a single place to sanitize reserved ``LogRecord`` attribute names
+    (prefixed with ``f_`` instead of raising at log time).
+    """
+    safe: dict[str, Any] = {}
+    for key, value in mapping.items():
+        safe[f"f_{key}" if key in _RESERVED else key] = value
+    return safe

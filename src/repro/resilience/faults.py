@@ -213,9 +213,12 @@ class ExponentialFaultModel:
     mean ``mttr``.  ``mttr=None`` makes every failure permanent.
 
     Because the engine cannot know a run's duration in advance, the trace
-    is generated up to a ``horizon``; events past it are dropped.  Pick the
-    horizon comfortably above the expected makespan (the resilience sweep
-    uses a multiple of the fault-free makespan).
+    is generated up to a ``horizon``; failures past it are dropped.  Pick
+    the horizon comfortably above the expected makespan (the resilience
+    sweep uses a multiple of the fault-free makespan).  With a finite
+    ``mttr``, the recovery matching an emitted failure is always kept —
+    even when it lands past the horizon — so a trace never strands a
+    processor in a permanent-down state the model did not ask for.
 
     Parameters
     ----------
@@ -264,9 +267,12 @@ class ExponentialFaultModel:
                 if self.mttr is None:
                     break
                 t += float(self._rng.exponential(self.mttr))
+                # The matching recovery is emitted even past the horizon:
+                # dropping it would silently turn a transient failure into
+                # a permanent one (finite-MTTR runs must always terminate).
+                events.append(FaultEvent(t, RECOVER, proc))
                 if t >= self.horizon:
                     break
-                events.append(FaultEvent(t, RECOVER, proc))
         return FaultTrace(events)
 
     def timeline(self, P: int) -> FaultTimeline:

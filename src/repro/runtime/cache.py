@@ -18,7 +18,7 @@ import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro._version import __version__
 from repro.experiments.registry import ExperimentReport
@@ -37,6 +37,10 @@ class CacheEntry:
     report: ExperimentReport
     compute_time_s: float
     created_s: float
+    #: Metrics-registry snapshot recorded when the entry was computed
+    #: (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict` form), or
+    #: ``None`` for entries stored without metrics collection.
+    metrics: dict[str, Any] | None = None
 
 
 @dataclass
@@ -61,10 +65,20 @@ class CacheStats:
 class ResultCache:
     """Content-addressed store of :class:`ExperimentReport` results."""
 
-    def __init__(self, root: Path | str, version: str = __version__) -> None:
+    def __init__(
+        self,
+        root: Path | str,
+        version: str = __version__,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self.root = Path(root)
         self.version = version
         self.stats = CacheStats()
+        #: Wall-clock source for ``created_s`` stamps.  Injectable so tests
+        #: pin entry timestamps deterministically; the stamp is metadata
+        #: only and never enters cache keys or digests.
+        self.clock = clock
 
     # -- keys ------------------------------------------------------------
 
@@ -110,6 +124,7 @@ class ResultCache:
                 report=report,
                 compute_time_s=float(payload["compute_time_s"]),
                 created_s=float(payload["created_s"]),
+                metrics=payload.get("metrics"),
             )
         except (OSError, ValueError, KeyError, TypeError) as exc:
             warnings.warn(
@@ -133,6 +148,7 @@ class ResultCache:
         kwargs: Mapping[str, Any],
         report: ExperimentReport,
         compute_time_s: float,
+        metrics: Mapping[str, Any] | None = None,
     ) -> str:
         """Store a computed report; returns the entry key.
 
@@ -154,7 +170,8 @@ class ResultCache:
             "data": encode_value(report.data),
             "digest": report.digest(),
             "compute_time_s": compute_time_s,
-            "created_s": time.time(),
+            "created_s": self.clock(),
+            "metrics": None if metrics is None else dict(metrics),
         }
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))

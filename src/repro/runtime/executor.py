@@ -28,12 +28,13 @@ import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.experiments.registry import REGISTRY, ExperimentReport, get_spec
+from repro.obs.metrics import MetricsRegistry, collect_metrics
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest, RunRecord
 from repro.util.validation import check_positive_int
@@ -97,13 +98,29 @@ def build_requests(
     return requests
 
 
-def _execute(experiment: str, kwargs: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry point: run one experiment, return its report as JSON."""
+def _execute(
+    experiment: str,
+    kwargs: dict[str, Any],
+    clock: Callable[[], float] = time.time,
+) -> dict[str, Any]:
+    """Worker entry point: run one experiment, return its report as JSON.
+
+    Every run computes under a fresh ambient
+    :class:`~repro.obs.metrics.MetricsRegistry`, so engine counters of
+    simulations buried inside the experiment land in the returned
+    ``metrics`` snapshot — collected per worker process and merged by the
+    parent (metrics collection never perturbs results; see
+    ``docs/observability.md``).  ``clock`` stamps the wall-clock window
+    used for peak-concurrency accounting (injectable for tests; must be
+    picklable when ``jobs > 1``).
+    """
     spec = get_spec(experiment)
-    t_start = time.time()
+    t_start = clock()
     t0 = time.perf_counter()
+    registry = MetricsRegistry()
     try:
-        report = spec(**kwargs)
+        with collect_metrics(registry):
+            report = spec(**kwargs)
     except Exception as exc:
         raise RuntimeError(f"experiment {experiment!r} failed: {exc}") from exc
     compute_time = time.perf_counter() - t0
@@ -113,6 +130,7 @@ def _execute(experiment: str, kwargs: dict[str, Any]) -> dict[str, Any]:
         "t_start": t_start,
         "t_end": t_start + compute_time,
         "worker": f"pid-{os.getpid()}",
+        "metrics": registry.as_dict() if len(registry) else None,
     }
 
 
@@ -145,11 +163,15 @@ class CampaignExecutor:
         jobs: int = 1,
         cache: ResultCache | None = None,
         refresh: bool = False,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         check_positive_int(jobs, "jobs")
         self.jobs = jobs
         self.cache = cache
         self.refresh = refresh
+        #: Wall-clock source for per-run start/end stamps (injectable for
+        #: deterministic tests; must be picklable when ``jobs > 1``).
+        self.clock = clock
 
     def run(self, requests: Sequence[RunRequest]) -> CampaignOutcome:
         """Execute every request; returns reports and the run manifest."""
@@ -184,6 +206,7 @@ class CampaignExecutor:
                 compute_time_s=entry.compute_time_s,
                 worker="cache",
                 result_digest=entry.report.digest(),
+                metrics=entry.metrics,
             )
 
         raw: dict[str, dict[str, Any]] = {}
@@ -191,7 +214,7 @@ class CampaignExecutor:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     request.experiment: pool.submit(
-                        _execute, request.experiment, dict(request.kwargs)
+                        _execute, request.experiment, dict(request.kwargs), self.clock
                     )
                     for request in to_compute
                 }
@@ -200,7 +223,7 @@ class CampaignExecutor:
         else:
             for request in to_compute:
                 raw[request.experiment] = _execute(
-                    request.experiment, dict(request.kwargs)
+                    request.experiment, dict(request.kwargs), self.clock
                 )
 
         if self.cache is None:
@@ -219,6 +242,7 @@ class CampaignExecutor:
                     request.kwargs,
                     report,
                     compute_time_s=result["compute_time_s"],
+                    metrics=result["metrics"],
                 )
             records[request.experiment] = RunRecord(
                 experiment=request.experiment,
@@ -228,6 +252,7 @@ class CampaignExecutor:
                 compute_time_s=result["compute_time_s"],
                 worker=result["worker"],
                 result_digest=report.digest(),
+                metrics=result["metrics"],
             )
 
         manifest = RunManifest(

@@ -46,9 +46,14 @@ class RunRecord:
     worker: str
     #: Content address of the resulting report.
     result_digest: str
+    #: Per-run metrics snapshot
+    #: (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict` form) collected
+    #: while the run computed; ``None`` when collection was off.  Cache
+    #: hits carry the metrics stored with the entry at compute time.
+    metrics: Mapping[str, Any] | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "experiment": self.experiment,
             "kwargs": encode_value(dict(self.kwargs)),
             "cache_status": self.cache_status,
@@ -57,6 +62,9 @@ class RunRecord:
             "worker": self.worker,
             "result_digest": self.result_digest,
         }
+        if self.metrics is not None:
+            payload["metrics"] = dict(self.metrics)
+        return payload
 
 
 @dataclass
@@ -126,10 +134,13 @@ def append_bench_entry(path: Path | str, manifest: RunManifest) -> Path:
             pass
     entry = manifest.as_dict()
     entry["per_experiment"] = {
-        r.experiment: {
-            "compute_time_s": round(r.compute_time_s, 6),
-            "cache_status": r.cache_status,
-        }
+        r.experiment: (
+            {
+                "compute_time_s": round(r.compute_time_s, 6),
+                "cache_status": r.cache_status,
+            }
+            | ({} if r.metrics is None else {"metrics": dict(r.metrics)})
+        )
         for r in manifest.runs
     }
     del entry["runs"]

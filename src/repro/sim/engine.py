@@ -42,7 +42,7 @@ import math
 from bisect import insort
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping
 
 if TYPE_CHECKING:  # layering: sim only duck-types resilience at runtime
     from repro.resilience.faults import FaultEvent, FaultModel
@@ -50,7 +50,21 @@ if TYPE_CHECKING:  # layering: sim only duck-types resilience at runtime
     from repro.speedup.base import SpeedupModel
 
 from repro.exceptions import SimulationError, TaskAbortedError
-from repro.sim.allocation import Allocation, Allocator
+from repro.obs.events import (
+    AllocationDecided,
+    CapacityChanged,
+    FaultInjected,
+    QueueSampled,
+    RetryScheduled,
+    SimEvent,
+    TaskCompleted,
+    TaskRevealed,
+    TaskStarted,
+    Tracer,
+    active_tracer,
+)
+from repro.obs.metrics import MetricsRegistry, active_metrics, collect_metrics
+from repro.sim.allocation import Allocation, AllocationCacheInfo, Allocator
 from repro.graph.task import Task
 from repro.graph.taskgraph import TaskGraph
 from repro.sim.schedule import Schedule
@@ -65,6 +79,11 @@ __all__ = [
     "EngineStats",
     "profile_engine",
 ]
+
+#: Type of the engine's internal emission hook: ``None`` when tracing is
+#: off (the fast path pays one ``is not None`` test per site), otherwise
+#: the active tracer's bound ``emit``.
+_Emit = Callable[[SimEvent], None]
 
 
 @dataclass
@@ -148,10 +167,25 @@ class EngineStats:
             f"({self.alloc_cache_hit_rate():.1%} hit rate)"
         )
 
-
-#: Optional accumulator every finished run merges its stats into
-#: (installed by :func:`profile_engine`, read by the ``--profile`` CLI flag).
-_PROFILE_SINK: EngineStats | None = None
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "EngineStats":
+        """Inverse of :meth:`as_dict` (derived fields are recomputed)."""
+        return cls(
+            **{
+                key: int(payload.get(key, 0))
+                for key in (
+                    "events",
+                    "tasks_started",
+                    "queue_scans",
+                    "scans_skipped",
+                    "scan_steps",
+                    "allocator_calls",
+                    "alloc_cache_hits",
+                    "alloc_cache_misses",
+                    "alloc_cache_bypasses",
+                )
+            }
+        )
 
 
 @contextmanager
@@ -160,17 +194,23 @@ def profile_engine() -> Iterator[EngineStats]:
 
     Yields an :class:`EngineStats` that grows as simulations complete —
     including runs started deep inside experiments that never expose their
-    :class:`SimulationResult`.  Profiling is process-local: runs executed in
-    campaign worker processes do not report back.
+    :class:`SimulationResult`.  Built on the observability layer's ambient
+    :class:`~repro.obs.metrics.MetricsRegistry`
+    (:func:`~repro.obs.metrics.collect_metrics`): the block installs a
+    registry, every finished run records its counters there, and a
+    subscription folds them into the yielded stats block live.  Blocks
+    nest (only the innermost collects, the outer is restored on exit) and
+    profiling is process-local: runs executed in campaign worker
+    processes report through their own registries (see
+    ``RunRecord.metrics``), not this one.
     """
-    global _PROFILE_SINK
-    previous = _PROFILE_SINK
     sink = EngineStats()
-    _PROFILE_SINK = sink
-    try:
+    registry = MetricsRegistry()
+    registry.subscribe_engine_stats(
+        lambda stats: sink.merge(EngineStats.from_dict(stats))
+    )
+    with collect_metrics(registry):
         yield sink
-    finally:
-        _PROFILE_SINK = previous
 
 #: Optional priority key: smaller keys run earlier in the waiting queue.
 PriorityRule = Callable[[Task, Allocation], object]
@@ -294,6 +334,59 @@ def _entry_key(entry: tuple) -> object:
     return entry[0]
 
 
+def _cache_status(
+    before: AllocationCacheInfo | None, after: AllocationCacheInfo | None
+) -> str:
+    """Classify one allocator call from its cache-counter deltas."""
+    if before is None or after is None:
+        return "unknown"
+    if after.hits > before.hits:
+        return "hit"
+    if after.misses > before.misses:
+        return "miss"
+    if after.bypasses > before.bypasses:
+        return "bypass"
+    return "unknown"
+
+
+def _allocation_event(
+    allocator: Allocator,
+    model: SpeedupModel | None,
+    alloc: Allocation,
+    capacity: int,
+    now: Time,
+    task_id: TaskId,
+    cache: str,
+    attempt: int = 1,
+) -> AllocationDecided:
+    """Build the traced explanation of one Algorithm-2 decision.
+
+    Only called when tracing is enabled, so the extra model queries behind
+    :meth:`~repro.core.allocator.LpaAllocator.explain` (the paper's
+    :math:`\\alpha_p`/:math:`\\beta_p` ratios) never touch the fast path.
+    Allocators without ratio semantics yield ``alpha = beta = None``.
+    """
+    alpha: float | None = None
+    beta: float | None = None
+    explain = getattr(allocator, "explain", None)
+    if model is not None and callable(explain):
+        detail = explain(model, capacity)
+        alpha = detail.alpha
+        beta = detail.beta
+    return AllocationDecided(
+        now,
+        task_id,
+        alloc.initial,
+        alloc.final,
+        capacity,
+        alloc.final < alloc.initial,
+        cache,
+        alpha,
+        beta,
+        attempt,
+    )
+
+
 @dataclass
 class _Running:
     """A started attempt occupying concrete processor indices."""
@@ -343,6 +436,7 @@ class ListScheduler:
         faults: FaultModel | None = None,
         retry: RetryPolicy | None = None,
         check_invariants: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> SimulationResult:
         """Simulate the schedule of ``source`` and return the result.
 
@@ -366,19 +460,34 @@ class ListScheduler:
             Run the :class:`~repro.sim.invariants.InvariantChecker` after
             every engine event.  Defaults to ``True`` for fault-injected
             runs and ``False`` (zero overhead) for fault-free ones.
+        tracer:
+            Optional :class:`~repro.obs.events.Tracer` receiving the
+            run's typed event stream (reveals, allocation decisions,
+            starts, completions, faults, retries, capacity moves, queue
+            samples).  Defaults to the ambient tracer installed by
+            :func:`~repro.obs.events.use_tracer`, or no tracing.  Tracing
+            is purely observational: traced and untraced runs produce
+            byte-identical schedules (pinned by the golden-digest tests).
         """
         if isinstance(source, TaskGraph):
             source = StaticGraphSource(source)
+        if tracer is None:
+            tracer = active_tracer()
+        emit: _Emit | None = None
+        if tracer is not None and tracer.enabled:
+            emit = tracer.emit
         if faults is not None or retry is not None:
             if check_invariants is None:
                 check_invariants = True
-            return self._run_resilient(source, faults, retry, check_invariants)
-        return self._run_plain(source, bool(check_invariants))
+            return self._run_resilient(source, faults, retry, check_invariants, emit)
+        return self._run_plain(source, bool(check_invariants), emit)
 
     # ------------------------------------------------------------------
     # Fault-free fast path (the paper's setting)
     # ------------------------------------------------------------------
-    def _run_plain(self, source: GraphSource, check_invariants: bool) -> SimulationResult:
+    def _run_plain(
+        self, source: GraphSource, check_invariants: bool, emit: _Emit | None = None
+    ) -> SimulationResult:
         checker = None
         if check_invariants:
             from repro.sim.invariants import InvariantChecker
@@ -431,6 +540,10 @@ class ListScheduler:
                 if tid in allocations:
                     raise SimulationError(f"task {tid!r} revealed twice")
                 stats.allocator_calls += 1
+                # Tracing reads the cache counters around the call to
+                # classify it (hit/miss/bypass); pure observation, the
+                # allocation itself is untouched.
+                info_before = cache_info() if emit is not None and cache_info0 is not None else None
                 if use_task_alloc:
                     alloc = allocate_task(task, P, free=free)
                 else:
@@ -445,6 +558,20 @@ class ListScheduler:
                 revealed_at[tid] = now
                 if checker is not None:
                     checker.on_reveal(now, tid)
+                if emit is not None:
+                    emit(TaskRevealed(now, tid))
+                    info_after = cache_info() if info_before is not None else None
+                    emit(
+                        _allocation_event(
+                            self.allocator,
+                            None if use_task_alloc else task.model,
+                            alloc,
+                            P,
+                            now,
+                            tid,
+                            _cache_status(info_before, info_after),
+                        )
+                    )
                 if final < min_demand:
                     min_demand = final
                 if priority is None:
@@ -505,6 +632,8 @@ class ListScheduler:
                     )
                     if checker is not None:
                         checker.on_start(now, task.id, procs)
+                    if emit is not None:
+                        emit(TaskStarted(now, task.id, procs, end))
                     heappush(events, (end, next(seq), task.id, procs))
                 else:
                     keep(entry)
@@ -533,6 +662,8 @@ class ListScheduler:
 
         admit(source.initial_tasks())
         start_fitting()
+        if emit is not None:
+            emit(QueueSampled(now, len(queue), free))
 
         heappop = heapq.heappop
         on_complete = source.on_complete
@@ -553,9 +684,13 @@ class ListScheduler:
                     free += procs
                     if checker is not None:
                         checker.on_complete(now, task_id)
+                    if emit is not None:
+                        emit(TaskCompleted(now, task_id, procs, schedule[task_id].start))
                     revealed.extend(on_complete(task_id))
                 admit(revealed)
                 start_fitting()
+                if emit is not None:
+                    emit(QueueSampled(now, len(queue), free))
         else:
             while True:
                 t_completion = events[0][0] if events else math.inf
@@ -575,9 +710,13 @@ class ListScheduler:
                     free += procs
                     if checker is not None:
                         checker.on_complete(now, task_id)
+                    if emit is not None:
+                        emit(TaskCompleted(now, task_id, procs, schedule[task_id].start))
                     revealed.extend(on_complete(task_id))
                 admit(revealed)
                 start_fitting()
+                if emit is not None:
+                    emit(QueueSampled(now, len(queue), free))
 
         if queue:
             stuck = [entry[1].id for entry in queue[:10]]
@@ -596,8 +735,9 @@ class ListScheduler:
             stats.alloc_cache_hits = info.hits - cache_info0.hits
             stats.alloc_cache_misses = info.misses - cache_info0.misses
             stats.alloc_cache_bypasses = info.bypasses - cache_info0.bypasses
-        if _PROFILE_SINK is not None:
-            _PROFILE_SINK.merge(stats)
+        registry = active_metrics()
+        if registry is not None:
+            registry.record_engine_stats(stats.as_dict())
         return SimulationResult(
             schedule, allocations, source.realized_graph(), revealed_at, stats=stats
         )
@@ -611,6 +751,7 @@ class ListScheduler:
         faults: FaultModel | None,
         retry: RetryPolicy | None,
         check_invariants: bool,
+        emit: _Emit | None = None,
     ) -> SimulationResult:
         # Lazy imports keep sim/ below resilience/ in the layering: the
         # engine only duck-types fault models, and reaches up for the
@@ -660,9 +801,14 @@ class ListScheduler:
         cache_info = getattr(self.allocator, "cache_info", None)
         cache_info0 = cache_info() if callable(cache_info) else None
 
-        def allocate(task: Task, model: SpeedupModel, P_t: int) -> Allocation:
+        def allocate(
+            task: Task, model: SpeedupModel, P_t: int, attempt: int = 1
+        ) -> Allocation:
             """Consult the allocator for the live capacity ``P_t``."""
             stats.allocator_calls += 1
+            info_before = (
+                cache_info() if emit is not None and cache_info0 is not None else None
+            )
             if callable(allocate_task):
                 alloc = allocate_task(task, P_t, free=len(free_set))
             else:
@@ -671,6 +817,20 @@ class ListScheduler:
                 raise SimulationError(
                     f"allocator returned infeasible allocation {alloc} for task "
                     f"{task.id!r} on live capacity P_t={P_t}"
+                )
+            if emit is not None:
+                info_after = cache_info() if info_before is not None else None
+                emit(
+                    _allocation_event(
+                        self.allocator,
+                        None if callable(allocate_task) else model,
+                        alloc,
+                        P_t,
+                        now,
+                        task.id,
+                        _cache_status(info_before, info_after),
+                        attempt,
+                    )
                 )
             return alloc
 
@@ -681,6 +841,8 @@ class ListScheduler:
                 capacity_log.append((now, capacity))
             if checker is not None:
                 checker.on_capacity(now, capacity)
+            if emit is not None:
+                emit(CapacityChanged(now, capacity))
 
         def resort() -> None:
             if self.priority is not None:
@@ -691,6 +853,8 @@ class ListScheduler:
             for task in tasks:
                 if task.id in allocations:
                     raise SimulationError(f"task {task.id!r} revealed twice")
+                if emit is not None:
+                    emit(TaskRevealed(now, task.id))
                 cap = max(capacity, 1)  # provisional if the platform is fully down
                 alloc = allocate(task, task.model, cap)
                 allocations[task.id] = alloc
@@ -705,7 +869,7 @@ class ListScheduler:
         def requeue(waiting: _Waiting) -> None:
             """Re-admit a killed task's next attempt."""
             cap = max(capacity, 1)
-            alloc = allocate(waiting.task, waiting.effective_model, cap)
+            alloc = allocate(waiting.task, waiting.effective_model, cap, waiting.attempt)
             allocations[waiting.task.id] = alloc
             queue.append(
                 replace(
@@ -733,7 +897,9 @@ class ListScheduler:
                     # Re-cap at the live capacity: the allocator's
                     # ceil(mu * P_t) cap must track P_t, and an allocation
                     # computed for a larger platform may no longer fit.
-                    alloc = allocate(waiting.task, waiting.effective_model, capacity)
+                    alloc = allocate(
+                        waiting.task, waiting.effective_model, capacity, waiting.attempt
+                    )
                     allocations[waiting.task.id] = alloc
                     waiting = replace(waiting, allocation=alloc, cap_at_alloc=capacity)
                 procs = waiting.allocation.final
@@ -764,6 +930,8 @@ class ListScheduler:
                     )
                     if checker is not None:
                         checker.on_start(now, waiting.task.id, procs)
+                    if emit is not None:
+                        emit(TaskStarted(now, waiting.task.id, procs, end, waiting.attempt))
                     heapq.heappush(
                         events,
                         (end, next(seq), "complete", (waiting.task.id, waiting.attempt)),
@@ -792,6 +960,12 @@ class ListScheduler:
             )
             if checker is not None:
                 checker.on_complete(now, task_id)
+            if emit is not None:
+                emit(
+                    TaskCompleted(
+                        now, task_id, rec.alloc.final, rec.start, rec.attempt, True
+                    )
+                )
             return source.on_complete(task_id)
 
         def kill(task_id: TaskId, failed_proc: int) -> None:
@@ -807,6 +981,12 @@ class ListScheduler:
             )
             if checker is not None:
                 checker.on_kill(now, task_id)
+            if emit is not None:
+                emit(
+                    TaskCompleted(
+                        now, task_id, rec.alloc.final, rec.start, rec.attempt, False
+                    )
+                )
             next_attempt = rec.attempt + 1
             if not retry.allows(next_attempt):
                 raise TaskAbortedError(
@@ -823,6 +1003,8 @@ class ListScheduler:
                 rec.task, rec.alloc, -1, attempt=next_attempt, model=model
             )
             delay = retry.backoff_delay(rec.attempt)
+            if emit is not None:
+                emit(RetryScheduled(now, task_id, next_attempt, delay))
             if delay > 0:
                 heapq.heappush(events, (now + delay, next(seq), "retry", waiting))
             else:
@@ -831,6 +1013,8 @@ class ListScheduler:
         def apply_fault(event: FaultEvent) -> None:
             nonlocal capacity
             proc = event.processor
+            if emit is not None:
+                emit(FaultInjected(now, proc, event.kind))
             if event.kind == "fail":
                 if proc in down:
                     raise SimulationError(
@@ -879,6 +1063,8 @@ class ListScheduler:
             record_capacity()
         admit(source.initial_tasks())
         start_fitting()
+        if emit is not None:
+            emit(QueueSampled(now, len(queue), len(free_set)))
 
         while True:
             t_event = next_event_time()
@@ -927,6 +1113,8 @@ class ListScheduler:
             for waiting in retries:
                 requeue(waiting)
             start_fitting()
+            if emit is not None:
+                emit(QueueSampled(now, len(queue), len(free_set)))
 
         if not source.is_exhausted():
             raise SimulationError(
@@ -940,8 +1128,9 @@ class ListScheduler:
             stats.alloc_cache_hits = info.hits - cache_info0.hits
             stats.alloc_cache_misses = info.misses - cache_info0.misses
             stats.alloc_cache_bypasses = info.bypasses - cache_info0.bypasses
-        if _PROFILE_SINK is not None:
-            _PROFILE_SINK.merge(stats)
+        registry = active_metrics()
+        if registry is not None:
+            registry.record_engine_stats(stats.as_dict())
         return SimulationResult(
             schedule,
             allocations,

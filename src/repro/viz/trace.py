@@ -2,10 +2,14 @@
 
 The output loads into ``chrome://tracing`` / Perfetto, giving an
 interactive Gantt view of any schedule produced by this library: one
-"process" per schedule, one "thread" row per processor slot, one complete
-event per task (spanning its processor rows via one event per occupied
-processor row's first slot — we draw each task on the row of its first
-processor and record the allocation in the event args).
+"process" per schedule, one "thread" row per processor slot, each task
+drawn as a complete event on every row it occupies, so the visual height
+of a bar reflects its allocation exactly like the paper's figures.
+
+Row assignment is the greedy :class:`~repro.obs.layout.RowLayout` shared
+with the live engine-event exporter
+(:class:`repro.obs.export.ChromeTraceSink`): a schedule exported after
+the fact and the same run traced live land tasks on identical rows.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.obs.layout import RowLayout
 from repro.sim.schedule import Schedule
 
 __all__ = ["schedule_to_trace_events", "schedule_to_trace_json"]
@@ -25,25 +30,16 @@ def schedule_to_trace_events(schedule: Schedule, *, name: str = "schedule") -> l
     """Render ``schedule`` as a list of Chrome trace-event dicts.
 
     Tasks are laid out greedily onto processor rows: a task with ``p``
-    processors occupies ``p`` rows for its duration, so the visual height
-    of each bar reflects its allocation, exactly like the paper's figures.
+    processors occupies ``p`` rows for its duration.  Entries are placed
+    in nondecreasing start order (ties broken by task id) as
+    :class:`~repro.obs.layout.RowLayout` requires; infeasible
+    (over-packed) schedules degrade to the soonest-free rows instead of
+    failing.
     """
     events: list[dict[str, Any]] = []
-    # Greedy row assignment: rows are processor slots [0, P).
-    row_free_at = [0.0] * schedule.P
+    layout = RowLayout(schedule.P)
     for entry in sorted(schedule.entries, key=lambda e: (e.start, str(e.task_id))):
-        rows = []
-        for row in range(schedule.P):
-            if row_free_at[row] <= entry.start + 1e-12 * max(1.0, entry.start):
-                rows.append(row)
-                if len(rows) == entry.procs:
-                    break
-        if len(rows) < entry.procs:
-            # Fall back: take the soonest-free rows (validated schedules
-            # never hit this; tolerate slightly-infeasible ones).
-            rows = sorted(range(schedule.P), key=row_free_at.__getitem__)[: entry.procs]
-        for row in rows:
-            row_free_at[row] = entry.end
+        for row in layout.place(entry.start, entry.end, entry.procs):
             events.append(
                 {
                     "name": str(entry.task_id),

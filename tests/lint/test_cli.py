@@ -73,7 +73,7 @@ class TestOutputFormats:
     def test_list_rules(self):
         proc = run_lint("--list-rules")
         assert proc.returncode == 0
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
             assert code in proc.stdout
 
 

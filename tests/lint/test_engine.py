@@ -8,9 +8,17 @@ from repro.lint.engine import iter_python_files
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        assert codes == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+        ]
 
     def test_codes_and_names_unique(self):
         rules = all_rules()
@@ -24,7 +32,7 @@ class TestRegistry:
     def test_ignore_filters(self):
         rules = resolve_codes(ignore=["RL006"])
         assert "RL006" not in [r.code for r in rules]
-        assert len(rules) == 5
+        assert len(rules) == 6
 
     def test_unknown_code_raises(self):
         import pytest

@@ -118,3 +118,40 @@ class TestRl006Details:
         src = "def test_x():\n    pass\n"
         assert lint_source(src, module="tests.sim.test_engine").findings == []
         assert len(lint_source(src, module="repro.util.seq").findings) == 1
+
+
+class TestRl007Details:
+    def test_counts_every_violation(self):
+        # MutableEvent, ExplicitlyMutable, NotADataclass, DerivedEvent,
+        # plus the unannotated class attribute in PartiallyTyped.
+        report = lint_fixture("rl007_bad.txt")
+        assert len(report.findings) == 5
+
+    def test_transitive_subclass_covered(self):
+        report = lint_fixture("rl007_bad.txt")
+        assert any("DerivedEvent" in f.message for f in report.findings)
+
+    def test_unannotated_field_names_the_attribute(self):
+        report = lint_fixture("rl007_bad.txt")
+        messages = [f.message for f in report.findings if "PartiallyTyped" in f.message]
+        assert len(messages) == 1
+        assert "DEFAULT_KIND" in messages[0]
+
+    def test_non_event_dataclasses_out_of_scope(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Plain:\n"
+            "    x: int\n"
+        )
+        assert lint_source(src, module="repro.obs.events").findings == []
+
+    def test_frozen_via_dotted_decorator(self):
+        src = (
+            "import dataclasses\n"
+            "from repro.obs.events import SimEvent\n"
+            "@dataclasses.dataclass(frozen=True)\n"
+            "class Ok(SimEvent):\n"
+            "    x: int\n"
+        )
+        assert lint_source(src, module="repro.obs.events").findings == []

@@ -1,0 +1,214 @@
+"""Engine integration: the event stream the scheduler actually emits."""
+
+import pytest
+
+from repro.baselines.online import MaxUsefulAllocator
+from repro.core import OnlineScheduler
+from repro.graph import TaskGraph
+from repro.graph.generators import fork_join, independent_tasks
+from repro.obs.events import (
+    AllocationDecided,
+    CapacityChanged,
+    CollectingTracer,
+    FaultInjected,
+    NullTracer,
+    QueueSampled,
+    RetryScheduled,
+    TaskCompleted,
+    TaskRevealed,
+    TaskStarted,
+    use_tracer,
+)
+from repro.resilience import FaultTrace, RetryPolicy
+from repro.sim import ListScheduler
+from repro.sim.allocation import Allocation
+from repro.speedup import AmdahlModel
+
+
+def amdahl():
+    return AmdahlModel(8.0, 1.0)
+
+
+def traced_run(graph, scheduler=None, **kwargs):
+    scheduler = scheduler or OnlineScheduler.for_family("amdahl", 8)
+    tracer = CollectingTracer()
+    result = scheduler.run(graph, tracer=tracer, **kwargs)
+    return result, tracer
+
+
+class TestPlainPathStream:
+    def test_lifecycle_events_cover_every_task(self):
+        graph = fork_join(5, amdahl, stages=2)
+        result, tracer = traced_run(graph)
+        ids = set(graph)
+        for cls in (TaskRevealed, AllocationDecided, TaskStarted, TaskCompleted):
+            events = tracer.of_type(cls)
+            assert len(events) == len(ids)
+            assert {e.task_id for e in events} == ids
+
+    def test_start_and_completion_match_the_schedule(self):
+        graph = fork_join(4, amdahl, stages=2)
+        result, tracer = traced_run(graph)
+        for event in tracer.of_type(TaskStarted):
+            entry = result.schedule[event.task_id]
+            assert event.time == entry.start
+            assert event.procs == entry.procs
+            assert event.expected_end == entry.end
+        for event in tracer.of_type(TaskCompleted):
+            entry = result.schedule[event.task_id]
+            assert event.time == entry.end
+            assert event.start == entry.start
+            assert event.completed is True
+            assert event.attempt == 1
+
+    def test_times_are_nondecreasing(self):
+        result, tracer = traced_run(fork_join(6, amdahl, stages=3))
+        times = [event.time for event in tracer.events]
+        assert times == sorted(times)
+
+    def test_allocation_events_carry_paper_ratios(self):
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        result, tracer = traced_run(independent_tasks(3, amdahl), scheduler)
+        for event in tracer.of_type(AllocationDecided):
+            assert event.capacity == 8
+            assert 1 <= event.final <= 8
+            assert event.cache in ("hit", "miss", "bypass", "unknown")
+            # LpaAllocator explains itself: the paper's ratios ride along.
+            assert event.alpha is not None and event.alpha >= 1.0
+            assert event.beta is not None and event.beta >= 1.0
+            assert event.capped == (event.final < event.initial)
+            assert result.schedule[event.task_id].procs == event.final
+
+    def test_allocation_event_agrees_with_explain(self):
+        model = AmdahlModel(8.0, 1.0)
+        graph = TaskGraph()
+        graph.add_task("t", model)
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        _, tracer = traced_run(graph, scheduler)
+        (event,) = tracer.of_type(AllocationDecided)
+        explained = scheduler.allocator.explain(model, 8)
+        assert event.initial == explained.p
+        assert event.final == explained.final
+        assert event.capped == explained.capped
+        assert event.alpha == pytest.approx(explained.alpha)
+        assert event.beta == pytest.approx(explained.beta)
+
+    def test_allocators_without_explain_leave_ratios_null(self):
+        scheduler = ListScheduler(8, MaxUsefulAllocator())
+        _, tracer = traced_run(independent_tasks(2, amdahl), scheduler)
+        for event in tracer.of_type(AllocationDecided):
+            assert event.alpha is None and event.beta is None
+            assert event.cache in ("hit", "miss", "bypass", "unknown")
+
+    def test_bare_allocator_reports_unknown_cache_status(self):
+        class BareAllocator:
+            def allocate(self, model, P, free=None):
+                return Allocation(1, 1)
+
+        _, tracer = traced_run(
+            independent_tasks(2, amdahl), ListScheduler(8, BareAllocator())
+        )
+        for event in tracer.of_type(AllocationDecided):
+            assert event.cache == "unknown"
+
+    def test_queue_samples_respect_platform_bounds(self):
+        result, tracer = traced_run(independent_tasks(6, amdahl))
+        samples = tracer.of_type(QueueSampled)
+        assert samples, "the plain path must sample the queue"
+        for event in samples:
+            assert 0 <= event.free <= 8
+            assert event.waiting >= 0
+
+    def test_no_resilience_events_on_the_plain_path(self):
+        _, tracer = traced_run(fork_join(4, amdahl, stages=2))
+        assert tracer.of_type(FaultInjected) == []
+        assert tracer.of_type(RetryScheduled) == []
+        assert tracer.of_type(CapacityChanged) == []
+
+
+class TestTracingIsObservational:
+    def test_null_tracer_run_matches_untraced(self):
+        graph = fork_join(5, amdahl, stages=2)
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        plain = scheduler.run(graph)
+        traced = scheduler.run(graph, tracer=NullTracer())
+        assert traced.makespan == plain.makespan
+        for task_id in graph:
+            assert traced.schedule[task_id] == plain.schedule[task_id]
+
+    def test_collecting_tracer_run_matches_untraced(self):
+        graph = fork_join(5, amdahl, stages=2)
+        scheduler = OnlineScheduler.for_family("amdahl", 8)
+        plain = scheduler.run(graph)
+        traced, _ = traced_run(graph, scheduler)
+        assert traced.makespan == plain.makespan
+
+
+class TestAmbientTracer:
+    def test_use_tracer_reaches_the_engine(self):
+        graph = independent_tasks(2, amdahl)
+        tracer = CollectingTracer()
+        with use_tracer(tracer):
+            OnlineScheduler.for_family("amdahl", 4).run(graph)
+        assert len(tracer.of_type(TaskCompleted)) == 2
+
+    def test_explicit_tracer_wins_over_ambient(self):
+        graph = independent_tasks(1, amdahl)
+        ambient, explicit = CollectingTracer(), CollectingTracer()
+        with use_tracer(ambient):
+            OnlineScheduler.for_family("amdahl", 4).run(graph, tracer=explicit)
+        assert ambient.events == []
+        assert len(explicit.events) > 0
+
+
+class TestResilientPathStream:
+    def _kill_scenario(self, delay=0.0):
+        graph = TaskGraph()
+        graph.add_task("t", AmdahlModel(8.0, 1.0))
+        scheduler = OnlineScheduler.for_family("amdahl", 2)
+        plain = scheduler.run(graph)
+        t_kill = plain.makespan / 2
+        trace = FaultTrace.from_downtimes([(0, t_kill, None)])
+        tracer = CollectingTracer()
+        result = scheduler.run(
+            graph,
+            faults=trace,
+            retry=RetryPolicy(backoff_base=delay) if delay else None,
+            tracer=tracer,
+        )
+        return result, tracer, t_kill
+
+    def test_kill_emits_fault_incomplete_attempt_and_retry(self):
+        result, tracer, t_kill = self._kill_scenario()
+        (fault,) = tracer.of_type(FaultInjected)
+        assert (fault.time, fault.processor, fault.kind) == (t_kill, 0, "fail")
+        killed = [e for e in tracer.of_type(TaskCompleted) if not e.completed]
+        assert [(e.time, e.attempt) for e in killed] == [(t_kill, 1)]
+        (retry,) = tracer.of_type(RetryScheduled)
+        assert (retry.task_id, retry.attempt) == ("t", 2)
+        finished = [e for e in tracer.of_type(TaskCompleted) if e.completed]
+        assert [(e.time, e.attempt) for e in finished] == [(result.makespan, 2)]
+
+    def test_retry_delay_rides_on_the_event(self):
+        _, tracer, _ = self._kill_scenario(delay=2.5)
+        (retry,) = tracer.of_type(RetryScheduled)
+        assert retry.delay == pytest.approx(2.5)
+
+    def test_capacity_change_tracks_the_failure(self):
+        _, tracer, t_kill = self._kill_scenario()
+        (change,) = tracer.of_type(CapacityChanged)
+        assert (change.time, change.capacity) == (t_kill, 1)
+
+    def test_second_attempt_allocation_is_stamped(self):
+        _, tracer, _ = self._kill_scenario()
+        attempts = [e.attempt for e in tracer.of_type(TaskStarted)]
+        assert attempts == [1, 2]
+        allocs = tracer.of_type(AllocationDecided)
+        assert [e.attempt for e in allocs] == [1, 2]
+        # The retry sees the shrunken platform.
+        assert allocs[1].capacity == 1
+
+    def test_times_are_nondecreasing(self):
+        _, tracer, _ = self._kill_scenario(delay=1.0)
+        times = [event.time for event in tracer.events]
+        assert times == sorted(times)

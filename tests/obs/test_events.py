@@ -1,0 +1,190 @@
+"""Event vocabulary: immutability, serialization, validation, tracers."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AllocationDecided,
+    CollectingTracer,
+    FaultInjected,
+    MultiTracer,
+    NullTracer,
+    QueueSampled,
+    TaskCompleted,
+    TaskRevealed,
+    TaskStarted,
+    Tracer,
+    active_tracer,
+    event_from_dict,
+    event_to_dict,
+    use_tracer,
+    validate_event_dict,
+)
+
+
+class TestEventDataclasses:
+    def test_all_event_types_frozen(self):
+        for cls in EVENT_TYPES.values():
+            params = cls.__dataclass_params__
+            assert params.frozen, f"{cls.__name__} must be frozen"
+
+    def test_events_hashable_and_equal_by_value(self):
+        a = TaskRevealed(1.0, "t1")
+        b = TaskRevealed(1.0, "t1")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_mutation_rejected(self):
+        event = TaskStarted(0.0, "t", 4, 2.5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.procs = 8
+
+    def test_registry_covers_the_eight_types(self):
+        assert len(EVENT_TYPES) == 8
+        assert set(EVENT_TYPES) == {
+            "TaskRevealed",
+            "AllocationDecided",
+            "TaskStarted",
+            "TaskCompleted",
+            "FaultInjected",
+            "RetryScheduled",
+            "CapacityChanged",
+            "QueueSampled",
+        }
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        event = AllocationDecided(2.0, "j7", 12, 8, 16, True, "hit", 1.5, 1.0, 2)
+        payload = event_to_dict(event)
+        assert payload["type"] == "AllocationDecided"
+        assert event_from_dict(payload) == event
+
+    def test_task_ids_stringified(self):
+        payload = event_to_dict(TaskRevealed(0.0, ("layer", 3)))
+        assert payload["task_id"] == str(("layer", 3))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            event_from_dict({"type": "Bogus", "time": 0.0})
+
+    def test_mismatched_fields_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            event_from_dict({"type": "TaskRevealed", "time": 0.0, "nope": 1})
+
+
+class TestValidateEventDict:
+    def test_valid_record_has_no_problems(self):
+        payload = event_to_dict(TaskCompleted(3.0, "a", 2, 1.0))
+        assert validate_event_dict(payload) == []
+
+    def test_every_type_validates_its_own_serialization(self):
+        samples = [
+            TaskRevealed(0.0, "a"),
+            AllocationDecided(0.0, "a", 4, 2, 8, True, "miss"),
+            TaskStarted(0.0, "a", 2, 1.0),
+            TaskCompleted(1.0, "a", 2, 0.0),
+            FaultInjected(2.0, 3, "fail"),
+            QueueSampled(2.0, 1, 6),
+        ]
+        for event in samples:
+            assert validate_event_dict(event_to_dict(event)) == []
+
+    def test_unknown_type(self):
+        assert validate_event_dict({"type": "Nope"}) == ["unknown event type 'Nope'"]
+
+    def test_missing_required_field(self):
+        problems = validate_event_dict({"type": "TaskRevealed", "time": 0.0})
+        assert problems == ["TaskRevealed: missing required field 'task_id'"]
+
+    def test_missing_optional_field_ok(self):
+        payload = event_to_dict(TaskStarted(0.0, "a", 2, 1.0))
+        del payload["attempt"]
+        assert validate_event_dict(payload) == []
+
+    def test_unexpected_field(self):
+        payload = event_to_dict(TaskRevealed(0.0, "a"))
+        payload["extra"] = 1
+        assert validate_event_dict(payload) == ["TaskRevealed: unexpected field 'extra'"]
+
+    def test_type_mismatch(self):
+        payload = event_to_dict(QueueSampled(0.0, 2, 3))
+        payload["waiting"] = "two"
+        assert validate_event_dict(payload) == [
+            "QueueSampled.waiting: expected int, got str"
+        ]
+
+    def test_bool_is_not_an_int(self):
+        payload = event_to_dict(QueueSampled(0.0, 2, 3))
+        payload["free"] = True
+        (problem,) = validate_event_dict(payload)
+        assert "expected int" in problem
+
+    def test_nullable_field_accepts_null(self):
+        payload = event_to_dict(AllocationDecided(0.0, "a", 4, 2, 8, True, "hit"))
+        assert payload["alpha"] is None
+        assert validate_event_dict(payload) == []
+
+    def test_non_nullable_field_rejects_null(self):
+        payload = event_to_dict(TaskRevealed(0.0, "a"))
+        payload["time"] = None
+        assert validate_event_dict(payload) == ["TaskRevealed.time: null not allowed"]
+
+
+class TestTracers:
+    def test_null_tracer_is_disabled(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.emit(TaskRevealed(0.0, "a"))  # discards without error
+        tracer.close()
+
+    def test_collecting_tracer_records_in_order(self):
+        tracer = CollectingTracer()
+        assert tracer.enabled is True
+        tracer.emit(TaskRevealed(0.0, "a"))
+        tracer.emit(TaskStarted(0.0, "a", 1, 1.0))
+        assert [type(e).__name__ for e in tracer.events] == [
+            "TaskRevealed",
+            "TaskStarted",
+        ]
+        assert tracer.of_type(TaskStarted) == [TaskStarted(0.0, "a", 1, 1.0)]
+
+    def test_tracers_satisfy_protocol(self):
+        assert isinstance(NullTracer(), Tracer)
+        assert isinstance(CollectingTracer(), Tracer)
+        assert isinstance(MultiTracer(CollectingTracer()), Tracer)
+
+    def test_multi_tracer_fans_out_and_skips_disabled(self):
+        a, b = CollectingTracer(), CollectingTracer()
+        multi = MultiTracer(a, NullTracer(), b)
+        assert multi.enabled is True
+        assert len(multi.tracers) == 2  # the NullTracer was filtered out
+        multi.emit(TaskRevealed(0.0, "x"))
+        assert len(a.events) == len(b.events) == 1
+
+    def test_multi_tracer_of_only_null_tracers_is_disabled(self):
+        assert MultiTracer(NullTracer()).enabled is False
+        assert MultiTracer().enabled is False
+
+
+class TestAmbientTracer:
+    def test_default_is_none(self):
+        assert active_tracer() is None
+
+    def test_use_tracer_installs_and_restores(self):
+        outer, inner = CollectingTracer(), CollectingTracer()
+        with use_tracer(outer) as got:
+            assert got is outer
+            assert active_tracer() is outer
+            with use_tracer(inner):
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer(CollectingTracer()):
+                raise RuntimeError("boom")
+        assert active_tracer() is None

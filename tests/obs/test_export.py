@@ -1,0 +1,159 @@
+"""Event sinks: JSONL logs, live Chrome traces, text summaries."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import (
+    CapacityChanged,
+    FaultInjected,
+    QueueSampled,
+    RetryScheduled,
+    TaskCompleted,
+    TaskRevealed,
+    TaskStarted,
+    event_from_dict,
+    validate_event_dict,
+)
+from repro.obs.export import ChromeTraceSink, JsonlTraceSink, TextSummarySink
+
+EVENTS = [
+    TaskRevealed(0.0, "a"),
+    TaskStarted(0.0, "a", 2, 2.0),
+    QueueSampled(0.0, 0, 2),
+    FaultInjected(1.0, 0, "fail"),
+    TaskCompleted(1.0, "a", 2, 0.0, 1, False),
+    RetryScheduled(1.0, "a", 2, 0.5),
+    CapacityChanged(1.0, 3),
+    TaskStarted(1.5, "a", 2, 3.5, 2),
+    TaskCompleted(3.5, "a", 2, 1.5, 2, True),
+]
+
+
+class TestJsonlTraceSink:
+    def test_one_schema_valid_object_per_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlTraceSink(path)
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(EVENTS) == sink.events_written
+        for line, event in zip(lines, EVENTS, strict=True):
+            payload = json.loads(line)
+            assert validate_event_dict(payload) == []
+            assert type(event_from_dict(payload)).__name__ == type(event).__name__
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "run.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(TaskRevealed(0.0, "a"))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        JsonlTraceSink(path).close()
+        assert path.exists()
+
+
+class TestChromeTraceSink:
+    def _trace(self, tmp_path, events, **kwargs):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(path, **kwargs)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        return json.loads(path.read_text())
+
+    def test_document_is_valid_chrome_trace_json(self, tmp_path):
+        document = self._trace(tmp_path, EVENTS, P=4)
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+        for entry in document["traceEvents"]:
+            assert entry["ph"] in ("X", "i", "C")
+
+    def test_task_bar_spans_procs_rows(self, tmp_path):
+        events = [TaskStarted(0.0, "a", 3, 2.0), TaskCompleted(2.0, "a", 3, 0.0)]
+        document = self._trace(tmp_path, events, P=4)
+        bars = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [b["tid"] for b in bars] == [0, 1, 2]
+        assert all(b["cat"] == "task" for b in bars)
+        assert all(b["args"]["procs"] == 3 for b in bars)
+
+    def test_killed_attempt_gets_its_own_category_and_frees_rows(self, tmp_path):
+        document = self._trace(tmp_path, EVENTS, P=4)
+        bars = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_cat = {}
+        for bar in bars:
+            by_cat.setdefault(bar["cat"], []).append(bar)
+        assert len(by_cat["killed-attempt"]) == 2  # attempt 1 on 2 rows
+        assert len(by_cat["task"]) == 2  # attempt 2 on 2 rows
+        # The killed attempt's rows were released at the kill instant, so
+        # the retry lands back on rows 0-1.
+        assert sorted(b["tid"] for b in by_cat["task"]) == [0, 1]
+
+    def test_instant_markers_for_faults_and_retries(self, tmp_path):
+        document = self._trace(tmp_path, EVENTS, P=4)
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert {e["cat"] for e in instants} == {"fault", "retry"}
+
+    def test_counter_tracks_for_capacity_and_queue(self, tmp_path):
+        document = self._trace(tmp_path, EVENTS, P=4)
+        counters = {e["name"]: e for e in document["traceEvents"] if e["ph"] == "C"}
+        assert counters["capacity"]["args"] == {"P_t": 3}
+        assert counters["queue"]["args"] == {"waiting": 0, "free": 2}
+
+    def test_time_scaled_to_microseconds(self, tmp_path):
+        events = [TaskStarted(1.0, "a", 1, 2.0), TaskCompleted(2.0, "a", 1, 1.0)]
+        document = self._trace(tmp_path, events, P=1)
+        (bar,) = document["traceEvents"]
+        assert bar["ts"] == pytest.approx(1_000_000.0)
+        assert bar["dur"] == pytest.approx(1_000_000.0)
+
+    def test_completion_without_start_still_draws_a_bar(self, tmp_path):
+        document = self._trace(tmp_path, [TaskCompleted(2.0, "a", 1, 0.5)], P=2)
+        (bar,) = document["traceEvents"]
+        assert bar["ts"] == pytest.approx(500_000.0)
+
+    def test_unknown_platform_size_grows_rows(self, tmp_path):
+        events = [TaskStarted(0.0, "a", 3, 1.0), TaskCompleted(1.0, "a", 3, 0.0)]
+        document = self._trace(tmp_path, events)  # no P=
+        bars = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [b["tid"] for b in bars] == [0, 1, 2]
+
+    def test_trace_events_snapshot_before_close(self, tmp_path):
+        sink = ChromeTraceSink(tmp_path / "t.json", P=2)
+        sink.emit(TaskStarted(0.0, "a", 1, 1.0))
+        assert sink.trace_events() == []  # bars need completions
+        sink.emit(TaskCompleted(1.0, "a", 1, 0.0))
+        assert len(sink.trace_events()) == 1
+        sink.close()
+        sink.close()  # idempotent
+
+
+class TestTextSummarySink:
+    def test_report_aggregates_the_stream(self):
+        sink = TextSummarySink()
+        for event in EVENTS:
+            sink.emit(event)
+        report = sink.report()
+        assert "2 started" in report
+        assert "1 completed" in report
+        assert "1 killed" in report
+        assert "1 fault events" in report
+        assert "1 retries" in report
+        assert "capacity floor 3" in report
+
+    def test_fault_free_stream_omits_resilience_line(self):
+        sink = TextSummarySink()
+        sink.emit(TaskRevealed(0.0, "a"))
+        assert "resilience" not in sink.report()
+
+    def test_close_writes_to_stream(self):
+        stream = io.StringIO()
+        sink = TextSummarySink(stream)
+        sink.emit(TaskRevealed(0.0, "a"))
+        sink.close()
+        assert "trace summary" in stream.getvalue()

@@ -1,0 +1,79 @@
+"""RowLayout: the greedy row policy shared by both trace exporters."""
+
+import pytest
+
+from repro.obs.layout import RowLayout
+
+
+class TestPlacement:
+    def test_lowest_free_rows_first(self):
+        layout = RowLayout(4)
+        assert layout.place(0.0, 2.0, 2) == (0, 1)
+        assert layout.place(0.0, 1.0, 2) == (2, 3)
+
+    def test_rows_reused_after_end(self):
+        layout = RowLayout(4)
+        layout.place(0.0, 1.0, 4)
+        assert layout.place(1.0, 2.0, 2) == (0, 1)
+
+    def test_full_platform_task_takes_every_row(self):
+        layout = RowLayout(3)
+        assert layout.place(0.0, 1.0, 3) == (0, 1, 2)
+        assert layout.place(1.0, 2.0, 3) == (0, 1, 2)
+
+    def test_fractional_start_within_tolerance_counts_as_free(self):
+        layout = RowLayout(1)
+        layout.place(0.0, 1.0, 1)
+        # A start a hair *before* the previous end (float noise from
+        # summing durations) must still reuse the row.
+        assert layout.place(1.0 - 1e-13, 2.0, 1) == (0,)
+
+    def test_fractional_start_beyond_tolerance_is_busy(self):
+        layout = RowLayout(2)
+        layout.place(0.0, 1.0, 1)
+        assert layout.place(1.0 - 1e-9, 2.0, 1) == (1,)
+
+    def test_tolerance_scales_with_magnitude(self):
+        layout = RowLayout(1)
+        t = 1e6
+        layout.place(0.0, t, 1)
+        # Relative tolerance: 1e-12 * 1e6 = 1e-6 of slack at t = 1e6.
+        assert layout.place(t - 1e-7, t + 1.0, 1) == (0,)
+
+    def test_overpacked_falls_back_to_soonest_free(self):
+        layout = RowLayout(2)
+        layout.place(0.0, 5.0, 1)
+        layout.place(0.0, 1.0, 1)
+        # Infeasible: both rows busy at t=0.5 — degrade, don't crash.
+        assert layout.place(0.5, 2.0, 2) == (0, 1)
+
+    def test_at_least_one_row_required(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            RowLayout(0)
+
+
+class TestGrowMode:
+    def test_grows_to_observed_concurrency(self):
+        layout = RowLayout(1, grow=True)
+        assert layout.place(0.0, 2.0, 1) == (0,)
+        assert layout.place(0.0, 2.0, 2) == (1, 2)
+        assert layout.rows == 3
+
+    def test_fixed_layout_never_grows(self):
+        layout = RowLayout(2)
+        layout.place(0.0, 1.0, 3)
+        assert layout.rows == 2
+
+
+class TestRelease:
+    def test_release_frees_rows_early(self):
+        layout = RowLayout(2)
+        rows = layout.place(0.0, 10.0, 2)
+        layout.release(rows, 1.0)  # the attempt was killed at t=1
+        assert layout.place(1.0, 2.0, 2) == (0, 1)
+
+    def test_release_never_extends_busy_time(self):
+        layout = RowLayout(1)
+        layout.place(0.0, 1.0, 1)
+        layout.release((0,), 5.0)  # later than the bar's end: no-op
+        assert layout.place(1.0, 2.0, 1) == (0,)

@@ -1,0 +1,91 @@
+"""Structured logging configuration for the repro.* namespace."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    StructuredFormatter,
+    configure_logging,
+    get_logger,
+    log_fields,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Restore the repro logger tree after each test."""
+    logger = logging.getLogger("repro")
+    saved = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.setLevel(saved[0])
+    logger.handlers[:] = saved[1]
+    logger.propagate = saved[2]
+
+
+class TestConfigureLogging:
+    def test_reconfiguring_replaces_instead_of_stacking(self):
+        logger = configure_logging("INFO")
+        configure_logging("DEBUG")
+        ours = [h for h in logger.handlers if getattr(h, "_repro_obs_handler", False)]
+        assert len(ours) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_string_levels_parsed(self):
+        assert configure_logging("warning").level == logging.WARNING
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging("LOUD")
+
+    def test_root_logger_untouched_and_propagation_off(self):
+        before = list(logging.getLogger().handlers)
+        logger = configure_logging("INFO")
+        assert logging.getLogger().handlers == before
+        assert logger.propagate is False
+
+    def test_records_reach_the_given_stream(self):
+        stream = io.StringIO()
+        configure_logging("INFO", stream=stream, timestamps=False)
+        get_logger("runtime").info("campaign started", extra=log_fields({"jobs": 4}))
+        line = stream.getvalue().strip()
+        assert line == "INFO repro.runtime :: campaign started [jobs=4]"
+
+
+class TestGetLogger:
+    def test_prefixes_bare_names(self):
+        assert get_logger("sim").name == "repro.sim"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.obs.export").name == "repro.obs.export"
+        assert get_logger("repro").name == "repro"
+
+
+class TestStructuredFormatter:
+    def _format(self, msg, extra=None, **kwargs):
+        record = logging.LogRecord("repro.x", logging.INFO, "f.py", 1, msg, (), None)
+        for key, value in (extra or {}).items():
+            setattr(record, key, value)
+        return StructuredFormatter(**kwargs).format(record)
+
+    def test_extras_sorted_and_appended(self):
+        line = self._format("run", extra={"b": 2, "a": 1}, timestamps=False)
+        assert line.endswith("run [a=1 b=2]")
+
+    def test_values_with_spaces_quoted(self):
+        line = self._format("x", extra={"experiment": "figure 3"}, timestamps=False)
+        assert 'experiment="figure 3"' in line
+
+    def test_floats_compacted(self):
+        line = self._format("x", extra={"t": 0.123456789}, timestamps=False)
+        assert "t=0.123457" in line
+
+    def test_no_extras_no_bracket(self):
+        assert "[" not in self._format("plain message", timestamps=False)
+
+
+class TestLogFields:
+    def test_reserved_names_sanitized(self):
+        safe = log_fields({"msg": "x", "jobs": 2})
+        assert safe == {"f_msg": "x", "jobs": 2}

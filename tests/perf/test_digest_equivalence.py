@@ -38,8 +38,26 @@ def test_experiment_digest_unchanged(name):
     )
 
 
-def test_resilient_engine_digest_unchanged():
-    """Fault-injected path: kills, retries, and re-allocations are exact too."""
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_experiment_digest_unchanged_under_tracing(name):
+    """Tracing is observational: traced runs are byte-identical to golden.
+
+    Runs every registry experiment with an ambient event-collecting tracer
+    installed — the most intrusive tracer configuration (every emission
+    site fires) — and requires the exact pre-tracing digests.
+    """
+    from repro.obs.events import CollectingTracer, use_tracer
+
+    tracer = CollectingTracer()
+    with use_tracer(tracer):
+        digest = run_experiment(name).digest()
+    assert digest == GOLDEN[name], (
+        f"experiment {name!r} changed its schedule when traced; "
+        "tracing must be purely observational"
+    )
+
+
+def _resilient_digest(tracer=None) -> str:
     from repro.core.scheduler import OnlineScheduler
     from repro.graph.generators import layered_random
     from repro.resilience.faults import FaultTrace
@@ -59,7 +77,9 @@ def test_resilient_engine_digest_unchanged():
         [(5.0, "fail", 3), (9.0, "recover", 3), (12.0, "fail", 0), (20.0, "recover", 0)]
     )
     scheduler = OnlineScheduler.for_family("communication", 16)
-    result = scheduler.run(graph, faults=trace, retry=RetryPolicy(max_attempts=5))
+    result = scheduler.run(
+        graph, faults=trace, retry=RetryPolicy(max_attempts=5), tracer=tracer
+    )
     assert result.killed_attempts() == 1  # the trace really injects a kill
     payload = {
         "schedule": schedule_to_dict(result.schedule),
@@ -73,4 +93,21 @@ def test_resilient_engine_digest_unchanged():
         ],
         "capacity": result.capacity_timeline,
     }
-    assert content_digest(payload) == GOLDEN["__resilient_engine__"]
+    return content_digest(payload)
+
+
+def test_resilient_engine_digest_unchanged():
+    """Fault-injected path: kills, retries, and re-allocations are exact too."""
+    assert _resilient_digest() == GOLDEN["__resilient_engine__"]
+
+
+def test_resilient_engine_digest_unchanged_under_tracing():
+    """The resilient path is observational under tracing too."""
+    from repro.obs.events import CollectingTracer, FaultInjected, RetryScheduled
+
+    tracer = CollectingTracer()
+    assert _resilient_digest(tracer) == GOLDEN["__resilient_engine__"]
+    # The stream really covered the resilience machinery while not
+    # perturbing the schedule.
+    assert tracer.of_type(FaultInjected)
+    assert tracer.of_type(RetryScheduled)

@@ -87,9 +87,29 @@ class TestExponentialFaultModel:
         b = ExponentialFaultModel(5.0, mttr=1.0, horizon=100.0, seed=2).trace(8)
         assert a.events != b.events
 
-    def test_events_within_horizon(self):
+    def test_failures_within_horizon(self):
         trace = ExponentialFaultModel(2.0, mttr=0.5, horizon=30.0, seed=0).trace(4)
-        assert all(0 <= e.time < 30.0 for e in trace)
+        assert all(e.time >= 0 for e in trace)
+        assert all(e.time < 30.0 for e in trace if e.kind == "fail")
+
+    def test_finite_mttr_never_strands_a_processor(self):
+        # Every emitted failure must carry its matching recovery, even when
+        # the recovery falls past the horizon: dropping it would silently
+        # make the failure permanent, and a long resilient run could watch
+        # its capacity ratchet down to zero and deadlock.
+        for seed in range(20):
+            trace = ExponentialFaultModel(
+                1.0, mttr=0.5, horizon=10.0, seed=seed
+            ).trace(8)
+            balance: dict[int, int] = {}
+            for event in trace:
+                balance[event.processor] = balance.get(event.processor, 0) + (
+                    1 if event.kind == "fail" else -1
+                )
+            assert all(count == 0 for count in balance.values()), (
+                f"seed {seed}: processors left down for good: "
+                f"{[p for p, c in balance.items() if c != 0]}"
+            )
 
     def test_permanent_failures_never_recover(self):
         trace = ExponentialFaultModel(1.0, horizon=1000.0, seed=3).trace(16)

@@ -96,6 +96,34 @@ class TestCorruption:
         assert entry is not None and entry.report == REPORT
 
 
+class TestInjectableClock:
+    def test_created_s_comes_from_the_injected_clock(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", clock=lambda: 1234.5)
+        key = cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        payload = json.loads((cache.root / f"{key}.json").read_text())
+        assert payload["created_s"] == 1234.5
+
+    def test_default_clock_is_wall_time(self, tmp_path):
+        import time
+
+        assert ResultCache(tmp_path / "cache").clock is time.time
+
+
+class TestMetricsPayload:
+    def test_metrics_round_trip_through_the_cache(self, cache):
+        metrics = {"engine.events": {"kind": "counter", "value": 42.0}}
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1, metrics=metrics)
+        entry = cache.get("demo", {"P": 16})
+        assert entry is not None
+        assert entry.metrics == metrics
+
+    def test_metrics_default_to_none(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        entry = cache.get("demo", {"P": 16})
+        assert entry is not None
+        assert entry.metrics is None
+
+
 class TestMaintenance:
     def test_len_and_clear(self, cache):
         assert len(cache) == 0

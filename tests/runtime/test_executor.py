@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import (
     CampaignExecutor,
     ResultCache,
@@ -150,6 +151,71 @@ class TestManifest:
         path.write_text("not json")
         append_bench_entry(path, outcome.manifest)
         assert len(json.loads(path.read_text())["entries"]) == 1
+
+
+class TestMetricsPropagation:
+    def test_computed_run_carries_engine_metrics(self):
+        outcome = run_campaign_experiments(names=["figure2"], jobs=1, cache=None)
+        (record,) = outcome.manifest.runs
+        assert record.metrics is not None
+        registry = MetricsRegistry.from_dict(record.metrics)
+        assert registry.value("engine.runs") >= 1
+        assert registry.value("engine.events") > 0
+
+    def test_analytic_experiment_has_no_metrics(self):
+        outcome = run_campaign_experiments(names=["table2"], jobs=1, cache=None)
+        (record,) = outcome.manifest.runs
+        assert record.metrics is None
+
+    def test_cache_hit_replays_stored_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_campaign_experiments(names=["figure2"], jobs=1, cache=cache)
+        second = run_campaign_experiments(names=["figure2"], jobs=1, cache=cache)
+        assert first.manifest.runs[0].metrics is not None
+        assert second.manifest.runs[0].cache_status == "hit"
+        assert second.manifest.runs[0].metrics == first.manifest.runs[0].metrics
+
+    def test_worker_metrics_merge_in_the_parent(self):
+        outcome = run_campaign_experiments(
+            names=["figure2", "figure4"], jobs=2, cache=None
+        )
+        per_run = [r.metrics for r in outcome.manifest.runs if r.metrics]
+        assert per_run, "simulation experiments must report metrics"
+        merged = MetricsRegistry()
+        for snapshot in per_run:
+            merged.merge(snapshot)
+        total_runs = sum(
+            MetricsRegistry.from_dict(snapshot).value("engine.runs")
+            for snapshot in per_run
+        )
+        assert merged.value("engine.runs") == total_runs
+
+    def test_manifest_json_carries_metrics(self, tmp_path):
+        outcome = run_campaign_experiments(names=["figure2"], jobs=1, cache=None)
+        path = outcome.manifest.write(tmp_path / "manifest.json")
+        (run,) = json.loads(path.read_text())["runs"]
+        assert "engine.runs" in run["metrics"]
+
+    def test_bench_entry_carries_metrics(self, tmp_path):
+        outcome = run_campaign_experiments(names=["figure2"], jobs=1, cache=None)
+        path = tmp_path / "BENCH_experiments.json"
+        append_bench_entry(path, outcome.manifest)
+        entry = json.loads(path.read_text())["entries"][0]
+        assert "metrics" in entry["per_experiment"]["figure2"]
+
+
+class TestExecutorClock:
+    def test_frozen_clock_makes_all_runs_concurrent(self):
+        # peak_in_flight is computed from clock()-stamped windows; freezing
+        # the injected clock proves the stamps really come from it.
+        executor = CampaignExecutor(jobs=1, clock=lambda: 0.0)
+        outcome = executor.run([RunRequest(n) for n in FAST])
+        assert outcome.manifest.peak_in_flight == len(FAST)
+
+    def test_default_clock_is_wall_time(self):
+        import time
+
+        assert CampaignExecutor(jobs=1).clock is time.time
 
 
 class TestPeakOverlap:

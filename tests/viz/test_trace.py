@@ -58,6 +58,50 @@ class TestTraceEvents:
         assert len(events) == sum(e.procs for e in result.schedule)
 
 
+class TestRowAssignment:
+    """The greedy row policy, now shared with the live exporter."""
+
+    def test_fractional_start_within_tolerance_reuses_rows(self):
+        # Float noise from summed durations: a successor starting 1e-13
+        # before its predecessor's end must still land on the same rows.
+        s = Schedule(2)
+        s.add("a", 0.0, 1.0, 2)
+        s.add("b", 1.0 - 1e-13, 2.0, 2)
+        events = schedule_to_trace_events(s)
+        rows = {e["name"]: sorted(ev["tid"] for ev in events if ev["name"] == e["name"]) for e in events}
+        assert rows["a"] == rows["b"] == [0, 1]
+
+    def test_gap_beyond_tolerance_is_a_real_conflict(self):
+        s = Schedule(4)
+        s.add("a", 0.0, 1.0, 2)
+        s.add("b", 1.0 - 1e-6, 2.0, 2)  # genuinely overlapping
+        events = schedule_to_trace_events(s)
+        rows_a = {e["tid"] for e in events if e["name"] == "a"}
+        rows_b = {e["tid"] for e in events if e["name"] == "b"}
+        assert rows_a.isdisjoint(rows_b)
+
+    def test_full_platform_task_occupies_every_row(self):
+        s = Schedule(3)
+        s.add("wide", 0.0, 1.0, 3)
+        s.add("next", 1.0, 2.0, 3)
+        events = schedule_to_trace_events(s)
+        for name in ("wide", "next"):
+            assert sorted(e["tid"] for e in events if e["name"] == name) == [0, 1, 2]
+
+    def test_matches_the_shared_layout_helper(self, schedule):
+        """viz row assignment IS RowLayout — same rows, same order."""
+        from repro.obs.layout import RowLayout
+
+        layout = RowLayout(schedule.P)
+        expected = {}
+        for entry in sorted(schedule, key=lambda e: (e.start, str(e.task_id))):
+            expected[entry.task_id] = list(layout.place(entry.start, entry.end, entry.procs))
+        events = schedule_to_trace_events(schedule)
+        for task_id, rows in expected.items():
+            got = [e["tid"] for e in events if e["name"] == str(task_id)]
+            assert got == rows
+
+
 class TestTraceJson:
     def test_valid_json_document(self, schedule):
         doc = json.loads(schedule_to_trace_json(schedule))
