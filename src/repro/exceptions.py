@@ -22,6 +22,15 @@ __all__ = [
     "TaskAbortedError",
     "AllocationError",
     "FittingError",
+    "ExperimentFailedError",
+    "RunQuarantinedError",
+    "ServiceError",
+    "ProtocolError",
+    "AdmissionRejected",
+    "QuotaExceeded",
+    "DeadlineExceeded",
+    "SessionClosed",
+    "JournalCorruptError",
 ]
 
 
@@ -106,3 +115,79 @@ class AllocationError(ReproError):
 
 class FittingError(ReproError):
     """A speedup model could not be fitted to the provided samples."""
+
+
+class ExperimentFailedError(ReproError, RuntimeError):
+    """An experiment run raised inside a campaign worker.
+
+    Subclasses ``RuntimeError`` for backwards compatibility with callers
+    that caught the executor's former bare ``RuntimeError`` wrapper.
+    """
+
+
+class RunQuarantinedError(ExperimentFailedError):
+    """A campaign run was quarantined after exhausting its retry budget.
+
+    Carries the per-attempt failure descriptions so the manifest (and the
+    operator) can see what each attempt died of.
+    """
+
+    def __init__(self, message: str, *, experiment: str | None = None, attempts: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.experiment = experiment
+        self.attempts = attempts
+
+
+# ----------------------------------------------------------------------
+# Scheduler-as-a-service errors (repro.service)
+# ----------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class of every scheduler-service failure."""
+
+    #: Wire error code sent to clients (subclasses override).
+    code: str = "SERVICE_ERROR"
+
+
+class ProtocolError(ServiceError):
+    """A request violated the JSON-lines wire protocol."""
+
+    code = "MALFORMED"
+
+
+class AdmissionRejected(ServiceError):
+    """The service refused to admit a session or mutation.
+
+    ``retry_after`` (seconds, wall clock) is a backpressure hint: ``None``
+    means the rejection is permanent for this session, a number invites
+    the client to retry once load drains.
+    """
+
+    code = "ADMISSION_REJECTED"
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A per-tenant quota (in-flight tasks, processors, sessions) was hit."""
+
+    code = "QUOTA_EXCEEDED"
+
+
+class DeadlineExceeded(ServiceError):
+    """A request or session overran its deadline and was cancelled."""
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class SessionClosed(ServiceError):
+    """An operation arrived on a session that is no longer open."""
+
+    code = "SESSION_CLOSED"
+
+
+class JournalCorruptError(ServiceError):
+    """The write-ahead journal failed validation during recovery."""
+
+    code = "JOURNAL_CORRUPT"

@@ -126,7 +126,10 @@ class ResultCache:
                 created_s=float(payload["created_s"]),
                 metrics=payload.get("metrics"),
             )
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError, RecursionError) as exc:
+            # RecursionError: a pathologically nested entry blows the
+            # recursion limit inside json.loads / decode_value / digest()
+            # — corruption, same as any other unreadable entry.
             warnings.warn(
                 f"evicting corrupt cache entry for {experiment!r} "
                 f"({path.name}): {exc}",

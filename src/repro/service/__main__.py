@@ -1,0 +1,200 @@
+"""Command-line entry point: ``python -m repro.service <command>``.
+
+Commands
+--------
+``serve``    boot a scheduler service (Ctrl-C to stop gracefully)
+``trace``    generate a replayable load trace from a seeded spec
+``loadgen``  boot a service, replay a trace against it, print the result
+``bench``    full benchmark: load replay + kill + timed journal recovery,
+             appended to ``BENCH_service.json``
+``chaos``    run the seeded chaos campaign (delays, malformed requests,
+             disconnects, faults, kill-and-recover) and print its report
+``recover``  replay a journal offline and print the recovered digest
+
+Exit codes: 0 success, 1 runtime failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import sys
+import tempfile
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.service.chaos import ChaosSpec, run_chaos
+from repro.service.config import ServiceConfig
+from repro.service.core import ServiceCore
+from repro.service.loadgen import (
+    LoadSpec,
+    generate_trace,
+    load_trace,
+    replay_trace,
+    run_bench,
+    save_trace,
+)
+from repro.service.server import SchedulerServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Multi-tenant moldable-task scheduler service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="boot a scheduler service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7463)
+    serve.add_argument("--procs", type=int, default=64, help="pool size P")
+    serve.add_argument("--family", default="general", help="speedup family for mu*")
+    serve.add_argument("--journal", type=Path, default=None, help="WAL path")
+
+    trace = sub.add_parser("trace", help="generate a replayable load trace")
+    trace.add_argument("out", type=Path, help="trace file to write")
+    _add_load_args(trace)
+
+    loadgen = sub.add_parser("loadgen", help="replay a load trace against a service")
+    loadgen.add_argument("--trace", type=Path, default=None, help="trace file to replay")
+    loadgen.add_argument("--journal", type=Path, default=None, help="WAL path")
+    _add_load_args(loadgen)
+
+    bench = sub.add_parser("bench", help="benchmark throughput + recovery time")
+    bench.add_argument(
+        "--out", type=Path, default=Path("BENCH_service.json"),
+        help="benchmark trajectory file (default: BENCH_service.json)",
+    )
+    bench.add_argument("--trace", type=Path, default=None, help="trace file to replay")
+    _add_load_args(bench)
+
+    chaos = sub.add_parser("chaos", help="run the chaos campaign")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--rounds", type=int, default=3)
+    chaos.add_argument("--procs", type=int, default=8)
+    chaos.add_argument("--tenants", type=int, default=3, help="tenants per round")
+    chaos.add_argument("--tasks", type=int, default=10, help="tasks per tenant")
+
+    recover = sub.add_parser("recover", help="replay a journal and print its digest")
+    recover.add_argument("journal", type=Path)
+    return parser
+
+
+def _add_load_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--procs", type=int, default=32, help="pool size P")
+    parser.add_argument("--family", default="general")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--tasks", type=int, default=50, help="tasks per tenant")
+
+
+def _load_spec(options: argparse.Namespace) -> LoadSpec:
+    return LoadSpec(
+        seed=options.seed,
+        P=options.procs,
+        family=options.family,
+        tenants=options.tenants,
+        tasks_per_tenant=options.tasks,
+    )
+
+
+async def _serve(options: argparse.Namespace) -> int:
+    config = ServiceConfig(P=options.procs, family=options.family)
+    server = SchedulerServer(
+        config,
+        journal_path=None if options.journal is None else str(options.journal),
+        host=options.host,
+        port=options.port,
+    )
+    host, port = await server.start()
+    print(f"scheduler service on {host}:{port} (P={config.P}, family={config.family})")
+    try:
+        while True:  # serve until interrupted
+            await asyncio.sleep(3600)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+async def _loadgen(options: argparse.Namespace) -> int:
+    spec = _load_spec(options)
+    trace = load_trace(options.trace) if options.trace else generate_trace(spec)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = (
+            str(options.journal)
+            if options.journal is not None
+            else str(Path(tmp) / "service-journal.jsonl")
+        )
+        server = SchedulerServer(spec.config(), journal_path=journal)
+        host, port = await server.start()
+        try:
+            result = await replay_trace(trace, host, port)
+            result.decisions = server.core.pool.stats.decisions
+            if result.wall_s > 0:
+                result.decisions_per_s = result.decisions / result.wall_s
+        finally:
+            await server.stop()
+    print(json.dumps(result.as_dict(), indent=1))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        if options.command == "serve":
+            with contextlib.suppress(KeyboardInterrupt):
+                return asyncio.run(_serve(options))
+            return 0
+        if options.command == "trace":
+            spec = _load_spec(options)
+            path = save_trace(generate_trace(spec), options.out)
+            print(f"wrote trace for {spec.tenants} tenants x "
+                  f"{spec.tasks_per_tenant} tasks to {path}")
+            return 0
+        if options.command == "loadgen":
+            return asyncio.run(_loadgen(options))
+        if options.command == "bench":
+            spec = _load_spec(options)
+            trace = load_trace(options.trace) if options.trace else None
+            with tempfile.TemporaryDirectory() as tmp:
+                entry = run_bench(
+                    spec,
+                    Path(tmp) / "service-journal.jsonl",
+                    bench_path=options.out,
+                    trace=trace,
+                )
+            print(json.dumps(entry, indent=1))
+            return 0
+        if options.command == "chaos":
+            spec = ChaosSpec(
+                seed=options.seed,
+                P=options.procs,
+                rounds=options.rounds,
+                tenants_per_round=options.tenants,
+                tasks_per_tenant=options.tasks,
+            )
+            with tempfile.TemporaryDirectory() as tmp:
+                report = run_chaos(spec, Path(tmp) / "chaos-journal.jsonl")
+            print(json.dumps(report.as_dict(), indent=1))
+            return 0
+        if options.command == "recover":
+            core = ServiceCore.recover(options.journal, reopen=False)
+            print(json.dumps(
+                {"digest": core.state_digest(), "status": core.status()}, indent=1
+            ))
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {options.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Asyncio client for the scheduler service (tests, load generator, CLI).
+
+:class:`ServiceClient` wraps one JSON-lines connection: commands are
+request/response (``hello`` → ack, ``submit`` → ack/rejection, ...),
+while asynchronous notifications (task completions, evictions) arriving
+between responses are buffered in :attr:`notifications` and can be
+awaited with :meth:`next_notification` / :meth:`wait_graph_done`.
+
+The client honors the service's backpressure contract:
+:meth:`submit_retrying` sleeps for the server-provided ``retry_after``
+hint and resubmits, so a well-behaved tenant never needs to special-case
+``QUOTA_EXCEEDED``/``ADMISSION_REJECTED`` rejections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.exceptions import ServiceError, SessionClosed
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Bye,
+    Cancel,
+    CloseGraph,
+    Hello,
+    Request,
+    StatusQuery,
+    Submit,
+    decode_line,
+    encode_line,
+    request_to_dict,
+)
+from repro.speedup.base import SpeedupModel
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One tenant session against a running :class:`SchedulerServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.notifications: list[dict[str, Any]] = []
+        self.closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES + 1024
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def disconnect_abruptly(self) -> None:
+        """Drop the connection with no ``bye`` (chaos: vanished client)."""
+        self.closed = True
+        transport = self.writer.transport
+        if transport is not None:
+            transport.abort()
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+    # ------------------------------------------------------------------
+    async def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (the chaos harness sends malformed lines here)."""
+        self.writer.write(payload)
+        await self.writer.drain()
+
+    async def _read_payload(self, timeout: float | None = 30.0) -> dict[str, Any]:
+        if timeout is None:
+            line = await self.reader.readline()
+        else:
+            line = await asyncio.wait_for(self.reader.readline(), timeout)
+        if not line:
+            raise SessionClosed("server closed the connection")
+        return decode_line(line)
+
+    async def request(
+        self, req: Request, *, timeout: float | None = 30.0
+    ) -> dict[str, Any]:
+        """Send one command and return its response payload.
+
+        Notifications that arrive before the response are buffered in
+        :attr:`notifications`, preserving order.
+        """
+        self.writer.write(encode_line(request_to_dict(req)))
+        await self.writer.drain()
+        while True:
+            payload = await self._read_payload(timeout)
+            if "ok" in payload or payload.get("event") == "status":
+                return payload
+            self.notifications.append(payload)
+
+    async def request_ok(
+        self, req: Request, *, timeout: float | None = 30.0
+    ) -> dict[str, Any]:
+        """Like :meth:`request` but raises :class:`ServiceError` on rejection."""
+        payload = await self.request(req, timeout=timeout)
+        if payload.get("ok") is False:
+            raise ServiceError(
+                f"{payload.get('error')}: {payload.get('message')}"
+            )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+    async def next_notification(self, *, timeout: float | None = 30.0) -> dict[str, Any]:
+        """The next buffered or incoming notification, in arrival order."""
+        if self.notifications:
+            return self.notifications.pop(0)
+        payload = await self._read_payload(timeout)
+        if "ok" in payload:
+            raise ServiceError(f"unexpected command response: {payload}")
+        return payload
+
+    async def wait_graph_done(
+        self, *, timeout: float | None = 30.0
+    ) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """Collect notifications until ``graph-done`` or ``evicted``.
+
+        Returns ``(terminal, prior)`` where ``terminal`` is the
+        graph-done/evicted notification and ``prior`` everything that
+        came before it (task completions and kills, in order).
+        """
+        seen: list[dict[str, Any]] = []
+        while True:
+            note = await self.next_notification(timeout=timeout)
+            if note.get("event") in ("graph-done", "evicted"):
+                return note, seen
+            seen.append(note)
+
+    # ------------------------------------------------------------------
+    # Convenience command wrappers
+    # ------------------------------------------------------------------
+    async def hello(self, tenant: str, **kwargs: Any) -> dict[str, Any]:
+        return await self.request_ok(Hello(tenant=tenant, **kwargs))
+
+    async def submit(
+        self, task: str, model: SpeedupModel, deps: tuple[str, ...] = ()
+    ) -> dict[str, Any]:
+        return await self.request(Submit(task=task, model=model, deps=deps))
+
+    async def submit_retrying(
+        self,
+        task: str,
+        model: SpeedupModel,
+        deps: tuple[str, ...] = (),
+        *,
+        max_retries: int = 50,
+    ) -> dict[str, Any]:
+        """Submit, honoring ``retry_after`` backpressure hints."""
+        for _ in range(max_retries):
+            payload = await self.submit(task, model, deps)
+            if payload.get("ok"):
+                return payload
+            retry_after = payload.get("retry_after")
+            if retry_after is None:
+                raise ServiceError(
+                    f"{payload.get('error')}: {payload.get('message')}"
+                )
+            await asyncio.sleep(float(retry_after))
+        raise ServiceError(f"task {task!r} rejected {max_retries} times")
+
+    async def close_graph(self) -> dict[str, Any]:
+        return await self.request_ok(CloseGraph())
+
+    async def cancel(self) -> dict[str, Any]:
+        return await self.request_ok(Cancel())
+
+    async def status(self) -> dict[str, Any]:
+        payload = await self.request_ok(StatusQuery())
+        inner = payload.get("payload")
+        return inner if isinstance(inner, dict) else {}
+
+    async def bye(self) -> None:
+        try:
+            await self.request_ok(Bye())
+        finally:
+            await self.close()

@@ -1,0 +1,209 @@
+"""Crash-safe write-ahead journal (WAL) of the scheduler service.
+
+The service's durability story is the classic one: every state-changing
+request is **appended to the journal and flushed to the OS before it is
+acknowledged**.  Because the pool is deterministic (see
+:mod:`repro.service.pool`), the journal *is* the state — recovery replays
+it through a fresh :class:`~repro.service.core.ServiceCore` and arrives
+at a digest-identical pool, which the chaos harness verifies after every
+kill-and-recover cycle.
+
+File format: JSON lines.  The first record is a header carrying the
+format version and the full :class:`~repro.service.config.ServiceConfig`
+(so a recovered service is configured identically); every further record
+is one mutation ``{"kind": "mutation", "seq": N, "op": ..., ...}`` with a
+strictly increasing ``seq``.
+
+Torn tails are expected, mid-file corruption is not.  A crash can leave
+one partially-written final line; :func:`read_journal` silently drops a
+torn *tail* (and :class:`JournalWriter` truncates it away on reopen,
+since the corresponding request was never acknowledged).  Any undecodable
+or out-of-order record *before* the tail means real corruption and raises
+:class:`~repro.exceptions.JournalCorruptError` — recovery must never
+silently skip acknowledged mutations.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import JournalCorruptError
+from repro.service.config import ServiceConfig
+
+__all__ = ["JournalWriter", "read_journal", "scan_records", "JOURNAL_VERSION"]
+
+#: Format version recorded in (and checked against) the header.
+JOURNAL_VERSION = 1
+
+
+class JournalWriter:
+    """Append-only journal with write-ahead semantics.
+
+    ``append`` returns only after the record is written and flushed
+    (``fsync``'d too when the config demands it); callers acknowledge the
+    client strictly *after* ``append`` returns.  Reopening an existing
+    journal validates the header, replays nothing, truncates a torn tail,
+    and continues the sequence where the file left off.
+    """
+
+    def __init__(self, path: str | Path, config: ServiceConfig) -> None:
+        self.path = Path(path)
+        self.config = config
+        self._fsync = config.journal_fsync
+        self.records_written = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            header, mutations = read_journal(self.path)
+            if header.as_dict() != config.as_dict():
+                raise JournalCorruptError(
+                    f"journal {self.path} was written by a differently "
+                    "configured service; refusing to append"
+                )
+            self._seq = (mutations[-1]["seq"] + 1) if mutations else 0
+            self._reopen_truncated(header, mutations)
+        else:
+            self._seq = 0
+            self._fh: io.BufferedWriter = open(self.path, "ab")
+            self._write(
+                {
+                    "kind": "header",
+                    "version": JOURNAL_VERSION,
+                    "config": config.as_dict(),
+                }
+            )
+
+    def _reopen_truncated(self, header: ServiceConfig, mutations: list[dict[str, Any]]) -> None:
+        """Rewrite the journal without any torn tail, then append to it.
+
+        The tail line (if any) belongs to a request that was never
+        acknowledged, so dropping it is correct — and keeping the file
+        clean means every *future* reader sees only whole records.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".reopen")
+        with open(tmp, "wb") as fh:
+            fh.write(_encode({"kind": "header", "version": JOURNAL_VERSION,
+                              "config": header.as_dict()}))
+            for record in mutations:
+                fh.write(_encode(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+
+    def _write(self, record: Mapping[str, Any]) -> None:
+        self._fh.write(_encode(record))
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, op: str, payload: Mapping[str, Any]) -> int:
+        """Durably record one mutation; returns its sequence number.
+
+        This is the write-ahead barrier: when ``append`` returns, the
+        mutation will survive a process kill, so the caller may apply it
+        to the pool and acknowledge the client.
+        """
+        seq = self._seq
+        record = {"kind": "mutation", "seq": seq, "op": op}
+        for key, value in payload.items():
+            if key in record:
+                raise JournalCorruptError(f"mutation payload shadows field {key!r}")
+            record[key] = value
+        self._write(record)
+        self._seq += 1
+        self.records_written += 1
+        return seq
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _encode(record: Mapping[str, Any]) -> bytes:
+    return json.dumps(dict(record), sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def scan_records(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield decoded records, silently dropping one torn tail line.
+
+    A line that fails to decode is tolerated **only** when it is the last
+    line of the file (a torn write from a crash); anywhere else it raises
+    :class:`~repro.exceptions.JournalCorruptError` with its line number.
+    """
+    with open(path, "rb") as fh:
+        lines = fh.read().split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()  # trailing newline of the last complete record
+    for lineno, raw in enumerate(lines, start=1):
+        try:
+            record = json.loads(raw.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError(f"record is {type(record).__name__}, not object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if lineno == len(lines):
+                return  # torn tail: the write never completed, drop it
+            raise JournalCorruptError(
+                f"{path}: undecodable record at line {lineno}: {exc}"
+            ) from exc
+        yield record
+
+
+def read_journal(path: str | Path) -> tuple[ServiceConfig, list[dict[str, Any]]]:
+    """Read and validate a journal: header config + ordered mutations.
+
+    Validates the header (presence, version, config), the ``kind`` of
+    every record, and that mutation sequence numbers are exactly
+    ``0, 1, 2, ...`` — a gap means an acknowledged mutation is missing
+    and the journal cannot be trusted.
+    """
+    records = list(scan_records(path))
+    if not records:
+        raise JournalCorruptError(f"{path}: empty journal (no header record)")
+    header = records[0]
+    if header.get("kind") != "header":
+        raise JournalCorruptError(
+            f"{path}: first record is {header.get('kind')!r}, expected header"
+        )
+    if header.get("version") != JOURNAL_VERSION:
+        raise JournalCorruptError(
+            f"{path}: journal version {header.get('version')!r} is not "
+            f"{JOURNAL_VERSION}"
+        )
+    config_payload = header.get("config")
+    if not isinstance(config_payload, dict):
+        raise JournalCorruptError(f"{path}: header carries no config object")
+    try:
+        config = ServiceConfig.from_dict(config_payload)
+    except Exception as exc:
+        raise JournalCorruptError(f"{path}: invalid header config: {exc}") from exc
+    mutations: list[dict[str, Any]] = []
+    for record in records[1:]:
+        if record.get("kind") != "mutation":
+            raise JournalCorruptError(
+                f"{path}: unexpected record kind {record.get('kind')!r} "
+                f"after the header"
+            )
+        seq = record.get("seq")
+        if seq != len(mutations):
+            raise JournalCorruptError(
+                f"{path}: mutation seq {seq!r} where {len(mutations)} was "
+                "expected (missing or reordered acknowledged mutation)"
+            )
+        if not isinstance(record.get("op"), str):
+            raise JournalCorruptError(f"{path}: mutation {seq} has no op tag")
+        mutations.append(record)
+    return config, mutations

@@ -1,0 +1,298 @@
+"""Load generator and service benchmark.
+
+Two layers:
+
+* **Trace generation** — :func:`generate_trace` expands a seeded
+  :class:`LoadSpec` into a deterministic JSON-able *trace*: one op list
+  per tenant (``hello`` → topological ``submit`` stream → ``close``).
+  Traces round-trip through :func:`save_trace`/:func:`load_trace`, so a
+  recorded workload can be replayed bit-identically against any service
+  instance (``python -m repro.service loadgen --trace``).
+* **Replay + measurement** — :func:`replay_trace` opens one concurrent
+  client session per tenant against a live server and drives the trace
+  flat out, honoring ``retry_after`` backpressure.  :func:`run_bench`
+  wraps a full benchmark: boot a journaled server, replay a trace,
+  measure sustained **decisions/sec**, kill the server abruptly, time
+  **journal recovery**, verify the recovered digest, and append the
+  entry to ``BENCH_service.json`` (same append-only trajectory
+  discipline as ``BENCH_engine.json``).
+
+Wall-clock use is intentional and confined to measurement — scheduling
+itself stays in virtual time inside the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import InvalidParameterError, ServiceError
+from repro.graph.generators import erdos_renyi_dag
+from repro.graph.io import model_to_dict
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.core import ServiceCore
+from repro.service.protocol import encode_line
+from repro.service.server import SchedulerServer
+from repro.speedup.random import RandomModelFactory
+
+__all__ = [
+    "LoadSpec",
+    "LoadResult",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+    "run_bench",
+]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Seeded description of a synthetic multi-tenant workload."""
+
+    seed: int = 0
+    P: int = 32
+    family: str = "general"
+    tenants: int = 4
+    tasks_per_tenant: int = 50
+    edge_probability: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1 or self.tasks_per_tenant < 1:
+            raise InvalidParameterError(
+                "tenants and tasks_per_tenant must be >= 1"
+            )
+
+    def config(self) -> ServiceConfig:
+        return ServiceConfig(
+            P=self.P,
+            family=self.family,
+            max_tenants=self.tenants + 1,
+            max_queue_depth=max(1024, self.tenants * self.tasks_per_tenant),
+            tick_events=256,
+        )
+
+
+def generate_trace(spec: LoadSpec) -> dict[str, Any]:
+    """Expand ``spec`` into a deterministic replayable trace.
+
+    Each tenant gets an independent random DAG (seeded from the spec
+    seed) whose tasks are streamed in topological order — the online
+    arrival model of the paper, one tenant per session.
+    """
+    tenants: list[dict[str, Any]] = []
+    for index in range(spec.tenants):
+        factory = RandomModelFactory(spec.family, seed=spec.seed * 7919 + index)
+        graph = erdos_renyi_dag(
+            spec.tasks_per_tenant,
+            factory,
+            edge_probability=spec.edge_probability,
+            seed=spec.seed * 104729 + index,
+        )
+        ops: list[dict[str, Any]] = []
+        for task_id in graph.topological_order():
+            ops.append(
+                {
+                    "task": str(task_id),
+                    "model": model_to_dict(graph.task(task_id).model),
+                    "deps": [str(p) for p in graph.predecessors(task_id)],
+                }
+            )
+        tenants.append({"tenant": f"load-{index}", "ops": ops})
+    return {
+        "kind": "service-load-trace",
+        "spec": {
+            "seed": spec.seed,
+            "P": spec.P,
+            "family": spec.family,
+            "tenants": spec.tenants,
+            "tasks_per_tenant": spec.tasks_per_tenant,
+            "edge_probability": spec.edge_probability,
+        },
+        "tenants": tenants,
+    }
+
+
+def save_trace(trace: Mapping[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dict(trace), indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("kind") != "service-load-trace":
+        raise InvalidParameterError(f"{path} is not a service load trace")
+    return payload
+
+
+@dataclass
+class LoadResult:
+    """Measured outcome of one trace replay."""
+
+    tenants: int
+    tasks_submitted: int
+    tasks_completed: int
+    graphs_done: int
+    wall_s: float
+    decisions: int
+    decisions_per_s: float
+    makespans: dict[str, float]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tenants": self.tenants,
+            "tasks_submitted": self.tasks_submitted,
+            "tasks_completed": self.tasks_completed,
+            "graphs_done": self.graphs_done,
+            "wall_s": round(self.wall_s, 6),
+            "decisions": self.decisions,
+            "decisions_per_s": round(self.decisions_per_s, 3),
+            "makespans": {k: round(v, 9) for k, v in sorted(self.makespans.items())},
+        }
+
+
+async def _replay_tenant(
+    host: str, port: int, entry: Mapping[str, Any], result: LoadResult
+) -> None:
+    client = await ServiceClient.connect(host, port)
+    tenant = str(entry["tenant"])
+    try:
+        await client.hello(tenant)
+        for op in entry["ops"]:
+            payload = {
+                "op": "submit",
+                "task": op["task"],
+                "model": op["model"],
+            }
+            if op["deps"]:
+                payload["deps"] = list(op["deps"])
+            for _ in range(200):  # retry_after-driven backpressure loop
+                client.writer.write(encode_line(payload))
+                await client.writer.drain()
+                while True:
+                    reply = await client._read_payload(timeout=60.0)
+                    if "ok" in reply:
+                        break
+                    client.notifications.append(reply)
+                if reply.get("ok"):
+                    result.tasks_submitted += 1
+                    break
+                retry_after = reply.get("retry_after")
+                if retry_after is None:
+                    raise ServiceError(
+                        f"{tenant}/{op['task']}: {reply.get('error')}: "
+                        f"{reply.get('message')}"
+                    )
+                await asyncio.sleep(float(retry_after))
+            else:
+                raise ServiceError(f"{tenant}/{op['task']}: backpressure never cleared")
+        await client.close_graph()
+        terminal, prior = await client.wait_graph_done(timeout=120.0)
+        result.tasks_completed += sum(
+            1 for n in prior if n.get("event") == "task-done"
+        )
+        if terminal.get("event") == "graph-done":
+            result.graphs_done += 1
+            result.makespans[tenant] = float(terminal.get("makespan", 0.0))
+        await client.bye()
+    finally:
+        await client.close()
+
+
+async def replay_trace(trace: Mapping[str, Any], host: str, port: int) -> LoadResult:
+    """Replay a trace against a live service, one session per tenant."""
+    tenants = list(trace["tenants"])
+    result = LoadResult(
+        tenants=len(tenants),
+        tasks_submitted=0,
+        tasks_completed=0,
+        graphs_done=0,
+        wall_s=0.0,
+        decisions=0,
+        decisions_per_s=0.0,
+        makespans={},
+    )
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(_replay_tenant(host, port, entry, result) for entry in tenants)
+    )
+    result.wall_s = time.perf_counter() - t0
+    return result
+
+
+async def _run_bench_async(
+    spec: LoadSpec, journal_path: Path, trace: Mapping[str, Any]
+) -> dict[str, Any]:
+    server = SchedulerServer(spec.config(), journal_path=str(journal_path))
+    host, port = await server.start()
+    result = await replay_trace(trace, host, port)
+    result.decisions = server.core.pool.stats.decisions
+    if result.wall_s > 0:
+        result.decisions_per_s = result.decisions / result.wall_s
+    journal_records = server.core.journal.next_seq if server.core.journal else 0
+
+    # Crash it and time the recovery (replay of the full journal).
+    await server.kill()
+    live_digest = server.core.state_digest()
+    t0 = time.perf_counter()
+    recovered = ServiceCore.recover(journal_path, reopen=False)
+    recovery_s = time.perf_counter() - t0
+    digest_ok = recovered.state_digest() == live_digest
+    if not digest_ok:
+        raise ServiceError("benchmark recovery diverged from the live state")
+    return {
+        "load": result.as_dict(),
+        "journal_records": journal_records,
+        "recovery_s": round(recovery_s, 6),
+        "records_per_recovery_s": (
+            round(journal_records / recovery_s, 3) if recovery_s > 0 else None
+        ),
+        "recovery_digest_verified": digest_ok,
+    }
+
+
+def run_bench(
+    spec: LoadSpec,
+    journal_path: str | Path,
+    *,
+    bench_path: str | Path | None = None,
+    trace: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Full service benchmark: load replay + kill + timed recovery.
+
+    Appends the entry to ``bench_path`` (``BENCH_service.json``) when
+    given, under the artifact header ``{"benchmark": "service"}``.
+    """
+    if trace is None:
+        trace = generate_trace(spec)
+    entry = asyncio.run(_run_bench_async(spec, Path(journal_path), trace))
+    entry["spec"] = dict(trace.get("spec", {}))
+    if bench_path is not None:
+        _append_service_bench(bench_path, entry)
+    return entry
+
+
+def _append_service_bench(path: str | Path, entry: Mapping[str, Any]) -> Path:
+    """Append one entry to the ``BENCH_service.json`` trajectory."""
+    path = Path(path)
+    trajectory: dict[str, Any] = {"benchmark": "service", "entries": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded.get("entries"), list) and (
+                loaded.get("benchmark") == "service"
+            ):
+                trajectory = loaded
+        except (OSError, ValueError):
+            pass
+    trajectory["entries"].append(dict(entry))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=1) + "\n")
+    return path

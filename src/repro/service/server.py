@@ -1,0 +1,379 @@
+"""Asyncio front end of the scheduler service.
+
+:class:`SchedulerServer` listens on a TCP socket, speaks the JSON-lines
+protocol of :mod:`repro.service.protocol`, and drives one
+:class:`~repro.service.core.ServiceCore`.  The concurrency design keeps
+the hardened core *synchronous and single-threaded*:
+
+* every connection gets a **session coroutine** that reads one line,
+  parses it (malformed input is answered with a ``MALFORMED`` rejection
+  and never reaches the core), enqueues the request on the dispatcher
+  queue, and awaits the response before reading the next line — one
+  in-flight command per session, which is the protocol's flow control;
+* a single **dispatcher coroutine** consumes that queue, applies each
+  mutation through the core (validate → journal → apply), and routes
+  asynchronous notifications (task completions, evictions) to the owning
+  sessions.  Because only the dispatcher touches the core, mutations are
+  totally ordered — the property the journal and the digest tests rely
+  on;
+* whenever the dispatcher finds its queue empty while the pool still has
+  scheduled events, it **ticks virtual time** forward — so the simulated
+  platform advances exactly when the service has quiesced its input.
+
+Robustness properties enforced here:
+
+* the dispatcher queue and every per-session outbox are **bounded**;
+  a session whose client stops reading its notifications is evicted
+  (``SLOW_CONSUMER``) instead of buffering without limit;
+* per-session **wall-clock idle timeouts** cancel abandoned connections
+  and return their capacity to the pool;
+* a client **disconnecting mid-stream** has its open session cancelled
+  (``DISCONNECTED``) — processors are reclaimed immediately;
+* repeated malformed lines close the connection after
+  ``MALFORMED_LIMIT`` strikes;
+* :meth:`SchedulerServer.kill` drops everything on the floor without
+  any graceful teardown, simulating a crash for the chaos harness —
+  recovery then proves the journal was sufficient.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import AdmissionRejected, ProtocolError, ServiceError
+from repro.obs.events import SimEvent
+from repro.service.config import ServiceConfig
+from repro.service.core import ServiceCore
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Bye,
+    Cancel,
+    CloseGraph,
+    Hello,
+    Request,
+    StatusQuery,
+    Submit,
+    decode_line,
+    encode_line,
+    parse_request,
+)
+
+__all__ = ["SchedulerServer", "MALFORMED_LIMIT"]
+
+#: Protocol violations tolerated per connection before it is dropped.
+MALFORMED_LIMIT = 5
+
+
+class _Session:
+    """Server-side connection state for one client."""
+
+    def __init__(self, server: "SchedulerServer", writer: asyncio.StreamWriter) -> None:
+        self.server = server
+        self.writer = writer
+        self.tenant: str | None = None
+        self.closed = False
+        #: Bounded notification outbox (drained by the notifier task);
+        #: overflow is a protocol-level failure of the client, not ours.
+        self.outbox: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue(
+            maxsize=server.config.max_session_requests
+        )
+
+    def write_payload(self, payload: Mapping[str, Any]) -> None:
+        """Write one complete line (atomic append to the transport buffer)."""
+        if not self.closed:
+            try:
+                self.writer.write(encode_line(payload))
+            except (ConnectionError, RuntimeError):
+                self.closed = True
+
+    def offer_notification(self, payload: dict[str, Any]) -> bool:
+        """Queue a notification; False means the outbox is full (evict)."""
+        try:
+            self.outbox.put_nowait(payload)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+    async def drain_outbox(self) -> None:
+        """Notifier task body: stream queued notifications to the client."""
+        while True:
+            payload = await self.outbox.get()
+            if payload is None:
+                return
+            self.write_payload(payload)
+            with contextlib.suppress(ConnectionError):
+                await self.writer.drain()
+
+
+class SchedulerServer:
+    """One service instance: TCP listener + dispatcher + shared core."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        journal_path: str | None = None,
+        core: ServiceCore | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        emit: Callable[[SimEvent], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.core = (
+            core
+            if core is not None
+            else ServiceCore(config, journal_path=journal_path, emit=emit)
+        )
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task[None] | None = None
+        self._queue: asyncio.Queue[
+            tuple[str, _Session | None, Request | None, asyncio.Future[Any] | None]
+        ] = asyncio.Queue(maxsize=config.max_queue_depth)
+        self._sessions: dict[str, _Session] = {}
+        self._tasks: set[asyncio.Task[Any]] = set()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener and start the dispatcher; returns (host, port)."""
+        if self._running:
+            raise ServiceError("server already started")
+        self._running = True
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush, close the journal."""
+        if not self._running:
+            return
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._queue.put(("stop", None, None, None))
+        if self._dispatcher is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        await self._teardown_sessions()
+        self.core.close_journal()
+
+    async def kill(self) -> None:
+        """Crash simulation: tear everything down with no goodbyes.
+
+        No journal flush beyond the per-record write-ahead flushes, no
+        eviction notices, no graceful closes — exactly what a ``SIGKILL``
+        leaves behind.  The chaos harness follows this with
+        :meth:`ServiceCore.recover` and asserts digest equality.
+        """
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        await self._teardown_sessions(abort=True)
+        self.core.close_journal()
+
+    async def _teardown_sessions(self, *, abort: bool = False) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._tasks.clear()
+        for session in list(self._sessions.values()):
+            session.closed = True
+            transport = session.writer.transport
+            if abort and transport is not None:
+                transport.abort()
+            else:
+                with contextlib.suppress(ConnectionError, RuntimeError):
+                    session.writer.close()
+        self._sessions.clear()
+
+    # ------------------------------------------------------------------
+    # Dispatcher: the only code path that mutates the core
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if self._queue.empty() and self.core.pool.has_pending_events():
+                self._route(self.core.tick())
+                await asyncio.sleep(0)  # let sessions enqueue between ticks
+                continue
+            kind, session, request, future = await self._queue.get()
+            if kind == "stop":
+                return
+            if kind == "detach":
+                assert session is not None
+                self._detach(session)
+                continue
+            assert session is not None and request is not None and future is not None
+            if not future.cancelled():
+                try:
+                    future.set_result(self._handle(session, request))
+                except ServiceError as exc:
+                    future.set_result(self._rejection(exc))
+                except Exception as exc:  # pragma: no cover - hardening
+                    future.set_exception(exc)
+
+    def _rejection(self, exc: ServiceError) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "ok": False,
+            "error": getattr(exc, "code", "SERVICE_ERROR"),
+            "message": str(exc),
+        }
+        retry_after = getattr(exc, "retry_after", None)
+        if isinstance(exc, AdmissionRejected) and retry_after is not None:
+            payload["retry_after"] = retry_after
+        return payload
+
+    def _handle(self, session: _Session, request: Request) -> dict[str, Any]:
+        core = self.core
+        if isinstance(request, Hello):
+            if session.tenant is not None:
+                raise ProtocolError(
+                    f"session already bound to tenant {session.tenant!r}"
+                )
+            info = core.hello(request)
+            session.tenant = request.tenant
+            self._sessions[request.tenant] = session
+            return {"ok": True, "op": "hello", "info": info}
+        if isinstance(request, StatusQuery):
+            return {"event": "status", "payload": core.status()}
+        if isinstance(request, Bye):
+            return {"ok": True, "op": "bye", "info": {}}
+        tenant = session.tenant
+        if tenant is None:
+            raise ProtocolError("say hello first (session is not bound to a tenant)")
+        if isinstance(request, Submit):
+            info, notes = core.submit(tenant, request)
+            self._route(notes)
+            return {"ok": True, "op": "submit", "info": info}
+        if isinstance(request, CloseGraph):
+            info, notes = core.close(tenant)
+            self._route(notes)
+            return {"ok": True, "op": "close", "info": info}
+        if isinstance(request, Cancel):
+            return {"ok": True, "op": "cancel", "info": core.cancel(tenant)}
+        raise ProtocolError(f"unhandled request {type(request).__name__}")
+
+    def _route(self, notes: list[tuple[str, dict[str, Any]]]) -> None:
+        """Deliver pool notifications to the owning sessions (best effort)."""
+        for tenant, payload in notes:
+            session = self._sessions.get(tenant)
+            if session is None or session.closed:
+                continue  # tenant gone; the journal still has the ground truth
+            if not session.offer_notification(payload):
+                # Slow consumer: evict rather than buffer without bound.
+                with contextlib.suppress(ServiceError):
+                    self.core.cancel(tenant, reason="SLOW_CONSUMER")
+                session.offer_notification(
+                    {
+                        "event": "evicted",
+                        "reason": "SLOW_CONSUMER",
+                        "message": "notification outbox overflowed",
+                    }
+                )
+                self._detach(session)
+
+    def inject_fault(self, kind: str, proc: int) -> None:
+        """Apply one processor fault and route its notifications.
+
+        For the chaos harness and fault drivers.  Synchronous, so it
+        cannot interleave with a dispatcher mutation in flight — the
+        single-threaded event loop is the lock.
+        """
+        self._route(self.core.fault(kind, proc))
+
+    def _detach(self, session: _Session) -> None:
+        """Unbind a session; cancel its tenant if the graph is still open."""
+        tenant = session.tenant
+        if tenant is None:
+            return
+        if self._sessions.get(tenant) is session:
+            del self._sessions[tenant]
+        run = self.core.pool.tenants.get(tenant)
+        if run is not None and run.active and run.status == "open":
+            with contextlib.suppress(ServiceError):
+                self.core.cancel(tenant, reason="DISCONNECTED")
+        session.tenant = None
+
+    # ------------------------------------------------------------------
+    # Per-connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(self, writer)
+        notifier = asyncio.create_task(session.drain_outbox())
+        self._tasks.add(notifier)
+        notifier.add_done_callback(self._tasks.discard)
+        timeout = self.config.session_idle_timeout_s
+        try:
+            malformed = 0
+            while self._running:
+                try:
+                    if timeout is None:
+                        line = await reader.readline()
+                    else:
+                        line = await asyncio.wait_for(reader.readline(), timeout)
+                except asyncio.TimeoutError:
+                    session.write_payload(
+                        {
+                            "event": "evicted",
+                            "reason": "DEADLINE_EXCEEDED",
+                            "message": f"session idle for {timeout:.6g}s",
+                        }
+                    )
+                    break
+                except (ValueError, ConnectionError):
+                    break  # oversized line blew the stream limit, or reset
+                if not line:
+                    break  # clean EOF
+                try:
+                    request = parse_request(decode_line(line))
+                except ProtocolError as exc:
+                    malformed += 1
+                    session.write_payload(self._rejection(exc))
+                    with contextlib.suppress(ConnectionError):
+                        await writer.drain()
+                    if malformed >= MALFORMED_LIMIT:
+                        break
+                    continue
+                future: asyncio.Future[dict[str, Any]] = (
+                    asyncio.get_running_loop().create_future()
+                )
+                await self._queue.put(("request", session, request, future))
+                response = await future
+                session.write_payload(response)
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                if isinstance(request, Bye):
+                    break
+        except asyncio.CancelledError:
+            # Teardown path (stop/kill cancelled us): swallow so asyncio's
+            # connection bookkeeping doesn't log a phantom error.
+            pass
+        finally:
+            session.closed = True
+            notifier.cancel()
+            if self._running:
+                with contextlib.suppress(asyncio.QueueFull):
+                    self._queue.put_nowait(("detach", session, None, None))
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                writer.close()

@@ -1,0 +1,43 @@
+"""A deliberately hostile experiment for executor-resilience tests.
+
+Registered under a temporary id by the ``hostile`` fixture in
+``test_executor.py``; never part of the real registry.
+"""
+
+import time
+from pathlib import Path
+
+from repro.experiments.registry import ExperimentReport
+
+
+def run(
+    mode: str = "ok",
+    scratch: str | None = None,
+    fail_times: int = 0,
+    seconds: float = 60.0,
+) -> ExperimentReport:
+    """Misbehave on demand.
+
+    ``ok``     return a report immediately;
+    ``crash``  raise;
+    ``hang``   sleep ``seconds`` (longer than any test timeout);
+    ``flaky``  raise on the first ``fail_times`` calls, counted in the
+               ``scratch`` file, then succeed.
+    """
+    if mode == "crash":
+        raise ValueError("injected crash")
+    if mode == "hang":
+        time.sleep(seconds)
+    elif mode == "flaky":
+        assert scratch is not None
+        counter = Path(scratch)
+        calls = int(counter.read_text()) if counter.exists() else 0
+        counter.write_text(str(calls + 1))
+        if calls < fail_times:
+            raise ValueError(f"injected flake #{calls + 1}")
+    return ExperimentReport(
+        name="hostile",
+        title="hostile test experiment",
+        text="survived",
+        data={"mode": mode},
+    )

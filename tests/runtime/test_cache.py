@@ -1,8 +1,11 @@
 """Content-addressed cache: hits, misses, invalidation, corruption recovery."""
 
 import json
+import warnings
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments.registry import ExperimentReport
 from repro.runtime.cache import ResultCache
@@ -94,6 +97,70 @@ class TestCorruption:
         cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.2)
         entry = cache.get("demo", {"P": 16})
         assert entry is not None and entry.report == REPORT
+
+
+class TestCorruptionFuzz:
+    """Property: no on-disk corruption may ever raise out of ``get``.
+
+    Every corrupted entry must behave as a miss — evicted with a warning,
+    never served and never an exception.
+    """
+
+    def assert_survives(self, cache, path, payload: bytes):
+        path.write_bytes(payload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            entry = cache.get("demo", {"P": 16})
+        assert entry is None or entry.report == REPORT
+        if entry is None:
+            assert not path.exists()  # corrupt entries are evicted
+
+    @given(data=st.binary(max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes(self, tmp_path_factory, data):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        key = cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        self.assert_survives(cache, cache.root / f"{key}.json", data)
+
+    @given(
+        json_value=st.recursive(
+            st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | st.text(max_size=8),
+            lambda children: st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=8), children, max_size=3),
+            max_leaves=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_json(self, tmp_path_factory, json_value):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        key = cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        payload = json.dumps(json_value).encode("utf-8")
+        self.assert_survives(cache, cache.root / f"{key}.json", payload)
+
+    @given(cut=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation(self, tmp_path_factory, cut):
+        cache = ResultCache(tmp_path_factory.mktemp("cache"))
+        key = cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        path = cache.root / f"{key}.json"
+        self.assert_survives(cache, path, path.read_bytes()[:cut])
+
+    def test_empty_file(self, cache):
+        path = cache.root / f"{cache.put('demo', {'P': 16}, REPORT, compute_time_s=0.1)}.json"
+        self.assert_survives(cache, path, b"")
+
+    def test_pathologically_nested_entry(self, cache):
+        # Deep nesting drives json.loads/decode_value into RecursionError
+        # territory — must evict, not blow the stack outward.
+        depth = 40_000
+        path = cache.root / f"{cache.put('demo', {'P': 16}, REPORT, compute_time_s=0.1)}.json"
+        self.assert_survives(cache, path, b"[" * depth + b"]" * depth)
+
+    def test_wrong_digest_with_valid_shape(self, cache):
+        path = cache.root / f"{cache.put('demo', {'P': 16}, REPORT, compute_time_s=0.1)}.json"
+        payload = json.loads(path.read_text())
+        payload["digest"] = "0" * 64
+        self.assert_survives(cache, path, json.dumps(payload).encode("utf-8"))
 
 
 class TestInjectableClock:

@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import (
+    ExperimentFailedError,
+    InvalidParameterError,
+    RunQuarantinedError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import (
     CampaignExecutor,
@@ -77,6 +81,11 @@ class TestExecutor:
         executor = CampaignExecutor(jobs=1)
         with pytest.raises(RuntimeError, match="figure2"):
             # family="roofline" is an invalid figure2 configuration.
+            executor.run([RunRequest("figure2", {"family": "roofline"})])
+
+    def test_worker_failure_is_typed(self):
+        executor = CampaignExecutor(jobs=1)
+        with pytest.raises(ExperimentFailedError):
             executor.run([RunRequest("figure2", {"family": "roofline"})])
 
     def test_second_run_is_all_hits_with_identical_reports(self, tmp_path):
@@ -216,6 +225,102 @@ class TestExecutorClock:
         import time
 
         assert CampaignExecutor(jobs=1).clock is time.time
+
+
+@pytest.fixture
+def hostile():
+    """Temporarily register the hostile experiment; id is yielded."""
+    from repro.experiments.registry import REGISTRY, register
+
+    name = "hostile-test"
+    register(
+        name,
+        "tests.runtime.hostile_experiment",
+        accepts=("mode", "scratch", "fail_times", "seconds"),
+    )
+    yield name
+    REGISTRY.pop(name, None)
+
+
+class TestResilience:
+    def test_policy_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CampaignExecutor(run_timeout_s=0)
+        with pytest.raises(InvalidParameterError):
+            CampaignExecutor(max_retries=-1)
+        with pytest.raises(InvalidParameterError):
+            CampaignExecutor(retry_backoff_s=-0.1)
+
+    def test_crashing_run_quarantined_in_manifest(self, hostile):
+        executor = CampaignExecutor(jobs=1, quarantine=True, retry_backoff_s=0.0)
+        outcome = executor.run(
+            [RunRequest(hostile, {"mode": "crash"}), RunRequest("table2")]
+        )
+        assert "table2" in outcome.reports  # campaign survived the crash
+        assert hostile not in outcome.reports
+        assert hostile in outcome.failures
+        record = next(
+            r for r in outcome.manifest.runs if r.experiment == hostile
+        )
+        assert record.cache_status == "quarantined"
+        assert "injected crash" in record.error
+        assert record.result_digest == ""
+        with pytest.raises(RunQuarantinedError):
+            outcome.report_for(hostile)
+        assert outcome.report_for("table2") is outcome.reports["table2"]
+
+    def test_quarantine_off_raises(self, hostile):
+        executor = CampaignExecutor(jobs=1, max_retries=1, retry_backoff_s=0.0)
+        with pytest.raises(RunQuarantinedError) as excinfo:
+            executor.run([RunRequest(hostile, {"mode": "crash"})])
+        assert excinfo.value.experiment == hostile
+        assert len(excinfo.value.attempts) == 2  # initial + 1 retry
+
+    def test_retry_recovers_flaky_run(self, hostile, tmp_path):
+        scratch = tmp_path / "flake-count"
+        executor = CampaignExecutor(jobs=1, max_retries=2, retry_backoff_s=0.0)
+        outcome = executor.run(
+            [
+                RunRequest(
+                    hostile,
+                    {"mode": "flaky", "scratch": str(scratch), "fail_times": 2},
+                )
+            ]
+        )
+        assert outcome.failures == {}
+        assert outcome.reports[hostile].text == "survived"
+        assert scratch.read_text() == "3"  # 2 failures + 1 success
+
+    def test_hung_run_times_out_and_quarantines(self, hostile):
+        executor = CampaignExecutor(
+            jobs=1, run_timeout_s=0.5, quarantine=True, retry_backoff_s=0.0
+        )
+        outcome = executor.run([RunRequest(hostile, {"mode": "hang"})])
+        assert hostile in outcome.failures
+        assert "timed out" in str(outcome.failures[hostile])
+
+    def test_sandboxed_run_produces_normal_report(self, hostile):
+        # With a timeout set, even healthy runs go through the sandbox
+        # process; the report must be byte-identical to the inline path.
+        inline = CampaignExecutor(jobs=1).run([RunRequest(hostile)])
+        sandboxed = CampaignExecutor(jobs=1, run_timeout_s=30.0).run(
+            [RunRequest(hostile)]
+        )
+        assert (
+            sandboxed.reports[hostile].to_json()
+            == inline.reports[hostile].to_json()
+        )
+        (record,) = sandboxed.manifest.runs
+        assert record.cache_status == "uncached"
+        assert record.error is None
+
+    def test_quarantined_error_in_written_manifest(self, hostile, tmp_path):
+        executor = CampaignExecutor(jobs=1, quarantine=True, retry_backoff_s=0.0)
+        outcome = executor.run([RunRequest(hostile, {"mode": "crash"})])
+        path = outcome.manifest.write(tmp_path / "manifest.json")
+        (run,) = json.loads(path.read_text())["runs"]
+        assert run["cache_status"] == "quarantined"
+        assert "injected crash" in run["error"]
 
 
 class TestPeakOverlap:

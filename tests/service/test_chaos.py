@@ -1,0 +1,38 @@
+"""Chaos harness: a seeded campaign must converge with zero problems."""
+
+from repro.service.chaos import MALFORMED_LINES, ChaosReport, ChaosSpec, run_chaos
+
+
+class TestChaosSpec:
+    def test_config_shape(self):
+        spec = ChaosSpec(P=8)
+        config = spec.config()
+        assert config.P == 8
+
+    def test_malformed_corpus_is_nonempty(self):
+        assert len(MALFORMED_LINES) >= 5
+        assert all(isinstance(line, bytes) for line in MALFORMED_LINES)
+
+
+class TestCampaign:
+    def test_seeded_campaign_is_clean(self, tmp_path):
+        spec = ChaosSpec(
+            seed=11,
+            P=4,
+            tenants_per_round=2,
+            tasks_per_tenant=5,
+            rounds=2,
+            round_wall_s=0.15,
+            faults_per_round=2,
+        )
+        report = run_chaos(spec, tmp_path / "chaos.jsonl")
+        assert isinstance(report, ChaosReport)
+        assert report.problems == []
+        assert report.rounds == 2
+        assert report.kills == 2
+        assert report.recoveries_verified == 2
+        assert report.tasks_submitted > 0
+        assert report.malformed_rejected == report.malformed_sent
+        assert report.final_digest
+        payload = report.as_dict()
+        assert payload["problems"] == []

@@ -1,0 +1,125 @@
+"""Write-ahead journal: headers, sequencing, corruption, torn tails."""
+
+import json
+
+import pytest
+
+from repro.exceptions import JournalCorruptError
+from repro.service.config import ServiceConfig
+from repro.service.journal import JournalWriter, read_journal, scan_records
+
+
+@pytest.fixture
+def config():
+    return ServiceConfig(P=4, family="amdahl")
+
+
+class TestWriter:
+    def test_new_journal_writes_header(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["config"] == config.as_dict()
+
+    def test_append_assigns_contiguous_seqs(self, tmp_path, config):
+        writer = JournalWriter(tmp_path / "wal.jsonl", config)
+        assert writer.append("hello", {"tenant": "a"}) == 0
+        assert writer.append("tick", {}) == 1
+        assert writer.append("tick", {}) == 2
+        writer.close()
+
+    def test_reopen_continues_sequence(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.close()
+        writer = JournalWriter(path, config)
+        assert writer.append("tick", {}) == 1
+        writer.close()
+        _, mutations = read_journal(path)
+        assert [m["seq"] for m in mutations] == [0, 1]
+
+    def test_reopen_with_different_config_rejected(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        JournalWriter(path, config).close()
+        with pytest.raises(JournalCorruptError):
+            JournalWriter(path, ServiceConfig(P=8, family="amdahl"))
+
+    def test_payload_may_not_shadow_reserved_keys(self, tmp_path, config):
+        writer = JournalWriter(tmp_path / "wal.jsonl", config)
+        with pytest.raises(JournalCorruptError):
+            writer.append("hello", {"seq": 99})
+        writer.close()
+
+
+class TestRecovery:
+    def test_roundtrip(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.append("submit", {"tenant": "a", "task": "t"})
+        writer.close()
+        loaded_config, mutations = read_journal(path)
+        assert loaded_config.as_dict() == config.as_dict()
+        assert [m["op"] for m in mutations] == ["hello", "submit"]
+
+    def test_torn_tail_is_dropped(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.append("tick", {})
+        writer.close()
+        with path.open("a") as handle:
+            handle.write('{"kind": "mutation", "seq": 2, "op": "tr')  # torn write
+        _, mutations = read_journal(path)
+        assert [m["seq"] for m in mutations] == [0, 1]
+
+    def test_reopen_truncates_torn_tail(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.close()
+        with path.open("a") as handle:
+            handle.write("garbage-without-newline")
+        writer = JournalWriter(path, config)
+        assert writer.append("tick", {}) == 1
+        writer.close()
+        _, mutations = read_journal(path)
+        assert [m["seq"] for m in mutations] == [0, 1]
+
+    def test_midfile_corruption_raises(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "NOT JSON")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError, match="line 2"):
+            list(scan_records(path))
+
+    def test_seq_gap_rejected(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        writer = JournalWriter(path, config)
+        writer.append("hello", {"tenant": "a"})
+        writer.close()
+        with path.open("a") as handle:
+            handle.write(json.dumps({"kind": "mutation", "seq": 7, "op": "tick"}) + "\n")
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(json.dumps({"kind": "mutation", "seq": 0, "op": "tick"}) + "\n")
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+    def test_wrong_version_rejected(self, tmp_path, config):
+        path = tmp_path / "wal.jsonl"
+        header = {"kind": "header", "version": 99, "config": config.as_dict()}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)

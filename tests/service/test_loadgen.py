@@ -1,0 +1,81 @@
+"""Load generator: deterministic traces, replay, benchmark artifact."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service.loadgen import (
+    LoadSpec,
+    generate_trace,
+    load_trace,
+    run_bench,
+    save_trace,
+)
+
+
+def small_spec():
+    return LoadSpec(seed=3, P=8, family="amdahl", tenants=2, tasks_per_tenant=6)
+
+
+class TestTrace:
+    def test_generation_is_deterministic(self):
+        spec = small_spec()
+        assert generate_trace(spec) == generate_trace(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(small_spec())
+        b = generate_trace(LoadSpec(seed=4, P=8, family="amdahl", tenants=2, tasks_per_tenant=6))
+        assert a != b
+
+    def test_trace_shape(self):
+        trace = generate_trace(small_spec())
+        assert trace["kind"] == "service-load-trace"
+        assert len(trace["tenants"]) == 2
+        for entry in trace["tenants"]:
+            assert len(entry["ops"]) == 6
+            seen = set()
+            for op in entry["ops"]:
+                assert set(op["deps"]) <= seen  # topological stream
+                seen.add(op["task"])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = generate_trace(small_spec())
+        path = save_trace(trace, tmp_path / "trace.json")
+        assert load_trace(path) == trace
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(InvalidParameterError):
+            load_trace(path)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LoadSpec(tenants=0)
+
+
+class TestBench:
+    def test_bench_end_to_end(self, tmp_path):
+        spec = small_spec()
+        bench_path = tmp_path / "BENCH_service.json"
+        entry = run_bench(spec, tmp_path / "wal.jsonl", bench_path=bench_path)
+        assert entry["recovery_digest_verified"] is True
+        assert entry["load"]["graphs_done"] == 2
+        assert entry["load"]["tasks_completed"] == 12
+        assert entry["load"]["decisions"] >= 12
+        assert entry["journal_records"] > 0
+        assert entry["recovery_s"] >= 0
+
+        trajectory = json.loads(bench_path.read_text())
+        assert trajectory["benchmark"] == "service"
+        assert len(trajectory["entries"]) == 1
+        assert trajectory["entries"][0]["spec"]["seed"] == 3
+
+    def test_bench_appends_to_existing_trajectory(self, tmp_path):
+        spec = small_spec()
+        bench_path = tmp_path / "BENCH_service.json"
+        run_bench(spec, tmp_path / "wal1.jsonl", bench_path=bench_path)
+        run_bench(spec, tmp_path / "wal2.jsonl", bench_path=bench_path)
+        trajectory = json.loads(bench_path.read_text())
+        assert len(trajectory["entries"]) == 2

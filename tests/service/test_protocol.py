@@ -1,0 +1,144 @@
+"""Wire-protocol tests: parsing, validation, codecs, round trips."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    Ack,
+    Bye,
+    Cancel,
+    CloseGraph,
+    Evicted,
+    GraphDone,
+    Hello,
+    Rejection,
+    Status,
+    StatusQuery,
+    Submit,
+    TaskDone,
+    TaskKilled,
+    decode_line,
+    encode_line,
+    parse_request,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.speedup import AmdahlModel
+
+
+class TestParseRequest:
+    def test_hello_minimal(self):
+        req = parse_request({"op": "hello", "tenant": "alice"})
+        assert req == Hello(tenant="alice")
+
+    def test_hello_full(self):
+        req = parse_request(
+            {
+                "op": "hello",
+                "tenant": "a",
+                "priority": 3,
+                "deadline": 100.0,
+                "max_inflight_tasks": 8,
+                "max_running_procs": 4,
+            }
+        )
+        assert isinstance(req, Hello)
+        assert req.priority == 3
+        assert req.deadline == 100.0
+
+    def test_submit_roundtrip(self):
+        model = AmdahlModel(w=10.0, d=1.0)
+        req = Submit(task="t1", model=model, deps=("t0",))
+        wire = request_to_dict(req)
+        parsed = parse_request(json.loads(json.dumps(wire)))
+        assert isinstance(parsed, Submit)
+        assert parsed.task == "t1"
+        assert parsed.deps == ("t0",)
+        assert parsed.model.time(4) == pytest.approx(model.time(4))
+
+    @pytest.mark.parametrize(
+        "req", [Hello(tenant="x"), CloseGraph(), StatusQuery(), Cancel(), Bye()]
+    )
+    def test_all_requests_roundtrip(self, req):
+        assert parse_request(request_to_dict(req)) == req
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"op": "warp"},
+            {"op": 7},
+            {"op": "hello"},  # missing tenant
+            {"op": "hello", "tenant": 5},
+            {"op": "hello", "tenant": "a", "priority": "high"},
+            {"op": "hello", "tenant": "a", "priority": True},
+            {"op": "hello", "tenant": "a", "bogus": 1},
+            {"op": "submit"},
+            {"op": "submit", "task": "t", "model": 3},
+            {"op": "submit", "task": "t", "model": {"kind": "nope"}},
+            {"op": "close", "extra": 1},
+        ],
+    )
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    def test_submit_non_string_deps_rejected(self):
+        model_dict = request_to_dict(Submit(task="t", model=AmdahlModel(1.0, 1.0)))[
+            "model"
+        ]
+        with pytest.raises(ProtocolError):
+            parse_request(
+                {"op": "submit", "task": "t", "model": model_dict, "deps": [1, 2]}
+            )
+
+
+class TestResponses:
+    @pytest.mark.parametrize(
+        "resp",
+        [
+            Ack(op="hello", info={"P": 8}),
+            Rejection(code="QUOTA_EXCEEDED", message="nope", retry_after=0.05),
+            Rejection(code="MALFORMED", message="bad"),
+            TaskDone(task="t", start=0.0, end=2.0, procs=3),
+            TaskKilled(task="t", attempt=1),
+            GraphDone(makespan=12.5, tasks=4),
+            Evicted(reason="SHED", message="overloaded"),
+            Status(payload={"free": 8}),
+        ],
+    )
+    def test_roundtrip(self, resp):
+        wire = json.loads(json.dumps(response_to_dict(resp)))
+        rebuilt = response_from_dict(wire)
+        assert type(rebuilt) is type(resp)
+
+    def test_rejection_keeps_retry_after(self):
+        wire = response_to_dict(Rejection(code="X", message="m", retry_after=0.25))
+        assert wire["retry_after"] == 0.25
+        assert wire["ok"] is False
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ProtocolError):
+            response_from_dict({"event": "nope"})
+
+
+class TestLineCodec:
+    def test_roundtrip(self):
+        line = encode_line({"op": "status"})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"op": "status"}
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"x" * (MAX_LINE_BYTES + 1))
+
+    @pytest.mark.parametrize(
+        "raw", [b"", b"not json", b"[1]", b'"str"', b"\xff\xfe garbage"]
+    )
+    def test_bad_lines_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            decode_line(raw)

@@ -1,0 +1,224 @@
+"""End-to-end asyncio server tests over a real TCP socket.
+
+pytest-asyncio is not a dependency: each test is a sync function that
+drives one ``asyncio.run`` of an async scenario.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.core import ServiceCore
+from repro.service.server import MALFORMED_LIMIT, SchedulerServer
+from repro.speedup import AmdahlModel
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30.0))
+
+
+def make_config(**overrides):
+    defaults = dict(P=4, family="amdahl", retry_after_s=0.01)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def boot(config, journal_path=None):
+    server = SchedulerServer(
+        config,
+        journal_path=None if journal_path is None else str(journal_path),
+    )
+    host, port = await server.start()
+    return server, host, port
+
+
+class TestSessionLifecycle:
+    def test_hello_submit_close_graph_done(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                client = await ServiceClient.connect(host, port)
+                info = await client.hello("alice")
+                assert info["info"]["P"] == 4
+                await client.submit("a", AmdahlModel(4.0, 1.0))
+                await client.submit("b", AmdahlModel(2.0, 1.0), deps=("a",))
+                await client.close_graph()
+                terminal, prior = await client.wait_graph_done()
+                assert terminal["event"] == "graph-done"
+                assert terminal["tasks"] == 2
+                done = [n["task"] for n in prior if n["event"] == "task-done"]
+                assert done == ["a", "b"]
+                await client.bye()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_submit_before_hello_rejected(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                client = await ServiceClient.connect(host, port)
+                reply = await client.submit("a", AmdahlModel(1.0, 1.0))
+                assert reply["ok"] is False
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_status_roundtrip(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("alice")
+                status = await client.status()
+                assert status["P"] == 4
+                assert "alice" in status["tenants"]
+                await client.bye()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestRobustness:
+    def test_disconnect_reclaims_capacity(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("ghost")
+                await client.submit("big", AmdahlModel(1000.0, 1.0))
+                await client.disconnect_abruptly()
+                for _ in range(100):
+                    await asyncio.sleep(0.01)
+                    run_state = server.core.pool.tenants.get("ghost")
+                    if run_state is not None and not run_state.active:
+                        break
+                assert not server.core.pool.tenants["ghost"].active
+                assert len(server.core.pool.free_set) == 4
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_malformed_flood_closes_connection(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("rowdy")
+                for _ in range(MALFORMED_LIMIT):
+                    await client.send_raw(b"NOT JSON\n")
+                    reply = await client._read_payload()
+                    assert reply["ok"] is False
+                    assert reply["error"] == "MALFORMED"
+                # The connection is now closed server-side.
+                with pytest.raises(ServiceError):
+                    await client.send_raw(b"NOT JSON\n")
+                    await client._read_payload(timeout=5.0)
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_second_session_while_first_open_rejected(self):
+        async def scenario():
+            server, host, port = await boot(make_config())
+            try:
+                first = await ServiceClient.connect(host, port)
+                await first.hello("dup")
+                second = await ServiceClient.connect(host, port)
+                with pytest.raises(ServiceError):
+                    await second.hello("dup")
+                await second.close()
+                await first.bye()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_backpressure_retry_after_on_wire(self):
+        async def scenario():
+            config = make_config(P=1)
+            server, host, port = await boot(config)
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("busy", max_inflight_tasks=1)
+                # Fail the only processor first: "first" queues with no
+                # capacity to run on, so it pins the inflight quota (the
+                # dispatcher ticks virtual time eagerly — a runnable task
+                # would complete between two wire requests).
+                server.inject_fault("fail", 0)
+                await client.submit("first", AmdahlModel(5.0, 1.0))
+                reply = await client.submit("second", AmdahlModel(5.0, 1.0))
+                assert reply["ok"] is False
+                assert reply["error"] == "QUOTA_EXCEEDED"
+                assert reply["retry_after"] == config.retry_after_s
+                # Recovery lets "first" drain; the retrying submit lands.
+                server.inject_fault("recover", 0)
+                await client.submit_retrying("second", AmdahlModel(5.0, 1.0))
+                await client.close_graph()
+                terminal, _ = await client.wait_graph_done()
+                assert terminal["event"] == "graph-done"
+                await client.bye()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestCrashRecovery:
+    def test_kill_and_recover_is_digest_identical(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+
+        async def scenario():
+            server, host, port = await boot(make_config(), journal_path=journal)
+            client = await ServiceClient.connect(host, port)
+            await client.hello("alice")
+            await client.submit("a", AmdahlModel(100.0, 1.0))
+            await client.submit("b", AmdahlModel(100.0, 1.0), deps=("a",))
+            await server.kill()  # abrupt crash: no graceful teardown
+            digest = server.core.state_digest()
+            await client.close()
+            return digest
+
+        digest = run(scenario())
+        recovered = ServiceCore.recover(journal, reopen=False)
+        assert recovered.state_digest() == digest
+        assert set(recovered.pool.tenants["alice"].tasks) == {"a", "b"}
+
+    def test_recovered_core_serves_new_sessions(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+
+        async def before():
+            server, host, port = await boot(make_config(), journal_path=journal)
+            client = await ServiceClient.connect(host, port)
+            await client.hello("alice")
+            await client.submit("a", AmdahlModel(4.0, 1.0))
+            await server.kill()
+            await client.close()
+
+        async def after():
+            core = ServiceCore.recover(journal)
+            server = SchedulerServer(make_config(), core=core)
+            host, port = await server.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("bob")
+                await client.submit("x", AmdahlModel(2.0, 1.0))
+                await client.close_graph()
+                terminal, _ = await client.wait_graph_done()
+                assert terminal["event"] == "graph-done"
+                await client.bye()
+                assert "alice" in server.core.pool.tenants
+            finally:
+                await server.stop()
+
+        run(before())
+        run(after())
