@@ -1,0 +1,145 @@
+"""Batch-backend throughput benchmarks.
+
+Times the vectorized structure-of-arrays engine against the reference
+event loop on the ``wide`` scenario (5000 independent communication-model
+tasks, P=64) and appends the throughput numbers to the repo-root
+``BENCH_engine.json`` trajectory as ``"benchmark": "batch"`` entries.
+
+Two scenarios, separated honestly:
+
+* ``test_wide_batch_throughput`` — 256 replicas of *one shared graph
+  object*, so the structure compiles once and the allocation resolves to
+  one cached entry; this is the batch backend's home turf (parameter
+  sweeps replaying the same workload) and the >=10x acceptance gate.
+* ``test_distinct_graphs_batch`` — 32 *distinct* graph objects, each
+  compiled separately; the lower bound of the speedup story, recorded
+  without a gate.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.batch import run_batch
+from repro.core.scheduler import OnlineScheduler
+from repro.graph.generators import independent_tasks, layered_random
+from repro.speedup import CommunicationModel, RandomModelFactory
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Timings accumulated by the tests, flushed as one entry at session end.
+_BATCH_BENCHMARKS: dict[str, dict] = {}
+
+WIDE_TASKS = 5000
+WIDE_P = 64
+WIDE_REPLICAS = 256
+
+
+def _wide_graph():
+    return independent_tasks(WIDE_TASKS, lambda: CommunicationModel(50.0, 0.5))
+
+
+def _min_time(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _append_batch_entry():
+    """Append the accumulated batch timings to BENCH_engine.json."""
+    yield
+    if not _BATCH_BENCHMARKS:
+        return
+    from repro.runtime.manifest import append_engine_bench_entry
+
+    append_engine_bench_entry(
+        _BENCH_PATH,
+        {
+            "benchmark": "batch",
+            "unix_time": int(time.time()),
+            "benchmarks": dict(_BATCH_BENCHMARKS),
+        },
+    )
+
+
+def test_wide_batch_throughput(benchmark):
+    """256-replica wide batch: >=10x tasks-scheduled/sec over reference."""
+    graph = _wide_graph()
+    scheduler = OnlineScheduler.for_family("communication", WIDE_P)
+    allocator = scheduler.allocator
+    items = [(graph, WIDE_P)] * WIDE_REPLICAS
+
+    reference = scheduler.run(graph)
+    ref_s = _min_time(lambda: scheduler.run(graph), rounds=3)
+
+    outcome = benchmark.pedantic(
+        run_batch,
+        args=(items, allocator),
+        kwargs={"materialize": False},
+        rounds=3,
+        iterations=1,
+    )
+    # Every replica must land exactly on the reference makespan — a
+    # throughput number for a wrong schedule would be meaningless.
+    assert (outcome.makespans == reference.makespan).all()
+
+    batch_s = _min_time(
+        lambda: run_batch(items, allocator, materialize=False), rounds=3
+    )
+    total_tasks = WIDE_TASKS * WIDE_REPLICAS
+    entry = {
+        "scenario": f"wide x{WIDE_REPLICAS} (shared graph, {WIDE_TASKS} tasks, P={WIDE_P})",
+        "shared_graph": True,
+        "runs": WIDE_REPLICAS,
+        "batch_s": round(batch_s, 6),
+        "reference_run_s": round(ref_s, 6),
+        "tasks_per_sec": round(total_tasks / batch_s, 1),
+        "runs_per_sec": round(WIDE_REPLICAS / batch_s, 3),
+        "reference_tasks_per_sec": round(WIDE_TASKS / ref_s, 1),
+        "tasks_per_sec_ratio": round((total_tasks / batch_s) / (WIDE_TASKS / ref_s), 2),
+    }
+    _BATCH_BENCHMARKS["test_wide_batch_throughput"] = entry
+    assert entry["tasks_per_sec_ratio"] >= 10.0, entry
+
+
+def test_distinct_graphs_batch(benchmark):
+    """32 distinct layered graphs: per-graph compilation included."""
+    runs = 32
+    factory = lambda seed: layered_random(  # noqa: E731
+        10, 50, RandomModelFactory(family="communication", seed=seed), seed=seed
+    )
+    graphs = [factory(seed) for seed in range(runs)]
+    scheduler = OnlineScheduler.for_family("communication", WIDE_P)
+    allocator = scheduler.allocator
+    items = [(g, WIDE_P) for g in graphs]
+    n_tasks = sum(len(g) for g in graphs)
+
+    ref_s = _min_time(lambda: [scheduler.run(g) for g in graphs], rounds=2)
+    outcome = benchmark.pedantic(
+        run_batch,
+        args=(items, allocator),
+        kwargs={"materialize": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert outcome.makespans.shape == (runs,)
+
+    batch_s = _min_time(
+        lambda: run_batch(items, allocator, materialize=False), rounds=2
+    )
+    _BATCH_BENCHMARKS["test_distinct_graphs_batch"] = {
+        "scenario": f"{runs} distinct layered graphs ({n_tasks} tasks total, P={WIDE_P})",
+        "shared_graph": False,
+        "runs": runs,
+        "batch_s": round(batch_s, 6),
+        "reference_serial_s": round(ref_s, 6),
+        "tasks_per_sec": round(n_tasks / batch_s, 1),
+        "runs_per_sec": round(runs / batch_s, 3),
+        "reference_tasks_per_sec": round(n_tasks / ref_s, 1),
+        "tasks_per_sec_ratio": round(ref_s / batch_s, 2),
+    }

@@ -1,0 +1,246 @@
+"""Cross-backend equivalence harness: batch vs. reference, bit for bit.
+
+The batch engine's contract is *bit-identity* on its supported subset —
+not "close", not "statistically equal".  This module checks the contract
+three ways:
+
+* :func:`verify_registry` replays every registered experiment twice, once
+  per backend, and compares the
+  :meth:`~repro.experiments.registry.ExperimentReport.digest` values.
+  Experiments outside the batch subset (resilient runs, adaptive
+  adversaries) exercise the silent-fallback path and must *still* match —
+  a backend selection is never allowed to change results.
+* :func:`verify_golden` additionally pins the batch-backend digests to
+  the seed engine's recorded ``golden_digests.json``.
+* :func:`verify_random` sweeps randomized DAGs x speedup models x
+  platform sizes and compares the full result objects (schedule entries,
+  allocation and reveal dicts including their order, makespans).
+
+Run it as a module (CI's perf-smoke job does)::
+
+    python -m repro.batch.verify --trials 25 [--golden tests/perf/golden_digests.json]
+
+Exit status 0 means every comparison matched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.backend import use_backend
+
+__all__ = [
+    "Mismatch",
+    "verify_registry",
+    "verify_golden",
+    "verify_random",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One failed equivalence comparison."""
+
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.detail}"
+
+
+def verify_registry(names: Iterable[str] | None = None) -> list[Mismatch]:
+    """Replay registry experiments under both backends; compare digests."""
+    from repro.experiments.registry import REGISTRY, run_experiment
+
+    if names is None:
+        names = sorted(REGISTRY)
+    mismatches: list[Mismatch] = []
+    for name in names:
+        reference = run_experiment(name).digest()
+        with use_backend("batch"):
+            batched = run_experiment(name).digest()
+        if reference != batched:
+            mismatches.append(
+                Mismatch(
+                    "registry",
+                    name,
+                    f"reference digest {reference} != batch digest {batched}",
+                )
+            )
+    return mismatches
+
+
+def verify_golden(golden_path: Path) -> list[Mismatch]:
+    """Pin batch-backend digests to the recorded golden digests."""
+    from repro.experiments.registry import REGISTRY, run_experiment
+
+    golden = json.loads(Path(golden_path).read_text())
+    mismatches: list[Mismatch] = []
+    for name in sorted(REGISTRY):
+        if name not in golden:
+            mismatches.append(
+                Mismatch("golden", name, "no golden digest recorded")
+            )
+            continue
+        with use_backend("batch"):
+            batched = run_experiment(name).digest()
+        if batched != golden[name]:
+            mismatches.append(
+                Mismatch(
+                    "golden",
+                    name,
+                    f"batch digest {batched} != golden {golden[name]}",
+                )
+            )
+    return mismatches
+
+
+def _random_model(rng: np.random.Generator):
+    from repro.speedup import (
+        AmdahlModel,
+        CommunicationModel,
+        GeneralModel,
+        RooflineModel,
+    )
+
+    kind = int(rng.integers(4))
+    w = float(rng.uniform(1.0, 100.0))
+    if kind == 0:
+        return RooflineModel(w, max_parallelism=int(rng.integers(1, 48)))
+    if kind == 1:
+        return CommunicationModel(w, float(rng.uniform(0.01, 2.0)))
+    if kind == 2:
+        return AmdahlModel(w, float(rng.uniform(0.0, 5.0)))
+    return GeneralModel(
+        w,
+        float(rng.uniform(0.0, 3.0)),
+        float(rng.uniform(0.0, 1.0)),
+        max_parallelism=int(rng.integers(1, 64)),
+    )
+
+
+def _random_graph(rng: np.random.Generator):
+    from repro.graph import generators as gen
+
+    seed = int(rng.integers(2**31))
+    factory = lambda: _random_model(rng)  # noqa: E731
+    kind = int(rng.integers(5))
+    if kind == 0:
+        return gen.chain(int(rng.integers(1, 25)), factory)
+    if kind == 1:
+        return gen.independent_tasks(int(rng.integers(1, 60)), factory)
+    if kind == 2:
+        return gen.fork_join(int(rng.integers(1, 9)), factory, stages=int(rng.integers(1, 5)))
+    if kind == 3:
+        return gen.layered_random(
+            int(rng.integers(2, 7)),
+            int(rng.integers(1, 9)),
+            factory,
+            edge_probability=float(rng.uniform(0.1, 0.7)),
+            seed=seed,
+        )
+    return gen.erdos_renyi_dag(
+        int(rng.integers(2, 60)),
+        factory,
+        edge_probability=float(rng.uniform(0.05, 0.3)),
+        seed=seed,
+    )
+
+
+def verify_random(trials: int = 25, seed: int = 0) -> list[Mismatch]:
+    """Compare full results on randomized DAGs x models x platform sizes."""
+    from repro.core.allocator import LpaAllocator
+    from repro.sim.engine import ListScheduler
+    from repro.sim.sources import StaticGraphSource
+
+    rng = np.random.default_rng(seed)
+    mismatches: list[Mismatch] = []
+    for trial in range(trials):
+        graph = _random_graph(rng)
+        P = int(rng.integers(1, 96))
+        mu = float(rng.choice([0.211, 0.271, 0.324, 0.38]))
+        subject = f"trial {trial} (n={len(graph)}, P={P}, mu={mu})"
+
+        reference = ListScheduler(P, LpaAllocator(mu)).run(StaticGraphSource(graph))
+        with use_backend("batch"):
+            batched = ListScheduler(P, LpaAllocator(mu)).run(StaticGraphSource(graph))
+
+        # repro-lint: disable=RL003 -- bit-identity is the whole contract
+        if reference.makespan != batched.makespan:
+            mismatches.append(
+                Mismatch(
+                    "random",
+                    subject,
+                    f"makespan {reference.makespan!r} != {batched.makespan!r}",
+                )
+            )
+            continue
+        if list(reference.schedule) != list(batched.schedule):
+            mismatches.append(Mismatch("random", subject, "schedule entries differ"))
+            continue
+        if reference.allocations != batched.allocations or list(
+            reference.allocations
+        ) != list(batched.allocations):
+            mismatches.append(
+                Mismatch("random", subject, "allocations differ (value or order)")
+            )
+            continue
+        if reference.revealed_at != batched.revealed_at or list(
+            reference.revealed_at
+        ) != list(batched.revealed_at):
+            mismatches.append(
+                Mismatch("random", subject, "reveal times differ (value or order)")
+            )
+    return mismatches
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batch.verify",
+        description="Verify batch-backend equivalence with the reference engine.",
+    )
+    parser.add_argument(
+        "--golden",
+        type=Path,
+        default=None,
+        help="also pin batch digests to this golden_digests.json",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=25, help="randomized sweep size (default 25)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="randomized sweep seed (default 0)"
+    )
+    args = parser.parse_args(argv)
+
+    mismatches: list[Mismatch] = []
+    mismatches += verify_registry()
+    print(f"registry replay: {len(mismatches)} mismatches")
+    if args.golden is not None:
+        before = len(mismatches)
+        mismatches += verify_golden(args.golden)
+        print(f"golden pinning: {len(mismatches) - before} mismatches")
+    before = len(mismatches)
+    mismatches += verify_random(trials=args.trials, seed=args.seed)
+    print(f"randomized sweep ({args.trials} trials): {len(mismatches) - before} mismatches")
+
+    for mismatch in mismatches:
+        print(f"MISMATCH {mismatch}", file=sys.stderr)
+    if mismatches:
+        print(f"FAILED: {len(mismatches)} mismatches", file=sys.stderr)
+        return 1
+    print("OK: batch backend is bit-identical on every check")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ class TaskGraph:
         self._tasks: dict[TaskId, Task] = {}
         self._succ: dict[TaskId, list[TaskId]] = {}
         self._pred: dict[TaskId, list[TaskId]] = {}
+        self._num_edges = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,6 +77,7 @@ class TaskGraph:
             raise CycleError(f"edge {src!r} -> {dst!r} would create a cycle")
         self._succ[src].append(dst)
         self._pred[dst].append(src)
+        self._num_edges += 1
 
     def add_edges(self, edges: Iterable[tuple[TaskId, TaskId]]) -> None:
         """Add several precedence constraints."""
@@ -108,8 +110,8 @@ class TaskGraph:
         return [(u, v) for u, succs in self._succ.items() for v in succs]
 
     def num_edges(self) -> int:
-        """Return the number of precedence edges."""
-        return sum(len(s) for s in self._succ.values())
+        """Return the number of precedence edges (O(1))."""
+        return self._num_edges
 
     def successors(self, task_id: TaskId) -> list[TaskId]:
         """Return direct successors of ``task_id`` in insertion order."""

@@ -18,7 +18,7 @@ from repro.lint.reporters import render_json, render_rule_list, render_text
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Static analysis of repro's correctness contracts (RL001-RL007).",
+        description="Static analysis of repro's correctness contracts (RL001-RL008).",
     )
     parser.add_argument(
         "paths",

@@ -13,6 +13,7 @@ must never import the registry's *consumers* (engine, reporters).
 | RL005 | mutable-state           | process-pool safety                          |
 | RL006 | public-annotations      | typed public API (mypy strict surface)       |
 | RL007 | frozen-events           | immutable, schema-complete event vocabulary  |
+| RL008 | batch-vectorization     | whole-array batch backend (no per-task loops)|
 """
 
 from repro.lint.rules import (
@@ -23,6 +24,7 @@ from repro.lint.rules import (
     rl005_mutable_state,
     rl006_annotations,
     rl007_frozen_events,
+    rl008_batch_vectorization,
 )
 
 __all__ = [
@@ -33,4 +35,5 @@ __all__ = [
     "rl005_mutable_state",
     "rl006_annotations",
     "rl007_frozen_events",
+    "rl008_batch_vectorization",
 ]

@@ -82,30 +82,46 @@ class ResultCache:
 
     # -- keys ------------------------------------------------------------
 
-    def key_for(self, experiment: str, kwargs: Mapping[str, Any]) -> str:
-        """Content address of one run: experiment id + kwargs + version."""
-        return content_digest(
-            {
-                "schema": _SCHEMA,
-                "experiment": experiment,
-                "kwargs": dict(kwargs),
-                "version": self.version,
-            }
-        )
+    def key_for(
+        self, experiment: str, kwargs: Mapping[str, Any], backend: str = "reference"
+    ) -> str:
+        """Content address of one run: experiment id + kwargs + version (+ backend).
+
+        The engine backend is part of the key: backends promise identical
+        results, but a cache hit must never *assume* the promise holds — a
+        hit recorded by the wrong backend would mask exactly the
+        equivalence bugs the verification harness exists to catch.  The
+        reference backend is omitted from the payload so existing caches
+        keep their keys.
+        """
+        payload: dict[str, Any] = {
+            "schema": _SCHEMA,
+            "experiment": experiment,
+            "kwargs": dict(kwargs),
+            "version": self.version,
+        }
+        if backend != "reference":
+            payload["backend"] = backend
+        return content_digest(payload)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     # -- read ------------------------------------------------------------
 
-    def get(self, experiment: str, kwargs: Mapping[str, Any]) -> CacheEntry | None:
+    def get(
+        self,
+        experiment: str,
+        kwargs: Mapping[str, Any],
+        backend: str = "reference",
+    ) -> CacheEntry | None:
         """Return the cached entry for this run, or ``None`` on a miss.
 
         A present-but-unreadable entry (truncated file, bad JSON, digest
         mismatch) counts as an invalidation: it is deleted, a warning is
         emitted, and the caller recomputes.
         """
-        key = self.key_for(experiment, kwargs)
+        key = self.key_for(experiment, kwargs, backend)
         path = self._path(key)
         if not path.exists():
             self.stats.misses += 1
@@ -152,13 +168,14 @@ class ResultCache:
         report: ExperimentReport,
         compute_time_s: float,
         metrics: Mapping[str, Any] | None = None,
+        backend: str = "reference",
     ) -> str:
         """Store a computed report; returns the entry key.
 
         The write is atomic (temp file + rename) so a concurrent reader
         never observes a half-written entry.
         """
-        key = self.key_for(experiment, kwargs)
+        key = self.key_for(experiment, kwargs, backend)
         path = self._path(key)
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -167,6 +184,7 @@ class ResultCache:
             "experiment": experiment,
             "kwargs": encode_value(dict(kwargs)),
             "version": self.version,
+            "backend": backend,
             "name": report.name,
             "title": report.title,
             "text": report.text,

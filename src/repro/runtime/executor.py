@@ -41,6 +41,7 @@ from repro.exceptions import (
 from repro.experiments.registry import REGISTRY, ExperimentReport, get_spec
 from repro.obs.metrics import MetricsRegistry, collect_metrics
 from repro.runtime.cache import ResultCache
+from repro.sim.backend import get_backend, use_backend
 from repro.runtime.manifest import RunManifest, RunRecord
 from repro.util.validation import check_positive_int
 
@@ -107,6 +108,7 @@ def _execute(
     experiment: str,
     kwargs: dict[str, Any],
     clock: Callable[[], float] = time.time,
+    backend: str = "reference",
 ) -> dict[str, Any]:
     """Worker entry point: run one experiment, return its report as JSON.
 
@@ -124,7 +126,10 @@ def _execute(
     t0 = time.perf_counter()
     registry = MetricsRegistry()
     try:
-        with collect_metrics(registry):
+        # The backend selection is ambient (a ContextVar), so installing
+        # it here covers every simulation the experiment runs — including
+        # in worker processes, which re-enter through this function.
+        with use_backend(backend), collect_metrics(registry):
             report = spec(**kwargs)
     except Exception as exc:
         raise ExperimentFailedError(
@@ -146,6 +151,7 @@ def _child_execute(
     experiment: str,
     kwargs: dict[str, Any],
     clock: Callable[[], float],
+    backend: str = "reference",
 ) -> None:
     """Sandboxed-process entry: run one experiment, ship the outcome back.
 
@@ -155,7 +161,9 @@ def _child_execute(
     via pipe EOF and reports as a crashed worker.
     """
     try:
-        conn.send({"ok": True, "result": _execute(experiment, kwargs, clock)})
+        conn.send(
+            {"ok": True, "result": _execute(experiment, kwargs, clock, backend)}
+        )
     except Exception as exc:
         conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
     finally:
@@ -167,6 +175,7 @@ def _execute_isolated(
     kwargs: dict[str, Any],
     clock: Callable[[], float],
     timeout_s: float | None,
+    backend: str = "reference",
 ) -> dict[str, Any]:
     """Run one attempt in a dedicated process with a hard wall-clock cap.
 
@@ -178,7 +187,7 @@ def _execute_isolated(
     parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
         target=_child_execute,
-        args=(child_conn, experiment, dict(kwargs), clock),
+        args=(child_conn, experiment, dict(kwargs), clock, backend),
         daemon=True,
     )
     proc.start()
@@ -220,6 +229,7 @@ def _execute_with_policy(
     timeout_s: float | None,
     max_retries: int,
     backoff_s: float,
+    backend: str = "reference",
 ) -> dict[str, Any]:
     """One run under the resilience policy: timeout, bounded retries, backoff.
 
@@ -236,8 +246,8 @@ def _execute_with_policy(
             time.sleep(backoff_s * 2 ** (attempt - 1))
         try:
             if timeout_s is not None:
-                return _execute_isolated(experiment, kwargs, clock, timeout_s)
-            return _execute(experiment, kwargs, clock)
+                return _execute_isolated(experiment, kwargs, clock, timeout_s, backend)
+            return _execute(experiment, kwargs, clock, backend)
         except ExperimentFailedError as exc:
             attempts.append(str(exc))
     raise RunQuarantinedError(
@@ -310,8 +320,12 @@ class CampaignExecutor:
         max_retries: int = 0,
         retry_backoff_s: float = 0.05,
         quarantine: bool = False,
+        backend: str = "reference",
     ) -> None:
         check_positive_int(jobs, "jobs")
+        # Resolve eagerly: an unknown backend name must fail the campaign
+        # at construction, not deep inside a worker process.
+        get_backend(backend)
         if run_timeout_s is not None and run_timeout_s <= 0:
             raise InvalidParameterError(
                 f"run_timeout_s must be > 0 or None, got {run_timeout_s}"
@@ -334,6 +348,10 @@ class CampaignExecutor:
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.quarantine = quarantine
+        #: Engine backend every run computes under; part of the cache key
+        #: (a hit recorded under another backend would defeat the
+        #: cross-backend verification, so it is a miss by construction).
+        self.backend = backend
 
     @property
     def _hardened(self) -> bool:
@@ -363,7 +381,9 @@ class CampaignExecutor:
             entry = None
             if self.cache is not None and not self.refresh:
                 t0 = time.perf_counter()
-                entry = self.cache.get(request.experiment, request.kwargs)
+                entry = self.cache.get(
+                    request.experiment, request.kwargs, self.backend
+                )
                 load_time = time.perf_counter() - t0
             if entry is None:
                 to_compute.append(request)
@@ -378,6 +398,7 @@ class CampaignExecutor:
                 worker="cache",
                 result_digest=entry.report.digest(),
                 metrics=entry.metrics,
+                backend=self.backend,
             )
 
         raw: dict[str, dict[str, Any]] = {}
@@ -388,7 +409,11 @@ class CampaignExecutor:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     request.experiment: pool.submit(
-                        _execute, request.experiment, dict(request.kwargs), self.clock
+                        _execute,
+                        request.experiment,
+                        dict(request.kwargs),
+                        self.clock,
+                        self.backend,
                     )
                     for request in to_compute
                 }
@@ -397,7 +422,10 @@ class CampaignExecutor:
         else:
             for request in to_compute:
                 raw[request.experiment] = _execute(
-                    request.experiment, dict(request.kwargs), self.clock
+                    request.experiment,
+                    dict(request.kwargs),
+                    self.clock,
+                    self.backend,
                 )
 
         if self.cache is None:
@@ -419,6 +447,7 @@ class CampaignExecutor:
                     report,
                     compute_time_s=result["compute_time_s"],
                     metrics=result["metrics"],
+                    backend=self.backend,
                 )
             records[request.experiment] = RunRecord(
                 experiment=request.experiment,
@@ -429,6 +458,7 @@ class CampaignExecutor:
                 worker=result["worker"],
                 result_digest=report.digest(),
                 metrics=result["metrics"],
+                backend=self.backend,
             )
 
         manifest = RunManifest(
@@ -443,6 +473,7 @@ class CampaignExecutor:
                 else {"hits": 0, "misses": 0, "stores": 0, "invalidations": 0}
             ),
             runs=[records[request.experiment] for request in requests],
+            backend=self.backend,
         )
         return CampaignOutcome(
             reports=reports, manifest=manifest, failures=failures
@@ -475,6 +506,7 @@ class CampaignExecutor:
                     timeout_s=self.run_timeout_s,
                     max_retries=self.max_retries,
                     backoff_s=self.retry_backoff_s,
+                    backend=self.backend,
                 )
             except RunQuarantinedError as exc:
                 return exc, time.perf_counter() - t0
@@ -508,6 +540,7 @@ class CampaignExecutor:
                     worker="quarantined",
                     result_digest="",
                     error="; ".join(outcome.attempts) or str(outcome),
+                    backend=self.backend,
                 )
             else:
                 raw[request.experiment] = outcome
@@ -520,10 +553,13 @@ def run_campaign_experiments(
     jobs: int = 1,
     cache: ResultCache | None = None,
     refresh: bool = False,
+    backend: str = "reference",
 ) -> CampaignOutcome:
     """Convenience wrapper: build requests for ``names`` (default: the whole
     registry, sorted) and execute them."""
     names = sorted(REGISTRY) if names is None else list(names)
     requests = build_requests(names, overrides=overrides, base_seed=base_seed)
-    executor = CampaignExecutor(jobs=jobs, cache=cache, refresh=refresh)
+    executor = CampaignExecutor(
+        jobs=jobs, cache=cache, refresh=refresh, backend=backend
+    )
     return executor.run(requests)

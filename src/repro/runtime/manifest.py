@@ -55,6 +55,9 @@ class RunRecord:
     #: failure description, one line per exhausted attempt.  ``None`` for
     #: successful runs.
     error: str | None = None
+    #: Engine backend the run was computed under (``"reference"`` or
+    #: ``"batch"``); cache hits carry the backend their entry was keyed on.
+    backend: str = "reference"
 
     def as_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -65,6 +68,7 @@ class RunRecord:
             "compute_time_s": round(self.compute_time_s, 6),
             "worker": self.worker,
             "result_digest": self.result_digest,
+            "backend": self.backend,
         }
         if self.metrics is not None:
             payload["metrics"] = dict(self.metrics)
@@ -84,6 +88,8 @@ class RunManifest:
     cache_stats: Mapping[str, int]
     runs: list[RunRecord] = field(default_factory=list)
     version: str = __version__
+    #: Engine backend the campaign selected (``"reference"`` by default).
+    backend: str = "reference"
 
     @property
     def serial_equivalent_s(self) -> float:
@@ -104,6 +110,7 @@ class RunManifest:
     def as_dict(self) -> dict[str, Any]:
         return {
             "version": self.version,
+            "backend": self.backend,
             "jobs": self.jobs,
             "n_runs": len(self.runs),
             "wall_time_s": round(self.wall_time_s, 6),

@@ -1,0 +1,142 @@
+"""Engine-backend selection: which implementation runs a simulation.
+
+The repo ships two engine implementations with identical semantics:
+
+* the **reference** engine (:meth:`repro.sim.engine.ListScheduler.run`'s
+  event loop) — authoritative, supports every feature; and
+* the **batch** structure-of-arrays engine (:mod:`repro.batch`) — a
+  vectorized implementation covering the fault-free, FIFO, static-graph
+  subset, bit-identical on that subset and much faster on batches.
+
+This module is the seam between them.  It lives in :mod:`repro.sim` (the
+substrate layer) so the engine never imports :mod:`repro.batch`: backends
+*register themselves* under a name, callers *select* one ambiently with
+:func:`use_backend`, and :meth:`ListScheduler.run` consults
+:func:`active_backend` on its fault-free path.  A selected backend that
+raises :class:`~repro.exceptions.BatchUnsupportedError` makes the engine
+fall back to the reference loop — selection is a performance hint, never
+a semantics change.
+
+Selection uses a :class:`contextvars.ContextVar`, so it is safe under
+threads and composes with the other ambient installations (tracers,
+metrics registries).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Callable, Iterator, Protocol, runtime_checkable
+
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.sim.engine import ListScheduler, SimulationResult
+    from repro.sim.sources import GraphSource
+
+__all__ = [
+    "EngineBackend",
+    "BACKEND_NAMES",
+    "register_backend",
+    "get_backend",
+    "use_backend",
+    "active_backend",
+    "active_backend_name",
+]
+
+#: Names accepted by ``--backend`` and :func:`use_backend`.  ``"reference"``
+#: is implicit — it is the engine itself, not a registered object.
+BACKEND_NAMES = ("reference", "batch")
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """A drop-in implementation of the fault-free engine loop.
+
+    ``simulate`` must either return a result bit-identical to
+    :meth:`~repro.sim.engine.ListScheduler._run_plain` on the same inputs,
+    or raise :class:`~repro.exceptions.BatchUnsupportedError` to decline
+    the run (the caller then falls back to the reference loop).
+    """
+
+    name: str
+
+    def simulate(
+        self, scheduler: "ListScheduler", source: "GraphSource"
+    ) -> "SimulationResult":
+        """Simulate one run, or raise ``BatchUnsupportedError`` to decline."""
+        ...
+
+
+#: Registered backend factories by name.  Factories (not instances) keep
+#: registration import-time cheap and backends stateless per selection.
+# repro-lint: disable=RL005 -- registry repopulated by imports in each worker
+_FACTORIES: dict[str, Callable[[], EngineBackend]] = {}
+
+_active: ContextVar[EngineBackend | None] = ContextVar(
+    "repro_engine_backend", default=None
+)
+_active_name: ContextVar[str] = ContextVar(
+    "repro_engine_backend_name", default="reference"
+)
+
+
+def register_backend(name: str, factory: Callable[[], EngineBackend]) -> None:
+    """Register a backend factory under ``name`` (idempotent re-register)."""
+    if name == "reference":
+        raise InvalidParameterError(
+            "'reference' names the built-in engine loop and cannot be replaced"
+        )
+    _FACTORIES[name] = factory
+
+
+def get_backend(name: str) -> EngineBackend | None:
+    """Instantiate the backend registered under ``name``.
+
+    ``"reference"`` returns ``None`` (no delegation: the engine runs its
+    own loop).  Unknown names raise; the lazy import below means the
+    ``"batch"`` backend registers itself on first request.
+    """
+    if name == "reference":
+        return None
+    if name not in _FACTORIES and name in BACKEND_NAMES:
+        # Self-registration on demand: importing repro.batch.adapter calls
+        # register_backend("batch", ...).  Kept lazy so plain reference
+        # runs never pay the batch subsystem's import cost.
+        import repro.batch.adapter  # noqa: F401
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}"
+        ) from None
+    return factory()
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Select the engine backend for the dynamic extent of the block.
+
+    ``use_backend("reference")`` explicitly pins the reference loop
+    (useful to shield a region from an outer selection); any other name
+    resolves through the registry.  Blocks nest; the previous selection
+    is restored on exit.
+    """
+    backend = get_backend(name)
+    token = _active.set(backend)
+    name_token = _active_name.set(name)
+    try:
+        yield
+    finally:
+        _active.reset(token)
+        _active_name.reset(name_token)
+
+
+def active_backend() -> EngineBackend | None:
+    """The currently selected backend, or ``None`` for the reference loop."""
+    return _active.get()
+
+
+def active_backend_name() -> str:
+    """Name of the currently selected backend (``"reference"`` by default)."""
+    return _active_name.get()

@@ -155,14 +155,21 @@ class SpeedupModel(abc.ABC):
         The generic implementation fills a preallocated array straight from
         the ``time`` generator (no intermediate Python list); closed-form
         families override it with fully vectorized NumPy expressions.
+
+        The dtype is pinned to ``np.float64`` (here and in every override)
+        so vectorized paths match scalar ``time`` bit-for-bit regardless of
+        platform default-dtype conventions — the batch engine's digests
+        depend on it.
         """
         P = self._check_P(P)
-        return np.fromiter((self.time(p) for p in range(1, P + 1)), dtype=float, count=P)
+        return np.fromiter(
+            (self.time(p) for p in range(1, P + 1)), dtype=np.float64, count=P
+        )
 
     def areas(self, P: int) -> np.ndarray:
-        """Return the vector ``[a(1), ..., a(P)]`` as a NumPy array."""
+        """Return the vector ``[a(1), ..., a(P)]`` as a ``float64`` NumPy array."""
         P = self._check_P(P)
-        return np.arange(1, P + 1, dtype=float) * self.times(P)
+        return np.arange(1, P + 1, dtype=np.float64) * self.times(P)
 
     def is_monotonic(self, P: int, *, rtol: float = 1e-12) -> bool:
         """Check Lemma 1's monotonic property on ``[1, p_max(P)]``.
@@ -173,7 +180,7 @@ class SpeedupModel(abc.ABC):
         """
         p_max = self.max_useful_processors(P)
         times = self.times(p_max)
-        areas = np.arange(1, p_max + 1, dtype=float) * times
+        areas = np.arange(1, p_max + 1, dtype=np.float64) * times
         time_ok = bool(np.all(times[1:] <= times[:-1] * (1 + rtol)))
         area_ok = bool(np.all(areas[1:] >= areas[:-1] * (1 - rtol)))
         return time_ok and area_ok

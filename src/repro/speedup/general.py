@@ -90,13 +90,19 @@ class GeneralModel(SpeedupModel):
         return ("eq1", self.w, self.d, self.c, self.max_parallelism)
 
     def times(self, P: int) -> np.ndarray:
-        """Vectorized ``[t(1), ..., t(P)]`` (same operation order as ``time``)."""
+        """Vectorized ``[t(1), ..., t(P)]`` (same operation order as ``time``).
+
+        Pinned to ``float64`` end to end: IEEE-754 double arithmetic in the
+        same operation order as the scalar ``time``, so the two agree
+        bit-for-bit and vectorized consumers (the batch engine, allocator
+        searches) can never drift on platform default dtypes.
+        """
         P = self._check_P(P)
-        p = np.arange(1, P + 1, dtype=float)
+        p = np.arange(1, P + 1, dtype=np.float64)
         if self.max_parallelism is None:
             effective = p
         else:
-            effective = np.minimum(p, float(self.max_parallelism))
+            effective = np.minimum(p, np.float64(self.max_parallelism))
         return self.w / effective + self.d + self.c * (p - 1.0)
 
     def max_useful_processors(self, P: int) -> int:

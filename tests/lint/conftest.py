@@ -11,7 +11,16 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: Fixture snippets are stored as ``.txt`` so the repository's own lint run
 #: (``python -m repro.lint src tests``) does not trip over the deliberate
 #: violations inside the positive fixtures.
-RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
+RULE_CODES = (
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+    "RL007",
+    "RL008",
+)
 
 
 def lint_fixture(name: str, *, module: str | None = None) -> LintReport:

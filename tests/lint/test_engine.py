@@ -8,7 +8,7 @@ from repro.lint.engine import iter_python_files
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_eight_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [
             "RL001",
@@ -18,6 +18,7 @@ class TestRegistry:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ]
 
     def test_codes_and_names_unique(self):
@@ -32,7 +33,7 @@ class TestRegistry:
     def test_ignore_filters(self):
         rules = resolve_codes(ignore=["RL006"])
         assert "RL006" not in [r.code for r in rules]
-        assert len(rules) == 6
+        assert len(rules) == 7
 
     def test_unknown_code_raises(self):
         import pytest

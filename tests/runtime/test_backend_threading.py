@@ -1,0 +1,95 @@
+"""Backend selection threaded through cache keys, manifests, and the executor.
+
+A cache hit recorded under the wrong backend is a correctness bug: it
+would mask exactly the cross-backend equivalence bugs the verification
+harness exists to catch.  These tests pin the keying discipline and the
+provenance trail (``RunRecord.backend`` / ``RunManifest.backend``).
+"""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.registry import ExperimentReport
+from repro.runtime import (
+    CampaignExecutor,
+    ResultCache,
+    RunRequest,
+    run_campaign_experiments,
+)
+
+REPORT = ExperimentReport(name="demo", title="Demo", text="body", data={"x": 1.0})
+
+FAST = ["figure3", "table2"]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheKeying:
+    def test_backends_have_distinct_keys(self, cache):
+        assert cache.key_for("demo", {"P": 16}, backend="batch") != cache.key_for(
+            "demo", {"P": 16}, backend="reference"
+        )
+
+    def test_reference_key_format_is_unchanged(self, cache):
+        # Pre-backend caches must stay addressable: the default backend
+        # adds nothing to the key payload.
+        assert cache.key_for("demo", {"P": 16}) == cache.key_for(
+            "demo", {"P": 16}, backend="reference"
+        )
+
+    def test_batch_entry_invisible_to_reference_lookup(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1, backend="batch")
+        assert cache.get("demo", {"P": 16}) is None
+        assert cache.get("demo", {"P": 16}, backend="batch") is not None
+
+    def test_reference_entry_invisible_to_batch_lookup(self, cache):
+        cache.put("demo", {"P": 16}, REPORT, compute_time_s=0.1)
+        assert cache.get("demo", {"P": 16}, backend="batch") is None
+
+
+class TestExecutorBackend:
+    def test_unknown_backend_fails_at_construction(self):
+        with pytest.raises(InvalidParameterError, match="unknown engine backend"):
+            CampaignExecutor(jobs=1, backend="vectorized")
+
+    def test_default_backend_is_reference(self):
+        assert CampaignExecutor(jobs=1).backend == "reference"
+
+    def test_manifest_and_records_carry_the_backend(self, cache):
+        outcome = run_campaign_experiments(
+            names=FAST, jobs=1, cache=cache, backend="batch"
+        )
+        assert outcome.manifest.backend == "batch"
+        assert {r.backend for r in outcome.manifest.runs} == {"batch"}
+        assert outcome.manifest.as_dict()["backend"] == "batch"
+        assert {r["backend"] for r in outcome.manifest.as_dict()["runs"]} == {"batch"}
+
+    def test_batch_campaign_reports_match_reference(self, cache):
+        reference = run_campaign_experiments(names=FAST, jobs=1, cache=None)
+        batched = run_campaign_experiments(
+            names=FAST, jobs=1, cache=cache, backend="batch"
+        )
+        for name in FAST:
+            assert batched.reports[name].to_json() == reference.reports[name].to_json()
+
+    def test_backend_digests_match_across_cache_misses(self, cache):
+        # Both backends compute (separate cache keys) yet produce the
+        # same result digest — the bit-identity contract, end to end.
+        reference = run_campaign_experiments(names=FAST, jobs=1, cache=cache)
+        batched = run_campaign_experiments(
+            names=FAST, jobs=1, cache=cache, backend="batch"
+        )
+        ref_digests = {r.experiment: r.result_digest for r in reference.manifest.runs}
+        for record in batched.manifest.runs:
+            assert record.cache_status == "miss"
+            assert record.result_digest == ref_digests[record.experiment]
+
+    def test_isolated_worker_uses_the_backend(self, cache):
+        outcome = run_campaign_experiments(
+            names=["table2"], jobs=2, cache=cache, backend="batch"
+        )
+        (record,) = outcome.manifest.runs
+        assert record.backend == "batch"

@@ -1,0 +1,71 @@
+"""Dtype stability of the vectorized speedup paths.
+
+The batch engine's bit-identity guarantee rests on ``times``/``areas``
+returning ``float64`` arrays whose entries equal the scalar ``time``/
+``area`` values *bitwise* — not approximately.  These tests pin that
+contract for every model family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constants import MODEL_FAMILIES
+from repro.speedup import (
+    AmdahlModel,
+    CommunicationModel,
+    GeneralModel,
+    RooflineModel,
+)
+from repro.speedup.random import RandomModelFactory
+
+CLOSED_FORM_MODELS = [
+    RooflineModel(37.0, max_parallelism=13),
+    RooflineModel(1.0, max_parallelism=1),
+    CommunicationModel(50.0, 0.5),
+    CommunicationModel(3.0, 2.0),
+    AmdahlModel(80.0, 0.125),
+    AmdahlModel(10.0, 7.0),
+    GeneralModel(64.0),
+    GeneralModel(64.0, 0.25, 0.75, max_parallelism=20),
+    GeneralModel(1e6, 1e-6, 1e-3),
+]
+
+
+@pytest.mark.parametrize("model", CLOSED_FORM_MODELS, ids=repr)
+@pytest.mark.parametrize("P", [1, 7, 64])
+class TestClosedFormFamilies:
+    def test_times_dtype_and_bitwise_agreement(self, model, P):
+        times = model.times(P)
+        assert times.dtype == np.float64
+        assert times.shape == (P,)
+        for p in range(1, P + 1):
+            assert times[p - 1] == model.time(p)
+
+    def test_areas_dtype_and_bitwise_agreement(self, model, P):
+        areas = model.areas(P)
+        assert areas.dtype == np.float64
+        for p in range(1, P + 1):
+            assert areas[p - 1] == model.area(p)
+
+
+@pytest.mark.parametrize("family", MODEL_FAMILIES)
+@pytest.mark.parametrize("seed", [0, 17])
+def test_random_factory_models_are_dtype_stable(family, seed):
+    factory = RandomModelFactory(family=family, seed=seed)
+    for _ in range(5):
+        model = factory()
+        times = model.times(32)
+        areas = model.areas(32)
+        assert times.dtype == np.float64
+        assert areas.dtype == np.float64
+        for p in range(1, 33):
+            assert times[p - 1] == model.time(p)
+            assert areas[p - 1] == model.area(p)
+
+
+def test_times_never_inherits_integer_dtype():
+    # Integer parameters must not leak an integer dtype into the vector
+    # path (the historical drift this suite exists to prevent).
+    model = GeneralModel(100, 2, 1, max_parallelism=8)
+    assert model.times(16).dtype == np.float64
+    assert model.areas(16).dtype == np.float64
