@@ -5,7 +5,7 @@ event loop on the ``wide`` scenario (5000 independent communication-model
 tasks, P=64) and appends the throughput numbers to the repo-root
 ``BENCH_engine.json`` trajectory as ``"benchmark": "batch"`` entries.
 
-Two scenarios, separated honestly:
+Scenarios, separated honestly:
 
 * ``test_wide_batch_throughput`` — 256 replicas of *one shared graph
   object*, so the structure compiles once and the allocation resolves to
@@ -14,6 +14,23 @@ Two scenarios, separated honestly:
 * ``test_distinct_graphs_batch`` — 32 *distinct* graph objects, each
   compiled separately; the lower bound of the speedup story, recorded
   without a gate.
+* ``test_kernel_tier_throughput`` — the same wide batch once per
+  *compute kernel* (numpy always; numba when the ``[fast]`` extra is
+  installed).  Where numba runs, its tier must deliver >=2x the numpy
+  tier's tasks/sec — the compiled-kernel acceptance gate, exercised by
+  the CI kernel-parity job on numba-free dev machines' behalf.
+* ``test_batch_size_scaling`` — how throughput amortizes with batch
+  size (1 -> 4096 replicas of a ~200-task layered graph), per kernel,
+  recorded as the entry's ``scaling_sweep``.
+
+Standalone use (writes the same BENCH entry)::
+
+    python benchmarks/bench_batch.py --sweep
+    python benchmarks/bench_batch.py --sweep --kernels numpy,numba
+
+The ``python`` kernel is a correctness fixture (the numba loop body run
+uncompiled) — it is deliberately *not* timed here; the verify harness and
+test suite cover it.
 """
 
 import time
@@ -21,7 +38,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.batch import run_batch
+from repro.batch import available_kernels, numba_available, run_batch
 from repro.core.scheduler import OnlineScheduler
 from repro.graph.generators import independent_tasks, layered_random
 from repro.speedup import CommunicationModel, RandomModelFactory
@@ -31,13 +48,30 @@ _BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 #: Timings accumulated by the tests, flushed as one entry at session end.
 _BATCH_BENCHMARKS: dict[str, dict] = {}
 
+#: Per-kernel batch-size scaling rows, flushed with the same entry.
+_SWEEP_RESULTS: dict[str, list] = {}
+
 WIDE_TASKS = 5000
 WIDE_P = 64
 WIDE_REPLICAS = 256
 
+#: Batch sizes of the scaling sweep (replicas of the sweep graph).
+SWEEP_SIZES = (1, 4, 16, 64, 256, 1024, 4096)
+SWEEP_P = 32
+
 
 def _wide_graph():
     return independent_tasks(WIDE_TASKS, lambda: CommunicationModel(50.0, 0.5))
+
+
+def _sweep_graph():
+    factory = RandomModelFactory(family="communication", seed=7)
+    return layered_random(10, 20, factory, seed=7)  # ~200 tasks
+
+
+def _bench_kernels():
+    """Kernels worth timing: everything available except ``python``."""
+    return tuple(k for k in available_kernels() if k != "python")
 
 
 def _min_time(fn, rounds):
@@ -49,22 +83,66 @@ def _min_time(fn, rounds):
     return best
 
 
+def run_scaling_sweep(kernels=None, sizes=SWEEP_SIZES, rounds=2):
+    """Per-kernel throughput as a function of batch size.
+
+    Returns ``{kernel: [{"batch", "batch_s", "runs_per_sec",
+    "tasks_per_sec"}, ...]}`` with one row per entry of ``sizes``.
+    """
+    graph = _sweep_graph()
+    scheduler = OnlineScheduler.for_family("communication", SWEEP_P)
+    allocator = scheduler.allocator
+    n = len(graph)
+    sweep: dict[str, list] = {}
+    for kernel in kernels or _bench_kernels():
+        rows = []
+        for size in sizes:
+            items = [(graph, SWEEP_P)] * size
+            best = _min_time(
+                lambda: run_batch(items, allocator, materialize=False, kernel=kernel),
+                rounds,
+            )
+            rows.append(
+                {
+                    "batch": size,
+                    "batch_s": round(best, 6),
+                    "runs_per_sec": round(size / best, 3),
+                    "tasks_per_sec": round(size * n / best, 1),
+                }
+            )
+        sweep[kernel] = rows
+    return sweep
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _append_batch_entry():
     """Append the accumulated batch timings to BENCH_engine.json."""
     yield
-    if not _BATCH_BENCHMARKS:
+    if not (_BATCH_BENCHMARKS or _SWEEP_RESULTS):
         return
+    _flush_entry(_BATCH_BENCHMARKS, _SWEEP_RESULTS)
+
+
+def _flush_entry(benchmarks, sweep):
+    from _provenance import bench_commit, bench_label, validate_engine_bench
     from repro.runtime.manifest import append_engine_bench_entry
 
+    commit = bench_commit()
     append_engine_bench_entry(
         _BENCH_PATH,
         {
+            "label": bench_label(f"batch kernel tiers @ {commit}"),
+            "commit": commit,
             "benchmark": "batch",
             "unix_time": int(time.time()),
-            "benchmarks": dict(_BATCH_BENCHMARKS),
+            "kernels": list(_bench_kernels()),
+            "numba_available": numba_available(),
+            "benchmarks": dict(benchmarks),
+            **({"scaling_sweep": dict(sweep)} if sweep else {}),
         },
     )
+    problems = validate_engine_bench(_BENCH_PATH)
+    assert not problems, "\n".join(problems)
 
 
 def test_wide_batch_throughput(benchmark):
@@ -107,6 +185,57 @@ def test_wide_batch_throughput(benchmark):
     assert entry["tasks_per_sec_ratio"] >= 10.0, entry
 
 
+def test_kernel_tier_throughput():
+    """Each compute kernel on the wide batch; numba must beat numpy >=2x.
+
+    All kernels produce identical makespans (checked here against the
+    reference run); the timing question is purely throughput.  On
+    numba-free installs only the numpy tier runs and the gate is vacuous
+    — the CI ``[fast]`` job supplies the compiled measurement.
+    """
+    graph = _wide_graph()
+    scheduler = OnlineScheduler.for_family("communication", WIDE_P)
+    allocator = scheduler.allocator
+    items = [(graph, WIDE_P)] * WIDE_REPLICAS
+    reference = scheduler.run(graph)
+    total_tasks = WIDE_TASKS * WIDE_REPLICAS
+
+    rates: dict[str, float] = {}
+    for kernel in _bench_kernels():
+        outcome = run_batch(items, allocator, materialize=False, kernel=kernel)
+        assert (outcome.makespans == reference.makespan).all(), kernel
+        best = _min_time(
+            lambda: run_batch(items, allocator, materialize=False, kernel=kernel),
+            rounds=2,
+        )
+        rates[kernel] = total_tasks / best
+        _BATCH_BENCHMARKS[f"test_kernel_tier_throughput[{kernel}]"] = {
+            "scenario": f"wide x{WIDE_REPLICAS} (kernel={kernel})",
+            "kernel": kernel,
+            "runs": WIDE_REPLICAS,
+            "batch_s": round(best, 6),
+            "tasks_per_sec": round(rates[kernel], 1),
+            "runs_per_sec": round(WIDE_REPLICAS / best, 3),
+        }
+    if "numba" in rates:
+        ratio = rates["numba"] / rates["numpy"]
+        _BATCH_BENCHMARKS["test_kernel_tier_throughput[numba]"][
+            "vs_numpy_ratio"
+        ] = round(ratio, 2)
+        assert ratio >= 2.0, rates
+
+
+def test_batch_size_scaling():
+    """Throughput must amortize: big batches beat single-run batches."""
+    sweep = run_scaling_sweep(rounds=2)
+    _SWEEP_RESULTS.update(sweep)
+    for kernel, rows in sweep.items():
+        assert rows[-1]["tasks_per_sec"] > rows[0]["tasks_per_sec"], (
+            kernel,
+            rows,
+        )
+
+
 def test_distinct_graphs_batch(benchmark):
     """32 distinct layered graphs: per-graph compilation included."""
     runs = 32
@@ -143,3 +272,52 @@ def test_distinct_graphs_batch(benchmark):
         "reference_tasks_per_sec": round(n_tasks / ref_s, 1),
         "tasks_per_sec_ratio": round(ref_s / batch_s, 2),
     }
+
+
+def _main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Batch-engine kernel benchmarks (standalone entry)."
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the batch-size scaling sweep (1 -> 4096 runs) per kernel "
+        "and append the results to BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernels to sweep (default: every available "
+        "kernel except 'python'; an unavailable 'numba' degrades to numpy)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2, help="timing rounds per point (default: 2)"
+    )
+    args = parser.parse_args(argv)
+    if not args.sweep:
+        parser.error("nothing to do; pass --sweep (pytest runs the gates)")
+    kernels = (
+        tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+        if args.kernels
+        else _bench_kernels()
+    )
+    sweep = run_scaling_sweep(kernels=kernels, rounds=args.rounds)
+    for kernel, rows in sweep.items():
+        print(f"kernel={kernel}")
+        for row in rows:
+            print(
+                f"  batch={row['batch']:>5}  {row['batch_s']:>9.4f}s  "
+                f"{row['runs_per_sec']:>10.1f} runs/s  "
+                f"{row['tasks_per_sec']:>12.1f} tasks/s"
+            )
+    _flush_entry({}, sweep)
+    print(f"appended scaling sweep to {_BENCH_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -38,14 +38,14 @@ def test_layered_random_10k(benchmark):
     factory = RandomModelFactory(family="general", seed=0)
     graph = layered_random(100, 100, factory, edge_probability=0.05, seed=0)
     scheduler = OnlineScheduler.for_family("general", 128)
-    result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=1, iterations=1)
+    result = benchmark.pedantic(scheduler.run, args=(graph,), rounds=3, iterations=1)
     assert len(result.schedule) == 10_000
 
 
 def test_adversarial_instance_end_to_end(benchmark, record_engine_stats):
     instance = communication_instance(200)  # ~13k tasks
 
-    result = benchmark.pedantic(instance.run, rounds=1, iterations=1)
+    result = benchmark.pedantic(instance.run, rounds=3, iterations=1)
     record_engine_stats(result)
     assert result.makespan == pytest.approx(instance.predicted_makespan)
     # Dense adversarial instances reuse a handful of model

@@ -12,6 +12,12 @@ Engine benchmarks (``bench_engine.py``) additionally append their timings
 and :class:`~repro.sim.engine.EngineStats` counters to the repo-root
 ``BENCH_engine.json`` trajectory at session end, so every benchmark run
 extends the performance record (see ``docs/performance.md``).
+
+Every trajectory entry must carry a human-readable ``label`` and the
+short ``commit`` hash of the code it measured — an unlabeled timing is
+unusable as a performance record.  The schema is validated here at
+session start (on the existing file) and again after appending; set
+``REPRO_BENCH_LABEL`` to override the default label of new entries.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ import time
 from pathlib import Path
 
 import pytest
+
+from _provenance import bench_commit, bench_label, validate_engine_bench
 
 #: Engine counters stashed by the ``record_engine_stats`` fixture, keyed by
 #: test name; flushed into BENCH_engine.json at session end.
@@ -30,6 +38,15 @@ _ENGINE_STATS: dict[str, dict] = {}
 _SESSION_FIELDS: dict[str, object] = {}
 
 _BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def pytest_configure(config):
+    """Fail fast if the existing trajectory already violates the schema."""
+    problems = validate_engine_bench()
+    if problems:
+        raise pytest.UsageError(
+            "BENCH_engine.json schema violations:\n  " + "\n  ".join(problems)
+        )
 
 
 @pytest.fixture
@@ -87,12 +104,17 @@ def pytest_sessionfinish(session, exitstatus):
         return
     from repro.runtime.manifest import append_engine_bench_entry
 
+    commit = bench_commit()
     append_engine_bench_entry(
         _BENCH_PATH,
         {
+            "label": bench_label(f"engine suite @ {commit}"),
+            "commit": commit,
             "unix_time": int(time.time()),
             "benchmarks": timings,
             "engine_stats": dict(_ENGINE_STATS),
             **_SESSION_FIELDS,
         },
     )
+    problems = validate_engine_bench()
+    assert not problems, "\n".join(problems)

@@ -136,6 +136,7 @@ def run_batch(
     *,
     compiler: BatchCompiler | None = None,
     materialize: bool = True,
+    kernel: str | None = None,
 ) -> BatchOutcome:
     """Simulate every ``(graph, P)`` run in one vectorized pass.
 
@@ -147,9 +148,14 @@ def run_batch(
     skipping the per-task Python object construction — the configuration
     throughput benchmarks use, and the right choice whenever only
     aggregate statistics of a sweep are needed.
+
+    ``kernel`` pins a compute kernel (``"numpy"``/``"numba"``/
+    ``"python"``); by default resolution follows
+    :func:`repro.batch.kernels.resolve_kernel` (ambient selection, then
+    ``REPRO_BATCH_KERNEL``, then auto).  All kernels are bit-identical.
     """
     compiled = compile_batch(items, allocator, compiler)
-    engine = BatchEngine(compiled).run()
+    engine = BatchEngine(compiled, kernel=kernel).run()
     results: tuple[SimulationResult, ...] = ()
     if materialize:
         results = tuple(

@@ -1,452 +1,106 @@
-"""The vectorized batched event loop (structure-of-arrays engine).
+"""The batch engine: a kernel orchestrator over dense run arrays.
 
-One :class:`BatchEngine` advances ``B`` independent runs simultaneously:
-every state component of the reference loop has an array counterpart
-with a leading batch axis —
+One :class:`BatchEngine` advances ``B`` independent runs to completion.
+Since the kernel-tier split, the engine itself owns no event loop: it
+allocates the :class:`~repro.batch.kernels.KernelIO` array bundle,
+resolves which kernel implementation runs (``numpy`` whole-array tier,
+optional ``numba``-compiled tier, or the uncompiled ``python`` loop tier
+— see :mod:`repro.batch.kernels`), delegates, and performs the drain
+check.  All kernels are bit-identical on the result arrays; selection is
+a performance choice, never a semantics change.
 
-=====================  ==================================================
-reference engine       batch engine
-=====================  ==================================================
-event heap             ``end_slot [B, C]`` compact completion slots; the
-                       next event of run ``b`` is ``end_slot[b].min()``
-free processor count   ``free [B]``
-FIFO waiting queue     append-only slot arrays ``qdem/qtask [B, W]``
-                       with a block-minimum index ``blockmin [B, W/64]``
-per-task allocation    ``demand/initial [B, N]`` (from ``layout``)
-``source`` indegrees   ``indeg [B * N]`` + flat CSR successor arrays
-=====================  ==================================================
-
-Each iteration of the main loop advances *every* active run to its own
-next completion instant (runs desynchronize freely), drains all equal-time
-completions per run, decrements successor indegrees through one CSR
-scatter, enqueues newly ready tasks, and replays the reference engine's
-single in-order queue pass with a vectorized first-fit scan.
-
-**Bit-identity.**  The engine reproduces the reference loop exactly, not
-approximately:
+**Bit-identity with the reference engine** (all kernels inherit this):
 
 * durations/allocations come precomputed from :mod:`repro.batch.layout`
-  via the same scalar calls the reference makes;
-* completion grouping uses exact float equality against the slot minimum,
-  matching the reference heap's equal-time drain;
+  via the same scalar calls (or their proven-identical vectorized forms)
+  the reference makes;
+* completion grouping uses exact float equality against the running
+  minimum, matching the reference heap's equal-time drain;
 * simultaneous reveals are ordered by ``(max start-seq among the
   completing predecessors, graph insertion order)`` — provably the order
   in which the reference heap's pops append them to the queue;
 * the queue pass starts tasks in queue order under a shrinking free
   count, exactly like ``start_fitting``.
-
-The queue scan exploits that a FIFO pass is *almost* one cumulative-sum:
-the maximal queue prefix whose cumulative demand fits the free count
-starts wholesale (one window gather + ``cumsum`` across all runs); only
-at a "blocker" (first entry that does not fit) does the scan fall back to
-a block-minimum search for the next individually fitting entry.  Started
-entries leave a hole (sentinel demand) and queues compact lazily once
-holes dominate, keeping the amortized per-event cost near
-``O(B * (P + W/64))`` instead of ``O(B * W)``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.batch.layout import HUGE_DEMAND, CompiledBatch
+from repro.batch.kernels import KernelIO, make_io, resolve_kernel, run_kernel
+from repro.batch.layout import CompiledBatch
 from repro.exceptions import SimulationError
 
 __all__ = ["BatchEngine"]
-
-#: Block size of the queue's block-minimum index.
-_BK = 64
-#: Compact a run's queue once it holds this many holes and they outnumber
-#: live entries (amortized O(1) per start).
-_COMPACT_MIN_HOLES = 256
 
 
 class BatchEngine:
     """Vectorized simulation of one :class:`~repro.batch.layout.CompiledBatch`.
 
-    Build, call :meth:`run` once, then read the result arrays
-    (``start_t``/``end_t``/``start_seq``/``reveal_seq``/``reveal_t``/
-    ``makespans``) or hand the engine to
+    Build (optionally pinning a kernel — default resolves through
+    :func:`~repro.batch.kernels.resolve_kernel`: explicit argument, then
+    the ambient :func:`~repro.batch.kernels.use_kernel` selection, then
+    ``REPRO_BATCH_KERNEL``, then auto), call :meth:`run` once, then read
+    the result arrays (``start_t``/``end_t``/``start_seq``/``reveal_seq``/
+    ``reveal_t``/``makespans``) or hand the engine to
     :func:`repro.batch.adapter.materialize_result`.
     """
 
-    def __init__(self, compiled: CompiledBatch) -> None:
+    def __init__(self, compiled: CompiledBatch, kernel: str | None = None) -> None:
         self.compiled = compiled
-        B, N = compiled.B, compiled.N
-        self.B = B
-        self.N = N
-        max_p = int(compiled.P.max())
-
-        # Queue geometry: W slots under the block index, then a guard
-        # region of one scan window so window gathers never wrap.
-        self.NB = max(1, -(-N // _BK))
-        self.W = self.NB * _BK
-        self.C2 = int(max(16, min(max_p, max(N, 1))))
-        self.WG = self.W + self.C2
-
-        # Completion slots: one per potentially concurrent task.
-        self.C = max(1, min(max_p, max(N, 1)))
-
-        self.free = compiled.P.astype(np.int64)
-        self.indeg = compiled.indeg.reshape(-1).copy()
-        self.demand_flat = compiled.demand.reshape(-1)
-        self.duration_flat = compiled.duration.reshape(-1)
-
-        self.qdem = np.full((B, self.WG), HUGE_DEMAND, dtype=np.int64)
-        self.qtask = np.full((B, self.WG), -1, dtype=np.int64)
-        self.blockmin = np.full((B, self.NB), HUGE_DEMAND, dtype=np.int64)
-        self.qlen = np.zeros(B, dtype=np.int64)
-        self.holes = np.zeros(B, dtype=np.int64)
-        self.hstart = np.zeros(B, dtype=np.int64)
-
-        self.reveal_seq = np.full((B, N), -1, dtype=np.int64)
-        self.reveal_t = np.full((B, N), np.nan, dtype=np.float64)
-        self.rcount = np.zeros(B, dtype=np.int64)
-
-        self.start_seq = np.full(B * N, -1, dtype=np.int64)
-        self.sseq = np.zeros(B, dtype=np.int64)
-        self.start_t = np.full((B, N), np.nan, dtype=np.float64)
-        self.end_t = np.full((B, N), np.nan, dtype=np.float64)
-        self.step_key = np.full(B * N, -1, dtype=np.int64)
-
-        self.end_slot = np.full((B, self.C), np.inf, dtype=np.float64)
-        self.slot_task = np.full((B, self.C), -1, dtype=np.int64)
-        self.slot_stack = np.broadcast_to(
-            np.arange(self.C, dtype=np.int64), (B, self.C)
-        ).copy()
-        self.stack_top = np.full(B, self.C, dtype=np.int64)
-
-        self.now = np.zeros(B, dtype=np.float64)
-        self.completed = np.zeros(B, dtype=np.int64)
-
-        # Per-run observability counters (engine-version specific).
-        self.ev_count = np.zeros(B, dtype=np.int64)
-        self.scan_passes = np.zeros(B, dtype=np.int64)
-        self.scan_elems = np.zeros(B, dtype=np.int64)
-
+        self.kernel_name = resolve_kernel(kernel)
+        self.B = compiled.B
+        self.N = compiled.N
+        self.io: KernelIO = make_io(compiled)
+        io = self.io
+        # Result/state arrays, aliased for callers and materialization.
+        self.free = io.free
+        self.start_t = io.start_t
+        self.end_t = io.end_t
+        self.start_seq = io.start_seq
+        self.reveal_seq = io.reveal_seq
+        self.reveal_t = io.reveal_t
+        self.now = io.now
+        self.completed = io.completed
+        self.ev_count = io.ev_count
+        self.scan_passes = io.scan_passes
+        self.scan_elems = io.scan_elems
         self._ran = False
 
-    # ------------------------------------------------------------------
-    # Queue primitives
-    # ------------------------------------------------------------------
-    def _enqueue(self, rb: np.ndarray, rc: np.ndarray) -> None:
-        """Append tasks ``rc`` of runs ``rb`` (rb ascending, reveal order)."""
-        if rb.size == 0:
-            return
-        # Rank of each append within its run = position - first position
-        # of that run in the (sorted) rb array; bincount+repeat beats a
-        # million binary searches on the initial bulk admission.
-        per_run = np.bincount(rb, minlength=self.B).astype(np.int64)
-        first = np.cumsum(per_run) - per_run
-        rank = np.arange(rb.size, dtype=np.int64) - np.repeat(first, per_run)
-        slots = self.qlen[rb] + rank
-        dem = self.compiled.demand[rb, rc]
-        self.qdem[rb, slots] = dem
-        self.qtask[rb, slots] = rc
-        # Bulk appends (e.g. the initial admission of a wide batch) make
-        # scattered np.minimum.at the bottleneck; past one-eighth of the
-        # affected rows' total block cells, a dense per-row recompute of
-        # blockmin is cheaper than the scatter.
-        urows = rb[np.concatenate(([True], rb[1:] != rb[:-1]))]  # rb ascending
-        if rb.size * 8 >= urows.size * self.W:
-            self.blockmin[urows] = (
-                self.qdem[urows, : self.W].reshape(urows.size, self.NB, _BK).min(axis=2)
-            )
-        else:
-            np.minimum.at(self.blockmin, (rb, slots // _BK), dem)
-        self.reveal_seq[rb, rc] = self.rcount[rb] + rank
-        self.reveal_t[rb, rc] = self.now[rb]
-        self.qlen += per_run
-        self.rcount += per_run
-
-    def _compact(self, rows: np.ndarray) -> None:
-        """Drop started-entry holes from the queues of ``rows``."""
-        # Stable partition via cumsum-scatter (cheaper than an argsort):
-        # each live entry's new column is the count of live entries at or
-        # before it, minus one; holes and tail collapse to the sentinel.
-        # Only the used region [0, qmax) can hold live entries or holes;
-        # everything past it is already at the sentinel.
-        qmax = int(self.qlen[rows].max())
-        nbu = max(1, -(-qmax // _BK))
-        wu = nbu * _BK
-        if rows.size == self.B:
-            # All runs compact at once (the common wide-batch case):
-            # operate through basic-slice views, no gather copies.
-            dem_view = self.qdem[:, :wu]
-            task_view = self.qtask[:, :wu]
-            live = dem_view != HUGE_DEMAND
-            newc = live.cumsum(axis=1, dtype=np.int64) - 1
-            r, c = np.nonzero(live)
-            nc = newc[r, c]
-            dem_live = dem_view[r, c]
-            task_live = task_view[r, c]
-            dem_view[...] = HUGE_DEMAND
-            task_view[...] = -1
-            dem_view[r, nc] = dem_live
-            task_view[r, nc] = task_live
-            self.blockmin[:, :nbu] = (
-                dem_view.reshape(self.B, nbu, _BK).min(axis=2)
-            )
-        else:
-            sub_dem = self.qdem[rows, :wu]
-            live = sub_dem != HUGE_DEMAND
-            newc = live.cumsum(axis=1, dtype=np.int64) - 1
-            r, c = np.nonzero(live)
-            nc = newc[r, c]
-            new_dem = np.full_like(sub_dem, HUGE_DEMAND)
-            new_dem[r, nc] = sub_dem[r, c]
-            new_task = np.full_like(sub_dem, -1)
-            new_task[r, nc] = self.qtask[rows, :wu][r, c]
-            self.qdem[rows, :wu] = new_dem
-            self.qtask[rows, :wu] = new_task
-            self.blockmin[rows, :nbu] = new_dem.reshape(rows.size, nbu, _BK).min(
-                axis=2
-            )
-        self.blockmin[rows, nbu:] = HUGE_DEMAND
-        self.qlen[rows] = self.qlen[rows] - self.holes[rows]
-        self.holes[rows] = 0
-        self.hstart[rows] = 0
-
-    def _refresh_hstart(self, rows: np.ndarray) -> None:
-        """Point ``hstart`` at each row's first possibly-live queue block.
-
-        Block-granular on purpose: up to ``_BK - 1`` leading holes are
-        left for the scan window to absorb (holes contribute nothing to
-        the prefix sum), which spares a per-row gather here on every
-        event.
-        """
-        bm_live = self.blockmin[rows] < HUGE_DEMAND
-        first_blk = np.argmax(bm_live, axis=1)
-        self.hstart[rows] = np.where(
-            bm_live.any(axis=1), first_blk * _BK, self.qlen[rows]
-        )
-
-    # ------------------------------------------------------------------
-    # The queue pass (reference start_fitting, vectorized)
-    # ------------------------------------------------------------------
-    def _scan(self, rows: np.ndarray) -> None:
-        rows = rows[(self.qlen[rows] - self.holes[rows]) > 0]
-        if rows.size == 0:
-            return
-        needs_compact = rows[
-            (self.holes[rows] > _COMPACT_MIN_HOLES)
-            & (2 * self.holes[rows] > self.qlen[rows])
-        ]
-        if needs_compact.size:
-            self._compact(needs_compact)
-        self.scan_passes[rows] += 1
-
-        C2 = self.C2
-        WG = self.WG
-        qdem_flat = self.qdem.reshape(-1)
-        win = np.arange(C2, dtype=np.int64)
-
-        cur = self.hstart[rows].copy()
-        budget = self.free[rows].copy()
-
-        while rows.size:
-            # --- cumulative-prefix window -----------------------------
-            widx = cur[:, None] + win
-            flat = rows[:, None] * WG + widx
-            wdem = qdem_flat[flat]
-            # Holes/guard carry the sentinel; they contribute 0 demand.
-            wcum = np.where(wdem < HUGE_DEMAND, wdem, 0)
-            csum = np.cumsum(wcum, axis=1)
-            fits = csum <= budget[:, None]
-            L = fits.sum(axis=1)
-            took = np.where(L > 0, csum[np.arange(rows.size), np.maximum(L - 1, 0)], 0)
-            budget -= took
-            self.free[rows] = budget
-            self.scan_elems[rows] += np.minimum(L + 1, C2)
-
-            started = (wdem < HUGE_DEMAND) & (win[None, :] < L[:, None])
-            sr, sc = np.nonzero(started)
-            if sr.size:
-                srun = rows[sr]
-                spos = widx[sr, sc]
-                scol = self.qtask[srun, spos]
-                self._start(srun, scol, spos)
-
-            # --- blocker / continuation -------------------------------
-            qlen = self.qlen[rows]
-            b0 = cur + L
-            cont = (L == C2) & (b0 < qlen)
-            # A blocker search can only succeed if some waiting entry's
-            # demand fits the leftover budget; the row minimum of the
-            # block index rules most waves out for the cost of one min.
-            search = (
-                ~cont
-                & (budget >= self.blockmin[rows].min(axis=1))
-                & (b0 + 1 < self.W)
-            )
-            nxt = np.full(rows.size, -1, dtype=np.int64)
-            nxt[cont] = b0[cont]
-            if search.any():
-                sel = np.nonzero(search)[0]
-                found = self._next_fit(rows[sel], b0[sel] + 1, budget[sel])
-                nxt[sel] = found
-            alive = nxt >= 0
-            rows = rows[alive]
-            cur = nxt[alive]
-            budget = budget[alive]
-
-    def _start(self, srun: np.ndarray, scol: np.ndarray, spos: np.ndarray) -> None:
-        """Start tasks ``scol`` of runs ``srun`` (ascending, queue order)."""
-        per_run = np.bincount(srun, minlength=self.B).astype(np.int64)
-        first = np.cumsum(per_run) - per_run
-        rank = np.arange(srun.size, dtype=np.int64) - np.repeat(first, per_run)
-        g = srun * self.N + scol
-        self.start_seq[g] = self.sseq[srun] + rank
-        self.sseq += per_run
-        t0 = self.now[srun]
-        end = t0 + self.duration_flat[g]
-        self.start_t[srun, scol] = t0
-        self.end_t[srun, scol] = end
-        # Punch queue holes and patch the block index.
-        self.qdem[srun, spos] = HUGE_DEMAND
-        self.holes += per_run
-        # (run, block) keys are non-decreasing (srun ascending, spos
-        # ascending within a run), so boundary-dedup replaces np.unique.
-        key = srun * self.NB + spos // _BK
-        touched = key[np.concatenate(([True], key[1:] != key[:-1]))]
-        tr, tb = touched // self.NB, touched % self.NB
-        idx = (tb * _BK)[:, None] + np.arange(_BK, dtype=np.int64)
-        vals = self.qdem.reshape(-1)[tr[:, None] * self.WG + idx]
-        self.blockmin[tr, tb] = vals.min(axis=1)
-        # Pop completion slots from each run's free-slot stack.
-        slots = self.slot_stack[srun, self.stack_top[srun] - 1 - rank]
-        self.stack_top -= per_run
-        self.end_slot[srun, slots] = end
-        self.slot_task[srun, slots] = scol
-
-    def _next_fit(
-        self, rr: np.ndarray, start: np.ndarray, f: np.ndarray
-    ) -> np.ndarray:
-        """First queue index >= ``start`` whose demand fits ``f`` (-1: none)."""
-        res = np.full(rr.size, -1, dtype=np.int64)
-        qdem_flat = self.qdem.reshape(-1)
-        blk = np.arange(_BK, dtype=np.int64)
-        bblk = start // _BK
-        base = bblk * _BK
-        bidx = base[:, None] + blk
-        vals = qdem_flat[rr[:, None] * self.WG + bidx]
-        ok = (vals <= f[:, None]) & (bidx >= start[:, None])
-        hit = ok.any(axis=1)
-        if hit.any():
-            res[hit] = bidx[hit, np.argmax(ok[hit], axis=1)]
-        rem = np.nonzero(~hit)[0]
-        if rem.size == 0:
-            return res
-        rr2 = rr[rem]
-        bm_ok = (self.blockmin[rr2] <= f[rem, None]) & (
-            np.arange(self.NB, dtype=np.int64)[None, :] > bblk[rem, None]
-        )
-        bhit = bm_ok.any(axis=1)
-        if not bhit.any():
-            return res
-        sub = rem[bhit]
-        blk2 = np.argmax(bm_ok[bhit], axis=1)
-        idx2 = (blk2 * _BK)[:, None] + blk
-        vals2 = qdem_flat[rr[sub][:, None] * self.WG + idx2]
-        ok2 = vals2 <= f[sub, None]
-        res[sub] = blk2 * _BK + np.argmax(ok2, axis=1)
-        return res
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
     def run(self) -> "BatchEngine":
         """Simulate every run to completion; returns ``self``."""
         if self._ran:
             raise SimulationError("BatchEngine.run() may only be called once")
         self._ran = True
-        B, N = self.B, self.N
-
-        # Initial admission: indegree-0 tasks in insertion order (padding
-        # columns carry indegree 1 and never appear).
-        rb, rc = np.nonzero(self.indeg.reshape(B, N) == 0)
-        self._enqueue(rb.astype(np.int64), rc.astype(np.int64))
-        all_rows = np.arange(B, dtype=np.int64)
-        self._scan(all_rows)
-        self._refresh_hstart(all_rows)
-
-        indptr = self.compiled.succ_indptr
-        succ = self.compiled.succ
-
-        while True:
-            next_t = self.end_slot.min(axis=1)
-            finite = np.isfinite(next_t)
-            if finite.all():
-                act = all_rows  # common case: every run still has work
-            else:
-                act = np.nonzero(finite)[0]
-                if act.size == 0:
-                    break
-            tcur = next_t[act]
-            self.now[act] = tcur
-            self.ev_count[act] += 1
-
-            # Drain every completion at each run's instant (exact float
-            # equality, like the reference heap's equal-time drain).
-            comp = self.end_slot[act] == tcur[:, None]
-            ar, sl = np.nonzero(comp)
-            crun = act[ar]
-            ccol = self.slot_task[crun, sl]
-            g = crun * N + ccol
-            self.free += np.bincount(
-                crun, weights=self.demand_flat[g], minlength=B
-            ).astype(np.int64)
-            self.end_slot[crun, sl] = np.inf
-            self.slot_task[crun, sl] = -1
-            per_run = np.bincount(crun, minlength=B).astype(np.int64)
-            self.completed += per_run
-            first = np.cumsum(per_run) - per_run
-            rank = np.arange(crun.size, dtype=np.int64) - np.repeat(first, per_run)
-            self.slot_stack[crun, self.stack_top[crun] + rank] = sl
-            self.stack_top += per_run
-
-            # Successor bookkeeping through the flat CSR.
-            s0 = indptr[g]
-            cnt = indptr[g + 1] - s0
-            total = int(cnt.sum())
-            if total:
-                rep = np.repeat(np.arange(g.size, dtype=np.int64), cnt)
-                within = np.arange(total, dtype=np.int64) - np.repeat(
-                    np.cumsum(cnt) - cnt, cnt
-                )
-                tgt = succ[s0[rep] + within]
-                np.subtract.at(self.indeg, tgt, 1)
-                # Reveal ordering key: max start-seq among the completing
-                # predecessors of each newly touched successor.
-                self.step_key[tgt] = -1
-                np.maximum.at(self.step_key, tgt, self.start_seq[g][rep])
-                touched = np.unique(tgt)
-                ready = touched[self.indeg[touched] == 0]
-                if ready.size:
-                    nb = ready // N
-                    nc = ready % N
-                    order = np.lexsort((nc, self.step_key[ready], nb))
-                    self._enqueue(nb[order], nc[order])
-
-            self._scan(act)
-            self._refresh_hstart(act)
-
+        run_kernel(self.kernel_name, self.io)
         self._check_drained()
         return self
 
     # ------------------------------------------------------------------
     def _check_drained(self) -> None:
-        waiting = self.qlen - self.holes
-        if np.any(waiting > 0):
-            b = int(np.argmax(waiting > 0))
-            live = np.nonzero(self.qdem[b, : self.qlen[b]] < HUGE_DEMAND)[0][:10]
+        """Validate the post-drain state, kernel-independently.
+
+        Works purely off the result arrays (revealed = ``reveal_seq >= 0``,
+        started = ``start_seq >= 0``), so one check covers every kernel;
+        stuck tasks are reported in reveal order — identical to the
+        pre-split engine's queue-order listing, because queues append in
+        reveal order and compaction is stable.
+        """
+        io = self.io
+        started = io.start_seq.reshape(self.B, self.N) >= 0
+        waiting = (io.reveal_seq >= 0) & ~started
+        rows = waiting.any(axis=1)
+        if rows.any():
+            b = int(np.argmax(rows))
+            cols = np.nonzero(waiting[b])[0]
+            order = np.argsort(io.reveal_seq[b, cols], kind="stable")
             ids = self.compiled.runs[b].structure.ids
-            stuck = [ids[int(self.qtask[b, s])] for s in live]
+            stuck = [ids[int(c)] for c in cols[order][:10]]
             raise SimulationError(
                 f"deadlock: tasks {stuck!r} can never start "
-                f"(free={int(self.free[b])}, P={int(self.P_of(b))})"
+                f"(free={int(io.free[b])}, P={int(self.P_of(b))})"
             )
-        if np.any(self.completed < self.compiled.n_tasks):
+        if np.any(io.completed < self.compiled.n_tasks):
             raise SimulationError(
                 "source still holds unrevealed tasks after the queue drained; "
                 "the revealed graph is disconnected from its sources"
@@ -458,4 +112,4 @@ class BatchEngine:
     @property
     def makespans(self) -> np.ndarray:
         """Final completion time per run (``float64 [B]``)."""
-        return self.now.copy()
+        return self.io.now.copy()

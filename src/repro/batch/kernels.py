@@ -1,0 +1,885 @@
+"""Interchangeable compute kernels behind the batch engine.
+
+:class:`~repro.batch.engine.BatchEngine` no longer owns its event loop:
+the vectorized steps (completion-time resolution, free-slot stack, FIFO
+block-minimum queue scan, cumsum-scatter compaction, successor indegree
+decrement) live here behind a strict **arrays-in/arrays-out contract**
+(:class:`KernelIO`), with interchangeable implementations:
+
+``numpy``
+    The whole-array tier: every state component carries a leading batch
+    axis and each main-loop iteration advances *all* active runs at once.
+    This is PR 7's engine, verbatim — the authoritative kernel.
+``numba``
+    An optional compiled tier: the same event loop written as plain
+    per-run Python loops and JIT-compiled with ``numba.njit(cache=True)``.
+    Requested via ``--kernel numba`` / ``REPRO_BATCH_KERNEL=numba`` (or
+    installed with ``pip install .[fast]``); when numba is absent the
+    request **gracefully degrades to numpy** — selection is a performance
+    hint, never a semantics change, exactly like backend selection.
+``python``
+    The numba tier's loop bodies executed uncompiled.  Slow, but it
+    proves the loop implementation itself (not numba) is bit-identical —
+    CI and the test suite exercise it even on numba-free installs.
+
+Every kernel fills the *same* output arrays from the same inputs and must
+be bit-identical: same ``start_t``/``end_t`` floats, same start/reveal
+sequences.  ``python -m repro.batch.verify`` pins this per kernel.  Only
+the observability counters (``ev_count``/``scan_passes``/``scan_elems``)
+are kernel-specific — they measure the work *this* implementation did,
+and are excluded from result digests.
+
+**Why the loop tier is bit-identical** (the argument, kept next to the
+code): both tiers schedule by FIFO first-fit over the same queue order —
+the numpy tier's cumulative-prefix window plus blocker continuation
+starts exactly the entries an in-order walk with a shrinking budget
+starts.  Event times are exact float minima with exact-equality drains;
+completion side effects (freeing processors, indegree decrements, the
+max-start-seq reveal key) are order-independent integer math; reveal
+order is ``(max start-seq among completing predecessors, column)`` in
+both; and every float written (``end = now + duration``) is the same
+IEEE-754 double operation on the same operands.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, TypeVar
+
+import numpy as np
+
+from repro.batch.layout import HUGE_DEMAND, CompiledBatch
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KernelIO",
+    "active_kernel_name",
+    "available_kernels",
+    "loop_kernel",
+    "make_io",
+    "numba_available",
+    "resolve_kernel",
+    "run_kernel",
+    "use_kernel",
+]
+
+#: Names accepted by ``--kernel`` / ``REPRO_BATCH_KERNEL`` /
+#: :func:`use_kernel`.  ``"auto"`` resolves to numba when importable and
+#: numpy otherwise; ``"python"`` is the uncompiled loop tier (testing).
+KERNEL_NAMES = ("auto", "numpy", "numba", "python")
+
+#: Environment variable consulted when no explicit selection is active.
+KERNEL_ENV_VAR = "REPRO_BATCH_KERNEL"
+
+#: Block size of the numpy tier's queue block-minimum index.
+_BK = 64
+#: Compact a run's queue once it holds this many holes and they outnumber
+#: live entries (amortized O(1) per start).
+_COMPACT_MIN_HOLES = 256
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+_active_kernel: ContextVar[str | None] = ContextVar("repro_batch_kernel", default=None)
+
+#: Lazily populated probe/compile caches (numba availability, jitted
+#: functions).  Populated at most once per process per key.
+# repro-lint: disable=RL005 -- memoized import probe and jit-compile cache
+_RUNTIME_CACHE: dict[str, Any] = {}
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def loop_kernel(func: _F) -> _F:
+    """Mark ``func`` as a per-run loop kernel (numba-compilable body).
+
+    The marker does two jobs: :func:`run_kernel` compiles marked
+    functions with ``numba.njit(cache=True)`` on first ``numba`` use, and
+    lint rule RL008 exempts their bodies from the no-Python-loop rule —
+    inside a jit kernel, plain loops *are* the vectorization strategy.
+    """
+    func.__repro_loop_kernel__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def numba_available() -> bool:
+    """Whether the optional numba dependency is importable (cached probe)."""
+    cached = _RUNTIME_CACHE.get("numba_available")
+    if cached is None:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            cached = False
+        else:
+            cached = True
+        _RUNTIME_CACHE["numba_available"] = cached
+    return bool(cached)
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernels that would actually run on this interpreter."""
+    if numba_available():
+        return ("numpy", "numba", "python")
+    return ("numpy", "python")
+
+
+def resolve_kernel(name: str | None = None) -> str:
+    """Resolve a kernel request to the implementation that will run.
+
+    Precedence: explicit ``name`` > ambient :func:`use_kernel` selection >
+    ``REPRO_BATCH_KERNEL`` > ``"auto"``.  ``"auto"`` prefers numba and
+    falls back to numpy; an explicit ``"numba"`` on a numba-free install
+    also degrades to ``"numpy"`` (graceful fallback, mirroring how an
+    unsupported backend falls back to the reference loop).
+    """
+    if name is None:
+        name = _active_kernel.get()
+    if name is None:
+        name = os.environ.get(KERNEL_ENV_VAR) or "auto"
+    if name not in KERNEL_NAMES:
+        raise InvalidParameterError(
+            f"unknown batch kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    if name == "auto":
+        return "numba" if numba_available() else "numpy"
+    if name == "numba" and not numba_available():
+        return "numpy"
+    return name
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[None]:
+    """Select the batch kernel for the dynamic extent of the block.
+
+    Accepts any :data:`KERNEL_NAMES` entry; resolution (and the graceful
+    numba-to-numpy fallback) happens when an engine is built, so a block
+    may request ``"numba"`` unconditionally.  Blocks nest; the previous
+    selection is restored on exit.
+    """
+    if name not in KERNEL_NAMES:
+        raise InvalidParameterError(
+            f"unknown batch kernel {name!r}; expected one of {KERNEL_NAMES}"
+        )
+    token = _active_kernel.set(name)
+    try:
+        yield
+    finally:
+        _active_kernel.reset(token)
+
+
+def active_kernel_name() -> str | None:
+    """The ambient :func:`use_kernel` selection, or ``None`` (unset)."""
+    return _active_kernel.get()
+
+
+# ----------------------------------------------------------------------
+# The arrays-in/arrays-out contract
+# ----------------------------------------------------------------------
+@dataclass
+class KernelIO:
+    """Everything a kernel reads and writes — arrays in, arrays out.
+
+    Inputs are read-only except ``indeg`` (a scratch copy the kernel
+    decrements).  ``demand``/``duration`` alias the compiled batch (no
+    copy), so they reflect the compiled arrays at run time.  Outputs are
+    preallocated by :func:`make_io`; a kernel fills all of them.  The
+    counters are kernel-specific observability (excluded from digests);
+    every other output must be bit-identical across kernels.
+    """
+
+    # --- inputs ---
+    B: int
+    N: int
+    #: ``int64 [B]``: platform size per run.
+    P: np.ndarray
+    #: ``int64 [B]``: real (unpadded) task count per run.
+    n_tasks: np.ndarray
+    #: ``int64 [B, N]``: final allocation (``HUGE_DEMAND`` padding).
+    demand: np.ndarray
+    #: ``float64 [B, N]``: execution times (0 padding).
+    duration: np.ndarray
+    #: ``int64 [B, N]``: scratch in-degrees (1 padding), decremented in place.
+    indeg: np.ndarray
+    #: Flattened CSR successors over global indices ``g = b * N + col``.
+    succ_indptr: np.ndarray
+    succ: np.ndarray
+    # --- outputs ---
+    #: ``float64 [B, N]``: start/completion instants (NaN = never started).
+    start_t: np.ndarray
+    end_t: np.ndarray
+    #: ``int64 [B * N]``: per-run start sequence number (-1 = never started).
+    start_seq: np.ndarray
+    #: ``int64 [B, N]``: per-run reveal sequence number (-1 = never revealed).
+    reveal_seq: np.ndarray
+    #: ``float64 [B, N]``: reveal instants (NaN = never revealed).
+    reveal_t: np.ndarray
+    #: ``float64 [B]``: final simulation clock per run.
+    now: np.ndarray
+    #: ``int64 [B]``: free processors at drain (kernels keep this live).
+    free: np.ndarray
+    #: ``int64 [B]``: completed-task count per run.
+    completed: np.ndarray
+    # --- kernel-specific counters ---
+    ev_count: np.ndarray
+    scan_passes: np.ndarray
+    scan_elems: np.ndarray
+
+
+def make_io(compiled: CompiledBatch) -> KernelIO:
+    """Preallocate a :class:`KernelIO` for one compiled batch."""
+    B, N = compiled.B, compiled.N
+    return KernelIO(
+        B=B,
+        N=N,
+        P=compiled.P,
+        n_tasks=compiled.n_tasks,
+        demand=compiled.demand,
+        duration=compiled.duration,
+        indeg=compiled.indeg.copy(),
+        succ_indptr=compiled.succ_indptr,
+        succ=compiled.succ,
+        start_t=np.full((B, N), np.nan, dtype=np.float64),
+        end_t=np.full((B, N), np.nan, dtype=np.float64),
+        start_seq=np.full(B * N, -1, dtype=np.int64),
+        reveal_seq=np.full((B, N), -1, dtype=np.int64),
+        reveal_t=np.full((B, N), np.nan, dtype=np.float64),
+        now=np.zeros(B, dtype=np.float64),
+        free=compiled.P.astype(np.int64),
+        completed=np.zeros(B, dtype=np.int64),
+        ev_count=np.zeros(B, dtype=np.int64),
+        scan_passes=np.zeros(B, dtype=np.int64),
+        scan_elems=np.zeros(B, dtype=np.int64),
+    )
+
+
+def run_kernel(name: str, io: KernelIO) -> None:
+    """Run one resolved kernel (``numpy``/``numba``/``python``) to drain."""
+    if name == "numpy":
+        _NumpyKernel(io).run()
+        return
+    if name == "numba":
+        _jitted_event_loop()(*_loop_args(io))
+        return
+    if name == "python":
+        _serial_event_loop(*_loop_args(io))
+        return
+    raise InvalidParameterError(
+        f"unresolved batch kernel {name!r}; call resolve_kernel() first"
+    )
+
+
+# ----------------------------------------------------------------------
+# The numpy tier (whole-array, batch-parallel)
+# ----------------------------------------------------------------------
+class _NumpyKernel:
+    """The vectorized batched event loop (structure-of-arrays tier).
+
+    Advances ``B`` independent runs simultaneously: every state component
+    of the reference loop has an array counterpart with a leading batch
+    axis —
+
+    =====================  ==================================================
+    reference engine       numpy kernel
+    =====================  ==================================================
+    event heap             ``end_slot [B, C]`` compact completion slots; the
+                           next event of run ``b`` is ``end_slot[b].min()``
+    free processor count   ``free [B]``
+    FIFO waiting queue     append-only slot arrays ``qdem/qtask [B, W]``
+                           with a block-minimum index ``blockmin [B, W/64]``
+    per-task allocation    ``demand/initial [B, N]`` (from ``layout``)
+    ``source`` indegrees   ``indeg [B * N]`` + flat CSR successor arrays
+    =====================  ==================================================
+
+    Each iteration of the main loop advances *every* active run to its own
+    next completion instant (runs desynchronize freely), drains all
+    equal-time completions per run, decrements successor indegrees through
+    one CSR scatter, enqueues newly ready tasks, and replays the reference
+    engine's single in-order queue pass with a vectorized first-fit scan.
+
+    The queue scan exploits that a FIFO pass is *almost* one
+    cumulative-sum: the maximal queue prefix whose cumulative demand fits
+    the free count starts wholesale (one window gather + ``cumsum`` across
+    all runs); only at a "blocker" (first entry that does not fit) does
+    the scan fall back to a block-minimum search for the next individually
+    fitting entry.  Started entries leave a hole (sentinel demand) and
+    queues compact lazily once holes dominate, keeping the amortized
+    per-event cost near ``O(B * (P + W/64))`` instead of ``O(B * W)``.
+    """
+
+    def __init__(self, io: KernelIO) -> None:
+        self.io = io
+        B, N = io.B, io.N
+        self.B = B
+        self.N = N
+        max_p = int(io.P.max())
+
+        # Queue geometry: W slots under the block index, then a guard
+        # region of one scan window so window gathers never wrap.
+        self.NB = max(1, -(-N // _BK))
+        self.W = self.NB * _BK
+        self.C2 = int(max(16, min(max_p, max(N, 1))))
+        self.WG = self.W + self.C2
+
+        # Completion slots: one per potentially concurrent task.
+        self.C = max(1, min(max_p, max(N, 1)))
+
+        self.free = io.free
+        self.indeg = io.indeg.reshape(-1)
+        self.demand = io.demand
+        self.demand_flat = io.demand.reshape(-1)
+        self.duration_flat = io.duration.reshape(-1)
+
+        self.qdem = np.full((B, self.WG), HUGE_DEMAND, dtype=np.int64)
+        self.qtask = np.full((B, self.WG), -1, dtype=np.int64)
+        self.blockmin = np.full((B, self.NB), HUGE_DEMAND, dtype=np.int64)
+        self.qlen = np.zeros(B, dtype=np.int64)
+        self.holes = np.zeros(B, dtype=np.int64)
+        self.hstart = np.zeros(B, dtype=np.int64)
+
+        self.reveal_seq = io.reveal_seq
+        self.reveal_t = io.reveal_t
+        self.rcount = np.zeros(B, dtype=np.int64)
+
+        self.start_seq = io.start_seq
+        self.sseq = np.zeros(B, dtype=np.int64)
+        self.start_t = io.start_t
+        self.end_t = io.end_t
+        self.step_key = np.full(B * N, -1, dtype=np.int64)
+
+        self.end_slot = np.full((B, self.C), np.inf, dtype=np.float64)
+        self.slot_task = np.full((B, self.C), -1, dtype=np.int64)
+        self.slot_stack = np.broadcast_to(
+            np.arange(self.C, dtype=np.int64), (B, self.C)
+        ).copy()
+        self.stack_top = np.full(B, self.C, dtype=np.int64)
+
+        self.now = io.now
+        self.completed = io.completed
+
+        self.ev_count = io.ev_count
+        self.scan_passes = io.scan_passes
+        self.scan_elems = io.scan_elems
+
+    # ------------------------------------------------------------------
+    # Queue primitives
+    # ------------------------------------------------------------------
+    def _enqueue(self, rb: np.ndarray, rc: np.ndarray) -> None:
+        """Append tasks ``rc`` of runs ``rb`` (rb ascending, reveal order)."""
+        if rb.size == 0:
+            return
+        # Rank of each append within its run = position - first position
+        # of that run in the (sorted) rb array; bincount+repeat beats a
+        # million binary searches on the initial bulk admission.
+        per_run = np.bincount(rb, minlength=self.B).astype(np.int64)
+        first = np.cumsum(per_run) - per_run
+        rank = np.arange(rb.size, dtype=np.int64) - np.repeat(first, per_run)
+        slots = self.qlen[rb] + rank
+        dem = self.demand[rb, rc]
+        self.qdem[rb, slots] = dem
+        self.qtask[rb, slots] = rc
+        # Bulk appends (e.g. the initial admission of a wide batch) make
+        # scattered np.minimum.at the bottleneck; past one-eighth of the
+        # affected rows' total block cells, a dense per-row recompute of
+        # blockmin is cheaper than the scatter.
+        urows = rb[np.concatenate(([True], rb[1:] != rb[:-1]))]  # rb ascending
+        if rb.size * 8 >= urows.size * self.W:
+            self.blockmin[urows] = (
+                self.qdem[urows, : self.W].reshape(urows.size, self.NB, _BK).min(axis=2)
+            )
+        else:
+            np.minimum.at(self.blockmin, (rb, slots // _BK), dem)
+        self.reveal_seq[rb, rc] = self.rcount[rb] + rank
+        self.reveal_t[rb, rc] = self.now[rb]
+        self.qlen += per_run
+        self.rcount += per_run
+
+    def _compact(self, rows: np.ndarray) -> None:
+        """Drop started-entry holes from the queues of ``rows``."""
+        # Stable partition via cumsum-scatter (cheaper than an argsort):
+        # each live entry's new column is the count of live entries at or
+        # before it, minus one; holes and tail collapse to the sentinel.
+        # Only the used region [0, qmax) can hold live entries or holes;
+        # everything past it is already at the sentinel.
+        qmax = int(self.qlen[rows].max())
+        nbu = max(1, -(-qmax // _BK))
+        wu = nbu * _BK
+        if rows.size == self.B:
+            # All runs compact at once (the common wide-batch case):
+            # operate through basic-slice views, no gather copies.
+            dem_view = self.qdem[:, :wu]
+            task_view = self.qtask[:, :wu]
+            live = dem_view != HUGE_DEMAND
+            newc = live.cumsum(axis=1, dtype=np.int64) - 1
+            r, c = np.nonzero(live)
+            nc = newc[r, c]
+            dem_live = dem_view[r, c]
+            task_live = task_view[r, c]
+            dem_view[...] = HUGE_DEMAND
+            task_view[...] = -1
+            dem_view[r, nc] = dem_live
+            task_view[r, nc] = task_live
+            self.blockmin[:, :nbu] = (
+                dem_view.reshape(self.B, nbu, _BK).min(axis=2)
+            )
+        else:
+            sub_dem = self.qdem[rows, :wu]
+            live = sub_dem != HUGE_DEMAND
+            newc = live.cumsum(axis=1, dtype=np.int64) - 1
+            r, c = np.nonzero(live)
+            nc = newc[r, c]
+            new_dem = np.full_like(sub_dem, HUGE_DEMAND)
+            new_dem[r, nc] = sub_dem[r, c]
+            new_task = np.full_like(sub_dem, -1)
+            new_task[r, nc] = self.qtask[rows, :wu][r, c]
+            self.qdem[rows, :wu] = new_dem
+            self.qtask[rows, :wu] = new_task
+            self.blockmin[rows, :nbu] = new_dem.reshape(rows.size, nbu, _BK).min(
+                axis=2
+            )
+        self.blockmin[rows, nbu:] = HUGE_DEMAND
+        self.qlen[rows] = self.qlen[rows] - self.holes[rows]
+        self.holes[rows] = 0
+        self.hstart[rows] = 0
+
+    def _refresh_hstart(self, rows: np.ndarray) -> None:
+        """Point ``hstart`` at each row's first possibly-live queue block.
+
+        Block-granular on purpose: up to ``_BK - 1`` leading holes are
+        left for the scan window to absorb (holes contribute nothing to
+        the prefix sum), which spares a per-row gather here on every
+        event.
+        """
+        bm_live = self.blockmin[rows] < HUGE_DEMAND
+        first_blk = np.argmax(bm_live, axis=1)
+        self.hstart[rows] = np.where(
+            bm_live.any(axis=1), first_blk * _BK, self.qlen[rows]
+        )
+
+    # ------------------------------------------------------------------
+    # The queue pass (reference start_fitting, vectorized)
+    # ------------------------------------------------------------------
+    def _scan(self, rows: np.ndarray) -> None:
+        rows = rows[(self.qlen[rows] - self.holes[rows]) > 0]
+        if rows.size == 0:
+            return
+        needs_compact = rows[
+            (self.holes[rows] > _COMPACT_MIN_HOLES)
+            & (2 * self.holes[rows] > self.qlen[rows])
+        ]
+        if needs_compact.size:
+            self._compact(needs_compact)
+        self.scan_passes[rows] += 1
+
+        C2 = self.C2
+        WG = self.WG
+        qdem_flat = self.qdem.reshape(-1)
+        win = np.arange(C2, dtype=np.int64)
+
+        cur = self.hstart[rows].copy()
+        budget = self.free[rows].copy()
+
+        while rows.size:
+            # --- cumulative-prefix window -----------------------------
+            widx = cur[:, None] + win
+            flat = rows[:, None] * WG + widx
+            wdem = qdem_flat[flat]
+            # Holes/guard carry the sentinel; they contribute 0 demand.
+            wcum = np.where(wdem < HUGE_DEMAND, wdem, 0)
+            csum = np.cumsum(wcum, axis=1)
+            fits = csum <= budget[:, None]
+            L = fits.sum(axis=1)
+            took = np.where(L > 0, csum[np.arange(rows.size), np.maximum(L - 1, 0)], 0)
+            budget -= took
+            self.free[rows] = budget
+            self.scan_elems[rows] += np.minimum(L + 1, C2)
+
+            started = (wdem < HUGE_DEMAND) & (win[None, :] < L[:, None])
+            sr, sc = np.nonzero(started)
+            if sr.size:
+                srun = rows[sr]
+                spos = widx[sr, sc]
+                scol = self.qtask[srun, spos]
+                self._start(srun, scol, spos)
+
+            # --- blocker / continuation -------------------------------
+            qlen = self.qlen[rows]
+            b0 = cur + L
+            cont = (L == C2) & (b0 < qlen)
+            # A blocker search can only succeed if some waiting entry's
+            # demand fits the leftover budget; the row minimum of the
+            # block index rules most waves out for the cost of one min.
+            search = (
+                ~cont
+                & (budget >= self.blockmin[rows].min(axis=1))
+                & (b0 + 1 < self.W)
+            )
+            nxt = np.full(rows.size, -1, dtype=np.int64)
+            nxt[cont] = b0[cont]
+            if search.any():
+                sel = np.nonzero(search)[0]
+                found = self._next_fit(rows[sel], b0[sel] + 1, budget[sel])
+                nxt[sel] = found
+            alive = nxt >= 0
+            rows = rows[alive]
+            cur = nxt[alive]
+            budget = budget[alive]
+
+    def _start(self, srun: np.ndarray, scol: np.ndarray, spos: np.ndarray) -> None:
+        """Start tasks ``scol`` of runs ``srun`` (ascending, queue order)."""
+        per_run = np.bincount(srun, minlength=self.B).astype(np.int64)
+        first = np.cumsum(per_run) - per_run
+        rank = np.arange(srun.size, dtype=np.int64) - np.repeat(first, per_run)
+        g = srun * self.N + scol
+        self.start_seq[g] = self.sseq[srun] + rank
+        self.sseq += per_run
+        t0 = self.now[srun]
+        end = t0 + self.duration_flat[g]
+        self.start_t[srun, scol] = t0
+        self.end_t[srun, scol] = end
+        # Punch queue holes and patch the block index.
+        self.qdem[srun, spos] = HUGE_DEMAND
+        self.holes += per_run
+        # (run, block) keys are non-decreasing (srun ascending, spos
+        # ascending within a run), so boundary-dedup replaces np.unique.
+        key = srun * self.NB + spos // _BK
+        touched = key[np.concatenate(([True], key[1:] != key[:-1]))]
+        tr, tb = touched // self.NB, touched % self.NB
+        idx = (tb * _BK)[:, None] + np.arange(_BK, dtype=np.int64)
+        vals = self.qdem.reshape(-1)[tr[:, None] * self.WG + idx]
+        self.blockmin[tr, tb] = vals.min(axis=1)
+        # Pop completion slots from each run's free-slot stack.
+        slots = self.slot_stack[srun, self.stack_top[srun] - 1 - rank]
+        self.stack_top -= per_run
+        self.end_slot[srun, slots] = end
+        self.slot_task[srun, slots] = scol
+
+    def _next_fit(
+        self, rr: np.ndarray, start: np.ndarray, f: np.ndarray
+    ) -> np.ndarray:
+        """First queue index >= ``start`` whose demand fits ``f`` (-1: none)."""
+        res = np.full(rr.size, -1, dtype=np.int64)
+        qdem_flat = self.qdem.reshape(-1)
+        blk = np.arange(_BK, dtype=np.int64)
+        bblk = start // _BK
+        base = bblk * _BK
+        bidx = base[:, None] + blk
+        vals = qdem_flat[rr[:, None] * self.WG + bidx]
+        ok = (vals <= f[:, None]) & (bidx >= start[:, None])
+        hit = ok.any(axis=1)
+        if hit.any():
+            res[hit] = bidx[hit, np.argmax(ok[hit], axis=1)]
+        rem = np.nonzero(~hit)[0]
+        if rem.size == 0:
+            return res
+        rr2 = rr[rem]
+        bm_ok = (self.blockmin[rr2] <= f[rem, None]) & (
+            np.arange(self.NB, dtype=np.int64)[None, :] > bblk[rem, None]
+        )
+        bhit = bm_ok.any(axis=1)
+        if not bhit.any():
+            return res
+        sub = rem[bhit]
+        blk2 = np.argmax(bm_ok[bhit], axis=1)
+        idx2 = (blk2 * _BK)[:, None] + blk
+        vals2 = qdem_flat[rr[sub][:, None] * self.WG + idx2]
+        ok2 = vals2 <= f[sub, None]
+        res[sub] = blk2 * _BK + np.argmax(ok2, axis=1)
+        return res
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Simulate every run to completion (drain check is the engine's)."""
+        B, N = self.B, self.N
+
+        # Initial admission: indegree-0 tasks in insertion order (padding
+        # columns carry indegree 1 and never appear).
+        rb, rc = np.nonzero(self.indeg.reshape(B, N) == 0)
+        self._enqueue(rb.astype(np.int64), rc.astype(np.int64))
+        all_rows = np.arange(B, dtype=np.int64)
+        self._scan(all_rows)
+        self._refresh_hstart(all_rows)
+
+        indptr = self.io.succ_indptr
+        succ = self.io.succ
+
+        while True:
+            next_t = self.end_slot.min(axis=1)
+            finite = np.isfinite(next_t)
+            if finite.all():
+                act = all_rows  # common case: every run still has work
+            else:
+                act = np.nonzero(finite)[0]
+                if act.size == 0:
+                    break
+            tcur = next_t[act]
+            self.now[act] = tcur
+            self.ev_count[act] += 1
+
+            # Drain every completion at each run's instant (exact float
+            # equality, like the reference heap's equal-time drain).
+            comp = self.end_slot[act] == tcur[:, None]
+            ar, sl = np.nonzero(comp)
+            crun = act[ar]
+            ccol = self.slot_task[crun, sl]
+            g = crun * N + ccol
+            self.free += np.bincount(
+                crun, weights=self.demand_flat[g], minlength=B
+            ).astype(np.int64)
+            self.end_slot[crun, sl] = np.inf
+            self.slot_task[crun, sl] = -1
+            per_run = np.bincount(crun, minlength=B).astype(np.int64)
+            self.completed += per_run
+            first = np.cumsum(per_run) - per_run
+            rank = np.arange(crun.size, dtype=np.int64) - np.repeat(first, per_run)
+            self.slot_stack[crun, self.stack_top[crun] + rank] = sl
+            self.stack_top += per_run
+
+            # Successor bookkeeping through the flat CSR.
+            s0 = indptr[g]
+            cnt = indptr[g + 1] - s0
+            total = int(cnt.sum())
+            if total:
+                rep = np.repeat(np.arange(g.size, dtype=np.int64), cnt)
+                within = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(cnt) - cnt, cnt
+                )
+                tgt = succ[s0[rep] + within]
+                np.subtract.at(self.indeg, tgt, 1)
+                # Reveal ordering key: max start-seq among the completing
+                # predecessors of each newly touched successor.
+                self.step_key[tgt] = -1
+                np.maximum.at(self.step_key, tgt, self.start_seq[g][rep])
+                touched = np.unique(tgt)
+                ready = touched[self.indeg[touched] == 0]
+                if ready.size:
+                    nb = ready // N
+                    nc = ready % N
+                    order = np.lexsort((nc, self.step_key[ready], nb))
+                    self._enqueue(nb[order], nc[order])
+
+            self._scan(act)
+            self._refresh_hstart(act)
+
+
+# ----------------------------------------------------------------------
+# The loop tier (per-run event loop; numba-compilable, python-executable)
+# ----------------------------------------------------------------------
+def _loop_args(io: KernelIO) -> tuple[np.ndarray, ...]:
+    """The positional argument tuple :func:`_serial_event_loop` takes."""
+    return (
+        io.P,
+        io.n_tasks,
+        io.demand,
+        io.duration,
+        io.indeg,
+        io.succ_indptr,
+        io.succ,
+        io.start_t,
+        io.end_t,
+        io.start_seq,
+        io.reveal_seq,
+        io.reveal_t,
+        io.now,
+        io.free,
+        io.completed,
+        io.ev_count,
+        io.scan_passes,
+        io.scan_elems,
+    )
+
+
+def _jitted_event_loop() -> Callable[..., None]:
+    """The numba-compiled loop tier (compiled once per process)."""
+    fn = _RUNTIME_CACHE.get("jitted_event_loop")
+    if fn is None:
+        import numba
+
+        fn = numba.njit(cache=True)(_serial_event_loop)
+        _RUNTIME_CACHE["jitted_event_loop"] = fn
+    return fn  # type: ignore[no-any-return]
+
+
+@loop_kernel
+def _serial_event_loop(
+    P: np.ndarray,
+    n_tasks: np.ndarray,
+    demand: np.ndarray,
+    duration: np.ndarray,
+    indeg: np.ndarray,
+    succ_indptr: np.ndarray,
+    succ: np.ndarray,
+    start_t: np.ndarray,
+    end_t: np.ndarray,
+    start_seq: np.ndarray,
+    reveal_seq: np.ndarray,
+    reveal_t: np.ndarray,
+    now_out: np.ndarray,
+    free_out: np.ndarray,
+    completed: np.ndarray,
+    ev_count: np.ndarray,
+    scan_passes: np.ndarray,
+    scan_elems: np.ndarray,
+) -> None:
+    """Drain every run with a per-run sequential event loop.
+
+    Written in njit-able Python: plain loops, preallocated int64/float64
+    buffers, no object types.  Run uncompiled this is the ``python``
+    kernel; wrapped in ``numba.njit`` it is the ``numba`` kernel — one
+    body, so proving the body bit-identical (the test suite does, against
+    the numpy tier) covers both.
+
+    Per run: the FIFO queue is an append-only column array (each task is
+    enqueued exactly once, so capacity ``N`` suffices); a scan pass walks
+    it in order starting every not-yet-started entry whose demand fits
+    the remaining budget (first-fit, identical decisions to the numpy
+    tier's prefix+blocker scan); events advance to the exact float
+    minimum of running completion times with an exact-equality drain;
+    newly ready successors enqueue ordered by ``(max start-seq among
+    completing predecessors, column)`` — the same key the numpy tier
+    sorts with ``np.lexsort``.
+    """
+    B = demand.shape[0]
+    N = demand.shape[1]
+    for b in range(B):
+        base = b * N
+        free = P[b]
+        now = 0.0
+        sseq = 0
+        rcount = 0
+        ncomp = 0
+        ev = 0
+
+        qcol = np.empty(N, dtype=np.int64)  # queue: columns in reveal order
+        qlen = 0
+        qhead = 0
+        started = np.zeros(N, dtype=np.bool_)
+        end_time = np.full(N, np.inf, dtype=np.float64)
+        running = np.empty(N, dtype=np.int64)
+        nrun = 0
+        step_key = np.empty(N, dtype=np.int64)
+        touch_mark = np.full(N, -1, dtype=np.int64)
+        touched_buf = np.empty(N, dtype=np.int64)
+        ready_buf = np.empty(N, dtype=np.int64)
+        comp_buf = np.empty(N, dtype=np.int64)
+
+        # Initial admission: indegree-0 tasks in insertion order.
+        for col in range(n_tasks[b]):
+            if indeg[b, col] == 0:
+                qcol[qlen] = col
+                qlen += 1
+                reveal_seq[b, col] = rcount
+                rcount += 1
+                reveal_t[b, col] = now
+
+        while True:
+            # --- queue pass: in-order first-fit under a shrinking budget
+            while qhead < qlen and started[qcol[qhead]]:
+                qhead += 1
+            if qhead < qlen and free > 0:
+                scan_passes[b] += 1
+                budget = free
+                i = qhead
+                while i < qlen:
+                    col = qcol[i]
+                    if not started[col]:
+                        scan_elems[b] += 1
+                        dem = demand[b, col]
+                        if dem <= budget:
+                            budget -= dem
+                            started[col] = True
+                            start_seq[base + col] = sseq
+                            sseq += 1
+                            start_t[b, col] = now
+                            fin = now + duration[b, col]
+                            end_t[b, col] = fin
+                            end_time[col] = fin
+                            running[nrun] = col
+                            nrun += 1
+                            if budget <= 0:
+                                break
+                    i += 1
+                free = budget
+
+            if nrun == 0:
+                break
+
+            # --- next event: exact min of running completion times
+            tmin = np.inf
+            for k in range(nrun):
+                fin = end_time[running[k]]
+                if fin < tmin:
+                    tmin = fin
+            now = tmin
+            ev += 1
+            ev_count[b] += 1
+
+            # --- drain every completion at this exact instant
+            ncl = 0
+            k = 0
+            while k < nrun:
+                col = running[k]
+                if end_time[col] == tmin:
+                    comp_buf[ncl] = col
+                    ncl += 1
+                    running[k] = running[nrun - 1]
+                    nrun -= 1
+                else:
+                    k += 1
+
+            # --- completion side effects (all order-independent)
+            ntouched = 0
+            for k in range(ncl):
+                col = comp_buf[k]
+                free += demand[b, col]
+                ncomp += 1
+                skey = start_seq[base + col]
+                for e in range(succ_indptr[base + col], succ_indptr[base + col + 1]):
+                    tgt = succ[e] - base
+                    indeg[b, tgt] -= 1
+                    if touch_mark[tgt] != ev:
+                        touch_mark[tgt] = ev
+                        touched_buf[ntouched] = tgt
+                        ntouched += 1
+                        step_key[tgt] = skey
+                    elif skey > step_key[tgt]:
+                        step_key[tgt] = skey
+
+            # --- reveal newly ready successors, (step_key, column) order
+            nready = 0
+            for k in range(ntouched):
+                tgt = touched_buf[k]
+                if indeg[b, tgt] == 0:
+                    ready_buf[nready] = tgt
+                    nready += 1
+            for k in range(1, nready):
+                col = ready_buf[k]
+                skey = step_key[col]
+                j = k - 1
+                while j >= 0:
+                    other = ready_buf[j]
+                    if step_key[other] > skey or (
+                        step_key[other] == skey and other > col
+                    ):
+                        ready_buf[j + 1] = other
+                        j -= 1
+                    else:
+                        break
+                ready_buf[j + 1] = col
+            for k in range(nready):
+                col = ready_buf[k]
+                qcol[qlen] = col
+                qlen += 1
+                reveal_seq[b, col] = rcount
+                rcount += 1
+                reveal_t[b, col] = now
+
+        now_out[b] = now
+        free_out[b] = free
+        completed[b] = ncomp

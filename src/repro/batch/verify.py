@@ -15,8 +15,18 @@ three ways:
 * :func:`verify_random` sweeps randomized DAGs x speedup models x
   platform sizes and compares the full result objects (schedule entries,
   allocation and reveal dicts including their order, makespans).
+* :func:`verify_allocation` pins the vectorized LPA α/β decisions
+  (:meth:`~repro.core.allocator.LpaAllocator.allocate_batch`) to the
+  scalar ``allocate_cached`` oracle across every speedup-model family —
+  Equation (1) lanes and scalar-fallback lanes alike.
 
-Run it as a module (CI's perf-smoke job does)::
+Since the kernel tier (:mod:`repro.batch.kernels`), the backend checks
+run under **every requested kernel**: by default each available tier
+(``numpy``, plus ``numba`` when installed), overridable with
+``--kernels numpy,python``.  A kernel selection must never change a
+digit.
+
+Run it as a module (CI's perf-smoke and kernel-parity jobs do)::
 
     python -m repro.batch.verify --trials 25 [--golden tests/perf/golden_digests.json]
 
@@ -34,6 +44,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.batch.kernels import available_kernels, resolve_kernel, use_kernel
 from repro.sim.backend import use_backend
 
 __all__ = [
@@ -41,6 +52,7 @@ __all__ = [
     "verify_registry",
     "verify_golden",
     "verify_random",
+    "verify_allocation",
     "main",
 ]
 
@@ -203,6 +215,63 @@ def verify_random(trials: int = 25, seed: int = 0) -> list[Mismatch]:
     return mismatches
 
 
+def verify_allocation(trials: int = 60, seed: int = 0) -> list[Mismatch]:
+    """Pin vectorized LPA decisions to the ``allocate_cached`` oracle.
+
+    Sweeps every speedup-model family — the vectorizable Equation (1)
+    models *and* models that must take the scalar-fallback lane
+    (power-law, tabulated, log-parallelism) — across platform sizes and
+    µ values, comparing ``initial``/``final``/``duration`` bit for bit.
+    """
+    from repro.core.allocator import LpaAllocator
+    from repro.speedup.arbitrary import LogParallelismModel, TabulatedModel
+    from repro.speedup.power import PowerLawModel
+
+    rng = np.random.default_rng(seed)
+    mismatches: list[Mismatch] = []
+    for trial in range(trials):
+        models = [_random_model(rng) for _ in range(24)]
+        models.append(PowerLawModel(float(rng.uniform(1.0, 50.0)), float(rng.uniform(0.2, 0.95))))
+        models.append(LogParallelismModel(float(rng.uniform(1.0, 50.0))))
+        times = np.maximum.accumulate(rng.uniform(0.5, 40.0, size=6)[::-1])[::-1]
+        models.append(TabulatedModel(tuple(float(t) for t in times)))
+        P = int(rng.integers(1, 128))
+        mu = float(rng.choice([0.211, 0.271, 0.324, 0.38]))
+        subject = f"allocation trial {trial} (P={P}, mu={mu})"
+
+        batch = LpaAllocator(mu).allocate_batch(models, P)
+        if batch is None:
+            mismatches.append(Mismatch("allocation", subject, "allocate_batch declined"))
+            continue
+        oracle = LpaAllocator(mu)
+        for i, model in enumerate(models):
+            alloc = oracle.allocate_cached(model, P, free=None)
+            duration = model.time(alloc.final)
+            if (
+                alloc.initial != int(batch.initial[i])
+                or alloc.final != int(batch.final[i])
+                # repro-lint: disable=RL003 -- bit-identity is the whole contract
+                or duration != float(batch.duration[i])
+            ):
+                mismatches.append(
+                    Mismatch(
+                        "allocation",
+                        subject,
+                        f"model {model!r}: oracle ({alloc.initial}, {alloc.final}, "
+                        f"{duration!r}) != batch ({int(batch.initial[i])}, "
+                        f"{int(batch.final[i])}, {float(batch.duration[i])!r})",
+                    )
+                )
+                break
+    return mismatches
+
+
+def _tag_kernel(found: list[Mismatch], kernel: str) -> list[Mismatch]:
+    return [
+        Mismatch(m.check, f"{m.subject} [kernel={kernel}]", m.detail) for m in found
+    ]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.batch.verify",
@@ -220,25 +289,69 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="randomized sweep seed (default 0)"
     )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernels to verify under (default: every "
+        "available tier — numpy, plus numba when installed)",
+    )
+    parser.add_argument(
+        "--alloc-trials",
+        type=int,
+        default=60,
+        help="allocation-parity sweep size (default 60; 0 skips)",
+    )
     args = parser.parse_args(argv)
 
+    if args.kernels is not None:
+        kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+    else:
+        # The uncompiled loop tier is exercised by the test suite; module
+        # runs default to the production tiers.
+        kernels = tuple(k for k in available_kernels() if k != "python")
+
     mismatches: list[Mismatch] = []
-    mismatches += verify_registry()
-    print(f"registry replay: {len(mismatches)} mismatches")
-    if args.golden is not None:
+    for kernel in kernels:
+        resolved = resolve_kernel(kernel)
+        if resolved != kernel:
+            print(f"kernel {kernel!r}: unavailable, resolves to {resolved!r}")
+        with use_kernel(kernel):
+            before = len(mismatches)
+            mismatches += _tag_kernel(verify_registry(), kernel)
+            print(
+                f"[kernel={kernel}] registry replay: "
+                f"{len(mismatches) - before} mismatches"
+            )
+            if args.golden is not None:
+                before = len(mismatches)
+                mismatches += _tag_kernel(verify_golden(args.golden), kernel)
+                print(
+                    f"[kernel={kernel}] golden pinning: "
+                    f"{len(mismatches) - before} mismatches"
+                )
+            before = len(mismatches)
+            mismatches += _tag_kernel(
+                verify_random(trials=args.trials, seed=args.seed), kernel
+            )
+            print(
+                f"[kernel={kernel}] randomized sweep ({args.trials} trials): "
+                f"{len(mismatches) - before} mismatches"
+            )
+    if args.alloc_trials > 0:
         before = len(mismatches)
-        mismatches += verify_golden(args.golden)
-        print(f"golden pinning: {len(mismatches) - before} mismatches")
-    before = len(mismatches)
-    mismatches += verify_random(trials=args.trials, seed=args.seed)
-    print(f"randomized sweep ({args.trials} trials): {len(mismatches) - before} mismatches")
+        mismatches += verify_allocation(trials=args.alloc_trials, seed=args.seed)
+        print(
+            f"allocation parity ({args.alloc_trials} trials): "
+            f"{len(mismatches) - before} mismatches"
+        )
 
     for mismatch in mismatches:
         print(f"MISMATCH {mismatch}", file=sys.stderr)
     if mismatches:
         print(f"FAILED: {len(mismatches)} mismatches", file=sys.stderr)
         return 1
-    print("OK: batch backend is bit-identical on every check")
+    checked = ", ".join(kernels)
+    print(f"OK: batch backend is bit-identical on every check (kernels: {checked})")
     return 0
 
 

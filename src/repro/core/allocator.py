@@ -29,12 +29,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.constants import MU_MAX, delta
 from repro.exceptions import AllocationError
 from repro.sim.allocation import Allocation, AllocationCacheInfo, Allocator
 from repro.speedup.base import SpeedupModel
 from repro.util.validation import check_in_range, check_positive_int
+
+if TYPE_CHECKING:
+    from repro.core.lpa_batch import BatchAllocation
 
 __all__ = [
     "Allocation",
@@ -144,6 +148,37 @@ class LpaAllocator(Allocator):
             delta=self.delta,
             cap=cap,
             capped=final < initial,
+        )
+
+    def allocate_batch(
+        self, models: Sequence[SpeedupModel], P: int
+    ) -> "BatchAllocation | None":
+        """Resolve many models' allocations at once, vectorizing Eq. (1).
+
+        Batch-compilation fast path (:func:`repro.batch.layout.compile_run`
+        calls it once per run with one model per cache-key group): lanes
+        whose math is provably the Equation (1) closed forms resolve
+        through :mod:`repro.core.lpa_batch`'s array implementation of the
+        α/β decision — bit-identical to :meth:`allocate` by construction —
+        and every other lane falls back to :meth:`allocate_cached`.
+
+        Returns ``None`` when vectorization cannot be trusted: a subclass
+        overriding any decision method (``allocate``/``initial_allocation``/
+        ``_initial_monotonic``) changes the scalar semantics the array
+        math mirrors, so such allocators keep the per-group scalar path.
+        """
+        cls = type(self)
+        if (
+            cls.allocate is not LpaAllocator.allocate
+            or cls.initial_allocation is not LpaAllocator.initial_allocation
+            or cls._initial_monotonic is not LpaAllocator._initial_monotonic
+        ):
+            return None
+        P = check_positive_int(P, "P")
+        from repro.core.lpa_batch import lpa_allocate_batch
+
+        return lpa_allocate_batch(
+            self, models, P, mu=self.mu, delta=self.delta, rtol=self.rtol
         )
 
     def initial_allocation(self, model: SpeedupModel, P: int) -> int:

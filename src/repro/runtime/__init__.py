@@ -28,6 +28,7 @@ from repro.runtime.manifest import (
     RunRecord,
     append_bench_entry,
     append_engine_bench_entry,
+    current_commit,
 )
 from repro.runtime.serialization import (
     canonical_json,
@@ -50,6 +51,7 @@ __all__ = [
     "RunRecord",
     "append_bench_entry",
     "append_engine_bench_entry",
+    "current_commit",
     "canonical_json",
     "content_digest",
     "decode_value",

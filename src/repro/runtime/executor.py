@@ -28,11 +28,13 @@ import os
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any, Callable, ContextManager, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.batch.kernels import resolve_kernel, use_kernel
 from repro.exceptions import (
     ExperimentFailedError,
     InvalidParameterError,
@@ -109,6 +111,7 @@ def _execute(
     kwargs: dict[str, Any],
     clock: Callable[[], float] = time.time,
     backend: str = "reference",
+    kernel: str | None = None,
 ) -> dict[str, Any]:
     """Worker entry point: run one experiment, return its report as JSON.
 
@@ -128,8 +131,13 @@ def _execute(
     try:
         # The backend selection is ambient (a ContextVar), so installing
         # it here covers every simulation the experiment runs — including
-        # in worker processes, which re-enter through this function.
-        with use_backend(backend), collect_metrics(registry):
+        # in worker processes, which re-enter through this function.  The
+        # batch-kernel pin rides the same mechanism; ``None`` leaves the
+        # ambient/environment selection untouched.
+        kernel_ctx: ContextManager[None] = (
+            use_kernel(kernel) if kernel is not None else nullcontext()
+        )
+        with use_backend(backend), kernel_ctx, collect_metrics(registry):
             report = spec(**kwargs)
     except Exception as exc:
         raise ExperimentFailedError(
@@ -152,6 +160,7 @@ def _child_execute(
     kwargs: dict[str, Any],
     clock: Callable[[], float],
     backend: str = "reference",
+    kernel: str | None = None,
 ) -> None:
     """Sandboxed-process entry: run one experiment, ship the outcome back.
 
@@ -162,7 +171,10 @@ def _child_execute(
     """
     try:
         conn.send(
-            {"ok": True, "result": _execute(experiment, kwargs, clock, backend)}
+            {
+                "ok": True,
+                "result": _execute(experiment, kwargs, clock, backend, kernel),
+            }
         )
     except Exception as exc:
         conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
@@ -176,6 +188,7 @@ def _execute_isolated(
     clock: Callable[[], float],
     timeout_s: float | None,
     backend: str = "reference",
+    kernel: str | None = None,
 ) -> dict[str, Any]:
     """Run one attempt in a dedicated process with a hard wall-clock cap.
 
@@ -187,7 +200,7 @@ def _execute_isolated(
     parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
         target=_child_execute,
-        args=(child_conn, experiment, dict(kwargs), clock, backend),
+        args=(child_conn, experiment, dict(kwargs), clock, backend, kernel),
         daemon=True,
     )
     proc.start()
@@ -230,6 +243,7 @@ def _execute_with_policy(
     max_retries: int,
     backoff_s: float,
     backend: str = "reference",
+    kernel: str | None = None,
 ) -> dict[str, Any]:
     """One run under the resilience policy: timeout, bounded retries, backoff.
 
@@ -246,8 +260,10 @@ def _execute_with_policy(
             time.sleep(backoff_s * 2 ** (attempt - 1))
         try:
             if timeout_s is not None:
-                return _execute_isolated(experiment, kwargs, clock, timeout_s, backend)
-            return _execute(experiment, kwargs, clock, backend)
+                return _execute_isolated(
+                    experiment, kwargs, clock, timeout_s, backend, kernel
+                )
+            return _execute(experiment, kwargs, clock, backend, kernel)
         except ExperimentFailedError as exc:
             attempts.append(str(exc))
     raise RunQuarantinedError(
@@ -321,11 +337,17 @@ class CampaignExecutor:
         retry_backoff_s: float = 0.05,
         quarantine: bool = False,
         backend: str = "reference",
+        kernel: str | None = None,
     ) -> None:
         check_positive_int(jobs, "jobs")
-        # Resolve eagerly: an unknown backend name must fail the campaign
-        # at construction, not deep inside a worker process.
+        # Resolve eagerly: an unknown backend or kernel name must fail the
+        # campaign at construction, not deep inside a worker process.  The
+        # kernel resolves all the way (``"auto"``/absent-numba fallback
+        # included), so the manifest records what actually ran and every
+        # worker computes under the same pinned implementation.
         get_backend(backend)
+        if kernel is not None:
+            kernel = resolve_kernel(kernel)
         if run_timeout_s is not None and run_timeout_s <= 0:
             raise InvalidParameterError(
                 f"run_timeout_s must be > 0 or None, got {run_timeout_s}"
@@ -352,6 +374,12 @@ class CampaignExecutor:
         #: (a hit recorded under another backend would defeat the
         #: cross-backend verification, so it is a miss by construction).
         self.backend = backend
+        #: Resolved batch kernel pinned for every run, or ``None`` for the
+        #: ambient/environment selection.  Deliberately *not* part of the
+        #: cache key: kernels are bit-identical by contract (enforced by
+        #: ``python -m repro.batch.verify``), so a hit computed under
+        #: another kernel is the same bytes.
+        self.kernel = kernel
 
     @property
     def _hardened(self) -> bool:
@@ -399,6 +427,7 @@ class CampaignExecutor:
                 result_digest=entry.report.digest(),
                 metrics=entry.metrics,
                 backend=self.backend,
+                kernel=self.kernel,
             )
 
         raw: dict[str, dict[str, Any]] = {}
@@ -414,6 +443,7 @@ class CampaignExecutor:
                         dict(request.kwargs),
                         self.clock,
                         self.backend,
+                        self.kernel,
                     )
                     for request in to_compute
                 }
@@ -426,6 +456,7 @@ class CampaignExecutor:
                     dict(request.kwargs),
                     self.clock,
                     self.backend,
+                    self.kernel,
                 )
 
         if self.cache is None:
@@ -459,6 +490,7 @@ class CampaignExecutor:
                 result_digest=report.digest(),
                 metrics=result["metrics"],
                 backend=self.backend,
+                kernel=self.kernel,
             )
 
         manifest = RunManifest(
@@ -474,6 +506,7 @@ class CampaignExecutor:
             ),
             runs=[records[request.experiment] for request in requests],
             backend=self.backend,
+            kernel=self.kernel,
         )
         return CampaignOutcome(
             reports=reports, manifest=manifest, failures=failures
@@ -507,6 +540,7 @@ class CampaignExecutor:
                     max_retries=self.max_retries,
                     backoff_s=self.retry_backoff_s,
                     backend=self.backend,
+                    kernel=self.kernel,
                 )
             except RunQuarantinedError as exc:
                 return exc, time.perf_counter() - t0
@@ -541,6 +575,7 @@ class CampaignExecutor:
                     result_digest="",
                     error="; ".join(outcome.attempts) or str(outcome),
                     backend=self.backend,
+                    kernel=self.kernel,
                 )
             else:
                 raw[request.experiment] = outcome
@@ -554,12 +589,13 @@ def run_campaign_experiments(
     cache: ResultCache | None = None,
     refresh: bool = False,
     backend: str = "reference",
+    kernel: str | None = None,
 ) -> CampaignOutcome:
     """Convenience wrapper: build requests for ``names`` (default: the whole
     registry, sorted) and execute them."""
     names = sorted(REGISTRY) if names is None else list(names)
     requests = build_requests(names, overrides=overrides, base_seed=base_seed)
     executor = CampaignExecutor(
-        jobs=jobs, cache=cache, refresh=refresh, backend=backend
+        jobs=jobs, cache=cache, refresh=refresh, backend=backend, kernel=kernel
     )
     return executor.run(requests)

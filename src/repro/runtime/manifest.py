@@ -18,6 +18,7 @@ captures both parallelism and caching.
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -25,7 +26,35 @@ from typing import Any, Mapping
 from repro._version import __version__
 from repro.runtime.serialization import encode_value
 
-__all__ = ["RunRecord", "RunManifest", "append_bench_entry", "append_engine_bench_entry"]
+__all__ = [
+    "RunRecord",
+    "RunManifest",
+    "append_bench_entry",
+    "append_engine_bench_entry",
+    "current_commit",
+]
+
+
+def current_commit(cwd: Path | str | None = None) -> str:
+    """Short git hash of ``HEAD``, for benchmark-entry provenance.
+
+    Benchmark trajectories (``BENCH_engine.json``) require every entry to
+    say which code produced it; this is the stamp.  Returns ``"unknown"``
+    outside a git checkout (or when git itself is unavailable) rather
+    than failing — provenance must never break a benchmark run.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            cwd=None if cwd is None else str(cwd),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    out = proc.stdout.strip()
+    return out if proc.returncode == 0 and out else "unknown"
 
 
 @dataclass(frozen=True)
@@ -58,6 +87,11 @@ class RunRecord:
     #: Engine backend the run was computed under (``"reference"`` or
     #: ``"batch"``); cache hits carry the backend their entry was keyed on.
     backend: str = "reference"
+    #: Batch compute kernel pinned for the run (``"numpy"``/``"numba"``/
+    #: ``"python"``, already resolved), or ``None`` when the campaign left
+    #: the ambient/environment selection in charge.  Not part of the cache
+    #: key — kernels are bit-identical by contract.
+    kernel: str | None = None
 
     def as_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
@@ -70,6 +104,8 @@ class RunRecord:
             "result_digest": self.result_digest,
             "backend": self.backend,
         }
+        if self.kernel is not None:
+            payload["kernel"] = self.kernel
         if self.metrics is not None:
             payload["metrics"] = dict(self.metrics)
         if self.error is not None:
@@ -90,6 +126,8 @@ class RunManifest:
     version: str = __version__
     #: Engine backend the campaign selected (``"reference"`` by default).
     backend: str = "reference"
+    #: Resolved batch kernel the campaign pinned, or ``None`` (ambient).
+    kernel: str | None = None
 
     @property
     def serial_equivalent_s(self) -> float:
@@ -111,6 +149,7 @@ class RunManifest:
         return {
             "version": self.version,
             "backend": self.backend,
+            **({} if self.kernel is None else {"kernel": self.kernel}),
             "jobs": self.jobs,
             "n_runs": len(self.runs),
             "wall_time_s": round(self.wall_time_s, 6),

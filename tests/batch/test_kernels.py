@@ -1,0 +1,184 @@
+"""Kernel-tier selection, graceful degradation, and bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    available_kernels,
+    numba_available,
+    resolve_kernel,
+    run_batch,
+    use_kernel,
+)
+from repro.batch.kernels import (
+    KERNEL_NAMES,
+    KERNEL_ENV_VAR,
+    active_kernel_name,
+    make_io,
+    run_kernel,
+)
+from repro.batch.layout import compile_batch
+from repro.core.allocator import LpaAllocator
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import layered_random
+from repro.speedup.random import MixedModelFactory, RandomModelFactory
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+
+
+def batch_items(n_runs=6, seed=11):
+    items = []
+    for i in range(n_runs):
+        factory = MixedModelFactory(seed=seed + i)
+        graph = layered_random(4, 5, factory, seed=seed + i)
+        items.append((graph, 8 + 4 * i))
+    return items
+
+
+class TestResolution:
+    def test_default_auto_resolution(self):
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_kernel() == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_explicit_names_resolve_to_themselves(self):
+        assert resolve_kernel("numpy") == "numpy"
+        assert resolve_kernel("python") == "python"
+
+    def test_explicit_numba_degrades_gracefully(self):
+        # On a numba-free install the request is a performance hint that
+        # cannot be honored; it must degrade, never raise.
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_kernel("numba") == expected
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown batch kernel"):
+            resolve_kernel("fortran")
+
+    def test_available_kernels_tracks_numba(self):
+        kernels = available_kernels()
+        assert "numpy" in kernels
+        assert "python" in kernels
+        assert ("numba" in kernels) == numba_available()
+
+    def test_env_var_consulted_when_unset(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        assert resolve_kernel() == "python"
+
+    def test_env_var_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "cuda")
+        with pytest.raises(InvalidParameterError, match="unknown batch kernel"):
+            resolve_kernel()
+
+    def test_explicit_beats_ambient_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+        with use_kernel("numpy"):
+            assert resolve_kernel() == "numpy"  # ambient beats env
+            assert resolve_kernel("python") == "python"  # explicit beats ambient
+        assert resolve_kernel() == "python"  # env again once the block exits
+
+
+class TestUseKernel:
+    def test_blocks_nest_and_restore(self):
+        assert active_kernel_name() is None
+        with use_kernel("numpy"):
+            assert active_kernel_name() == "numpy"
+            with use_kernel("python"):
+                assert active_kernel_name() == "python"
+            assert active_kernel_name() == "numpy"
+        assert active_kernel_name() is None
+
+    def test_invalid_name_rejected_before_entry(self):
+        with pytest.raises(InvalidParameterError, match="unknown batch kernel"):
+            with use_kernel("fortran"):
+                pass  # pragma: no cover
+        assert active_kernel_name() is None
+
+    def test_numba_request_allowed_unconditionally(self):
+        # Resolution (and the graceful fallback) happens when an engine is
+        # built, so a block may always request the compiled tier.
+        with use_kernel("numba"):
+            assert active_kernel_name() == "numba"
+            assert resolve_kernel() in ("numba", "numpy")
+
+    def test_kernel_names_constant(self):
+        assert KERNEL_NAMES == ("auto", "numpy", "numba", "python")
+
+
+class TestRunKernel:
+    def test_unresolved_name_rejected(self):
+        compiled = compile_batch(batch_items(1), LpaAllocator(0.324))
+        io = make_io(compiled)
+        with pytest.raises(InvalidParameterError, match="unresolved batch kernel"):
+            run_kernel("auto", io)
+
+
+class TestBitIdentity:
+    """The python tier proves the loop body (numba's body) bit-identical."""
+
+    def test_python_tier_matches_numpy_on_a_mixed_batch(self):
+        items = batch_items()
+        allocator = LpaAllocator(0.324)
+        ref = run_batch(items, allocator, kernel="numpy")
+        alt = run_batch(items, allocator, kernel="python")
+
+        assert np.array_equal(ref.makespans, alt.makespans)
+        for r_ref, r_alt in zip(ref.results, alt.results):
+            ref_sched = [
+                (e.task_id, e.start, e.end, e.procs) for e in r_ref.schedule.entries
+            ]
+            alt_sched = [
+                (e.task_id, e.start, e.end, e.procs) for e in r_alt.schedule.entries
+            ]
+            assert ref_sched == alt_sched
+            assert r_ref.allocations == r_alt.allocations
+            assert r_ref.revealed_at == r_alt.revealed_at
+
+    @pytest.mark.skipif(not numba_available(), reason="numba not installed")
+    def test_numba_tier_matches_numpy(self):
+        items = batch_items()
+        allocator = LpaAllocator(0.324)
+        ref = run_batch(items, allocator, kernel="numpy")
+        alt = run_batch(items, allocator, kernel="numba")
+        assert np.array_equal(ref.makespans, alt.makespans)
+
+    def test_ambient_selection_reaches_the_engine(self):
+        items = batch_items(2)
+        allocator = LpaAllocator(0.324)
+        with use_kernel("python"):
+            outcome = run_batch(items, allocator)
+        assert outcome.engine.kernel_name == "python"
+
+    def test_engine_records_resolved_kernel(self):
+        outcome = run_batch(batch_items(1), LpaAllocator(0.324), kernel="numba")
+        expected = "numba" if numba_available() else "numpy"
+        assert outcome.engine.kernel_name == expected
+
+
+class TestCountersAreKernelLocal:
+    def test_scan_counters_may_differ_but_results_may_not(self):
+        # The observability counters measure the work each implementation
+        # did and are excluded from digests; everything else is pinned.
+        items = [
+            (
+                layered_random(
+                    3, 6, RandomModelFactory("communication", seed=3), seed=3
+                ),
+                16,
+            )
+        ] * 4
+        allocator = LpaAllocator(0.324)
+        ref = run_batch(items, allocator, kernel="numpy")
+        alt = run_batch(items, allocator, kernel="python")
+        assert np.array_equal(ref.makespans, alt.makespans)
+        assert np.array_equal(
+            ref.engine.io.start_t, alt.engine.io.start_t, equal_nan=True
+        )
+        assert np.array_equal(
+            ref.engine.io.end_t, alt.engine.io.end_t, equal_nan=True
+        )
+        assert np.array_equal(ref.engine.io.start_seq, alt.engine.io.start_seq)
+        assert np.array_equal(ref.engine.io.reveal_seq, alt.engine.io.reveal_seq)

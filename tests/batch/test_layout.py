@@ -83,13 +83,33 @@ class TestCompileRun:
             assert run.initial[col] == alloc.initial
             assert run.duration[col] == tasks[tid].model.time(alloc.final)
 
-    def test_one_allocator_call_per_group(self):
+    def test_lpa_groups_resolve_without_scalar_calls(self):
+        # The LPA family's batch decision covers whole cache-key groups
+        # with array math: zero scalar allocator calls for Eq. (1) models.
         g = TaskGraph()
         model = CommunicationModel(25.0, 0.25)
         for i in range(50):
             g.add_task(i, model)
         run = compile_run(compile_structure(g), 8, LpaAllocator(0.324), g)
+        assert run.allocator_calls == 0
+        assert run.vectorized_groups == 1
+
+    def test_overridden_lpa_falls_back_to_one_call_per_group(self):
+        # A subclass changing the decision math must not be vectorized;
+        # it keeps the per-group scalar path (one call per group).
+        class ShiftedLpa(LpaAllocator):
+            def initial_allocation(self, model, P):
+                return max(1, super().initial_allocation(model, P) - 1)
+
+        g = TaskGraph()
+        model = CommunicationModel(25.0, 0.25)
+        for i in range(50):
+            g.add_task(i, model)
+        allocator = ShiftedLpa(0.324)
+        assert allocator.allocate_batch([model], 8) is None
+        run = compile_run(compile_structure(g), 8, allocator, g)
         assert run.allocator_calls == 1
+        assert run.vectorized_groups == 0
 
     def test_uses_free_allocator_declined(self):
         from repro.baselines.online import AvailableProcessorsAllocator
