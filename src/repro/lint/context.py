@@ -27,6 +27,14 @@ def collect_import_aliases(tree: ast.Module) -> dict[str, str]:
     Only absolute imports are resolved; relative imports (``from . import x``)
     keep their local name unresolved, which makes rules conservative (they
     only fire on names they can positively identify).
+
+    Module-level *assignment* aliases rooted at an import are folded in
+    afterwards: ``import time`` followed by ``now = time.time`` maps
+    ``now`` to ``time.time``, closing the blind spot where renaming a
+    banned callable at module scope laundered it past the rules.  Only
+    single-target top-level assignments of plain ``Name``/``Attribute``
+    chains participate, and only when the chain's root is itself a known
+    alias — local helper assignments stay untouched.
     """
     aliases: dict[str, str] = {}
     for node in ast.walk(tree):
@@ -40,7 +48,34 @@ def collect_import_aliases(tree: ast.Module) -> dict[str, str]:
                 if alias.name == "*":
                     continue
                 aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    _collect_assignment_aliases(tree, aliases)
     return aliases
+
+
+def _collect_assignment_aliases(tree: ast.Module, aliases: dict[str, str]) -> None:
+    """Fold ``name = imported.thing`` module-level rebindings into ``aliases``.
+
+    Walks top-level statements in source order, so chains
+    (``a = time.time`` then ``b = a``) resolve transitively.
+    """
+    for node in tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        chain: list[str] = []
+        cur = value
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        if not (isinstance(cur, ast.Name) and cur.id in aliases):
+            continue
+        chain.append(aliases[cur.id])
+        aliases[target.id] = ".".join(reversed(chain))
 
 
 def qualified_name(node: ast.expr, aliases: dict[str, str]) -> str | None:

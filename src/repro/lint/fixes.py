@@ -1,0 +1,244 @@
+"""Mechanically safe autofixes (``python -m repro.lint --fix``).
+
+Only transformations whose behavior is provably identical (or strictly
+intended) are automated:
+
+``zip-strict``
+    ``zip(a, b)`` → ``zip(a, b, strict=False)`` wherever ``zip`` is
+    called with two or more arguments and no ``strict=`` keyword.
+    ``strict=False`` *is* the runtime default, so the rewrite is a no-op
+    at runtime — it only makes the truncation policy explicit (and
+    greppable for a later sweep to ``strict=True``).
+
+``approx-equality``
+    In test files only: ``assert x == 1.5`` with a float literal on one
+    side becomes ``assert x == pytest.approx(1.5)`` (adding
+    ``import pytest`` when missing).  This is the standard remediation
+    for RL003 float-equality findings in tests; production comparisons
+    are never rewritten (exact float equality is sometimes the contract,
+    e.g. the engine's golden digests).
+
+Fixes are computed as absolute-offset edits on the raw source and
+applied from the end backwards, so earlier edits never shift later ones.
+``--diff`` renders the would-be changes as a unified diff without
+writing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.engine import iter_python_files
+
+__all__ = ["Fix", "FixResult", "fix_source", "fix_paths", "render_fix_diff"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One applied (or proposed) source edit."""
+
+    path: str
+    line: int
+    col: int
+    kind: str
+    description: str
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    original: str
+    fixed: str
+    fixes: list[Fix]
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+
+@dataclass(frozen=True)
+class _Edit:
+    start: int  # absolute offset, inclusive
+    end: int  # absolute offset, exclusive
+    replacement: str
+    fix: Fix
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _offset(offsets: list[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _is_test_file(path: str) -> bool:
+    name = Path(path).name
+    return name.startswith("test_") or name.endswith("_test.py") or "tests" in Path(path).parts
+
+
+def _zip_strict_edits(
+    tree: ast.Module, source: str, offsets: list[int], path: str
+) -> list[_Edit]:
+    edits: list[_Edit] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "zip"
+            and len(node.args) >= 2
+            and all(kw.arg != "strict" for kw in node.keywords)
+            and node.end_lineno is not None
+            and node.end_col_offset is not None
+        ):
+            continue
+        close = _offset(offsets, node.end_lineno, node.end_col_offset) - 1
+        if close < 0 or source[close] != ")":
+            continue  # defensive: never edit what we cannot see
+        before = source[:close].rstrip()
+        insertion = "strict=False" if before.endswith(",") else ", strict=False"
+        edits.append(
+            _Edit(
+                start=close,
+                end=close,
+                replacement=insertion,
+                fix=Fix(
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    kind="zip-strict",
+                    description="add explicit strict=False to zip()",
+                ),
+            )
+        )
+    return edits
+
+
+def _approx_edits(
+    tree: ast.Module, source: str, offsets: list[int], path: str
+) -> list[_Edit]:
+    edits: list[_Edit] = []
+    has_pytest = any(
+        (isinstance(node, ast.Import) and any(a.name == "pytest" for a in node.names))
+        or (isinstance(node, ast.ImportFrom) and node.module == "pytest")
+        for node in ast.walk(tree)
+    )
+    needs_import = False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        test = node.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            continue
+        for side in (test.comparators[0], test.left):
+            if (
+                isinstance(side, ast.Constant)
+                and isinstance(side.value, float)
+                and side.end_lineno is not None
+                and side.end_col_offset is not None
+            ):
+                start = _offset(offsets, side.lineno, side.col_offset)
+                end = _offset(offsets, side.end_lineno, side.end_col_offset)
+                literal = source[start:end]
+                edits.append(
+                    _Edit(
+                        start=start,
+                        end=end,
+                        replacement=f"pytest.approx({literal})",
+                        fix=Fix(
+                            path=path,
+                            line=side.lineno,
+                            col=side.col_offset,
+                            kind="approx-equality",
+                            description=f"wrap {literal} in pytest.approx()",
+                        ),
+                    )
+                )
+                needs_import = True
+                break  # one wrap per comparison is enough
+    if needs_import and not has_pytest:
+        insert_line = 1
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                insert_line = (stmt.end_lineno or stmt.lineno) + 1
+                continue
+            if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+                insert_line = stmt.lineno + 1
+                continue
+            break
+        at = offsets[min(insert_line - 1, len(offsets) - 1)]
+        edits.append(
+            _Edit(
+                start=at,
+                end=at,
+                replacement="import pytest\n",
+                fix=Fix(
+                    path=path,
+                    line=insert_line,
+                    col=0,
+                    kind="approx-equality",
+                    description="add missing 'import pytest'",
+                ),
+            )
+        )
+    return edits
+
+
+def fix_source(source: str, *, path: str = "<string>") -> FixResult:
+    """Compute and apply every safe fix to one source string."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError):
+        return FixResult(path=path, original=source, fixed=source, fixes=[])
+    offsets = _line_offsets(source)
+    edits = _zip_strict_edits(tree, source, offsets, path)
+    if _is_test_file(path):
+        edits.extend(_approx_edits(tree, source, offsets, path))
+    fixed = source
+    for edit in sorted(edits, key=lambda e: e.start, reverse=True):
+        fixed = fixed[: edit.start] + edit.replacement + fixed[edit.end :]
+    fixes = sorted((e.fix for e in edits), key=lambda f: (f.line, f.col))
+    return FixResult(path=path, original=source, fixed=fixed, fixes=fixes)
+
+
+def fix_paths(paths: Sequence[str | Path], *, write: bool) -> list[FixResult]:
+    """Fix every Python file under ``paths``; write back unless dry-run."""
+    results: list[FixResult] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        result = fix_source(source, path=str(file_path))
+        if result.changed:
+            results.append(result)
+            if write:
+                file_path.write_text(result.fixed, encoding="utf-8")
+    return results
+
+
+def render_fix_diff(results: Sequence[FixResult]) -> str:
+    """Unified diff of every proposed fix (``--fix --diff``)."""
+    chunks: list[str] = []
+    for result in results:
+        diff = difflib.unified_diff(
+            result.original.splitlines(keepends=True),
+            result.fixed.splitlines(keepends=True),
+            fromfile=f"a/{result.path}",
+            tofile=f"b/{result.path}",
+        )
+        chunks.append("".join(diff))
+    return "".join(chunks)

@@ -1,4 +1,4 @@
-"""Text and JSON rendering of a :class:`~repro.lint.engine.LintReport`."""
+"""Text, JSON, and SARIF rendering of a :class:`~repro.lint.engine.LintReport`."""
 
 from __future__ import annotations
 
@@ -6,8 +6,14 @@ import json
 
 from repro.lint.engine import LintReport
 from repro.lint.registry import all_rules
+from repro.lint.semantic.base import all_semantic_rules
 
-__all__ = ["render_text", "render_json", "render_rule_list"]
+__all__ = ["render_text", "render_json", "render_sarif", "render_rule_list"]
+
+#: Tool identity stamped into SARIF output.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "repro-lint"
 
 
 def render_text(report: LintReport) -> str:
@@ -21,6 +27,8 @@ def render_text(report: LintReport) -> str:
         f"{n} {noun} in {report.files_checked} {file_noun}"
         f" ({report.suppressed} suppressed)"
     )
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
     if report.errors:
         summary += f", {len(report.errors)} failed to parse"
     lines.append(summary)
@@ -33,8 +41,84 @@ def render_json(report: LintReport) -> str:
         "version": 1,
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
+        "baselined": report.baselined,
         "findings": [f.to_dict() for f in report.findings],
         "errors": [{"path": p, "message": m} for p, m in report.errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _sarif_rules() -> list[dict[str, object]]:
+    catalogue: list[dict[str, object]] = []
+    for rule in [*all_rules(), *all_semantic_rules()]:
+        catalogue.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+    catalogue.sort(key=lambda r: str(r["id"]))
+    return catalogue
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 document for code-scanning UIs (one run, one tool).
+
+    Findings map to ``results`` (level ``warning`` — the exit code, not
+    the SARIF level, is the CI gate), parse errors to tool-level
+    ``notifications``, and the rule catalogue (per-file and semantic) to
+    the driver's ``rules`` so viewers can show descriptions inline.
+    """
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": message},
+            "locations": [
+                {"physicalLocation": {"artifactLocation": {"uri": path}}}
+            ],
+        }
+        for path, message in report.errors
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
 
@@ -45,4 +129,7 @@ def render_rule_list() -> str:
     for rule in all_rules():
         lines.append(f"{rule.code}  {rule.name}")
         lines.append(f"       {rule.description}")
+    for sem_rule in all_semantic_rules():
+        lines.append(f"{sem_rule.code}  {sem_rule.name}  [semantic]")
+        lines.append(f"       {sem_rule.description}")
     return "\n".join(lines)

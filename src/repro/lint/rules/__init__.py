@@ -4,16 +4,24 @@ Importing this package registers every rule; the registry in
 :mod:`repro.lint.registry` triggers the import lazily, so rule modules
 must never import the registry's *consumers* (engine, reporters).
 
+RL001–RL008 are per-file rules (one AST at a time); RL009–RL011 are
+whole-program semantic rules dispatched over the
+:class:`~repro.lint.semantic.project.Project` model when the engine is
+asked for semantic analysis (``python -m repro.lint --semantic``).
+
 | Code  | Name                    | Invariant protected                          |
 |-------|-------------------------|----------------------------------------------|
 | RL001 | unseeded-rng            | campaign determinism (seeded RNG everywhere) |
 | RL002 | wall-clock              | reproducible engine (no wall clock in hot paths) |
 | RL003 | float-equality          | exact-schedule guarantee (golden digests)    |
-| RL004 | cache-key-contract      | allocation-cache soundness                   |
+| RL004 | cache-key-contract      | allocation-cache soundness (per-file shape)  |
 | RL005 | mutable-state           | process-pool safety                          |
 | RL006 | public-annotations      | typed public API (mypy strict surface)       |
 | RL007 | frozen-events           | immutable, schema-complete event vocabulary  |
 | RL008 | batch-vectorization     | whole-array batch backend (no per-task loops)|
+| RL009 | cache-key-soundness     | cache_key() covers every decision-path read  |
+| RL010 | await-shared-state      | no racy read-modify-write across await       |
+| RL011 | kernel-tier-parity      | interchangeable batch kernel tiers           |
 """
 
 from repro.lint.rules import (
@@ -25,6 +33,9 @@ from repro.lint.rules import (
     rl006_annotations,
     rl007_frozen_events,
     rl008_batch_vectorization,
+    rl009_cache_key_soundness,
+    rl010_await_races,
+    rl011_kernel_parity,
 )
 
 __all__ = [
@@ -36,4 +47,7 @@ __all__ = [
     "rl006_annotations",
     "rl007_frozen_events",
     "rl008_batch_vectorization",
+    "rl009_cache_key_soundness",
+    "rl010_await_races",
+    "rl011_kernel_parity",
 ]

@@ -37,6 +37,27 @@ def _is_mutable_literal(node: ast.expr) -> bool:
     return False
 
 
+def _mutable_bindings(target: ast.expr, value: ast.expr) -> list[str]:
+    """Names in ``target`` bound to a mutable literal from ``value``.
+
+    Handles tuple unpacking (``A, B = [], {}``) by pairing target and
+    value elements positionally — each element is its own binding, so a
+    mutable element fires even when its siblings are clean.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id] if _is_mutable_literal(value) else []
+    if (
+        isinstance(target, (ast.Tuple, ast.List))
+        and isinstance(value, (ast.Tuple, ast.List))
+        and len(target.elts) == len(value.elts)
+    ):
+        names: list[str] = []
+        for t, v in zip(target.elts, value.elts, strict=True):
+            names.extend(_mutable_bindings(t, v))
+        return names
+    return []
+
+
 @register
 class MutableStateRule(Rule):
     code = "RL005"
@@ -77,9 +98,9 @@ class MutableStateRule(Rule):
                 targets, value = [node.target], node.value
             else:
                 continue
-            if not _is_mutable_literal(value):
-                continue
-            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            names: list[str] = []
+            for target in targets:
+                names.extend(_mutable_bindings(target, value))
             names = [n for n in names if n not in _EXEMPT_NAMES]
             if names:
                 yield self.finding(

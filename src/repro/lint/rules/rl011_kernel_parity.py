@@ -1,0 +1,614 @@
+"""RL011: the batch kernel tiers must stay structurally interchangeable.
+
+:mod:`repro.batch.kernels` promises that every tier (numpy / numba /
+python) fills the *same* :class:`KernelIO` output arrays from the same
+inputs — the equivalence tests prove values bit-identical, but only for
+the graphs they run.  This rule proves the *structural* half of the
+contract for every graph:
+
+* ``make_io`` must construct every declared ``KernelIO`` field, and each
+  field classifies from its construction: fresh allocations
+  (``np.full``/``np.zeros``/... or ``.astype(...)``) are **outputs**,
+  ``.copy()`` marks **scratch**, anything else is a read-only **input**;
+* every tier must write every output (a tier that forgets one silently
+  returns stale zeros) and may write nothing but outputs and scratch
+  (a write to an input corrupts the compiled batch for later runs);
+* tiers may touch only declared ``KernelIO`` fields — no smuggled state;
+* every input must be read by at least one tier (a universally unread
+  input is a dead field the tiers silently disagree about);
+* tier bodies may not reference mutable module globals (dicts, lists,
+  ``ContextVar``\\ s...) — hidden per-process state breaks run-to-run and
+  tier-to-tier reproducibility.  Immutable module constants, imported
+  modules, and project classes/functions are fine;
+* ``@loop_kernel`` bodies must stay njit-compilable: plain loops and
+  preallocated arrays only — no ``try``/``with``, comprehensions,
+  closures, f-strings, or calls outside ``np.*`` and a small builtin
+  whitelist.  The python and numba tiers share one body, so one
+  non-compilable construct silently forks their semantics behind numba's
+  object-mode fallbacks.
+
+Tier discovery is structural, mirroring :func:`run_kernel`'s dispatch:
+loop tiers are ``@loop_kernel`` module functions (their positional
+parameters map onto fields through the module's ``_loop_args``-style
+signature function); array tiers are classes whose ``__init__`` takes a
+``KernelIO``-annotated parameter (``self.X = io.Y`` aliases, including
+``.reshape``/``.view`` views, are followed — a view write is a field
+write).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+from repro.lint.semantic.base import SemanticRule, register_semantic
+from repro.lint.semantic.project import ClassInfo, FunctionInfo, ModuleInfo, Project
+
+_IO_CLASS = "KernelIO"
+_FACTORY = "make_io"
+_LOOP_MARK = "loop_kernel"
+
+#: numpy constructors in ``make_io`` that mean "fresh array: output".
+_FRESH_CALLS = {"full", "zeros", "empty", "ones", "arange", "full_like", "zeros_like"}
+#: method calls on an existing array that still yield a fresh output.
+_FRESH_METHODS = {"astype"}
+#: aliasing method calls — a write through the result writes the field.
+_VIEW_METHODS = {"reshape", "view", "ravel"}
+
+#: builtins numba's nopython mode supports and the kernels may call.
+_NJIT_BUILTINS = {"range", "len", "min", "max", "abs", "int", "float", "bool", "round"}
+
+_NJIT_FORBIDDEN: dict[type, str] = {
+    ast.Try: "try/except",
+    ast.With: "with",
+    ast.Yield: "yield",
+    ast.YieldFrom: "yield from",
+    ast.Await: "await",
+    ast.Lambda: "lambda",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+    ast.Dict: "dict literal",
+    ast.Set: "set literal",
+    ast.ClassDef: "class definition",
+    ast.FunctionDef: "nested function",
+    ast.AsyncFunctionDef: "nested async function",
+    ast.Global: "global statement",
+    ast.Nonlocal: "nonlocal statement",
+    ast.JoinedStr: "f-string",
+    ast.Starred: "star-unpacking",
+}
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass
+class _Contract:
+    """Field classification derived from ``KernelIO`` + ``make_io``."""
+
+    fields: list[str]
+    inputs: set[str]
+    outputs: set[str]
+    scratch: set[str]
+
+
+@dataclass
+class _TierAccess:
+    """What one tier structurally reads and writes, by field name."""
+
+    label: str
+    line: int
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    #: ``io.X`` accesses to names that are not declared fields.
+    undeclared: list[tuple[str, int, int]] = field(default_factory=list)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+def _is_immutable_literal(node: ast.expr | None) -> bool:
+    """Whether a module-level value is safe to read from a kernel tier."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(_is_immutable_literal(e) for e in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _is_immutable_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_immutable_literal(node.left) and _is_immutable_literal(node.right)
+    return False
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters plus every name the body binds (stores, loop targets...)."""
+    args = fn.args
+    names = {
+        a.arg
+        for a in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+    }
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            names.add(node.name)
+    return names
+
+
+def _walk_skip_annotations(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """``ast.walk`` over the body, skipping annotation/default subtrees."""
+    for stmt in fn.body:
+        yield from ast.walk(stmt)
+
+
+@register_semantic
+class KernelParityRule(SemanticRule):
+    code = "RL011"
+    name = "kernel-tier-parity"
+    description = (
+        "every batch kernel tier must read/write exactly the declared "
+        "KernelIO fields (outputs written, inputs untouched), reference no "
+        "mutable module globals, and keep @loop_kernel bodies njit-clean"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for mod in project.modules:
+            if _IO_CLASS in mod.classes and _FACTORY in mod.functions:
+                yield from self._check_module(project, mod)
+
+    # ------------------------------------------------------------------
+    # Contract extraction
+    # ------------------------------------------------------------------
+    def _check_module(self, project: Project, mod: ModuleInfo) -> Iterator[Finding]:
+        io_cls = mod.classes[_IO_CLASS]
+        fields = [
+            stmt.target.id
+            for stmt in io_cls.node.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        ]
+        contract, problems = self._classify(mod, fields)
+        yield from problems
+        if contract is None:
+            return
+
+        loop_sig = self._loop_signature(mod, set(fields))
+        tiers: list[_TierAccess] = []
+
+        for fn in mod.functions.values():
+            if not self._is_loop_kernel(fn.node):
+                continue
+            access, problems = self._loop_tier_access(fn, loop_sig, contract)
+            yield from problems
+            if access is not None:
+                tiers.append(access)
+                yield from self._check_njit(fn)
+            yield from self._check_globals(mod, fn.node, fn.path, f"kernel '{fn.name}'")
+
+        for cls in mod.classes.values():
+            io_param = self._io_param(mod, project, cls)
+            if io_param is None:
+                continue
+            access = self._class_tier_access(cls, io_param, contract)
+            tiers.append(access)
+            for meth in cls.methods.values():
+                yield from self._check_globals(
+                    mod, meth.node, meth.path, f"kernel '{cls.name}.{meth.name}'"
+                )
+
+        for tier in tiers:
+            yield from self._check_tier(mod, tier, contract)
+
+        if tiers:
+            read_union = set().union(*(t.reads for t in tiers))
+            for name in sorted(contract.inputs - read_union):
+                if name in ("B", "N"):
+                    continue  # shape fields; tiers may derive shapes instead
+                yield self.finding(
+                    mod.path,
+                    io_cls.node.lineno,
+                    io_cls.node.col_offset,
+                    f"KernelIO input field '{name}' is read by no kernel tier; "
+                    "dead inputs hide contract drift — remove the field or "
+                    "read it",
+                )
+
+    def _classify(
+        self, mod: ModuleInfo, fields: list[str]
+    ) -> tuple[_Contract | None, list[Finding]]:
+        factory = mod.functions[_FACTORY]
+        ctor: ast.Call | None = None
+        for node in ast.walk(factory.node):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name is not None and name.rpartition(".")[2] == _IO_CLASS:
+                    ctor = node
+                    break
+        if ctor is None:
+            return None, [
+                self.finding(
+                    factory.path,
+                    factory.node.lineno,
+                    factory.node.col_offset,
+                    f"{_FACTORY}() never constructs {_IO_CLASS}; the field "
+                    "classification (input/output/scratch) cannot be derived",
+                )
+            ]
+        contract = _Contract(fields=fields, inputs=set(), outputs=set(), scratch=set())
+        seen: set[str] = set()
+        problems: list[Finding] = []
+        for kw in ctor.keywords:
+            if kw.arg is None:
+                continue
+            seen.add(kw.arg)
+            if kw.arg not in fields:
+                problems.append(
+                    self.finding(
+                        factory.path,
+                        kw.value.lineno,
+                        kw.value.col_offset,
+                        f"{_FACTORY}() passes '{kw.arg}' which is not a "
+                        f"declared {_IO_CLASS} field",
+                    )
+                )
+                continue
+            self._classify_field(contract, kw.arg, kw.value)
+        for name in fields:
+            if name not in seen:
+                problems.append(
+                    self.finding(
+                        factory.path,
+                        ctor.lineno,
+                        ctor.col_offset,
+                        f"{_FACTORY}() does not construct {_IO_CLASS} field "
+                        f"'{name}'; every field must be classified at the "
+                        "construction site",
+                    )
+                )
+        return contract, problems
+
+    @staticmethod
+    def _classify_field(contract: _Contract, name: str, value: ast.expr) -> None:
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            attr = value.func.attr
+            root = _dotted(value.func)
+            if root is not None and root.startswith("np.") and attr in _FRESH_CALLS:
+                contract.outputs.add(name)
+                return
+            if attr in _FRESH_METHODS:
+                contract.outputs.add(name)
+                return
+            if attr == "copy":
+                contract.scratch.add(name)
+                return
+        contract.inputs.add(name)
+
+    # ------------------------------------------------------------------
+    # Tier discovery and access extraction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_loop_kernel(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for dec in node.decorator_list:
+            name = _dotted(dec)
+            if name is not None and name.rpartition(".")[2] == _LOOP_MARK:
+                return True
+        return False
+
+    @staticmethod
+    def _loop_signature(mod: ModuleInfo, fields: set[str]) -> list[str] | None:
+        """Find the ``_loop_args``-style function: one param, returns a
+        tuple of ``param.field`` reads — its order is the positional ABI
+        every loop tier shares."""
+        for fn in mod.functions.values():
+            node = fn.node
+            params = node.args.posonlyargs + node.args.args
+            if len(params) != 1:
+                continue
+            for stmt in ast.walk(node):
+                if not (isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Tuple)):
+                    continue
+                names = []
+                for elt in stmt.value.elts:
+                    if (
+                        isinstance(elt, ast.Attribute)
+                        and isinstance(elt.value, ast.Name)
+                        and elt.value.id == params[0].arg
+                        and elt.attr in fields
+                    ):
+                        names.append(elt.attr)
+                    else:
+                        names = []
+                        break
+                if names:
+                    return names
+        return None
+
+    def _loop_tier_access(
+        self, fn: FunctionInfo, loop_sig: list[str] | None, contract: _Contract
+    ) -> tuple[_TierAccess | None, list[Finding]]:
+        node = fn.node
+        params = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if loop_sig is None:
+            return None, [
+                self.finding(
+                    fn.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"@{_LOOP_MARK} function '{fn.name}' has no matching "
+                    "loop-args signature function (one param returning a "
+                    f"tuple of {_IO_CLASS} fields); its parameters cannot be "
+                    "mapped to fields",
+                )
+            ]
+        if len(params) != len(loop_sig):
+            return None, [
+                self.finding(
+                    fn.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"@{_LOOP_MARK} function '{fn.name}' takes {len(params)} "
+                    f"parameters but the loop-args signature passes "
+                    f"{len(loop_sig)}; the positional ABI is broken",
+                )
+            ]
+        param_field = dict(zip(params, loop_sig, strict=True))
+        access = _TierAccess(label=f"kernel '{fn.name}'", line=node.lineno)
+        for sub in _walk_skip_annotations(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in param_field
+                    ):
+                        access.writes.add(param_field[target.value.id])
+            if isinstance(sub, ast.Name) and sub.id in param_field:
+                access.reads.add(param_field[sub.id])
+        # The base of a subscript store is also a Load read; keep writes
+        # out of the pure-read view where it matters (input coverage uses
+        # the union, so this is already conservative).
+        return access, []
+
+    def _io_param(
+        self, mod: ModuleInfo, project: Project, cls: ClassInfo
+    ) -> str | None:
+        """The name of ``__init__``'s KernelIO-annotated parameter, if any."""
+        init = cls.methods.get("__init__")
+        if init is None or cls.name == _IO_CLASS:
+            return None
+        node = init.node
+        for arg in (node.args.posonlyargs + node.args.args)[1:]:
+            ann = arg.annotation
+            if ann is None:
+                continue
+            dotted = _dotted(ann)
+            if dotted is not None and dotted.rpartition(".")[2] == _IO_CLASS:
+                return arg.arg
+            resolved, _ = project.annotation_class(mod, ann)
+            if resolved is not None and resolved.name == _IO_CLASS:
+                return arg.arg
+        return None
+
+    def _class_tier_access(
+        self, cls: ClassInfo, io_param: str, contract: _Contract
+    ) -> _TierAccess:
+        access = _TierAccess(label=f"kernel '{cls.name}'", line=cls.node.lineno)
+        fields = set(contract.fields)
+        #: self attribute -> (field, writable): io.Y and view methods alias
+        #: the field array; .copy()/.astype() detach.
+        alias: dict[str, str] = {}
+        io_attrs: set[str] = set()  # self attributes holding the io object
+        init = cls.methods.get("__init__")
+        if init is not None:
+            for sub in ast.walk(init.node):
+                if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                    continue
+                target = sub.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                src = self._alias_source(sub.value, io_param, fields)
+                if src == "":
+                    io_attrs.add(target.attr)
+                elif src is not None:
+                    alias[target.attr] = src
+
+        def field_of(expr: ast.expr) -> str | None:
+            """Resolve an expression to the KernelIO field it aliases."""
+            if isinstance(expr, ast.Attribute):
+                base = expr.value
+                if isinstance(base, ast.Name):
+                    if base.id == io_param:
+                        return expr.attr if expr.attr in fields else f"!{expr.attr}"
+                    if base.id == "self":
+                        if expr.attr in alias:
+                            return alias[expr.attr]
+                        return None
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                    and base.attr in io_attrs
+                ):
+                    return expr.attr if expr.attr in fields else f"!{expr.attr}"
+            return None
+
+        for meth in cls.methods.values():
+            for sub in _walk_skip_annotations(meth.node):
+                if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    for target in targets:
+                        name = None
+                        if isinstance(target, ast.Subscript):
+                            name = field_of(target.value)
+                        elif isinstance(sub, ast.AugAssign):
+                            name = field_of(target)
+                        if name is not None and not name.startswith("!"):
+                            access.writes.add(name)
+                if isinstance(sub, ast.Call):
+                    dotted = _dotted(sub.func)
+                    if (
+                        dotted is not None
+                        and dotted.startswith("np.")
+                        and dotted.endswith(".at")
+                        and sub.args
+                    ):
+                        name = field_of(sub.args[0])
+                        if name is not None and not name.startswith("!"):
+                            access.writes.add(name)
+                if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+                    name = field_of(sub)
+                    if name is None:
+                        continue
+                    if name.startswith("!"):
+                        access.undeclared.append(
+                            (name[1:], sub.lineno, sub.col_offset)
+                        )
+                    else:
+                        access.reads.add(name)
+        return access
+
+    @staticmethod
+    def _alias_source(value: ast.expr, io_param: str, fields: set[str]) -> str | None:
+        """Field aliased by an ``__init__`` RHS (``""`` = the io object)."""
+        if isinstance(value, ast.Name) and value.id == io_param:
+            return ""
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == io_param
+            and value.attr in fields
+        ):
+            return value.attr
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _VIEW_METHODS
+        ):
+            return KernelParityRule._alias_source(value.func.value, io_param, fields)
+        return None
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _check_tier(
+        self, mod: ModuleInfo, tier: _TierAccess, contract: _Contract
+    ) -> Iterator[Finding]:
+        for name in sorted(contract.outputs - tier.writes):
+            yield self.finding(
+                mod.path,
+                tier.line,
+                0,
+                f"{tier.label} never writes {_IO_CLASS} output field "
+                f"'{name}'; every tier must fill every output "
+                "(stale preallocated values otherwise leak into results)",
+            )
+        for name in sorted(tier.writes & contract.inputs):
+            yield self.finding(
+                mod.path,
+                tier.line,
+                0,
+                f"{tier.label} writes {_IO_CLASS} input field '{name}'; "
+                "inputs alias the compiled batch and must stay read-only "
+                "(use a scratch .copy() field instead)",
+            )
+        for name, line, col in tier.undeclared:
+            yield self.finding(
+                mod.path,
+                line,
+                col,
+                f"{tier.label} accesses undeclared {_IO_CLASS} attribute "
+                f"'{name}'; every kernel in/out must be a declared field",
+            )
+
+    def _check_globals(
+        self,
+        mod: ModuleInfo,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        path: str,
+        label: str,
+    ) -> Iterator[Finding]:
+        locals_ = _local_names(fn)
+        reported: set[str] = set()
+        for sub in _walk_skip_annotations(fn):
+            if not (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)):
+                continue
+            name = sub.id
+            if (
+                name in locals_
+                or name in reported
+                or name in mod.aliases
+                or name in mod.classes
+                or name in mod.functions
+                or name in _BUILTIN_NAMES
+            ):
+                continue
+            if name in mod.module_assigns and _is_immutable_literal(
+                mod.module_assigns[name]
+            ):
+                continue
+            reported.add(name)
+            yield self.finding(
+                path,
+                sub.lineno,
+                sub.col_offset,
+                f"{label} references module global '{name}' which is not an "
+                "immutable constant; hidden mutable state breaks kernel-tier "
+                "reproducibility — pass it through KernelIO or make it a "
+                "constant",
+            )
+
+    def _check_njit(self, fn: FunctionInfo) -> Iterator[Finding]:
+        node = fn.node
+        for sub in _walk_skip_annotations(node):
+            kind = _NJIT_FORBIDDEN.get(type(sub))
+            if kind is not None:
+                yield self.finding(
+                    fn.path,
+                    sub.lineno,
+                    sub.col_offset,
+                    f"@{_LOOP_MARK} function '{fn.name}' uses {kind}, which "
+                    "is not njit-compilable; the python and numba tiers "
+                    "share this body and must stay in numba's nopython "
+                    "subset",
+                )
+            elif isinstance(sub, ast.Call):
+                dotted = _dotted(sub.func)
+                if dotted is None:
+                    called = "<expression>"
+                elif dotted.startswith("np.") or dotted in _NJIT_BUILTINS:
+                    continue
+                else:
+                    called = dotted
+                yield self.finding(
+                    fn.path,
+                    sub.lineno,
+                    sub.col_offset,
+                    f"@{_LOOP_MARK} function '{fn.name}' calls {called!r}; "
+                    "loop-kernel bodies may call only np.* and "
+                    f"{sorted(_NJIT_BUILTINS)} to stay njit-compilable",
+                )

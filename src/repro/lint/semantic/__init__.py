@@ -1,0 +1,76 @@
+"""Whole-program semantic analysis on top of the per-file lint framework.
+
+The per-file rules (RL001–RL008) see one AST at a time; the contracts
+added since PR 3 are *cross-module*: the allocation cache is only sound
+if :meth:`~repro.speedup.SpeedupModel.cache_key` covers every model
+attribute the allocator decision paths read, the asyncio service must
+not mutate shared state across ``await`` points, and the three batch
+kernel tiers must stay structurally interchangeable.  This package
+provides the machinery to check such properties:
+
+:mod:`~repro.lint.semantic.project`
+    The project model — every file parsed once, classes and functions
+    indexed by qualified name, import aliases (including re-exports
+    through package ``__init__`` modules) resolved project-wide, and an
+    MRO-based method/subclass index.
+:mod:`~repro.lint.semantic.callgraph`
+    Call resolution (``self.method`` via the MRO with virtual dispatch
+    over subclasses, module functions via the alias table, methods on
+    annotated parameters) and reachability closures.
+:mod:`~repro.lint.semantic.dataflow`
+    Interprocedural ``self.<attr>`` read closures and cache-key
+    coverage extraction — the substrate of RL009.
+:mod:`~repro.lint.semantic.base`
+    The :class:`SemanticRule` protocol and its registry; the engine
+    dispatches semantic rules alongside per-file rules when asked
+    (``python -m repro.lint --semantic``).
+:mod:`~repro.lint.semantic.cache`
+    The incremental analysis cache keyed on file content hashes, making
+    warm re-runs sub-second.
+:mod:`~repro.lint.semantic.baseline`
+    The committed-baseline mechanism: known, justified findings are
+    recorded in a baseline file; anything new fails CI.
+
+The analyzers themselves live with the other rules in
+:mod:`repro.lint.rules` (``rl009``–``rl011``).
+"""
+
+from repro.lint.semantic.base import (
+    SemanticRule,
+    all_semantic_rules,
+    get_semantic_rule,
+    register_semantic,
+    semantic_codes,
+)
+from repro.lint.semantic.baseline import (
+    Baseline,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.semantic.cache import AnalysisCache
+from repro.lint.semantic.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    build_project,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "Baseline",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "SemanticRule",
+    "all_semantic_rules",
+    "apply_baseline",
+    "build_project",
+    "get_semantic_rule",
+    "load_baseline",
+    "register_semantic",
+    "semantic_codes",
+    "write_baseline",
+]

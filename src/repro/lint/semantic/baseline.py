@@ -1,0 +1,113 @@
+"""The committed-baseline mechanism: pre-existing findings stay auditable.
+
+A baseline file records findings that are *known and justified* — the
+canonical example is RL010 on ``SchedulerServer.start``, whose
+post-``await`` host/port rebinding is the deliberate resolve-the-socket
+idiom.  A lint run with ``--baseline`` subtracts baselined findings from
+the report (counting them separately) so CI fails **only on new
+findings**, while the baseline file itself stays in review — deleting
+an entry resurfaces the finding, and entries whose finding no longer
+fires are reported as *stale* so the baseline cannot quietly rot.
+
+Matching is by ``(path, code, message)``, deliberately ignoring
+line/column: unrelated edits move findings around, and a baseline that
+invalidates on every line shift would train people to regenerate it
+blindly.  Identical findings are matched as a multiset.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.path, finding.code, finding.message)
+
+
+@dataclass
+class Baseline:
+    """Multiset of accepted ``(path, code, message)`` findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a list of findings."""
+
+    #: Findings not covered by the baseline (these fail the run).
+    new: list[Finding]
+    #: Count of findings absorbed by the baseline.
+    matched: int
+    #: Baseline entries that matched nothing (candidates for removal).
+    stale: list[_Key]
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    loaded = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(loaded, dict) or not isinstance(loaded.get("findings"), list):
+        raise ValueError(f"{p}: not a baseline file (missing 'findings' list)")
+    entries: Counter = Counter()
+    for item in loaded["findings"]:
+        try:
+            entries[(str(item["path"]), str(item["code"]), str(item["message"]))] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"{p}: malformed baseline entry {item!r}") from exc
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, stable)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted repro-lint findings. Each entry must carry a reviewed "
+            "justification in its 'why' field; new findings are NOT baselined "
+            "automatically — fix them or update this file in review."
+        ),
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message, "why": ""}
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline) -> BaselineResult:
+    """Split ``findings`` into new vs baselined, tracking stale entries."""
+    remaining = Counter(baseline.entries)
+    new: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(finding)
+    stale = sorted(k for k, count in remaining.items() if count > 0)
+    return BaselineResult(new=new, matched=matched, stale=stale)

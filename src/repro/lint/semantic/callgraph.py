@@ -1,0 +1,160 @@
+"""Call resolution and reachability over the project model.
+
+The resolver is deliberately conservative: a call it cannot positively
+attribute to a project definition resolves to nothing (stdlib and numpy
+calls, dynamic dispatch through unannotated values).  What it does
+resolve:
+
+* ``name(...)`` — module-local functions, then import aliases
+  (including function-level imports — the alias table covers the whole
+  tree), then re-exports;
+* ``self.method(...)`` — through the owner class's MRO, **plus** every
+  override of that method in transitive subclasses (virtual dispatch:
+  ``Allocator.allocate_cached`` calling ``self.allocate`` reaches each
+  concrete allocator's ``allocate``);
+* ``param.method(...)`` — when the parameter is annotated with a
+  project class (directly, via a string annotation, or as the element
+  of a ``Sequence[...]`` whose iteration target the body loops over);
+* ``Class(...)`` — constructor calls resolve to ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.lint.semantic.project import ClassInfo, FunctionInfo, Project
+
+__all__ = ["CallGraph", "param_class_bindings"]
+
+
+def param_class_bindings(
+    project: Project, fn: FunctionInfo
+) -> dict[str, ClassInfo]:
+    """Names in ``fn``'s body that carry a project class type.
+
+    Covers annotated parameters and, for sequence-of-class parameters,
+    the targets of ``for x in seq`` / ``for i, x in enumerate(seq)``
+    loops over them.
+    """
+    mod = project.modules_by_name[fn.module]
+    bindings: dict[str, ClassInfo] = {}
+    element_params: dict[str, ClassInfo] = {}
+    args = fn.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        cls, elementwise = project.annotation_class(mod, arg.annotation)
+        if cls is None:
+            continue
+        if elementwise:
+            element_params[arg.arg] = cls
+        else:
+            bindings[arg.arg] = cls
+    if element_params:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            seq_name = _iterated_name(node.iter)
+            if seq_name is None or seq_name not in element_params:
+                continue
+            target = node.target
+            if isinstance(target, ast.Name):
+                bindings[target.id] = element_params[seq_name]
+            elif isinstance(target, ast.Tuple) and _is_enumerate(node.iter):
+                # ``for i, x in enumerate(models)``: the last target is
+                # the element.
+                last = target.elts[-1]
+                if isinstance(last, ast.Name):
+                    bindings[last.id] = element_params[seq_name]
+    return bindings
+
+
+def _iterated_name(iter_expr: ast.expr) -> str | None:
+    if isinstance(iter_expr, ast.Name):
+        return iter_expr.id
+    if _is_enumerate(iter_expr):
+        call = iter_expr
+        assert isinstance(call, ast.Call)
+        if call.args and isinstance(call.args[0], ast.Name):
+            return call.args[0].id
+    return None
+
+
+def _is_enumerate(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "enumerate"
+    )
+
+
+class CallGraph:
+    """Lazy call-edge resolver with a reachability closure."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._callees: dict[str, list[FunctionInfo]] = {}
+
+    def callees(self, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Project functions ``fn`` may call (resolved, deduplicated)."""
+        cached = self._callees.get(fn.qualname)
+        if cached is not None:
+            return cached
+        project = self.project
+        mod = project.modules_by_name[fn.module]
+        bindings = param_class_bindings(project, fn)
+        owner = project.classes.get(fn.owner) if fn.owner else None
+        out: dict[str, FunctionInfo] = {}
+
+        def add(target: FunctionInfo | None) -> None:
+            if target is not None:
+                out.setdefault(target.qualname, target)
+
+        def add_virtual(cls: ClassInfo, name: str) -> None:
+            add(project.resolve_method(cls, name))
+            for sub in project.subclasses(cls):
+                if name in sub.methods:
+                    add(sub.methods[name])
+
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                resolved = project.resolve_in_module(mod, func.id)
+                if isinstance(resolved, FunctionInfo):
+                    add(resolved)
+                elif isinstance(resolved, ClassInfo):
+                    add(project.resolve_method(resolved, "__init__"))
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id == "self" and owner is not None:
+                        add_virtual(owner, func.attr)
+                        continue
+                    if base.id in bindings:
+                        add_virtual(bindings[base.id], func.attr)
+                        continue
+                resolved = project.resolve_expr(mod, func)
+                if isinstance(resolved, FunctionInfo):
+                    add(resolved)
+                elif isinstance(resolved, ClassInfo):
+                    add(project.resolve_method(resolved, "__init__"))
+        result = sorted(out.values(), key=lambda f: f.qualname)
+        self._callees[fn.qualname] = result
+        return result
+
+    def reachable(self, seeds: list[FunctionInfo]) -> list[FunctionInfo]:
+        """BFS closure over call edges, in deterministic qualname order."""
+        seen: dict[str, FunctionInfo] = {}
+        queue: deque[FunctionInfo] = deque()
+        for seed in seeds:
+            if seed.qualname not in seen:
+                seen[seed.qualname] = seed
+                queue.append(seed)
+        while queue:
+            fn = queue.popleft()
+            for callee in self.callees(fn):
+                if callee.qualname not in seen:
+                    seen[callee.qualname] = callee
+                    queue.append(callee)
+        return sorted(seen.values(), key=lambda f: f.qualname)

@@ -1,0 +1,147 @@
+"""Interprocedural attribute-read dataflow (the substrate of RL009).
+
+Given a concrete class, :func:`self_attr_reads` computes the closure of
+``self.<attr>`` reads performed by a set of its methods — resolving each
+``self.method()`` call through the class's MRO and following it, so an
+attribute read three calls deep in an inherited helper is attributed to
+the concrete class that will actually serve it.
+
+:func:`cache_key_covered_attrs` extracts the attributes a class's
+resolved ``cache_key`` derives its value from; ``None`` means the class
+is not cacheable (its ``cache_key`` is the base ``return None``), which
+allocator caches treat as a structural bypass.
+
+:func:`class_constant_attrs` identifies attributes that are class-body
+constants (assigned at class level somewhere in the MRO and never
+rebound through ``self``) — reads of those cannot drift under caching,
+so cache-key coverage does not require them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.semantic.project import ClassInfo, FunctionInfo, Project
+
+__all__ = [
+    "AttrRead",
+    "cache_key_covered_attrs",
+    "class_constant_attrs",
+    "self_attr_reads",
+]
+
+
+@dataclass(frozen=True)
+class AttrRead:
+    """One ``self.<attr>`` load, attributed to the method performing it."""
+
+    attr: str
+    path: str
+    line: int
+    col: int
+    #: Qualified name of the method containing the read.
+    via: str
+
+
+def _self_reads_in(fn: FunctionInfo) -> tuple[list[AttrRead], set[str]]:
+    """Direct ``self.X`` data loads and ``self.m()`` call names in one body.
+
+    A ``self.m()`` call also walks as an ``Attribute`` load of ``m``;
+    those nodes (identified by source position) are method dispatches,
+    not data reads, and are reported through the ``calls`` set instead.
+    """
+    calls: set[str] = set()
+    call_positions: set[tuple[int, int]] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                calls.add(node.func.attr)
+                call_positions.add((node.func.lineno, node.func.col_offset))
+    reads: list[AttrRead] = []
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and (node.lineno, node.col_offset) not in call_positions
+        ):
+            reads.append(
+                AttrRead(
+                    attr=node.attr,
+                    path=fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    via=fn.qualname,
+                )
+            )
+    return reads, calls
+
+
+def self_attr_reads(
+    project: Project, cls: ClassInfo, method_names: list[str]
+) -> dict[str, list[AttrRead]]:
+    """Closure of ``self.<attr>`` reads from ``method_names`` on ``cls``.
+
+    Methods resolve through ``cls``'s MRO; ``self.method()`` calls are
+    followed (again MRO-resolved against the *concrete* ``cls``), so the
+    result is per-concrete-class even when the code lives in a shared
+    base.  Unresolvable methods (abstract declarations, dynamic names)
+    contribute nothing — conservative in the "only report what is
+    proven" direction.
+    """
+    reads: dict[str, list[AttrRead]] = {}
+    visited: set[str] = set()
+    queue = list(method_names)
+    while queue:
+        name = queue.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        fn = project.resolve_method(cls, name)
+        if fn is None:
+            continue
+        direct, calls = _self_reads_in(fn)
+        for read in direct:
+            reads.setdefault(read.attr, []).append(read)
+        queue.extend(calls - visited)
+    for locs in reads.values():
+        locs.sort(key=lambda r: (r.path, r.line, r.col))
+    return reads
+
+
+def cache_key_covered_attrs(project: Project, cls: ClassInfo) -> set[str] | None:
+    """Attributes ``cls``'s resolved ``cache_key`` derives its value from.
+
+    Returns ``None`` when the class is not cacheable: no ``cache_key``
+    anywhere in the MRO, or the resolved implementation is the base
+    "``return None``" (allocator caches bypass such models entirely, so
+    no coverage obligation exists).
+    """
+    fn = project.resolve_method(cls, "cache_key")
+    if fn is None:
+        return None
+    returns_none = True
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and not (
+            isinstance(node.value, ast.Constant) and node.value.value is None
+        ):
+            returns_none = False
+            break
+    if returns_none:
+        return None
+    covered = self_attr_reads(project, cls, ["cache_key"])
+    return set(covered)
+
+
+def class_constant_attrs(project: Project, cls: ClassInfo) -> set[str]:
+    """Class-body attributes never rebound through ``self`` in the MRO."""
+    mro = project.mro(cls)
+    declared: set[str] = set()
+    instance_bound: set[str] = set()
+    for c in mro:
+        declared |= c.class_attrs
+        instance_bound |= c.instance_attrs
+    return declared - instance_bound

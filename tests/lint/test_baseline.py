@@ -1,0 +1,102 @@
+"""Baseline mechanism: load/write/apply, multiset matching, staleness."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.findings import Finding
+from repro.lint.semantic.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tests.lint.conftest import REPO_ROOT
+
+
+def make_finding(
+    path: str = "a.py",
+    line: int = 1,
+    col: int = 0,
+    code: str = "RL010",
+    message: str = "shared state written across await",
+) -> Finding:
+    return Finding(path=path, line=line, col=col, code=code, message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding(), make_finding(code="RL009", message="m2")])
+        baseline = load_baseline(p)
+        assert len(baseline) == 2
+
+    def test_missing_file_is_empty(self, tmp_path: Path):
+        assert len(load_baseline(tmp_path / "nope.json")) == 0
+
+    def test_written_entries_carry_empty_why_field(self, tmp_path: Path):
+        # ``--update-baseline`` leaves the justification to review.
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding()])
+        payload = json.loads(p.read_text(encoding="utf-8"))
+        assert payload["findings"][0]["why"] == ""
+
+    def test_malformed_file_raises(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        p.write_text('{"no": "findings"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(p)
+
+    def test_malformed_entry_raises(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        p.write_text('{"findings": [{"path": "a.py"}]}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(p)
+
+
+class TestApply:
+    def test_matched_findings_are_absorbed(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding()])
+        result = apply_baseline([make_finding()], load_baseline(p))
+        assert result.new == [] and result.matched == 1 and result.stale == []
+
+    def test_matching_ignores_line_and_column(self, tmp_path: Path):
+        # Unrelated edits shift findings around; the baseline must not rot.
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding(line=10, col=4)])
+        result = apply_baseline([make_finding(line=99, col=0)], load_baseline(p))
+        assert result.new == [] and result.matched == 1
+
+    def test_multiset_semantics(self, tmp_path: Path):
+        # Two identical findings, one baselined: exactly one is absorbed.
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding()])
+        result = apply_baseline(
+            [make_finding(line=1), make_finding(line=2)], load_baseline(p)
+        )
+        assert result.matched == 1
+        assert len(result.new) == 1
+
+    def test_unmatched_entries_reported_stale(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding(message="gone")])
+        result = apply_baseline([], load_baseline(p))
+        assert result.stale == [("a.py", "RL010", "gone")]
+
+    def test_different_message_is_new(self, tmp_path: Path):
+        p = tmp_path / "baseline.json"
+        write_baseline(p, [make_finding(message="old")])
+        result = apply_baseline([make_finding(message="new")], load_baseline(p))
+        assert len(result.new) == 1 and result.matched == 0
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_valid_and_justified(self):
+        p = REPO_ROOT / "lint-baseline.json"
+        baseline = load_baseline(p)
+        assert len(baseline) == 2
+        payload = json.loads(p.read_text(encoding="utf-8"))
+        for entry in payload["findings"]:
+            assert entry["why"].strip(), f"unjustified baseline entry: {entry}"
+            assert entry["code"] == "RL010"

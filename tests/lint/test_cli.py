@@ -87,3 +87,112 @@ class TestSelection:
         assert proc.returncode == 0
         proc = run_lint(str(dirty_tree), "--select", "RL001")
         assert proc.returncode == 1
+
+
+RACY_SERVICE = (
+    "class C:\n"
+    "    async def bump(self) -> None:\n"
+    "        snap = self.x\n"
+    "        await self.wait()\n"
+    "        self.x = snap + 1\n"
+)
+
+
+@pytest.fixture
+def racy_tree(tmp_path: Path) -> Path:
+    (tmp_path / "svc.py").write_text(RACY_SERVICE, encoding="utf-8")
+    return tmp_path
+
+
+class TestSemanticFlags:
+    def test_semantic_off_by_default(self, racy_tree: Path):
+        assert run_lint(str(racy_tree)).returncode == 0
+
+    def test_semantic_flag_enables_whole_program_rules(self, racy_tree: Path):
+        proc = run_lint(str(racy_tree), "--semantic")
+        assert proc.returncode == 1
+        assert "RL010" in proc.stdout
+
+    def test_selecting_a_semantic_code_implies_semantic(self, racy_tree: Path):
+        proc = run_lint(str(racy_tree), "--select", "RL010")
+        assert proc.returncode == 1
+        assert "RL010" in proc.stdout
+
+    def test_list_rules_includes_semantic_tier(self):
+        proc = run_lint("--list-rules")
+        for code in ("RL009", "RL010", "RL011"):
+            assert code in proc.stdout
+        assert "[semantic]" in proc.stdout
+
+    def test_cache_round_trip(self, racy_tree: Path, tmp_path: Path):
+        cache = tmp_path / "lint-cache.json"
+        cold = run_lint(str(racy_tree), "--semantic", "--cache", str(cache))
+        assert cache.exists()
+        warm = run_lint(str(racy_tree), "--semantic", "--cache", str(cache))
+        assert warm.stdout == cold.stdout
+        assert warm.returncode == cold.returncode == 1
+
+    def test_sarif_output(self, racy_tree: Path):
+        proc = run_lint(str(racy_tree), "--semantic", "--format", "sarif")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "RL010" for r in results)
+
+
+class TestBaselineFlags:
+    def test_update_then_gate(self, racy_tree: Path, tmp_path: Path):
+        baseline = tmp_path / "baseline.json"
+        update = run_lint(
+            str(racy_tree), "--semantic", "--baseline", str(baseline), "--update-baseline"
+        )
+        assert update.returncode == 0, update.stdout + update.stderr
+        assert baseline.exists()
+        gated = run_lint(str(racy_tree), "--semantic", "--baseline", str(baseline))
+        assert gated.returncode == 0
+        assert "baselined" in gated.stdout
+
+    def test_new_findings_still_fail_under_baseline(self, racy_tree: Path, tmp_path: Path):
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            str(racy_tree), "--semantic", "--baseline", str(baseline), "--update-baseline"
+        )
+        (racy_tree / "fresh.py").write_text(
+            "import random\nX = random.random()\n", encoding="utf-8"
+        )
+        proc = run_lint(str(racy_tree), "--semantic", "--baseline", str(baseline))
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+    def test_stale_entries_reported(self, racy_tree: Path, tmp_path: Path):
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            str(racy_tree), "--semantic", "--baseline", str(baseline), "--update-baseline"
+        )
+        (racy_tree / "svc.py").write_text("X = 1\n", encoding="utf-8")
+        proc = run_lint(str(racy_tree), "--semantic", "--baseline", str(baseline))
+        assert proc.returncode == 0
+        assert "stale" in proc.stderr.lower()
+
+
+class TestFixFlags:
+    def test_diff_is_a_dry_run(self, tmp_path: Path):
+        target = tmp_path / "mod.py"
+        source = "pairs = list(zip(xs, ys))\n"
+        target.write_text(source, encoding="utf-8")
+        proc = run_lint(str(tmp_path), "--fix", "--diff")
+        assert proc.returncode == 0
+        assert "strict=False" in proc.stdout
+        assert target.read_text(encoding="utf-8") == source
+
+    def test_fix_writes_back(self, tmp_path: Path):
+        target = tmp_path / "mod.py"
+        target.write_text("pairs = list(zip(xs, ys))\n", encoding="utf-8")
+        proc = run_lint(str(tmp_path), "--fix")
+        assert proc.returncode == 0
+        assert "strict=False" in target.read_text(encoding="utf-8")
+
+    def test_diff_requires_fix(self, tmp_path: Path):
+        proc = run_lint(str(tmp_path), "--diff")
+        assert proc.returncode == 2

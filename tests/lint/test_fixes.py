@@ -1,0 +1,103 @@
+"""Safe auto-fixes: zip strictness, pytest.approx rewrites, dry-run diff."""
+
+import ast
+from pathlib import Path
+
+from repro.lint.fixes import fix_paths, fix_source, render_fix_diff
+
+
+class TestZipStrict:
+    def test_adds_strict_keyword(self):
+        result = fix_source("pairs = list(zip(xs, ys))\n")
+        assert result.changed
+        assert "zip(xs, ys, strict=False)" in result.fixed
+        ast.parse(result.fixed)
+
+    def test_trailing_comma_call(self):
+        result = fix_source("pairs = list(zip(xs, ys,))\n")
+        assert result.changed
+        assert "strict=False" in result.fixed
+        ast.parse(result.fixed)
+
+    def test_existing_strict_untouched(self):
+        src = "pairs = list(zip(xs, ys, strict=True))\n"
+        assert fix_source(src).fixed == src
+
+    def test_single_iterable_zip_untouched(self):
+        src = "pairs = list(zip(xs))\n"
+        assert fix_source(src).fixed == src
+
+    def test_multiline_call(self):
+        src = "pairs = list(zip(\n    xs,\n    ys,\n))\n"
+        result = fix_source(src)
+        assert result.changed
+        ast.parse(result.fixed)
+
+
+class TestApprox:
+    def test_wraps_float_comparator_in_test_files(self):
+        result = fix_source(
+            "def test_t():\n    assert compute() == 1.5\n", path="test_x.py"
+        )
+        assert "assert compute() == pytest.approx(1.5)" in result.fixed
+        assert result.fixed.startswith("import pytest\n")
+        ast.parse(result.fixed)
+
+    def test_wraps_left_side_float(self):
+        result = fix_source(
+            "def test_t():\n    assert 1.5 == compute()\n", path="test_x.py"
+        )
+        assert "assert pytest.approx(1.5) == compute()" in result.fixed
+
+    def test_import_inserted_after_docstring(self):
+        result = fix_source(
+            '"""Doc."""\n\ndef test_t():\n    assert f() == 0.25\n',
+            path="tests/unit/check_test.py",
+        )
+        lines = result.fixed.splitlines()
+        assert lines[0] == '"""Doc."""'
+        assert "import pytest" in result.fixed
+        ast.parse(result.fixed)
+
+    def test_existing_import_not_duplicated(self):
+        result = fix_source(
+            "import pytest\n\ndef test_t():\n    assert f() == 0.25\n",
+            path="test_x.py",
+        )
+        assert result.fixed.count("import pytest") == 1
+
+    def test_non_test_files_left_alone(self):
+        src = "def check():\n    assert compute() == 1.5\n"
+        assert fix_source(src, path="src/mod.py").fixed == src
+
+    def test_integer_comparisons_left_alone(self):
+        src = "def test_t():\n    assert count() == 3\n"
+        assert fix_source(src, path="test_x.py").fixed == src
+
+
+class TestDriver:
+    def test_syntax_errors_are_skipped(self):
+        src = "def broken(:\n"
+        result = fix_source(src)
+        assert not result.changed and result.fixed == src
+
+    def test_dry_run_does_not_write(self, tmp_path: Path):
+        f = tmp_path / "mod.py"
+        src = "pairs = list(zip(xs, ys))\n"
+        f.write_text(src, encoding="utf-8")
+        results = fix_paths([tmp_path], write=False)
+        assert len(results) == 1 and results[0].changed
+        assert f.read_text(encoding="utf-8") == src
+
+    def test_write_mode_applies(self, tmp_path: Path):
+        f = tmp_path / "mod.py"
+        f.write_text("pairs = list(zip(xs, ys))\n", encoding="utf-8")
+        fix_paths([tmp_path], write=True)
+        assert "strict=False" in f.read_text(encoding="utf-8")
+
+    def test_diff_rendering(self, tmp_path: Path):
+        f = tmp_path / "mod.py"
+        f.write_text("pairs = list(zip(xs, ys))\n", encoding="utf-8")
+        diff = render_fix_diff(fix_paths([tmp_path], write=False))
+        assert f"a/{f}" in diff
+        assert "+pairs = list(zip(xs, ys, strict=False))" in diff

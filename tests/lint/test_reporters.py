@@ -41,3 +41,48 @@ def test_rule_list_covers_every_rule():
     for rule in all_rules():
         assert rule.code in listing
         assert rule.name in listing
+
+
+def test_text_reporter_mentions_baselined():
+    from repro.lint.engine import LintReport
+
+    report = lint_source(DIRTY, path="pkg/mod.py")
+    quiet = LintReport(
+        findings=[], files_checked=report.files_checked, baselined=1
+    )
+    assert render_text(quiet).endswith("(0 suppressed), 1 baselined")
+
+
+def test_json_reporter_carries_baselined_count():
+    report = lint_source(DIRTY, path="pkg/mod.py")
+    report.baselined = 2
+    assert json.loads(render_json(report))["baselined"] == 2
+
+
+def test_sarif_reporter_shape():
+    from repro.lint.reporters import render_sarif
+
+    report = lint_source(DIRTY, path="pkg/mod.py")
+    payload = json.loads(render_sarif(report))
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert "RL001" in rule_ids and "RL011" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "RL001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+    assert location["region"]["startLine"] == 5
+
+
+def test_sarif_reports_one_based_columns():
+    from repro.lint.reporters import render_sarif
+
+    report = lint_source(DIRTY, path="pkg/mod.py")
+    payload = json.loads(render_sarif(report))
+    region = payload["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+        "region"
+    ]
+    assert region["startColumn"] == report.findings[0].col + 1

@@ -1,0 +1,43 @@
+"""RL011 kernel-tier parity: fixtures plus the real batch kernels."""
+
+from tests.lint.conftest import lint_semantic_fixture, tree_findings
+
+BATCH = ["src/repro/batch"]
+
+
+class TestFixtures:
+    def test_every_contract_clause_fires_once(self):
+        report = lint_semantic_fixture("rl011_bad.txt", "RL011")
+        assert {f.code for f in report.findings} == {"RL011"}
+        messages = [f.message for f in report.findings]
+        assert len(messages) == 5
+        assert sum("never writes" in m and "'total'" in m for m in messages) == 1
+        assert sum("input field 'demand'" in m for m in messages) == 1
+        assert sum("undeclared" in m and "'hidden'" in m for m in messages) == 1
+        assert sum("module global '_SCALES'" in m for m in messages) == 1
+        assert sum("dict literal" in m for m in messages) == 1
+
+    def test_clean_two_tier_module_passes(self):
+        report = lint_semantic_fixture("rl011_good.txt", "RL011")
+        assert report.findings == []
+
+
+class TestRealTree:
+    def test_shipped_kernels_satisfy_the_contract(self):
+        assert tree_findings("RL011", BATCH) == []
+
+    def test_dropped_output_write_fires(self):
+        # Seeded mutation: the numpy tier forgets to record completion
+        # times — structurally, 'now' is an output it never writes.
+        anchor = "            self.now[act] = tcur"
+
+        def drop(path, source):
+            if path.name == "kernels.py":
+                assert anchor in source, "kernels.py write anchor drifted"
+                return source.replace(anchor, "            pass", 1)
+            return source
+
+        findings = tree_findings("RL011", BATCH, mutate=drop)
+        assert any(
+            "never writes" in f.message and "'now'" in f.message for f in findings
+        )

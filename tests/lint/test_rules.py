@@ -1,9 +1,14 @@
-"""Per-rule positive/negative fixture tests (RL001-RL008)."""
+"""Per-rule positive/negative fixture tests (RL001-RL011)."""
 
 import pytest
 
 from repro.lint import lint_source
-from tests.lint.conftest import RULE_CODES, lint_fixture
+from tests.lint.conftest import (
+    RULE_CODES,
+    SEMANTIC_CODES,
+    lint_fixture,
+    lint_semantic_fixture,
+)
 
 
 class TestFixtures:
@@ -226,3 +231,18 @@ class TestRl008Details:
         )
         assert lint_source(src, module="repro.batch.kernels").findings == []
         assert len(lint_source(src, module="repro.batch.engine").findings) == 1
+
+
+class TestSemanticFixtures:
+    """RL009-RL011 run as single-file projects over their fixtures."""
+
+    @pytest.mark.parametrize("code", SEMANTIC_CODES)
+    def test_positive_fixture_triggers_only_its_rule(self, code):
+        report = lint_semantic_fixture(f"{code.lower()}_bad.txt", code)
+        codes = {f.code for f in report.findings}
+        assert codes == {code}, f"{code} fixture produced {codes or 'nothing'}"
+
+    @pytest.mark.parametrize("code", SEMANTIC_CODES)
+    def test_negative_fixture_is_clean(self, code):
+        report = lint_semantic_fixture(f"{code.lower()}_good.txt", code)
+        assert report.findings == []

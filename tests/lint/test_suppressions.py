@@ -63,3 +63,67 @@ class TestFiltering:
         report = lint_source("# repro-lint: disable-file=RL003\n" + BAD_LINE)
         assert report.findings == []
         assert report.suppressed == 1
+
+
+class TestEdgeCases:
+    def test_disable_file_after_code_still_covers_whole_file(self):
+        # The directive may sit anywhere — including *below* the finding.
+        report = lint_source(BAD_LINE + "# repro-lint: disable-file=RL003\n")
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_disable_file_with_multiple_codes(self):
+        sup = parse_suppressions("# repro-lint: disable-file=RL001, RL003\n")
+        assert sup.is_suppressed(50, "RL001")
+        assert sup.is_suppressed(50, "RL003")
+        assert not sup.is_suppressed(50, "RL002")
+
+    def test_one_pragma_suppresses_two_findings_on_its_line(self):
+        src = (
+            "import random\n\n"
+            "def mix() -> bool:\n"
+            "    return random.random() == 1.5  # repro-lint: disable=RL001,RL003\n"
+        )
+        report = lint_source(src)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+
+class TestSemanticSuppression:
+    """Semantic findings filter through the anchor file's pragmas."""
+
+    RACY = (
+        "class C:\n"
+        "    async def bump(self):\n"
+        "        snap = self.x\n"
+        "        await self.wait()\n"
+        "{write_line}"
+    )
+
+    def _run(self, write_line: str):
+        from repro.lint.semantic.base import get_semantic_rule
+
+        return lint_source(
+            self.RACY.format(write_line=write_line),
+            rules=[],
+            semantic_rules=[get_semantic_rule("RL010")],
+        )
+
+    def test_suppressed_at_the_write_site(self):
+        report = self._run(
+            "        self.x = snap + 1  # repro-lint: disable=RL010 -- reviewed\n"
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_standalone_pragma_covers_next_line(self):
+        report = self._run(
+            "        # repro-lint: disable=RL010 -- reviewed\n"
+            "        self.x = snap + 1\n"
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_unsuppressed_semantic_finding_reported(self):
+        report = self._run("        self.x = snap + 1\n")
+        assert [f.code for f in report.findings] == ["RL010"]
