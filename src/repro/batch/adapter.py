@@ -19,8 +19,11 @@ scheduling of a static graph with allocators that are pure functions of
 allocators, adaptive/timed sources, already-consumed sources — raises
 :class:`~repro.exceptions.BatchUnsupportedError`, which
 :meth:`~repro.sim.engine.ListScheduler.run` treats as "fall back to the
-reference loop".  Fault injection, invariant checking, and event tracing
-never reach the backend at all (the engine gates them earlier).
+reference loop".  Fault injection and invariant checking never reach the
+backend at all (the engine gates them earlier); event tracing *does* —
+traced runs compile with capture enabled and replay their event stream
+post-hoc through :mod:`repro.batch.trace`, digest-identical to the
+reference engine's.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ import numpy as np
 
 from repro.batch.engine import BatchEngine
 from repro.batch.layout import BatchCompiler, compile_batch
+from repro.batch.trace import Emit, check_traceable, emit_run_trace
 from repro.exceptions import BatchUnsupportedError
 from repro.graph.taskgraph import TaskGraph
 from repro.obs.metrics import active_metrics
@@ -137,6 +141,7 @@ def run_batch(
     compiler: BatchCompiler | None = None,
     materialize: bool = True,
     kernel: str | None = None,
+    emit: "Emit | None" = None,
 ) -> BatchOutcome:
     """Simulate every ``(graph, P)`` run in one vectorized pass.
 
@@ -153,9 +158,20 @@ def run_batch(
     ``"python"``); by default resolution follows
     :func:`repro.batch.kernels.resolve_kernel` (ambient selection, then
     ``REPRO_BATCH_KERNEL``, then auto).  All kernels are bit-identical.
+
+    ``emit`` enables trace capture: after the kernels drain, every run's
+    event stream is reconstructed (:mod:`repro.batch.trace`) and replayed
+    through the callable, run by run in input order — digest-identical to
+    tracing each run on the reference engine.
     """
-    compiled = compile_batch(items, allocator, compiler)
+    compiled = compile_batch(items, allocator, compiler, capture_trace=emit is not None)
+    if emit is not None:
+        for run in compiled.runs:  # repro-lint: disable=RL008 -- per-run trace guard
+            check_traceable(run)
     engine = BatchEngine(compiled, kernel=kernel).run()
+    if emit is not None:
+        for b in range(engine.B):  # repro-lint: disable=RL008 -- per-run trace replay
+            emit_run_trace(engine, b, emit)
     results: tuple[SimulationResult, ...] = ()
     if materialize:
         results = tuple(
@@ -174,6 +190,17 @@ def run_batch(
         registry.counter(
             "batch.tasks", help="tasks scheduled by the batch engine"
         ).inc(compiled.total_tasks)
+        registry.counter(
+            "batch.vectorized_groups",
+            help="cache-key groups resolved by vectorized allocation",
+        ).inc(sum(run.vectorized_groups for run in compiled.runs))
+        registry.counter(
+            "batch.compactions", help="queue compaction passes in the batch kernels"
+        ).inc(int(engine.compactions.sum()))
+        registry.counter(
+            "batch.block_skips",
+            help="scan waves ruled out by the block-minimum bound",
+        ).inc(int(engine.block_skips.sum()))
     return BatchOutcome(
         makespans=engine.makespans, results=results, engine=engine
     )
@@ -203,7 +230,11 @@ class BatchBackend:
         self.compiler = BatchCompiler()
 
     def simulate(
-        self, scheduler: "ListScheduler", source: "GraphSource"
+        self,
+        scheduler: "ListScheduler",
+        source: "GraphSource",
+        *,
+        emit: "Emit | None" = None,
     ) -> SimulationResult:
         if scheduler.priority is not None:
             raise BatchUnsupportedError(
@@ -226,7 +257,10 @@ class BatchBackend:
             )
         graph = source.realized_graph()
         outcome = run_batch(
-            [(graph, scheduler.P)], scheduler.allocator, compiler=self.compiler
+            [(graph, scheduler.P)],
+            scheduler.allocator,
+            compiler=self.compiler,
+            emit=emit,
         )
         # Leave the source in the exhausted state the reference loop
         # would: every task revealed and completed (so is_exhausted()

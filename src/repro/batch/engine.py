@@ -65,6 +65,8 @@ class BatchEngine:
         self.ev_count = io.ev_count
         self.scan_passes = io.scan_passes
         self.scan_elems = io.scan_elems
+        self.compactions = io.compactions
+        self.block_skips = io.block_skips
         self._ran = False
 
     def run(self) -> "BatchEngine":

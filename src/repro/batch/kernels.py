@@ -228,6 +228,12 @@ class KernelIO:
     ev_count: np.ndarray
     scan_passes: np.ndarray
     scan_elems: np.ndarray
+    #: ``int64 [B]``: queue compaction passes (numpy tier; the serial
+    #: loop never compacts — its queue is append-only).
+    compactions: np.ndarray
+    #: ``int64 [B]``: scan waves ruled out by the block-minimum bound
+    #: before any per-entry search (numpy tier only).
+    block_skips: np.ndarray
 
 
 def make_io(compiled: CompiledBatch) -> KernelIO:
@@ -254,6 +260,8 @@ def make_io(compiled: CompiledBatch) -> KernelIO:
         ev_count=np.zeros(B, dtype=np.int64),
         scan_passes=np.zeros(B, dtype=np.int64),
         scan_elems=np.zeros(B, dtype=np.int64),
+        compactions=np.zeros(B, dtype=np.int64),
+        block_skips=np.zeros(B, dtype=np.int64),
     )
 
 
@@ -364,6 +372,8 @@ class _NumpyKernel:
         self.ev_count = io.ev_count
         self.scan_passes = io.scan_passes
         self.scan_elems = io.scan_elems
+        self.compactions = io.compactions
+        self.block_skips = io.block_skips
 
     # ------------------------------------------------------------------
     # Queue primitives
@@ -473,6 +483,7 @@ class _NumpyKernel:
         ]
         if needs_compact.size:
             self._compact(needs_compact)
+            self.compactions[needs_compact] += 1
         self.scan_passes[rows] += 1
 
         C2 = self.C2
@@ -513,11 +524,10 @@ class _NumpyKernel:
             # A blocker search can only succeed if some waiting entry's
             # demand fits the leftover budget; the row minimum of the
             # block index rules most waves out for the cost of one min.
-            search = (
-                ~cont
-                & (budget >= self.blockmin[rows].min(axis=1))
-                & (b0 + 1 < self.W)
-            )
+            bm_min = self.blockmin[rows].min(axis=1)
+            ruled_out = ~cont & (budget < bm_min)
+            self.block_skips[rows[ruled_out]] += 1
+            search = ~cont & (budget >= bm_min) & (b0 + 1 < self.W)
             nxt = np.full(rows.size, -1, dtype=np.int64)
             nxt[cont] = b0[cont]
             if search.any():
@@ -692,6 +702,8 @@ def _loop_args(io: KernelIO) -> tuple[np.ndarray, ...]:
         io.ev_count,
         io.scan_passes,
         io.scan_elems,
+        io.compactions,
+        io.block_skips,
     )
 
 
@@ -726,6 +738,8 @@ def _serial_event_loop(
     ev_count: np.ndarray,
     scan_passes: np.ndarray,
     scan_elems: np.ndarray,
+    compactions: np.ndarray,
+    block_skips: np.ndarray,
 ) -> None:
     """Drain every run with a per-run sequential event loop.
 
@@ -883,3 +897,7 @@ def _serial_event_loop(
         now_out[b] = now
         free_out[b] = free
         completed[b] = ncomp
+        # Serial queues are append-only with no block index: these two
+        # numpy-tier counters are structurally zero here.
+        compactions[b] = 0
+        block_skips[b] = 0

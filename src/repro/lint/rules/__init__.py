@@ -4,8 +4,8 @@ Importing this package registers every rule; the registry in
 :mod:`repro.lint.registry` triggers the import lazily, so rule modules
 must never import the registry's *consumers* (engine, reporters).
 
-RL001–RL008 are per-file rules (one AST at a time); RL009–RL011 are
-whole-program semantic rules dispatched over the
+RL001–RL008 and RL012 are per-file rules (one AST at a time);
+RL009–RL011 are whole-program semantic rules dispatched over the
 :class:`~repro.lint.semantic.project.Project` model when the engine is
 asked for semantic analysis (``python -m repro.lint --semantic``).
 
@@ -22,6 +22,7 @@ asked for semantic analysis (``python -m repro.lint --semantic``).
 | RL009 | cache-key-soundness     | cache_key() covers every decision-path read  |
 | RL010 | await-shared-state      | no racy read-modify-write across await       |
 | RL011 | kernel-tier-parity      | interchangeable batch kernel tiers           |
+| RL012 | emit-guard              | zero-cost disabled tracing (guarded emits)   |
 """
 
 from repro.lint.rules import (
@@ -36,6 +37,7 @@ from repro.lint.rules import (
     rl009_cache_key_soundness,
     rl010_await_races,
     rl011_kernel_parity,
+    rl012_emit_guards,
 )
 
 __all__ = [
@@ -50,4 +52,5 @@ __all__ = [
     "rl009_cache_key_soundness",
     "rl010_await_races",
     "rl011_kernel_parity",
+    "rl012_emit_guards",
 ]

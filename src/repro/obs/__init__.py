@@ -24,11 +24,14 @@ from repro.obs.events import (
     AllocationDecided,
     CapacityChanged,
     CollectingTracer,
+    DeadlineChecked,
     FaultInjected,
+    JournalRecordWritten,
     MultiTracer,
     NullTracer,
     QueueSampled,
     RetryScheduled,
+    ServiceRequestHandled,
     SimEvent,
     TaskCompleted,
     TaskRevealed,
@@ -40,7 +43,13 @@ from repro.obs.events import (
     use_tracer,
     validate_event_dict,
 )
-from repro.obs.export import ChromeTraceSink, JsonlTraceSink, TextSummarySink
+from repro.obs.export import (
+    ChromeTraceSink,
+    JsonlTraceSink,
+    TextSummarySink,
+    render_prometheus,
+    trace_digest,
+)
 from repro.obs.layout import RowLayout
 from repro.obs.logging import configure_logging, get_logger, log_fields
 from repro.obs.metrics import (
@@ -64,6 +73,9 @@ __all__ = [
     "RetryScheduled",
     "CapacityChanged",
     "QueueSampled",
+    "ServiceRequestHandled",
+    "JournalRecordWritten",
+    "DeadlineChecked",
     "EVENT_TYPES",
     "Tracer",
     "NullTracer",
@@ -86,6 +98,8 @@ __all__ = [
     "JsonlTraceSink",
     "ChromeTraceSink",
     "TextSummarySink",
+    "trace_digest",
+    "render_prometheus",
     "RowLayout",
     # logging
     "configure_logging",

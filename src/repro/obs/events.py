@@ -2,11 +2,13 @@
 
 Every observable step of the engine's loop — reveals, Algorithm-2
 allocation decisions, starts, completions, faults, retries, capacity
-moves, queue passes — is one frozen dataclass below.  The vocabulary is
-the contract between the engine (the producer) and the sinks in
-:mod:`repro.obs.export` (JSONL logs, Chrome traces, text summaries) and
-:mod:`repro.obs.metrics` (the metrics registry): new consumers subscribe
-to the same eight event types instead of reaching into engine internals.
+moves, queue passes — is one frozen dataclass below, joined by the
+scheduler service's request/journal/deadline telemetry.  The vocabulary
+is the contract between the producers (engine and service) and the sinks
+in :mod:`repro.obs.export` (JSONL logs, Chrome traces, text summaries)
+and :mod:`repro.obs.metrics` (the metrics registry): new consumers
+subscribe to the same eleven event types instead of reaching into
+producer internals.
 
 Events are **frozen and fully annotated** (enforced statically by lint
 rule RL007): they are hashable, safe to collect into sets, and carry only
@@ -42,6 +44,9 @@ __all__ = [
     "RetryScheduled",
     "CapacityChanged",
     "QueueSampled",
+    "ServiceRequestHandled",
+    "JournalRecordWritten",
+    "DeadlineChecked",
     "EVENT_TYPES",
     "Tracer",
     "NullTracer",
@@ -153,6 +158,53 @@ class QueueSampled(SimEvent):
     free: int
 
 
+@dataclass(frozen=True, slots=True)
+class ServiceRequestHandled(SimEvent):
+    """The scheduler service finished handling one client request.
+
+    ``outcome`` is ``"ok"`` for accepted requests and the rejection's
+    error code otherwise (``ADMISSION_REJECTED``, ``QUOTA_EXCEEDED``,
+    ``SHED``, ...); ``retry_after`` carries the backpressure hint when
+    the rejection included one.  ``corr_id`` is the service-assigned
+    correlation identifier tying this event to the per-tenant metrics
+    recorded for the same request.  ``time`` is the pool's virtual clock.
+    """
+
+    tenant: str
+    op: str
+    outcome: str
+    corr_id: str
+    retry_after: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecordWritten(SimEvent):
+    """One mutation crossed the write-ahead journal.
+
+    ``mode`` is ``"append"`` for the live write-ahead path (the record is
+    durable before the event fires) and ``"replay"`` when recovery
+    re-applies the record to a fresh pool.
+    """
+
+    op: str
+    seq: int
+    mode: str
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlineChecked(SimEvent):
+    """A session with a virtual-time deadline reached a terminal outcome.
+
+    ``missed=False`` fires with the ``graph-done`` of a session that
+    finished inside its deadline; ``missed=True`` fires when the pool
+    evicts the session at the deadline instant.
+    """
+
+    tenant: str
+    deadline: Time
+    missed: bool
+
+
 #: Event-type registry: JSON ``type`` tag -> dataclass.
 EVENT_TYPES: dict[str, type[SimEvent]] = {
     cls.__name__: cls
@@ -165,6 +217,9 @@ EVENT_TYPES: dict[str, type[SimEvent]] = {
         RetryScheduled,
         CapacityChanged,
         QueueSampled,
+        ServiceRequestHandled,
+        JournalRecordWritten,
+        DeadlineChecked,
     )
 }
 

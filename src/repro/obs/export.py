@@ -17,13 +17,21 @@ Sinks buffer in memory and write on :meth:`close`; a sink may observe
 many runs before closing (e.g. an experiment that simulates dozens of
 schedules lands them all in one trace, one "process" per run when
 producers thread run names through).
+
+Two stream-independent helpers live here as well:
+:func:`trace_digest` (the canonical SHA-256 fingerprint of an event
+stream — how the batch-vs-reference trace equivalence is pinned) and
+:func:`render_prometheus` (a Prometheus text-format exposition of one or
+more :class:`~repro.obs.metrics.MetricsRegistry` instances, the payload
+behind the service's ``stats`` request).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import IO, Any
+from typing import IO, Any, Iterable, Mapping
 
 from repro.obs.events import (
     AllocationDecided,
@@ -37,8 +45,15 @@ from repro.obs.events import (
     event_to_dict,
 )
 from repro.obs.layout import RowLayout
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
-__all__ = ["JsonlTraceSink", "ChromeTraceSink", "TextSummarySink"]
+__all__ = [
+    "JsonlTraceSink",
+    "ChromeTraceSink",
+    "TextSummarySink",
+    "trace_digest",
+    "render_prometheus",
+]
 
 #: Simulated time unit -> trace microseconds (shared with repro.viz.trace).
 TRACE_TIME_SCALE = 1_000_000.0
@@ -203,6 +218,116 @@ class ChromeTraceSink:
             "otherData": {"exporter": "repro.obs.export.ChromeTraceSink"},
         }
         self.path.write_text(json.dumps(document) + "\n")
+
+
+def trace_digest(events: Iterable[SimEvent]) -> str:
+    """Canonical SHA-256 fingerprint of an event stream.
+
+    Hashes the same serialization :class:`JsonlTraceSink` writes (one
+    sorted-key JSON object per line), so a digest of collected events, of
+    a replayed JSONL file, and of a live stream all agree.  Two engines
+    whose streams share a digest emitted the same events, same payloads,
+    same order — the equivalence the traced batch backend is held to.
+    """
+    h = hashlib.sha256()
+    for event in events:
+        h.update(json.dumps(event_to_dict(event), sort_keys=True).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _prom_name(name: str) -> str:
+    """Metric name -> Prometheus-legal name (dots/dashes become ``_``)."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_float(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registries: "MetricsRegistry | Mapping[str, MetricsRegistry]",
+    *,
+    label: str = "tenant",
+) -> str:
+    """Render registries in the Prometheus text exposition format.
+
+    A single registry renders unlabeled samples; a mapping renders one
+    labeled sample series per key (``label`` names the label, ``tenant``
+    by default — how the service exposes per-tenant registries side by
+    side).  ``# HELP``/``# TYPE`` headers appear once per metric;
+    histograms render cumulative ``_bucket`` series plus ``_sum`` and
+    ``_count``, the standard convention.
+    """
+    if isinstance(registries, MetricsRegistry):
+        series: list[tuple[dict[str, str], MetricsRegistry]] = [({}, registries)]
+    else:
+        series = [({label: key}, reg) for key, reg in sorted(registries.items())]
+
+    names: list[str] = []
+    for _, reg in series:
+        for name in reg.names():
+            if name not in names:
+                names.append(name)
+    names.sort()
+
+    lines: list[str] = []
+    for name in names:
+        pname = _prom_name(name)
+        headed = False
+        for labels, reg in series:
+            metric = reg.get(name)
+            if metric is None:
+                continue
+            if not headed:
+                headed = True
+                if metric.help:
+                    lines.append(f"# HELP {pname} {metric.help}")
+                kind = "counter" if isinstance(metric, Counter) else (
+                    "gauge" if isinstance(metric, Gauge) else "histogram"
+                )
+                lines.append(f"# TYPE {pname} {kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.bucket_counts, strict=False):
+                    cumulative += count
+                    lbl = _prom_labels({**labels, "le": _prom_float(bound)})
+                    lines.append(f"{pname}_bucket{lbl} {cumulative}")
+                cumulative += metric.bucket_counts[-1]
+                lbl = _prom_labels({**labels, "le": "+Inf"})
+                lines.append(f"{pname}_bucket{lbl} {cumulative}")
+                lines.append(f"{pname}_sum{_prom_labels(labels)} {_prom_float(metric.total)}")
+                lines.append(f"{pname}_count{_prom_labels(labels)} {metric.count}")
+            else:
+                value = metric.value
+                if value is None:
+                    continue  # unset gauge: no sample
+                lines.append(f"{pname}{_prom_labels(labels)} {_prom_float(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 class TextSummarySink:

@@ -1,0 +1,305 @@
+"""BENCH trajectory regression watchdog: ``python -m repro.obs.regress``.
+
+The repo's benchmark files (``BENCH_engine.json``, ``BENCH_service.json``,
+``BENCH_experiments.json``, ``BENCH_lint.json``, ...) are append-only
+trajectories: every measured run adds one entry.  This module turns those
+trajectories into named metric *series* and asks, for each series, whether
+the **latest** point regressed against its own history.
+
+Two complementary detectors run per series:
+
+threshold
+    The latest value is worse than the median of its history by more than
+    ``--tolerance`` (relative).  Catches large jumps even in short, noisy
+    series.
+change-point
+    A robust z-score against the history's median/MAD (needs at least
+    ``--min-history`` prior points).  Catches modest-but-real shifts in
+    long stable series that a loose threshold would wave through; a
+    ``--min-rel`` floor keeps microscopic MADs from flagging noise.
+
+Direction (lower-is-better vs higher-is-better) is inferred from the
+metric name: throughputs (``*_per_s``, ``*_per_sec``, ``speedup*``,
+``*hit_rate``, ``*ratio``) must not drop, durations (``*_s``, ``*_ms``)
+must not grow, and anything unclassifiable (counts, seeds, timestamps)
+is ignored.  Only stdlib :mod:`statistics` is used.
+
+Exit status: 0 when every series is clean, 1 when any regressed — wired
+as a CI gate (the ``bench-watchdog`` job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Finding",
+    "Series",
+    "check_series",
+    "classify_metric",
+    "extract_series",
+    "main",
+    "scan_files",
+]
+
+#: Normal-consistency constant: ``1.4826 * MAD`` estimates one sigma.
+_MAD_SIGMA = 1.4826
+
+_HIGHER_MARKERS = ("per_s", "per_sec", "per_recovery", "speedup", "hit_rate", "ratio")
+_LOWER_SUFFIXES = ("_s", "_ms")
+
+
+def classify_metric(name: str) -> str | None:
+    """``"higher"``, ``"lower"``, or ``None`` (not a tracked metric).
+
+    Higher-is-better markers are checked first so that rate names ending
+    in ``_s`` (``records_per_recovery_s``) classify as throughputs.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if any(marker in leaf for marker in _HIGHER_MARKERS):
+        return "higher"
+    if leaf.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+@dataclass
+class Series:
+    """One metric's trajectory across a BENCH file's entries."""
+
+    file: str
+    name: str
+    direction: str
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def values(self) -> list[float]:
+        return [value for _, value in self.points]
+
+
+@dataclass
+class Finding:
+    """One detected regression (or, in reports, one clean verdict)."""
+
+    file: str
+    name: str
+    rule: str  # "threshold" | "change-point"
+    baseline: float
+    latest: float
+    rel_change: float  # relative worsening (positive = worse)
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"{self.file}:{self.name}: {self.rule} regression — "
+            f"baseline {self.baseline:g}, latest {self.latest:g} "
+            f"({self.rel_change:+.1%} worse); {self.detail}"
+        )
+
+
+def _walk(node: Any, prefix: str, out: dict[str, float]) -> None:
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[prefix] = float(node)
+        return
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            _walk(value, path, out)
+        return
+    if isinstance(node, list):
+        # Keyed fan-out (the scaling sweep): index list items by their
+        # ``batch`` size so the same configuration aligns across entries.
+        for item in node:
+            if isinstance(item, Mapping) and "batch" in item:
+                _walk(item, f"{prefix}[batch={item['batch']}]", out)
+
+
+def extract_series(doc: Any, file: str) -> list[Series]:
+    """Flatten one BENCH document into aligned metric series.
+
+    Accepts both trajectory shapes in the repo: ``{"entries": [...]}``
+    and a bare list of entries.  A metric only present in some entries
+    (benchmark sets change across PRs) yields a sparse series — points
+    keep their entry index so the report stays honest about gaps.
+    """
+    entries = doc.get("entries", []) if isinstance(doc, Mapping) else doc
+    if not isinstance(entries, list):
+        return []
+    table: dict[str, Series] = {}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            continue
+        flat: dict[str, float] = {}
+        _walk(entry, "", flat)
+        for name, value in flat.items():
+            direction = classify_metric(name)
+            if direction is None:
+                continue
+            series = table.get(name)
+            if series is None:
+                series = table[name] = Series(file, name, direction)
+            series.points.append((index, value))
+    return [table[name] for name in sorted(table)]
+
+
+def check_series(
+    series: Series,
+    *,
+    tolerance: float = 0.3,
+    mad_k: float = 6.0,
+    min_rel: float = 0.05,
+    min_history: int = 4,
+) -> Finding | None:
+    """Test the latest point of one series against its own history."""
+    values = series.values
+    if len(values) < 2:
+        return None
+    history, latest = values[:-1], values[-1]
+    baseline = statistics.median(history)
+    if baseline <= 0:
+        return None  # can't form a relative change; degenerate baseline
+    if series.direction == "lower":
+        rel = (latest - baseline) / baseline
+    else:
+        rel = (baseline - latest) / baseline
+    if rel <= 0:
+        return None  # no worsening at all
+    if rel > tolerance:
+        return Finding(
+            series.file, series.name, "threshold", baseline, latest, rel,
+            f"exceeds the {tolerance:.0%} tolerance over the history median",
+        )
+    if len(history) >= min_history and rel > min_rel:
+        mad = statistics.median(abs(v - baseline) for v in history)
+        scale = _MAD_SIGMA * mad
+        if scale > 0:
+            z = abs(latest - baseline) / scale
+            if z > mad_k:
+                return Finding(
+                    series.file, series.name, "change-point", baseline, latest,
+                    rel, f"robust z-score {z:.1f} > {mad_k:g} over {len(history)} "
+                    "stable points",
+                )
+    return None
+
+
+def scan_files(
+    paths: Iterable[Path],
+    *,
+    tolerance: float = 0.3,
+    mad_k: float = 6.0,
+    min_rel: float = 0.05,
+    min_history: int = 4,
+) -> tuple[list[Finding], list[Series]]:
+    """All regressions plus every tracked series (for the report)."""
+    findings: list[Finding] = []
+    tracked: list[Series] = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: cannot parse {path}: {exc}") from exc
+        for series in extract_series(doc, path.name):
+            tracked.append(series)
+            finding = check_series(
+                series,
+                tolerance=tolerance,
+                mad_k=mad_k,
+                min_rel=min_rel,
+                min_history=min_history,
+            )
+            if finding is not None:
+                findings.append(finding)
+    return findings, tracked
+
+
+def render_report(findings: Sequence[Finding], tracked: Sequence[Series]) -> str:
+    lines = []
+    multi = [s for s in tracked if len(s.points) >= 2]
+    lines.append(
+        f"bench watchdog: {len(tracked)} series tracked, "
+        f"{len(multi)} with history, {len(findings)} regression(s)"
+    )
+    for series in multi:
+        flagged = any(
+            f.file == series.file and f.name == series.name for f in findings
+        )
+        mark = "REGRESSED" if flagged else "ok"
+        first, latest = series.values[0], series.values[-1]
+        lines.append(
+            f"  [{mark:>9}] {series.file}:{series.name} "
+            f"({series.direction} is worse-when-{'up' if series.direction == 'lower' else 'down'}; "
+            f"n={len(series.points)}, first {first:g}, latest {latest:g})"
+        )
+    for finding in findings:
+        lines.append(f"  !! {finding.render()}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Detect benchmark regressions across BENCH_*.json trajectories.",
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="trajectory files (default: BENCH_*.json under --root)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="directory to glob BENCH_*.json from when no files are given",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.3,
+        help="relative worsening vs the history median that always fails "
+             "(default: 0.3)",
+    )
+    parser.add_argument(
+        "--mad-k", type=float, default=6.0,
+        help="robust z-score cutoff for the change-point detector (default: 6)",
+    )
+    parser.add_argument(
+        "--min-rel", type=float, default=0.05,
+        help="ignore change-points smaller than this relative shift "
+             "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--min-history", type=int, default=4,
+        help="history points required before the change-point detector "
+             "engages (default: 4)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the findings as JSON instead of the text report",
+    )
+    options = parser.parse_args(argv)
+    files = options.files or sorted(options.root.glob("BENCH_*.json"))
+    if not files:
+        print(f"bench watchdog: no BENCH_*.json under {options.root}", file=sys.stderr)
+        return 0
+    findings, tracked = scan_files(
+        files,
+        tolerance=options.tolerance,
+        mad_k=options.mad_k,
+        min_rel=options.min_rel,
+        min_history=options.min_history,
+    )
+    if options.as_json:
+        print(json.dumps(
+            [vars(f) for f in findings], indent=1, sort_keys=True
+        ))
+    else:
+        print(render_report(findings, tracked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,14 @@ Commands
              disconnects, faults, kill-and-recover) and print its report
 ``recover``  replay a journal offline and print the recovered digest
 
+``loadgen``/``bench``/``chaos`` share the observability flags:
+``--trace PATH`` streams the full service event record (scheduling +
+request/journal telemetry) to a JSONL file via
+:class:`repro.obs.export.JsonlTraceSink`, and ``--metrics PATH`` writes
+the service's metrics snapshot on exit (Prometheus text exposition for
+``.prom``/``.txt`` paths, JSON otherwise).  A recorded workload is
+replayed with ``--replay PATH`` (the file ``trace`` wrote).
+
 Exit codes: 0 success, 1 runtime failure, 2 usage error.
 """
 
@@ -26,6 +34,8 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.exceptions import ReproError
+from repro.obs.export import JsonlTraceSink, render_prometheus
+from repro.obs.metrics import MetricsRegistry
 from repro.service.chaos import ChaosSpec, run_chaos
 from repro.service.config import ServiceConfig
 from repro.service.core import ServiceCore
@@ -59,17 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_load_args(trace)
 
     loadgen = sub.add_parser("loadgen", help="replay a load trace against a service")
-    loadgen.add_argument("--trace", type=Path, default=None, help="trace file to replay")
+    loadgen.add_argument(
+        "--replay", type=Path, default=None, help="recorded load trace to replay"
+    )
     loadgen.add_argument("--journal", type=Path, default=None, help="WAL path")
     _add_load_args(loadgen)
+    _add_obs_args(loadgen)
 
     bench = sub.add_parser("bench", help="benchmark throughput + recovery time")
     bench.add_argument(
         "--out", type=Path, default=Path("BENCH_service.json"),
         help="benchmark trajectory file (default: BENCH_service.json)",
     )
-    bench.add_argument("--trace", type=Path, default=None, help="trace file to replay")
+    bench.add_argument(
+        "--replay", type=Path, default=None, help="recorded load trace to replay"
+    )
     _add_load_args(bench)
+    _add_obs_args(bench)
 
     chaos = sub.add_parser("chaos", help="run the chaos campaign")
     chaos.add_argument("--seed", type=int, default=0)
@@ -77,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--procs", type=int, default=8)
     chaos.add_argument("--tenants", type=int, default=3, help="tenants per round")
     chaos.add_argument("--tasks", type=int, default=10, help="tasks per tenant")
+    _add_obs_args(chaos)
 
     recover = sub.add_parser("recover", help="replay a journal and print its digest")
     recover.add_argument("journal", type=Path)
@@ -89,6 +106,22 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--family", default="general")
     parser.add_argument("--tenants", type=int, default=4)
     parser.add_argument("--tasks", type=int, default=50, help="tasks per tenant")
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="virtual-time session deadline per tenant (enables the SLO histogram)",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="write the full service event stream here as JSONL",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, default=None,
+        help="write the service metrics snapshot here "
+             "(.prom/.txt: Prometheus text; otherwise JSON)",
+    )
 
 
 def _load_spec(options: argparse.Namespace) -> LoadSpec:
@@ -98,7 +131,32 @@ def _load_spec(options: argparse.Namespace) -> LoadSpec:
         family=options.family,
         tenants=options.tenants,
         tasks_per_tenant=options.tasks,
+        deadline=options.deadline,
     )
+
+
+def _write_metrics(path: Path, stats: dict[str, object]) -> None:
+    """Write one stats payload (``{"service": ..., "tenants": ...}``)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix in (".prom", ".txt"):
+        service_payload = stats.get("service")
+        tenants_payload = stats.get("tenants")
+        text = render_prometheus(
+            MetricsRegistry.from_dict(
+                service_payload if isinstance(service_payload, dict) else {}
+            )
+        )
+        if isinstance(tenants_payload, dict) and tenants_payload:
+            text += render_prometheus(
+                {
+                    str(t): MetricsRegistry.from_dict(p)
+                    for t, p in tenants_payload.items()
+                    if isinstance(p, dict)
+                }
+            )
+        path.write_text(text)
+    else:
+        path.write_text(json.dumps(stats, indent=1, sort_keys=True) + "\n")
 
 
 async def _serve(options: argparse.Namespace) -> int:
@@ -123,22 +181,34 @@ async def _serve(options: argparse.Namespace) -> int:
 
 async def _loadgen(options: argparse.Namespace) -> int:
     spec = _load_spec(options)
-    trace = load_trace(options.trace) if options.trace else generate_trace(spec)
-    with tempfile.TemporaryDirectory() as tmp:
-        journal = (
-            str(options.journal)
-            if options.journal is not None
-            else str(Path(tmp) / "service-journal.jsonl")
-        )
-        server = SchedulerServer(spec.config(), journal_path=journal)
-        host, port = await server.start()
-        try:
-            result = await replay_trace(trace, host, port)
-            result.decisions = server.core.pool.stats.decisions
-            if result.wall_s > 0:
-                result.decisions_per_s = result.decisions / result.wall_s
-        finally:
-            await server.stop()
+    trace = load_trace(options.replay) if options.replay else generate_trace(spec)
+    sink = None if options.trace is None else JsonlTraceSink(options.trace)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = (
+                str(options.journal)
+                if options.journal is not None
+                else str(Path(tmp) / "service-journal.jsonl")
+            )
+            server = SchedulerServer(
+                spec.config(),
+                journal_path=journal,
+                emit=None if sink is None else sink.emit,
+            )
+            host, port = await server.start()
+            try:
+                result = await replay_trace(trace, host, port)
+                result.decisions = server.core.pool.stats.decisions
+                if result.wall_s > 0:
+                    result.decisions_per_s = result.decisions / result.wall_s
+                stats = server.core.stats_payload()
+            finally:
+                await server.stop()
+    finally:
+        if sink is not None:
+            sink.close()
+    if options.metrics is not None:
+        _write_metrics(options.metrics, stats)
     print(json.dumps(result.as_dict(), indent=1))
     return 0
 
@@ -161,13 +231,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             return asyncio.run(_loadgen(options))
         if options.command == "bench":
             spec = _load_spec(options)
-            trace = load_trace(options.trace) if options.trace else None
-            with tempfile.TemporaryDirectory() as tmp:
-                entry = run_bench(
-                    spec,
-                    Path(tmp) / "service-journal.jsonl",
-                    bench_path=options.out,
-                    trace=trace,
+            trace = load_trace(options.replay) if options.replay else None
+            sink = None if options.trace is None else JsonlTraceSink(options.trace)
+            try:
+                with tempfile.TemporaryDirectory() as tmp:
+                    entry = run_bench(
+                        spec,
+                        Path(tmp) / "service-journal.jsonl",
+                        bench_path=options.out,
+                        trace=trace,
+                        emit=None if sink is None else sink.emit,
+                    )
+            finally:
+                if sink is not None:
+                    sink.close()
+            if options.metrics is not None:
+                stats = entry.get("service_stats")
+                _write_metrics(
+                    options.metrics, stats if isinstance(stats, dict) else {}
                 )
             print(json.dumps(entry, indent=1))
             return 0
@@ -179,8 +260,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 tenants_per_round=options.tenants,
                 tasks_per_tenant=options.tasks,
             )
-            with tempfile.TemporaryDirectory() as tmp:
-                report = run_chaos(spec, Path(tmp) / "chaos-journal.jsonl")
+            sink = None if options.trace is None else JsonlTraceSink(options.trace)
+            try:
+                with tempfile.TemporaryDirectory() as tmp:
+                    report = run_chaos(
+                        spec,
+                        Path(tmp) / "chaos-journal.jsonl",
+                        emit=None if sink is None else sink.emit,
+                    )
+            finally:
+                if sink is not None:
+                    sink.close()
+            if options.metrics is not None:
+                _write_metrics(options.metrics, report.stats)
             print(json.dumps(report.as_dict(), indent=1))
             return 0
         if options.command == "recover":

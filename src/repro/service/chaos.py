@@ -40,10 +40,12 @@ import asyncio
 import contextlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import ServiceError, SessionClosed, SimulationError
+from repro.obs.events import SimEvent
 from repro.resilience.faults import ExponentialFaultModel, FaultEvent
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig, TenantQuota
@@ -125,6 +127,10 @@ class ChaosReport:
     evictions: int = 0
     final_digest: str = ""
     problems: list[str] = field(default_factory=list)
+    #: Telemetry snapshot of the settled core (service + per-tenant
+    #: registries); covers the final recovery onward, since each
+    #: kill-and-recover cycle starts a fresh telemetry instance.
+    stats: dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -142,6 +148,7 @@ class ChaosReport:
             "evictions": self.evictions,
             "final_digest": self.final_digest,
             "problems": list(self.problems),
+            "stats": dict(self.stats),
         }
 
 
@@ -253,8 +260,18 @@ def _verify_journal_tasks(journal_path: Path, core: ServiceCore, report: ChaosRe
             )
 
 
-async def run_chaos_async(spec: ChaosSpec, journal_path: str | Path) -> ChaosReport:
-    """Run the chaos campaign; raises on any violated invariant."""
+async def run_chaos_async(
+    spec: ChaosSpec,
+    journal_path: str | Path,
+    *,
+    emit: Callable[[SimEvent], None] | None = None,
+) -> ChaosReport:
+    """Run the chaos campaign; raises on any violated invariant.
+
+    ``emit`` (optional) receives the full service event stream — pool
+    scheduling events plus request/journal telemetry — across every
+    round, including recovery replays (the CLI's ``--trace`` hook).
+    """
     journal_path = Path(journal_path)
     rng = np.random.default_rng(spec.seed)
     report = ChaosReport()
@@ -273,6 +290,7 @@ async def run_chaos_async(spec: ChaosSpec, journal_path: str | Path) -> ChaosRep
             config,
             journal_path=None if core is not None else str(journal_path),
             core=core,
+            emit=emit,
         )
         if core is None:
             core = server.core
@@ -307,7 +325,7 @@ async def run_chaos_async(spec: ChaosSpec, journal_path: str | Path) -> ChaosRep
             with contextlib.suppress(asyncio.CancelledError):
                 await task
 
-        recovered = ServiceCore.recover(journal_path)
+        recovered = ServiceCore.recover(journal_path, emit=emit)
         if recovered.state_digest() != pre_kill_digest:
             report.problems.append(
                 f"round {round_index}: recovery digest mismatch "
@@ -338,6 +356,7 @@ async def run_chaos_async(spec: ChaosSpec, journal_path: str | Path) -> ChaosRep
         if run.status == "closed":
             report.problems.append(f"{tenant}: closed DAG failed to drain")
     report.final_digest = core.state_digest()
+    report.stats = dict(core.stats_payload())
     core.close_journal()
 
     # One more full recovery of the settled journal, for good measure.
@@ -353,6 +372,11 @@ async def run_chaos_async(spec: ChaosSpec, journal_path: str | Path) -> ChaosRep
     return report
 
 
-def run_chaos(spec: ChaosSpec, journal_path: str | Path) -> ChaosReport:
+def run_chaos(
+    spec: ChaosSpec,
+    journal_path: str | Path,
+    *,
+    emit: Callable[[SimEvent], None] | None = None,
+) -> ChaosReport:
     """Synchronous wrapper around :func:`run_chaos_async`."""
-    return asyncio.run(run_chaos_async(spec, journal_path))
+    return asyncio.run(run_chaos_async(spec, journal_path, emit=emit))

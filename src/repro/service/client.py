@@ -25,6 +25,7 @@ from repro.service.protocol import (
     CloseGraph,
     Hello,
     Request,
+    StatsQuery,
     StatusQuery,
     Submit,
     decode_line,
@@ -97,7 +98,7 @@ class ServiceClient:
         await self.writer.drain()
         while True:
             payload = await self._read_payload(timeout)
-            if "ok" in payload or payload.get("event") == "status":
+            if "ok" in payload or payload.get("event") in ("status", "stats"):
                 return payload
             self.notifications.append(payload)
 
@@ -180,6 +181,12 @@ class ServiceClient:
 
     async def status(self) -> dict[str, Any]:
         payload = await self.request_ok(StatusQuery())
+        inner = payload.get("payload")
+        return inner if isinstance(inner, dict) else {}
+
+    async def stats(self) -> dict[str, Any]:
+        """Telemetry snapshot: ``{"service": {...}, "tenants": {...}}``."""
+        payload = await self.request_ok(StatsQuery())
         inner = payload.get("payload")
         return inner if isinstance(inner, dict) else {}
 

@@ -44,6 +44,7 @@ from repro.service.config import ServiceConfig, TenantQuota
 from repro.service.journal import JournalWriter, read_journal
 from repro.service.pool import Notification, SharedPool
 from repro.service.protocol import Hello, Submit
+from repro.service.telemetry import ServiceTelemetry
 from repro.speedup.base import SpeedupModel
 
 __all__ = ["ServiceCore"]
@@ -64,13 +65,40 @@ class ServiceCore:
         self.journal: JournalWriter | None = (
             JournalWriter(journal_path, config) if journal_path is not None else None
         )
+        self.telemetry = ServiceTelemetry(emit=emit)
         self.shed_count = 0
 
     # ------------------------------------------------------------------
     # Public mutations: validate -> journal -> apply
     # ------------------------------------------------------------------
+    def _observed(self, op: str, tenant: str, fn: Callable[[], Any]) -> Any:
+        """Run one request-shaped mutation under telemetry.
+
+        Success and every :class:`~repro.exceptions.ServiceError` rejection
+        are recorded (service + per-tenant counters, a correlated
+        :class:`~repro.obs.events.ServiceRequestHandled` event when
+        tracing); the exception still propagates unchanged, so callers see
+        exactly the untelemetered behaviour.
+        """
+        try:
+            result = fn()
+        except ServiceError as exc:
+            self.telemetry.record_request(
+                self.pool.now,
+                tenant,
+                op,
+                str(getattr(exc, "code", "SERVICE_ERROR")),
+                retry_after=getattr(exc, "retry_after", None),
+            )
+            raise
+        self.telemetry.record_request(self.pool.now, tenant, op, "ok")
+        return result
+
     def hello(self, request: Hello) -> dict[str, Any]:
         """Admit a session; returns the ack info (effective quotas)."""
+        return self._observed("hello", request.tenant, lambda: self._hello(request))
+
+    def _hello(self, request: Hello) -> dict[str, Any]:
         tenant = request.tenant
         if not tenant or "/" in tenant:
             raise ProtocolError(
@@ -134,6 +162,11 @@ class ServiceCore:
         write — so a rejected submission leaves no trace and the client's
         retry (after ``retry_after``) is a clean resubmission.
         """
+        return self._observed("submit", tenant, lambda: self._submit(tenant, request))
+
+    def _submit(
+        self, tenant: str, request: Submit
+    ) -> tuple[dict[str, Any], list[Notification]]:
         run = self._open_run(tenant)
         if request.task in run.tasks:
             raise ProtocolError(f"task {request.task!r} was already submitted")
@@ -173,15 +206,22 @@ class ServiceCore:
         Returns (ack info, notifications) — the notifications carry the
         synthesized ``graph-done`` when the DAG had already drained.
         """
+        return self._observed("close", tenant, lambda: self._close(tenant))
+
+    def _close(self, tenant: str) -> tuple[dict[str, Any], list[Notification]]:
         run = self._open_run(tenant)
         if run.status != "open":
             raise SessionClosed(f"tenant {tenant!r} already closed its graph")
         notes = self._record("close", {"tenant": tenant})
         assert isinstance(notes, list)
+        self._observe_notes(notes)
         return {"drained": bool(notes), "inflight": run.inflight}, notes
 
     def cancel(self, tenant: str, reason: str = "CANCELLED") -> dict[str, Any]:
         """Cancel a session on client request, releasing its capacity."""
+        return self._observed("cancel", tenant, lambda: self._cancel(tenant, reason))
+
+    def _cancel(self, tenant: str, reason: str) -> dict[str, Any]:
         run = self.pool.tenants.get(tenant)
         if run is None or not run.active:
             raise SessionClosed(f"tenant {tenant!r} has no active session")
@@ -202,7 +242,7 @@ class ServiceCore:
             raise ProtocolError(f"processor {proc} is not down")
         notes = self._record("fault", {"fault_kind": kind, "proc": proc})
         assert isinstance(notes, list)
-        return notes
+        return self._observe_notes(notes)
 
     def tick(self, max_events: int | None = None) -> list[Notification]:
         """Advance virtual time by up to ``max_events`` completion events.
@@ -218,7 +258,7 @@ class ServiceCore:
             raise ProtocolError(f"tick budget must be >= 1, got {budget}")
         notes = self._record("tick", {"max_events": budget})
         assert isinstance(notes, list)
-        return notes
+        return self._observe_notes(notes)
 
     def drain(self, *, max_ticks: int = 100_000) -> list[Notification]:
         """Tick until no events remain (bounded; test/CLI convenience)."""
@@ -256,6 +296,7 @@ class ServiceCore:
                 return notes
             self.shed_count += 1
             self._record("cancel", {"tenant": victim[1], "reason": "SHED"})
+            self.telemetry.record_shed(self.pool.now, victim[1])
             notes.append(
                 (
                     victim[1],
@@ -274,7 +315,8 @@ class ServiceCore:
     def _record(self, op: str, payload: Mapping[str, Any]) -> Any:
         """Write-ahead: journal the mutation, then apply it to the pool."""
         if self.journal is not None:
-            self.journal.append(op, payload)
+            seq = self.journal.append(op, payload)
+            self.telemetry.record_journal(self.pool.now, op, seq, "append")
         return self._apply(op, payload)
 
     def _apply(self, op: str, payload: Mapping[str, Any]) -> Any:
@@ -312,6 +354,33 @@ class ServiceCore:
             return self.pool.tick(int(payload["max_events"]))
         raise JournalCorruptError(f"unknown journaled op {op!r}")
 
+    def _observe_notes(self, notes: list[Notification]) -> list[Notification]:
+        """Fold outbound notifications into the telemetry channels.
+
+        ``task-done`` feeds per-tenant task counters and the duration
+        histogram, ``graph-done`` records makespans and (for sessions
+        that carried a deadline) a deadline *hit*, and a
+        ``DEADLINE_EXCEEDED`` eviction records the matching *miss*.
+        Returns ``notes`` unchanged so call sites stay expression-shaped.
+        """
+        telemetry = self.telemetry
+        now = self.pool.now
+        for tenant, payload in notes:
+            event = payload.get("event")
+            if event == "task-done":
+                duration = float(payload["end"]) - float(payload["start"])  # type: ignore[arg-type]
+                telemetry.record_task_done(now, tenant, duration, int(payload["procs"]))  # type: ignore[arg-type]
+            elif event == "graph-done":
+                telemetry.record_graph_done(now, tenant, float(payload["makespan"]))  # type: ignore[arg-type]
+                run = self.pool.tenants.get(tenant)
+                if run is not None and run.deadline is not None:
+                    telemetry.record_deadline(now, tenant, run.deadline, missed=False)
+            elif event == "evicted" and payload.get("reason") == "DEADLINE_EXCEEDED":
+                run = self.pool.tenants.get(tenant)
+                deadline = run.deadline if run is not None and run.deadline is not None else now
+                telemetry.record_deadline(now, tenant, deadline, missed=True)
+        return notes
+
     # ------------------------------------------------------------------
     # Introspection / recovery
     # ------------------------------------------------------------------
@@ -331,6 +400,10 @@ class ServiceCore:
             None if self.journal is None else self.journal.next_seq
         )
         return payload
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Telemetry snapshot (service + per-tenant registries; never journaled)."""
+        return self.telemetry.stats_payload()
 
     def state_digest(self) -> str:
         """Content address of the full semantic state (config + pool).
@@ -369,6 +442,9 @@ class ServiceCore:
             payload = {
                 k: v for k, v in record.items() if k not in ("kind", "seq", "op")
             }
+            core.telemetry.record_journal(
+                core.pool.now, str(record["op"]), int(record["seq"]), "replay"
+            )
             core._apply(str(record["op"]), payload)
         if reopen:
             core.journal = JournalWriter(journal_path, config)

@@ -25,14 +25,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.exceptions import InvalidParameterError, ServiceError
 from repro.graph.generators import erdos_renyi_dag
 from repro.graph.io import model_to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.manifest import current_commit
 from repro.service.client import ServiceClient
 from repro.service.config import ServiceConfig
 from repro.service.core import ServiceCore
@@ -61,6 +64,10 @@ class LoadSpec:
     tenants: int = 4
     tasks_per_tenant: int = 50
     edge_probability: float = 0.08
+    #: Virtual-time session deadline per tenant (``None`` = none).  With a
+    #: deadline set, every hello carries it and the benchmark reports the
+    #: deadline-SLO histogram (makespan/deadline per finished tenant).
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.tenants < 1 or self.tasks_per_tenant < 1:
@@ -113,6 +120,7 @@ def generate_trace(spec: LoadSpec) -> dict[str, Any]:
             "tenants": spec.tenants,
             "tasks_per_tenant": spec.tasks_per_tenant,
             "edge_probability": spec.edge_probability,
+            "deadline": spec.deadline,
         },
         "tenants": tenants,
     }
@@ -132,6 +140,14 @@ def load_trace(path: str | Path) -> dict[str, Any]:
     return payload
 
 
+#: Wall-clock decision-latency buckets (milliseconds per acked submit).
+_LATENCY_MS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+#: Deadline-SLO buckets: makespan as a fraction of the session deadline
+#: (<= 1.0 met the deadline; the tail shows by how much misses overran).
+_DEADLINE_FRACTION_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0)
+
+
 @dataclass
 class LoadResult:
     """Measured outcome of one trace replay."""
@@ -144,6 +160,9 @@ class LoadResult:
     decisions: int
     decisions_per_s: float
     makespans: dict[str, float]
+    #: Per-tenant client-side metrics (``svc.decision_latency_ms``,
+    #: ``svc.deadline_fraction``), keyed by tenant, as registry dicts.
+    tenant_metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -155,16 +174,32 @@ class LoadResult:
             "decisions": self.decisions,
             "decisions_per_s": round(self.decisions_per_s, 3),
             "makespans": {k: round(v, 9) for k, v in sorted(self.makespans.items())},
+            "tenant_metrics": {
+                k: self.tenant_metrics[k] for k in sorted(self.tenant_metrics)
+            },
         }
 
 
 async def _replay_tenant(
-    host: str, port: int, entry: Mapping[str, Any], result: LoadResult
+    host: str,
+    port: int,
+    entry: Mapping[str, Any],
+    result: LoadResult,
+    deadline: float | None = None,
 ) -> None:
     client = await ServiceClient.connect(host, port)
     tenant = str(entry["tenant"])
+    registry = MetricsRegistry()
+    latency = registry.histogram(
+        "svc.decision_latency_ms",
+        buckets=_LATENCY_MS_BUCKETS,
+        help="wall milliseconds from submit write to ack (incl. backpressure)",
+    )
     try:
-        await client.hello(tenant)
+        if deadline is None:
+            await client.hello(tenant)
+        else:
+            await client.hello(tenant, deadline=deadline)
         for op in entry["ops"]:
             payload = {
                 "op": "submit",
@@ -173,6 +208,7 @@ async def _replay_tenant(
             }
             if op["deps"]:
                 payload["deps"] = list(op["deps"])
+            op_t0 = time.perf_counter()
             for _ in range(200):  # retry_after-driven backpressure loop
                 client.writer.write(encode_line(payload))
                 await client.writer.drain()
@@ -183,6 +219,7 @@ async def _replay_tenant(
                     client.notifications.append(reply)
                 if reply.get("ok"):
                     result.tasks_submitted += 1
+                    latency.observe((time.perf_counter() - op_t0) * 1e3)
                     break
                 retry_after = reply.get("retry_after")
                 if retry_after is None:
@@ -200,15 +237,25 @@ async def _replay_tenant(
         )
         if terminal.get("event") == "graph-done":
             result.graphs_done += 1
-            result.makespans[tenant] = float(terminal.get("makespan", 0.0))
+            makespan = float(terminal.get("makespan", 0.0))
+            result.makespans[tenant] = makespan
+            if deadline is not None and deadline > 0:
+                registry.histogram(
+                    "svc.deadline_fraction",
+                    buckets=_DEADLINE_FRACTION_BUCKETS,
+                    help="makespan / session deadline (<= 1.0 met the SLO)",
+                ).observe(makespan / deadline)
         await client.bye()
     finally:
+        result.tenant_metrics[tenant] = registry.as_dict()
         await client.close()
 
 
 async def replay_trace(trace: Mapping[str, Any], host: str, port: int) -> LoadResult:
     """Replay a trace against a live service, one session per tenant."""
     tenants = list(trace["tenants"])
+    spec = trace.get("spec") or {}
+    deadline = spec.get("deadline") if isinstance(spec, Mapping) else None
     result = LoadResult(
         tenants=len(tenants),
         tasks_submitted=0,
@@ -221,22 +268,35 @@ async def replay_trace(trace: Mapping[str, Any], host: str, port: int) -> LoadRe
     )
     t0 = time.perf_counter()
     await asyncio.gather(
-        *(_replay_tenant(host, port, entry, result) for entry in tenants)
+        *(
+            _replay_tenant(
+                host,
+                port,
+                entry,
+                result,
+                deadline=None if deadline is None else float(deadline),
+            )
+            for entry in tenants
+        )
     )
     result.wall_s = time.perf_counter() - t0
     return result
 
 
 async def _run_bench_async(
-    spec: LoadSpec, journal_path: Path, trace: Mapping[str, Any]
+    spec: LoadSpec,
+    journal_path: Path,
+    trace: Mapping[str, Any],
+    emit: Any = None,
 ) -> dict[str, Any]:
-    server = SchedulerServer(spec.config(), journal_path=str(journal_path))
+    server = SchedulerServer(spec.config(), journal_path=str(journal_path), emit=emit)
     host, port = await server.start()
     result = await replay_trace(trace, host, port)
     result.decisions = server.core.pool.stats.decisions
     if result.wall_s > 0:
         result.decisions_per_s = result.decisions / result.wall_s
     journal_records = server.core.journal.next_seq if server.core.journal else 0
+    service_stats = server.core.stats_payload()
 
     # Crash it and time the recovery (replay of the full journal).
     await server.kill()
@@ -249,6 +309,7 @@ async def _run_bench_async(
         raise ServiceError("benchmark recovery diverged from the live state")
     return {
         "load": result.as_dict(),
+        "service_stats": service_stats,
         "journal_records": journal_records,
         "recovery_s": round(recovery_s, 6),
         "records_per_recovery_s": (
@@ -264,16 +325,23 @@ def run_bench(
     *,
     bench_path: str | Path | None = None,
     trace: Mapping[str, Any] | None = None,
+    emit: Any = None,
 ) -> dict[str, Any]:
     """Full service benchmark: load replay + kill + timed recovery.
 
     Appends the entry to ``bench_path`` (``BENCH_service.json``) when
     given, under the artifact header ``{"benchmark": "service"}``.
+    ``emit`` (optional) receives the live service event stream (the
+    CLI's ``--trace`` hook); it does not affect the measurement's
+    semantics, only its wall cost.
     """
     if trace is None:
         trace = generate_trace(spec)
-    entry = asyncio.run(_run_bench_async(spec, Path(journal_path), trace))
+    entry = asyncio.run(_run_bench_async(spec, Path(journal_path), trace, emit))
     entry["spec"] = dict(trace.get("spec", {}))
+    entry["label"] = os.environ.get("REPRO_BENCH_LABEL") or "service-bench"
+    entry["commit"] = current_commit(cwd=Path(__file__).resolve().parent)
+    entry["unix_time"] = int(time.time())
     if bench_path is not None:
         _append_service_bench(bench_path, entry)
     return entry

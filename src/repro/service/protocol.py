@@ -16,6 +16,7 @@ Requests
 ``submit``   submit one task (id, serialized speedup model, predecessors)
 ``close``    declare the tenant's DAG complete (no more submissions)
 ``status``   read-only service snapshot (never journaled)
+``stats``    read-only telemetry snapshot (service + per-tenant metrics)
 ``cancel``   cancel the session, releasing all its capacity
 ``bye``      leave (detaches cleanly after ``close``/``cancel``)
 
@@ -29,6 +30,7 @@ Responses
 ``Evicted``      session terminated by the service (deadline, shedding,
                  cancellation); ``reason`` is the error code
 ``Status``       snapshot payload
+``Stats``        telemetry payload (metrics registries as dicts)
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ __all__ = [
     "Submit",
     "CloseGraph",
     "StatusQuery",
+    "StatsQuery",
     "Cancel",
     "Bye",
     "Response",
@@ -57,6 +60,7 @@ __all__ = [
     "GraphDone",
     "Evicted",
     "Status",
+    "Stats",
     "parse_request",
     "request_to_dict",
     "response_to_dict",
@@ -122,6 +126,11 @@ class StatusQuery(Request):
 
 
 @dataclass(frozen=True)
+class StatsQuery(Request):
+    """Read-only telemetry snapshot (service + per-tenant metrics)."""
+
+
+@dataclass(frozen=True)
 class Cancel(Request):
     """Cancel this session and release all its pool capacity."""
 
@@ -136,6 +145,7 @@ _REQUEST_OPS: dict[str, type[Request]] = {
     "submit": Submit,
     "close": CloseGraph,
     "status": StatusQuery,
+    "stats": StatsQuery,
     "cancel": Cancel,
     "bye": Bye,
 }
@@ -157,6 +167,7 @@ _FIELD_SPECS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
     },
     "close": {},
     "status": {},
+    "stats": {},
     "cancel": {},
     "bye": {},
 }
@@ -294,6 +305,13 @@ class Status(Response):
     payload: Mapping[str, Any]
 
 
+@dataclass(frozen=True)
+class Stats(Response):
+    """Telemetry snapshot: ``service`` + per-``tenants`` registry dicts."""
+
+    payload: Mapping[str, Any]
+
+
 _RESPONSE_TAGS: dict[type[Response], str] = {
     Ack: "ack",
     Rejection: "rejection",
@@ -302,6 +320,7 @@ _RESPONSE_TAGS: dict[type[Response], str] = {
     GraphDone: "graph-done",
     Evicted: "evicted",
     Status: "status",
+    Stats: "stats",
 }
 _TAG_TO_RESPONSE = {tag: cls for cls, tag in _RESPONSE_TAGS.items()}
 
@@ -320,7 +339,7 @@ def response_to_dict(response: Response) -> dict[str, Any]:
         if response.retry_after is not None:
             payload["retry_after"] = response.retry_after
         return payload
-    if isinstance(response, Status):
+    if isinstance(response, (Status, Stats)):
         return {"event": tag, "payload": dict(response.payload)}
     body = asdict(response)
     body["event"] = tag
@@ -347,6 +366,8 @@ def response_from_dict(payload: Mapping[str, Any]) -> Response:
     try:
         if cls is Status:
             return Status(payload=dict(body.get("payload", {})))
+        if cls is Stats:
+            return Stats(payload=dict(body.get("payload", {})))
         return cls(**body)
     except TypeError as exc:
         raise ProtocolError(f"malformed {tag} response: {exc}") from exc

@@ -53,6 +53,7 @@ from repro.service.protocol import (
     CloseGraph,
     Hello,
     Request,
+    StatsQuery,
     StatusQuery,
     Submit,
     decode_line,
@@ -255,6 +256,8 @@ class SchedulerServer:
             return {"ok": True, "op": "hello", "info": info}
         if isinstance(request, StatusQuery):
             return {"event": "status", "payload": core.status()}
+        if isinstance(request, StatsQuery):
+            return {"event": "stats", "payload": core.stats_payload()}
         if isinstance(request, Bye):
             return {"ok": True, "op": "bye", "info": {}}
         tenant = session.tenant

@@ -1,0 +1,198 @@
+"""Per-tenant service telemetry: metrics registries + correlated events.
+
+The scheduler service's observability seam.  One
+:class:`ServiceTelemetry` instance rides along each
+:class:`~repro.service.core.ServiceCore` and translates the core's
+request/journal/deadline lifecycle into the two unified channels of
+:mod:`repro.obs`:
+
+* **Metrics** — a service-level :class:`~repro.obs.metrics.MetricsRegistry`
+  plus one registry per tenant, rendered together by
+  :func:`repro.obs.export.render_prometheus` (the per-tenant registries
+  become ``tenant="..."``-labelled series) and served raw over the wire
+  by the ``stats`` protocol op.
+* **Events** — :class:`~repro.obs.events.ServiceRequestHandled`,
+  :class:`~repro.obs.events.JournalRecordWritten`, and
+  :class:`~repro.obs.events.DeadlineChecked`, emitted through the same
+  hook the pool uses for engine events, so one ``--trace`` JSONL file
+  interleaves scheduling decisions with the service decisions that
+  caused them.
+
+Correlation identifiers are drawn from a deterministic per-core counter
+(``r1``, ``r2``, ...), not a clock or RNG: traced service runs stay
+replayable, and a ``ServiceRequestHandled`` event can be joined against
+logs without wall-clock skew.
+
+Telemetry is bookkeeping, not semantics: nothing here feeds
+:meth:`~repro.service.core.ServiceCore.state_digest`, so live and
+journal-recovered cores stay digest-identical regardless of what was
+observed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.obs.events import (
+    DeadlineChecked,
+    JournalRecordWritten,
+    ServiceRequestHandled,
+    SimEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ServiceTelemetry"]
+
+_Emit = Callable[[SimEvent], None]
+
+#: Virtual-time task-duration buckets for the per-tenant histogram.
+_DURATION_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0)
+
+
+class ServiceTelemetry:
+    """Service- and tenant-level metrics with correlated trace events.
+
+    ``record_*`` methods are called by the core at well-defined lifecycle
+    points; each updates the service registry, the tenant registry (where
+    a tenant is involved), and — when an emission hook is installed and
+    only then (no event objects are built for untraced services) — emits
+    the matching :mod:`repro.obs.events` event.
+    """
+
+    def __init__(self, emit: _Emit | None = None) -> None:
+        self.emit = emit
+        self.service = MetricsRegistry()
+        self.tenants: dict[str, MetricsRegistry] = {}
+        self._corr = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Registry plumbing
+    # ------------------------------------------------------------------
+    def tenant(self, tenant: str) -> MetricsRegistry:
+        """The tenant's registry, created on first touch."""
+        registry = self.tenants.get(tenant)
+        if registry is None:
+            registry = self.tenants[tenant] = MetricsRegistry()
+        return registry
+
+    def next_corr(self) -> str:
+        """The next correlation id (deterministic: ``r1``, ``r2``, ...)."""
+        return f"r{next(self._corr)}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle recording
+    # ------------------------------------------------------------------
+    def record_request(
+        self,
+        time: float,
+        tenant: str,
+        op: str,
+        outcome: str,
+        *,
+        retry_after: float | None = None,
+    ) -> str:
+        """One handled request (accepted or rejected); returns its corr id."""
+        corr_id = self.next_corr()
+        self.service.counter(
+            "service.requests", help="client requests handled (any outcome)"
+        ).inc()
+        per_tenant = self.tenant(tenant)
+        per_tenant.counter("svc.requests", help="requests handled for this tenant").inc()
+        if outcome != "ok":
+            self.service.counter(
+                "service.rejections", help="requests rejected with a service error"
+            ).inc()
+            per_tenant.counter(
+                "svc.rejections", help="rejected requests for this tenant"
+            ).inc()
+        if retry_after is not None:
+            self.service.counter(
+                "service.retry_after_hints",
+                help="rejections that carried a RETRY_AFTER backpressure hint",
+            ).inc()
+        if self.emit is not None:
+            self.emit(
+                ServiceRequestHandled(time, tenant, op, outcome, corr_id, retry_after)
+            )
+        return corr_id
+
+    def record_shed(self, time: float, tenant: str) -> None:
+        """One load-shedding eviction (the policy fired, a victim was cut)."""
+        self.service.counter(
+            "service.sheds", help="sessions evicted by the load-shedding policy"
+        ).inc()
+        if self.emit is not None:
+            self.emit(
+                ServiceRequestHandled(time, tenant, "shed", "SHED", self.next_corr())
+            )
+
+    def record_journal(self, time: float, op: str, seq: int, mode: str) -> None:
+        """One journal record crossing the WAL (``append``) or recovery (``replay``)."""
+        self.service.counter(
+            "service.journal_appends" if mode == "append" else "service.journal_replays",
+            help=(
+                "mutations appended to the write-ahead journal"
+                if mode == "append"
+                else "journal records re-applied during recovery"
+            ),
+        ).inc()
+        if self.emit is not None:
+            self.emit(JournalRecordWritten(time, op, seq, mode))
+
+    def record_task_done(
+        self, time: float, tenant: str, duration: float, procs: int
+    ) -> None:
+        """One tenant task finished (virtual ``duration``, on ``procs``)."""
+        per_tenant = self.tenant(tenant)
+        per_tenant.counter("svc.tasks_done", help="tasks completed for this tenant").inc()
+        per_tenant.histogram(
+            "svc.task_duration",
+            buckets=_DURATION_BUCKETS,
+            help="virtual-time task durations for this tenant",
+        ).observe(duration)
+        per_tenant.counter(
+            "svc.proc_seconds", help="virtual processor-seconds consumed"
+        ).inc(duration * procs)
+
+    def record_graph_done(self, time: float, tenant: str, makespan: float) -> None:
+        """One tenant's whole DAG drained with the given makespan."""
+        per_tenant = self.tenant(tenant)
+        per_tenant.counter("svc.graphs_done", help="DAGs completed for this tenant").inc()
+        per_tenant.gauge(
+            "svc.last_makespan", help="makespan of the most recent completed DAG"
+        ).set(makespan)
+
+    def record_deadline(
+        self, time: float, tenant: str, deadline: float, *, missed: bool
+    ) -> None:
+        """A deadline-carrying session reached a terminal outcome."""
+        name = "deadline_misses" if missed else "deadline_hits"
+        self.service.counter(
+            f"service.{name}",
+            help=(
+                "deadline sessions evicted at their deadline"
+                if missed
+                else "deadline sessions that finished in time"
+            ),
+        ).inc()
+        self.tenant(tenant).counter(
+            f"svc.{name}",
+            help=("deadlines missed by this tenant" if missed else "deadlines met"),
+        ).inc()
+        if self.emit is not None:
+            self.emit(DeadlineChecked(time, tenant, deadline, missed))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def registries(self) -> dict[str, MetricsRegistry]:
+        """Per-tenant registries for labelled Prometheus rendering."""
+        return dict(self.tenants)
+
+    def stats_payload(self) -> dict[str, Any]:
+        """JSON-safe snapshot served by the ``stats`` protocol op."""
+        return {
+            "service": self.service.as_dict(),
+            "tenants": {t: reg.as_dict() for t, reg in sorted(self.tenants.items())},
+        }

@@ -57,12 +57,21 @@ class EngineBackend(Protocol):
     :meth:`~repro.sim.engine.ListScheduler._run_plain` on the same inputs,
     or raise :class:`~repro.exceptions.BatchUnsupportedError` to decline
     the run (the caller then falls back to the reference loop).
+
+    When the engine passes an ``emit`` callable (tracing enabled), the
+    backend must additionally deliver the run's full event stream through
+    it — digest-identical to the stream ``_run_plain`` would emit — or
+    decline the run.  ``emit=None`` keeps the untraced fast path.
     """
 
     name: str
 
     def simulate(
-        self, scheduler: "ListScheduler", source: "GraphSource"
+        self,
+        scheduler: "ListScheduler",
+        source: "GraphSource",
+        *,
+        emit: Callable[[object], None] | None = None,
     ) -> "SimulationResult":
         """Simulate one run, or raise ``BatchUnsupportedError`` to decline."""
         ...

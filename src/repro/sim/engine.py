@@ -482,16 +482,18 @@ class ListScheduler:
                 check_invariants = True
             return self._run_resilient(source, faults, retry, check_invariants, emit)
         backend = active_backend()
-        if backend is not None and not check_invariants and emit is None:
+        if backend is not None and not check_invariants:
             # An ambiently selected backend (see repro.sim.backend) covers
-            # only the plain fault-free loop; invariant-checked and traced
+            # the plain fault-free loop, traced or not; invariant-checked
             # runs stay on the reference path, and a backend may still
             # decline (unsupported source/allocator/priority), in which
             # case the reference loop runs as if nothing was selected.
             try:
-                return backend.simulate(self, source)
+                return backend.simulate(self, source, emit=emit)
             except BatchUnsupportedError:
-                pass
+                registry = active_metrics()
+                if registry is not None:
+                    registry.counter("backend.fallbacks").inc()
         return self._run_plain(source, bool(check_invariants), emit)
 
     # ------------------------------------------------------------------

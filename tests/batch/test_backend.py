@@ -113,21 +113,28 @@ class TestFallback:
                 StaticGraphSource(graph), check_invariants=True
             )
 
-    def test_traced_run_stays_on_reference(self, monkeypatch):
+    def test_traced_run_stays_on_batch(self, monkeypatch):
         from repro.obs.events import CollectingTracer
 
         graph = small_graph()
-        monkeypatch.setattr(
-            BatchBackend,
-            "simulate",
-            lambda self, scheduler, source: pytest.fail(
-                "backend must not see traced runs"
-            ),
-        )
+        seen = {}
+        original = BatchBackend.simulate
+
+        def spy(self, scheduler, source, emit=None):
+            seen["emit"] = emit
+            return original(self, scheduler, source, emit=emit)
+
+        monkeypatch.setattr(BatchBackend, "simulate", spy)
+        tracer = CollectingTracer()
         with use_backend("batch"):
-            ListScheduler(8, LpaAllocator(0.324)).run(
-                StaticGraphSource(graph), tracer=CollectingTracer()
+            result = ListScheduler(8, LpaAllocator(0.324)).run(
+                StaticGraphSource(graph), tracer=tracer
             )
+        # Tracing no longer forces the reference loop: the backend gets
+        # the emitter and reconstructs the event stream post-hoc.
+        assert seen["emit"] is not None
+        assert tracer.events
+        assert result.makespan > 0
 
     def test_faulty_run_stays_on_reference(self):
         from repro.resilience.faults import FaultTrace

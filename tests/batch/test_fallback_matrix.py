@@ -2,13 +2,16 @@
 
 ``use_backend("batch")`` is a performance hint, never a semantics change:
 for *every* combination of gated features — priority rules, free-aware
-allocators, adaptive sources, fault injection, tracers, invariant
-checking — the run must fall back to the reference loop and produce a
-result bit-identical to running without the backend selected.  The spy
-on :meth:`BatchBackend.simulate` additionally pins *where* the gate
-fired: engine-level gates (faults, tracers, invariant checking) keep the
-backend from being consulted at all, while scheduler/compile-level gates
-consult it and are declined via ``BatchUnsupportedError``.
+allocators, adaptive sources, fault injection, invariant checking — the
+run must fall back to the reference loop and produce a result
+bit-identical to running without the backend selected.  Tracing is *not*
+a gate anymore (the backend reconstructs a digest-identical event stream
+post-hoc), so the matrix includes it as a supported feature that must
+compose with every gate without changing results.  The spy on
+:meth:`BatchBackend.simulate` additionally pins *where* each gate fired:
+engine-level gates (faults, invariant checking) keep the backend from
+being consulted at all, while scheduler/compile-level gates consult it
+and are declined via ``BatchUnsupportedError``.
 """
 
 import hashlib
@@ -29,10 +32,11 @@ from repro.speedup.random import RandomModelFactory
 
 #: Features the batch backend does not support.  The first three gate at
 #: the backend/compile layer (the backend is consulted and declines);
-#: the last three gate inside the engine (the backend is never reached).
+#: the last two gate inside the engine (the backend is never reached).
+#: Tracing is batch-supported and rides along to prove it composes.
 BACKEND_GATED = ("priority", "free_allocator", "adaptive_source")
-ENGINE_GATED = ("faults", "tracer", "invariants")
-FEATURES = BACKEND_GATED + ENGINE_GATED
+ENGINE_GATED = ("faults", "invariants")
+FEATURES = BACKEND_GATED + ENGINE_GATED + ("tracer",)
 
 
 def _digest(result) -> str:
@@ -112,9 +116,9 @@ def test_every_gated_combination_falls_back_identically(params):
     consulted = []
     original = BatchBackend.simulate
 
-    def spy(self, scheduler, source):
+    def spy(self, scheduler, source, emit=None):
         consulted.append(True)
-        return original(self, scheduler, source)
+        return original(self, scheduler, source, emit=emit)
 
     BatchBackend.simulate = spy
     try:
@@ -125,10 +129,11 @@ def test_every_gated_combination_falls_back_identically(params):
 
     assert reference == under_batch
     if combo & set(ENGINE_GATED):
-        # Faults/tracing/invariant checking gate inside the engine: the
-        # backend must never even be consulted.
+        # Faults/invariant checking gate inside the engine: the backend
+        # must never even be consulted.
         assert not consulted
     else:
-        # Purely backend-level gates: the backend is consulted once per
-        # run and declines via BatchUnsupportedError.
+        # Backend-level gates are consulted and decline via
+        # BatchUnsupportedError; a tracer-only combo is consulted and
+        # *runs* on the batch path — either way, same results.
         assert consulted

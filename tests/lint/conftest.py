@@ -26,6 +26,7 @@ RULE_CODES = (
     "RL006",
     "RL007",
     "RL008",
+    "RL012",
 )
 
 #: Whole-program rules; their fixtures run through the semantic pass of

@@ -8,7 +8,7 @@ from repro.lint.engine import iter_python_files
 
 
 class TestRegistry:
-    def test_eight_rules_registered(self):
+    def test_per_file_rules_registered(self):
         codes = [rule.code for rule in all_rules()]
         assert codes == [
             "RL001",
@@ -19,6 +19,7 @@ class TestRegistry:
             "RL006",
             "RL007",
             "RL008",
+            "RL012",
         ]
 
     def test_codes_and_names_unique(self):
@@ -33,7 +34,7 @@ class TestRegistry:
     def test_ignore_filters(self):
         rules = resolve_codes(ignore=["RL006"])
         assert "RL006" not in [r.code for r in rules]
-        assert len(rules) == 7
+        assert len(rules) == 8
 
     def test_unknown_code_raises(self):
         import pytest

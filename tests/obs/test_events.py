@@ -8,10 +8,13 @@ from repro.obs.events import (
     EVENT_TYPES,
     AllocationDecided,
     CollectingTracer,
+    DeadlineChecked,
     FaultInjected,
+    JournalRecordWritten,
     MultiTracer,
     NullTracer,
     QueueSampled,
+    ServiceRequestHandled,
     TaskCompleted,
     TaskRevealed,
     TaskStarted,
@@ -41,8 +44,8 @@ class TestEventDataclasses:
         with pytest.raises(dataclasses.FrozenInstanceError):
             event.procs = 8
 
-    def test_registry_covers_the_eight_types(self):
-        assert len(EVENT_TYPES) == 8
+    def test_registry_covers_the_eleven_types(self):
+        assert len(EVENT_TYPES) == 11
         assert set(EVENT_TYPES) == {
             "TaskRevealed",
             "AllocationDecided",
@@ -52,6 +55,9 @@ class TestEventDataclasses:
             "RetryScheduled",
             "CapacityChanged",
             "QueueSampled",
+            "ServiceRequestHandled",
+            "JournalRecordWritten",
+            "DeadlineChecked",
         }
 
 
@@ -88,6 +94,10 @@ class TestValidateEventDict:
             TaskCompleted(1.0, "a", 2, 0.0),
             FaultInjected(2.0, 3, "fail"),
             QueueSampled(2.0, 1, 6),
+            ServiceRequestHandled(3.0, "acme", "submit", "ok", "r7"),
+            ServiceRequestHandled(3.0, "acme", "submit", "ADMISSION_REJECTED", "r8", 1.5),
+            JournalRecordWritten(3.0, "submit", 12, "append"),
+            DeadlineChecked(9.0, "acme", 8.0, True),
         ]
         for event in samples:
             assert validate_event_dict(event_to_dict(event)) == []

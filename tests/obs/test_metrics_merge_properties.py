@@ -1,0 +1,129 @@
+"""Property tests: ``MetricsRegistry.merge()`` is exact aggregation.
+
+The campaign executor relies on merge being *lossless*: observing a
+stream of samples split across N worker registries and folding them into
+one must be indistinguishable from observing the whole stream in a
+single registry.  Observations are integer-valued floats so that
+floating-point addition is exact and the equality below is literal, not
+approximate.
+
+Note the histogram's ``bucket_counts`` are **per-bin** (``observe``
+increments exactly one bin — the first bound that fits — with overflow in
+the final slot); merge must preserve that invariant bin by bin.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+values = st.integers(min_value=-1_000, max_value=1_000).map(float)
+observations = st.lists(values, max_size=40)
+increments = st.lists(
+    st.integers(min_value=0, max_value=1_000).map(float), max_size=40
+)
+bucket_bounds = st.lists(
+    st.integers(min_value=-500, max_value=500), unique=True, min_size=1, max_size=6
+).map(lambda bounds: tuple(float(b) for b in sorted(bounds)))
+
+
+def fill(registry, counter_incs, hist_obs, buckets, gauge_value):
+    for amount in counter_incs:
+        registry.counter("c").inc(amount)
+    hist = registry.histogram("h", buckets=buckets)
+    for value in hist_obs:
+        hist.observe(value)
+    if gauge_value is not None:
+        registry.gauge("g").set(gauge_value)
+
+
+class TestMergeExactness:
+    @given(
+        left=increments,
+        right=increments,
+        left_obs=observations,
+        right_obs=observations,
+        buckets=bucket_bounds,
+    )
+    @settings(max_examples=200)
+    def test_split_streams_merge_to_the_combined_registry(
+        self, left, right, left_obs, right_obs, buckets
+    ):
+        a, b, combined = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        fill(a, left, left_obs, buckets, None)
+        fill(b, right, right_obs, buckets, None)
+        fill(combined, left + right, left_obs + right_obs, buckets, None)
+        a.merge(b)
+        assert a.as_dict() == combined.as_dict()
+
+    @given(
+        obs=observations,
+        buckets=bucket_bounds,
+        cut=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=200)
+    def test_merge_from_as_dict_payload_equals_registry_merge(
+        self, obs, buckets, cut
+    ):
+        head, tail = obs[:cut], obs[cut:]
+        via_registry, via_payload, reference = (
+            MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        )
+        other = MetricsRegistry()
+        fill(via_registry, [], head, buckets, None)
+        fill(via_payload, [], head, buckets, None)
+        fill(other, [], tail, buckets, None)
+        fill(reference, [], obs, buckets, None)
+        via_registry.merge(other)
+        via_payload.merge(other.as_dict())
+        assert via_registry.as_dict() == via_payload.as_dict()
+        assert via_registry.as_dict() == reference.as_dict()
+
+    @given(obs=observations, buckets=bucket_bounds)
+    @settings(max_examples=200)
+    def test_per_bin_invariants_survive_merge(self, obs, buckets):
+        a, b = Histogram("h", buckets=buckets), Histogram("h", buckets=buckets)
+        for i, value in enumerate(obs):
+            (a if i % 2 else b).observe(value)
+        a.merge(b)
+        # one slot per bound plus overflow, and every observation lands
+        # in exactly one bin
+        assert len(a.bucket_counts) == len(buckets) + 1
+        assert sum(a.bucket_counts) == a.count == len(obs)
+        if obs:
+            assert a.min == min(obs)
+            assert a.max == max(obs)
+            assert a.total == sum(obs)
+
+    @given(
+        first=st.none() | values,
+        second=st.none() | values,
+    )
+    def test_gauge_merge_is_last_writer_wins(self, first, second):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        if first is not None:
+            a.gauge("g").set(first)
+        if second is not None:
+            b.gauge("g").set(second)
+        a.merge(b)
+        expected = second if second is not None else first
+        assert a.gauge("g").value == expected
+
+    @given(obs=observations, buckets=bucket_bounds)
+    @settings(max_examples=100)
+    def test_merge_into_empty_is_identity(self, obs, buckets):
+        loaded, reference = MetricsRegistry(), MetricsRegistry()
+        fill(reference, [1.0], obs, buckets, 7.0)
+        loaded.merge(reference.as_dict())
+        assert loaded.as_dict() == reference.as_dict()
+
+    @given(buckets_a=bucket_bounds, buckets_b=bucket_bounds)
+    def test_bucket_mismatch_is_rejected(self, buckets_a, buckets_b):
+        if buckets_a == buckets_b:
+            return
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=buckets_a)
+        b.histogram("h", buckets=buckets_b)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            a.merge(b)

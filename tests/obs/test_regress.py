@@ -1,0 +1,176 @@
+"""The BENCH regression watchdog: detection rules, CLI, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    Series,
+    check_series,
+    classify_metric,
+    extract_series,
+    main,
+    scan_files,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def series(values, direction="lower", name="bench.min_s", file="BENCH_x.json"):
+    return Series(file, name, direction, list(enumerate(values)))
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name, expected", [
+        ("min_s", "lower"),
+        ("benchmarks.test_wide.median_s", "lower"),
+        ("recovery_s", "lower"),
+        ("warm_s", "lower"),
+        ("wall_time_s", "lower"),
+        ("decisions_per_s", "higher"),
+        ("records_per_recovery_s", "higher"),  # rate, despite the _s suffix
+        ("tasks_per_sec", "higher"),
+        ("speedup_vs_serial", "higher"),
+        ("cache_hit_rate", "higher"),
+        ("tasks_per_sec_ratio", "higher"),
+        ("rounds", None),
+        ("unix_time", None),
+        ("journal_records", None),
+        ("seed", None),
+    ])
+    def test_direction_heuristics(self, name, expected):
+        assert classify_metric(name) == expected
+
+
+class TestExtraction:
+    def test_entries_flatten_to_aligned_series(self):
+        doc = {"entries": [
+            {"benchmarks": {"wide": {"min_s": 0.10, "rounds": 3}},
+             "load": {"decisions_per_s": 1000.0}},
+            {"benchmarks": {"wide": {"min_s": 0.11, "rounds": 3}},
+             "load": {"decisions_per_s": 900.0}},
+        ]}
+        extracted = {s.name: s for s in extract_series(doc, "BENCH_t.json")}
+        assert set(extracted) == {"benchmarks.wide.min_s", "load.decisions_per_s"}
+        assert extracted["benchmarks.wide.min_s"].values == [0.10, 0.11]
+        assert extracted["load.decisions_per_s"].direction == "higher"
+
+    def test_sparse_series_keep_entry_indices(self):
+        doc = {"entries": [
+            {"benchmarks": {"a": {"min_s": 1.0}}},
+            {"benchmarks": {"b": {"min_s": 2.0}}},
+            {"benchmarks": {"a": {"min_s": 1.1}}},
+        ]}
+        extracted = {s.name: s for s in extract_series(doc, "f")}
+        assert extracted["benchmarks.a.min_s"].points == [(0, 1.0), (2, 1.1)]
+
+    def test_scaling_sweep_lists_align_by_batch_size(self):
+        entry = {"scaling_sweep": {"numpy": [
+            {"batch": 1, "tasks_per_sec": 4000.0},
+            {"batch": 64, "tasks_per_sec": 90000.0},
+        ]}}
+        doc = {"entries": [entry, entry]}
+        names = {s.name for s in extract_series(doc, "f")}
+        assert "scaling_sweep.numpy[batch=64].tasks_per_sec" in names
+
+    def test_bools_and_provenance_ignored(self):
+        doc = {"entries": [{
+            "recovery_digest_verified": True,
+            "unix_time": 1786239866,
+            "commit": "abc1234",
+        }]}
+        assert extract_series(doc, "f") == []
+
+
+class TestThresholdRule:
+    def test_large_slowdown_fails(self):
+        finding = check_series(series([1.0, 1.0, 1.5]))
+        assert finding is not None
+        assert finding.rule == "threshold"
+        assert finding.rel_change == pytest.approx(0.5)
+
+    def test_improvement_passes(self):
+        assert check_series(series([1.0, 1.0, 0.5])) is None
+
+    def test_throughput_drop_fails(self):
+        finding = check_series(series([100.0, 100.0, 60.0], direction="higher"))
+        assert finding is not None and finding.rule == "threshold"
+
+    def test_throughput_gain_passes(self):
+        assert check_series(series([100.0, 150.0], direction="higher")) is None
+
+    def test_single_point_skipped(self):
+        assert check_series(series([1.0])) is None
+
+    def test_zero_baseline_skipped(self):
+        assert check_series(series([0.0, 1.0], direction="higher")) is None
+
+
+class TestChangePointRule:
+    def test_modest_shift_on_stable_history_fails(self):
+        # +15% is inside the 30% threshold but far outside the noise floor
+        # of a long stable history: the MAD detector must catch it.
+        stable = [1.0, 1.001, 0.999, 1.0, 1.002, 0.998, 1.0]
+        finding = check_series(series(stable + [1.15]))
+        assert finding is not None
+        assert finding.rule == "change-point"
+
+    def test_same_shift_on_noisy_history_passes(self):
+        noisy = [1.0, 1.2, 0.8, 1.1, 0.9, 1.15, 0.85]
+        assert check_series(series(noisy + [1.15])) is None
+
+    def test_short_history_defers_to_threshold_only(self):
+        assert check_series(series([1.0, 1.0, 1.15])) is None
+
+    def test_tiny_shift_below_min_rel_passes(self):
+        stable = [1.0, 1.001, 0.999, 1.0, 1.002]
+        assert check_series(series(stable + [1.02])) is None
+
+
+class TestCli:
+    def write_bench(self, tmp_path, name, minima):
+        doc = {"benchmark": "t", "entries": [
+            {"benchmarks": {"wide": {"min_s": m}}} for m in minima
+        ]}
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_clean_trajectory_exits_zero(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "BENCH_a.json", [1.0, 0.9, 0.95])
+        assert main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "BENCH_a.json", [1.0, 0.9, 2.5])
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "BENCH_a.json:benchmarks.wide.min_s" in out
+
+    def test_json_output_lists_findings(self, tmp_path, capsys):
+        path = self.write_bench(tmp_path, "BENCH_a.json", [1.0, 2.5])
+        assert main([str(path), "--json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert findings[0]["name"] == "benchmarks.wide.min_s"
+        assert findings[0]["rule"] == "threshold"
+
+    def test_no_files_is_a_clean_pass(self, tmp_path):
+        assert main(["--root", str(tmp_path)]) == 0
+
+    def test_malformed_file_is_a_hard_error(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit):
+            main([str(bad)])
+
+
+class TestCommittedTrajectories:
+    def test_repo_bench_files_are_regression_free(self):
+        files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert files, "expected committed BENCH_*.json trajectories"
+        findings, tracked = scan_files(files)
+        assert findings == [], [f.render() for f in findings]
+        assert tracked, "watchdog tracked no series at all"

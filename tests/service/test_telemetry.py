@@ -1,0 +1,236 @@
+"""Service telemetry: per-tenant metrics, correlated events, stats op.
+
+The telemetry layer must be a pure observer: every test that exercises
+it also re-checks that ``state_digest()`` — the recovery contract — is
+unchanged by the presence or absence of an event sink.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import AdmissionRejected
+from repro.obs.events import (
+    DeadlineChecked,
+    JournalRecordWritten,
+    ServiceRequestHandled,
+)
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig, TenantQuota
+from repro.service.core import ServiceCore
+from repro.service.protocol import Hello, Submit
+from repro.service.server import SchedulerServer
+from repro.speedup import AmdahlModel
+
+
+def make_core(emit=None, journal_path=None, **overrides):
+    defaults = dict(P=4, family="amdahl")
+    defaults.update(overrides)
+    return ServiceCore(
+        ServiceConfig(**defaults),
+        journal_path=journal_path,
+        emit=emit,
+    )
+
+
+def lifecycle(core, tenant="a", tasks=2, deadline=None):
+    """hello -> submit ``tasks`` -> close -> drain, returning all notes."""
+    core.hello(Hello(tenant=tenant, deadline=deadline))
+    for i in range(tasks):
+        core.submit(tenant, Submit(task=f"t{i}", model=AmdahlModel(4.0, 1.0)))
+    _, notes = core.close(tenant)
+    notes = list(notes)
+    notes.extend(core.drain())
+    return notes
+
+
+class TestRequestTelemetry:
+    def test_ok_requests_counted_per_tenant(self):
+        core = make_core()
+        lifecycle(core, "acme", tasks=2)
+        assert core.telemetry.service.value("service.requests") == 4.0
+        assert core.telemetry.tenant("acme").value("svc.requests") == 4.0
+        assert core.telemetry.service.value("service.rejections") == 0.0
+
+    def test_rejection_outcome_records_code_and_retry_after(self):
+        events = []
+        core = make_core(emit=events.append, max_tenants=1, retry_after_s=0.5)
+        core.hello(Hello(tenant="a"))
+        with pytest.raises(AdmissionRejected):
+            core.hello(Hello(tenant="b"))
+        assert core.telemetry.service.value("service.rejections") == 1.0
+        assert core.telemetry.service.value("service.retry_after_hints") == 1.0
+        rejected = [
+            e for e in events
+            if isinstance(e, ServiceRequestHandled) and e.outcome != "ok"
+        ]
+        assert len(rejected) == 1
+        assert rejected[0].tenant == "b"
+        assert rejected[0].outcome == "ADMISSION_REJECTED"
+        assert rejected[0].retry_after == 0.5
+
+    def test_correlation_ids_are_deterministic(self):
+        def stream():
+            events = []
+            core = make_core(emit=events.append)
+            lifecycle(core, "acme", tasks=2)
+            return [
+                e.corr_id for e in events if isinstance(e, ServiceRequestHandled)
+            ]
+
+        first, second = stream(), stream()
+        assert first == second
+        assert first == [f"r{i}" for i in range(1, len(first) + 1)]
+
+
+class TestJournalTelemetry:
+    def test_append_events_carry_seq_and_mode(self, tmp_path):
+        events = []
+        core = make_core(emit=events.append, journal_path=tmp_path / "wal.jsonl")
+        lifecycle(core, "a", tasks=1)
+        core.close_journal()
+        appends = [e for e in events if isinstance(e, JournalRecordWritten)]
+        assert all(e.mode == "append" for e in appends)
+        assert [e.seq for e in appends] == list(range(len(appends)))
+        assert core.telemetry.service.value("service.journal_appends") == float(
+            len(appends)
+        )
+
+    def test_recovery_emits_replay_events(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+        core = make_core(journal_path=journal)
+        lifecycle(core, "a", tasks=2)
+        digest = core.state_digest()
+        appended = core.telemetry.service.value("service.journal_appends")
+        core.close_journal()
+
+        events = []
+        recovered = ServiceCore.recover(journal, reopen=False, emit=events.append)
+        replays = [e for e in events if isinstance(e, JournalRecordWritten)]
+        assert all(e.mode == "replay" for e in replays)
+        assert len(replays) == int(appended)
+        assert recovered.telemetry.service.value(
+            "service.journal_replays"
+        ) == appended
+        assert recovered.state_digest() == digest
+
+
+class TestDeadlineTelemetry:
+    def test_deadline_hit(self):
+        events = []
+        core = make_core(emit=events.append)
+        lifecycle(core, "acme", tasks=1, deadline=1000.0)
+        checks = [e for e in events if isinstance(e, DeadlineChecked)]
+        assert len(checks) == 1
+        assert checks[0].missed is False
+        assert checks[0].tenant == "acme"
+        assert core.telemetry.service.value("service.deadline_hits") == 1.0
+        assert core.telemetry.tenant("acme").value("svc.deadline_hits") == 1.0
+
+    def test_deadline_miss(self):
+        events = []
+        core = make_core(emit=events.append)
+        core.hello(Hello(tenant="slow", deadline=0.5))
+        # Two dependent unit-length tasks: the deadline (0.5) passes after
+        # the first completes, so the eviction fires mid-graph.
+        core.submit("slow", Submit(task="t0", model=AmdahlModel(1.0, 1.0)))
+        core.submit(
+            "slow", Submit(task="t1", model=AmdahlModel(1.0, 1.0), deps=("t0",))
+        )
+        _, notes = core.close("slow")
+        notes = list(notes)
+        notes.extend(core.drain())
+        assert any(n[1].get("event") == "evicted" for n in notes)
+        checks = [e for e in events if isinstance(e, DeadlineChecked)]
+        assert len(checks) == 1
+        assert checks[0].missed is True
+        assert core.telemetry.service.value("service.deadline_misses") == 1.0
+        assert core.telemetry.tenant("slow").value("svc.deadline_misses") == 1.0
+
+    def test_no_deadline_no_check(self):
+        events = []
+        core = make_core(emit=events.append)
+        lifecycle(core, "a", tasks=1)
+        assert not [e for e in events if isinstance(e, DeadlineChecked)]
+
+
+class TestShedTelemetry:
+    def test_shed_recorded_against_victim(self):
+        events = []
+        core = make_core(
+            emit=events.append,
+            P=1,
+            max_queue_depth=100,
+            shed_threshold=4,
+            quota=TenantQuota(max_inflight_tasks=100),
+            max_tenants=10,
+        )
+        core.hello(Hello(tenant="vip", priority=5))
+        core.hello(Hello(tenant="other", priority=0))
+        core.hello(Hello(tenant="victim", priority=0))
+        for i in range(2):
+            core.submit("vip", Submit(task=f"v{i}", model=AmdahlModel(8.0, 1.0)))
+        for i in range(2):
+            core.submit("other", Submit(task=f"o{i}", model=AmdahlModel(8.0, 1.0)))
+        # This submission pushes the queue to the shed threshold; the
+        # victim is the newest priority-0 session — the submitter itself.
+        _, shed_notes = core.submit(
+            "victim", Submit(task="x0", model=AmdahlModel(8.0, 1.0))
+        )
+        assert any(n[1].get("event") == "evicted" for n in shed_notes)
+        assert core.telemetry.service.value("service.sheds") >= 1.0
+        sheds = [
+            e for e in events
+            if isinstance(e, ServiceRequestHandled) and e.op == "shed"
+        ]
+        assert sheds and sheds[0].tenant == "victim"
+        assert sheds[0].outcome == "SHED"
+
+
+class TestWorkloadDerivation:
+    def test_task_and_graph_metrics(self):
+        core = make_core()
+        lifecycle(core, "acme", tasks=3)
+        reg = core.telemetry.tenant("acme")
+        assert reg.value("svc.tasks_done") == 3.0
+        assert reg.value("svc.task_duration") == 3.0  # histogram count
+        assert reg.value("svc.proc_seconds") > 0.0
+        assert reg.value("svc.graphs_done") == 1.0
+        assert reg.value("svc.last_makespan") > 0.0
+
+
+class TestStatsPayload:
+    def test_shape_and_digest_neutrality(self):
+        events = []
+        observed = make_core(emit=events.append)
+        silent = make_core()
+        for core in (observed, silent):
+            lifecycle(core, "acme", tasks=2)
+        assert events  # the sink actually saw traffic
+        assert observed.state_digest() == silent.state_digest()
+        payload = observed.stats_payload()
+        assert set(payload) == {"service", "tenants"}
+        assert "acme" in payload["tenants"]
+        assert payload == silent.stats_payload()
+
+    def test_stats_op_over_the_wire(self):
+        async def scenario():
+            server = SchedulerServer(ServiceConfig(P=4, family="amdahl"))
+            host, port = await server.start()
+            try:
+                client = await ServiceClient.connect(host, port)
+                await client.hello("acme")
+                await client.submit("t0", AmdahlModel(4.0, 1.0))
+                await client.close_graph()
+                await client.wait_graph_done()
+                stats = await client.stats()
+                assert set(stats) == {"service", "tenants"}
+                assert stats["service"]["service.requests"]["value"] >= 3
+                assert "acme" in stats["tenants"]
+                tenant = stats["tenants"]["acme"]
+                assert tenant["svc.graphs_done"]["value"] == 1
+                await client.bye()
+            finally:
+                await server.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
